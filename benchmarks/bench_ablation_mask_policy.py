@@ -1,0 +1,22 @@
+"""Ablation: exact-fraction versus Bernoulli fault injection.
+
+The paper forces an exact fraction of sites to flip per computation; the
+closed-form models assume independent per-site flips.  The two must agree
+closely, confirming the injection semantics carries no hidden effect --
+and licensing the analytical cross-checks in ``repro.analysis``.
+"""
+
+from benchmarks.conftest import print_series
+from repro.experiments.ablations import ABLATION_PERCENTS, mask_policy_ablation
+
+
+def run_ablation():
+    return mask_policy_ablation(trials_per_workload=4)
+
+
+def test_bench_mask_policy(benchmark):
+    series = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    print_series("Mask policy (TMR ALU)", ABLATION_PERCENTS, series)
+    for i, pct in enumerate(ABLATION_PERCENTS):
+        delta = abs(series["exact"][i] - series["bernoulli"][i])
+        assert delta < 10.0, f"policies diverge at {pct}%: {delta}"

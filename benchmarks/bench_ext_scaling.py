@@ -1,0 +1,48 @@
+"""Extension (paper §6.2): the system-check bottleneck, measured.
+
+The paper's case against external reconfiguration (Teramac, Phoenix) is
+that periodic whole-system surveys stop scaling: checking time grows
+with block count while the NanoBox's distributed heartbeat checks every
+cell every cycle regardless of grid size.  This bench measures both
+checkers' failure-detection latency across grid sizes, plus how the
+fixed 64-pixel job's cycle budget scales with grid shape.
+"""
+
+from repro.experiments.scaling import (
+    detection_latency,
+    detection_table_text,
+    pipeline_scaling,
+    pipeline_table_text,
+)
+
+SIZES = ((2, 2), (4, 4), (8, 8))
+
+
+def run_detection():
+    return detection_latency(sizes=SIZES, trials=60, seed=2004)
+
+
+def test_bench_detection_latency(benchmark):
+    points = benchmark.pedantic(run_detection, rounds=1, iterations=1)
+    print()
+    print(detection_table_text(points))
+    # Watchdog latency is flat; external latency scales with cell count.
+    assert all(p.watchdog_latency == 1.0 for p in points)
+    assert points[-1].external_latency > points[0].external_latency * 8
+    # 8x8: mean external latency ~ 32 cycles of paused computation.
+    assert points[-1].external_latency > 16
+
+
+def run_pipeline():
+    return pipeline_scaling(sizes=((2, 2), (2, 4), (4, 4), (4, 8)), seed=0)
+
+
+def test_bench_pipeline_scaling(benchmark):
+    points = benchmark.pedantic(run_pipeline, rounds=1, iterations=1)
+    print()
+    print(pipeline_table_text(points))
+    by_shape = {(p.rows, p.cols): p for p in points}
+    # Doubling the columns roughly halves the shift-in phase (parallel
+    # edge buses), the dominant cost.
+    assert by_shape[(2, 4)].shift_in < by_shape[(2, 2)].shift_in
+    assert by_shape[(4, 8)].shift_in < by_shape[(4, 4)].shift_in

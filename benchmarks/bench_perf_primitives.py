@@ -1,0 +1,67 @@
+"""Performance baselines for the simulation primitives.
+
+Not a paper experiment: these benchmarks track the cost of the hot
+operations every sweep is built from, so performance regressions in the
+substrate show up directly in CI history.
+"""
+
+import numpy as np
+import pytest
+
+from repro.alu.cmos import CMOSALU
+from repro.alu.nanobox import NanoBoxALU
+from repro.alu.variants import build_alu
+from repro.faults.mask import ExactFractionMask
+from repro.lut.coded import CodedLUT
+from repro.lut.table import TruthTable
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_bench_lut_read_tmr(benchmark):
+    lut = CodedLUT(TruthTable.from_function(5, lambda *b: sum(b) % 2), "tmr")
+    result = benchmark(lut.read, 13, 1 << 45)
+    assert result in (0, 1)
+
+
+def test_bench_lut_read_hamming(benchmark):
+    lut = CodedLUT(
+        TruthTable.from_function(5, lambda *b: sum(b) % 2), "hamming"
+    )
+    result = benchmark(lut.read, 13, 1 << 20)
+    assert result in (0, 1)
+
+
+def test_bench_mask_generation_aluss(benchmark, rng):
+    policy = ExactFractionMask(0.03)
+    mask = benchmark(policy.generate, 5040, rng)
+    assert mask >= 0
+
+
+def test_bench_nanobox_compute(benchmark):
+    alu = NanoBoxALU(scheme="tmr")
+    result = benchmark(alu.compute, 0b111, 0xC8, 0x64)
+    assert result.value == (0xC8 + 0x64) & 0xFF
+
+
+def test_bench_cmos_compute(benchmark):
+    alu = CMOSALU()
+    result = benchmark(alu.compute, 0b111, 0xC8, 0x64)
+    assert result.value == (0xC8 + 0x64) & 0xFF
+
+
+def test_bench_aluss_full_computation(benchmark, rng):
+    """One instruction on the paper's headline config with a 3% mask --
+    the inner loop of every Figure 9 data point."""
+    alu = build_alu("aluss")
+    policy = ExactFractionMask(0.03)
+
+    def one_instruction():
+        mask = policy.generate(alu.site_count, rng)
+        return alu.compute(0b010, 0xAA, 0x55, fault_mask=mask)
+
+    result = benchmark(one_instruction)
+    assert 0 <= result.value <= 255

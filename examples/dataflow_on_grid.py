@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Non-streaming workloads on the grid (paper future work, implemented).
+
+The image kernels are one-shot data-parallel streams; this demo runs
+*dependent* computations -- a balanced XOR-checksum tree and an FIR-like
+filter -- where later instructions consume earlier results.  The CMOS
+control processor resolves the dependencies between waves, submitting
+each wave as its own shift-in / compute / shift-out round, and the job
+still survives a cell failure mid-run.
+
+Run:
+    python examples/dataflow_on_grid.py
+"""
+
+from repro.grid.simulator import GridSimulator
+from repro.workloads.dataflow import (
+    GridDataflowExecutor,
+    checksum_tree_program,
+    fir_filter_program,
+)
+
+
+def main() -> None:
+    data = [(i * 53 + 17) & 0xFF for i in range(16)]
+
+    print("1) XOR-checksum reduction tree over 16 bytes")
+    program = checksum_tree_program(data)
+    sim = GridSimulator(rows=3, cols=3, seed=3)
+    outcome = GridDataflowExecutor(sim).run(program)
+    expected = program.reference_results()
+    final = outcome.results[len(program) - 1]
+    software = 0
+    for byte in data:
+        software ^= byte
+    print(f"   {len(program)} instructions in {program.depth} dependency "
+          f"waves, {sim.grid.cycle} fabric cycles")
+    print(f"   grid checksum = {final:#04x}, software checksum = "
+          f"{software:#04x}, match = {final == software}")
+    assert outcome.results == expected
+
+    print()
+    print("2) FIR-like filter with a cell killed mid-computation")
+    program = fir_filter_program(data[:10])
+    sim = GridSimulator(rows=3, cols=3, seed=4, kill_schedule={80: [(1, 1)]})
+    outcome = GridDataflowExecutor(sim).run(program, max_rounds=3)
+    accuracy = outcome.accuracy_against(program.reference_results())
+    print(f"   {len(program)} instructions, depth {program.depth}; "
+          f"cell (1,1) killed at cycle 80")
+    print(f"   failed cells: {list(sim.stats().failed_cells)}, "
+          f"salvaged {sim.stats().salvaged_words} words")
+    print(f"   node accuracy after recovery: {accuracy * 100:.1f}%")
+
+    print()
+    print("Dependency waves turn the streaming co-processor into a general")
+    print("(if slow) compute fabric -- the adaptation the paper's Section 7")
+    print("asks about.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Design explorer: pick a NanoBox configuration for your environment.
+
+Given a target accuracy and an expected raw device FIT rate, walks the
+closed-form models (cross-validated against the Monte Carlo simulators
+by the test suite) to recommend a bit-level technique, and reports the
+watchdog-harvesting horizon the grid should plan around.
+
+Run:
+    python examples/design_explorer.py            # defaults: 98% @ 1e23 FIT
+    python examples/design_explorer.py 99 1e22
+"""
+
+import sys
+
+from repro.analysis.design_space import (
+    fault_budget,
+    fit_budget,
+    tradeoff_table,
+)
+from repro.analysis.system import (
+    disagreement_probability,
+    expected_instructions_to_disable,
+    grid_degradation_horizon,
+)
+from repro.faults.fit import faults_per_cycle_for_fit
+
+
+SCHEMES = ("none", "hamming", "tmr", "5mr", "7mr")
+
+#: Sites of the single-core design per scheme (for FIT -> fraction).
+SITES = {"none": 512, "hamming": 672, "tmr": 1536, "5mr": 2560, "7mr": 3584}
+
+
+def main(argv) -> int:
+    target = float(argv[0]) if argv else 98.0
+    environment_fit = float(argv[1]) if len(argv) > 1 else 1e23
+
+    print(f"Target: >= {target:.1f}% correct instructions in an environment")
+    print(f"of ~{environment_fit:.1e} raw FIT.\n")
+
+    print(f"{'scheme':>8}  {'overhead':>8}  {'FIT budget':>11}  {'verdict':>8}")
+    viable = []
+    for scheme in SCHEMES:
+        budget = fit_budget(scheme, target)
+        overhead = SITES[scheme] / SITES["none"]
+        ok = budget >= environment_fit
+        if ok:
+            viable.append((scheme, overhead))
+        print(f"{scheme:>8}  {overhead:>7.2f}x  {budget:>11.2e}  "
+              f"{'OK' if ok else 'too weak':>8}")
+
+    if not viable:
+        print("\nNo bit-level technique meets the target alone; add module-")
+        print("level redundancy or lower the clock (fewer faults per cycle).")
+        return 1
+
+    scheme = min(viable, key=lambda pair: pair[1])[0]
+    print(f"\nCheapest viable technique: {scheme} "
+          f"({min(viable, key=lambda p: p[1])[1]:.2f}x area).")
+
+    # Translate the environment FIT into this scheme's per-site fraction.
+    faults_per_cycle = faults_per_cycle_for_fit(environment_fit)
+    fraction = min(faults_per_cycle / SITES[scheme], 0.5)
+    print(f"At {environment_fit:.1e} FIT this design sees "
+          f"~{faults_per_cycle:.1f} faults/cycle "
+          f"({100 * fraction:.2f}% of its {SITES[scheme]} sites).")
+
+    detect = disagreement_probability(scheme, fraction)
+    horizon = grid_degradation_horizon(scheme, fraction, error_threshold=8)
+    mean_disable = expected_instructions_to_disable(8, detect)
+    print(f"Triple-computation disagreement probability: {detect:.4f}")
+    print(f"Mean instructions before the watchdog disables a cell: "
+          f"{mean_disable:.0f}")
+    print(f"Plan scrubbing / re-provisioning every ~{horizon} instructions "
+          f"per cell (90% survival).")
+
+    print("\nFull trade-off at the implied fault fraction:")
+    for name, overhead, accuracy, fom in tradeoff_table(fraction):
+        print(f"  {name:>8}: {overhead:4.2f}x area, {accuracy:5.1f}% correct, "
+              f"{fom:5.1f} accuracy/area")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

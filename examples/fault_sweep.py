@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Regenerate paper Figure 7 (and optionally 8/9) as a text plot.
+
+Sweeps the four no-module-redundancy ALUs -- conventional CMOS, Hamming
+LUTs, uncoded LUTs, triplicated-string LUTs -- across the paper's
+eighteen injected fault percentages, five trials of each of the two
+image workloads per point, exactly the Section 4 methodology.
+
+Run:
+    python examples/fault_sweep.py              # Figure 7
+    python examples/fault_sweep.py figure8      # time redundancy
+    python examples/fault_sweep.py figure9      # space redundancy
+    python examples/fault_sweep.py figure7 --quick
+"""
+
+import sys
+
+from repro.experiments.figures import PAPER_FAULT_PERCENTAGES, run_figure
+
+
+def main(argv) -> int:
+    name = "figure7"
+    quick = "--quick" in argv
+    for arg in argv:
+        if arg.startswith("figure"):
+            name = arg
+
+    percents = (0, 0.5, 1, 3, 9, 30, 75) if quick else PAPER_FAULT_PERCENTAGES
+    trials = 2 if quick else 5
+    print(f"Regenerating {name} "
+          f"({len(percents)} fault percentages x {trials} trials x 2 workloads)...")
+    result = run_figure(
+        name, fault_percents=percents, trials_per_workload=trials, seed=2004
+    )
+    print()
+    print(result.to_text())
+    print()
+    print(f"max per-point stddev: {result.max_stddev():.2f} percentage points "
+          "(paper's worst case: 24.51)")
+
+    series = result.series()
+    tmr = [v for v in series if v.endswith("s") and "cmos" not in v][0]
+    knee = list(percents).index(3) if 3 in percents else -1
+    print(f"{tmr} at 3% injected faults: {series[tmr][knee]:.1f}% correct")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

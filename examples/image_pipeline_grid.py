@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Full-system demo: process an image on the NanoBox Processor Grid.
+
+Drives the complete paper architecture end to end: the CMOS control
+processor packetises a 64-pixel bitmap into instruction packets (unique
+instruction ID = pixel ID), shifts them into a 4x4 grid over the 8-bit
+edge buses, switches every cell to compute mode, then shifts the
+majority-voted results back out and reassembles the image -- first the
+reverse-video workload, then the hue shift, like the paper's concept
+demonstration.
+
+Run:
+    python examples/image_pipeline_grid.py
+"""
+
+from repro import GridSimulator
+from repro.workloads import Bitmap, gradient, hue_shift, reverse_video
+
+
+def show(bitmap: Bitmap, label: str) -> None:
+    """Coarse ASCII rendering of an 8-bit grayscale bitmap."""
+    shades = " .:-=+*#%@"
+    print(f"{label}:")
+    for y in range(bitmap.height):
+        row = ""
+        for x in range(bitmap.width):
+            row += shades[bitmap.get(x, y) * (len(shades) - 1) // 255] * 2
+        print("   " + row)
+    print()
+
+
+def main() -> None:
+    image = gradient(8, 8)
+    show(image, "input image (diagonal gradient)")
+
+    sim = GridSimulator(rows=4, cols=4, alu_scheme="tmr", seed=7)
+
+    for workload in (reverse_video(), hue_shift()):
+        outcome = sim.run_image_job(image, workload)
+        cycles = outcome.job.cycles
+        show(outcome.output, f"after {workload.name}")
+        print(
+            f"  {workload.name}: {outcome.pixel_accuracy * 100:.1f}% pixels "
+            f"correct in {cycles.total} cycles "
+            f"(shift-in {cycles.shift_in} / compute {cycles.compute} / "
+            f"shift-out {cycles.shift_out})"
+        )
+        assert outcome.output == workload.apply(image)
+        print()
+
+    print("Both workloads reassembled exactly -- the unique instruction IDs")
+    print("let the control processor accept results in any arrival order.")
+
+
+if __name__ == "__main__":
+    main()

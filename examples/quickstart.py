@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: fault-inject a NanoBox ALU and watch the hierarchy mask it.
+
+Builds the paper's best configuration (``aluss``: triplicated-string
+lookup tables inside module-level space redundancy), runs the two image
+workloads under increasing transient-fault pressure, and prints the
+percent of instructions that still compute correctly -- the y-axis of the
+paper's Figures 7-9.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import (
+    ExactFractionMask,
+    FaultCampaign,
+    build_alu,
+    describe_unit,
+    fit_for_fault_fraction,
+    render_tree,
+)
+from repro.workloads import gradient, paper_workloads
+
+
+def main() -> None:
+    alu = build_alu("aluss")
+
+    print("The recursive NanoBox hierarchy inside this ALU:")
+    print(render_tree(describe_unit(alu)))
+    print()
+
+    workloads = paper_workloads(gradient(8, 8))
+    print(f"{'fault %':>8}  {'raw FIT':>10}  {'correct %':>10}")
+    for percent in (0, 0.5, 1, 2, 3, 5, 9):
+        campaign = FaultCampaign(
+            alu, ExactFractionMask(percent / 100), seed=2004
+        )
+        result = campaign.run_workload_suite(workloads, trials_per_workload=5)
+        fit = fit_for_fault_fraction(percent / 100, alu.site_count)
+        print(f"{percent:>8}  {fit:>10.1e}  {result.percent_correct:>10.1f}")
+
+    print()
+    print("Paper headline: ~98% correct at 3% injected faults (FIT ~ 1e24),")
+    print("twenty orders of magnitude above contemporary CMOS failure rates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""repro: the Recursive NanoBox Processor Grid, in Python.
+
+A full reproduction of *"The Recursive NanoBox Processor Grid: A Reliable
+System Architecture for Unreliable Nanotechnology Devices"* (KleinOsowski
+et al., DSN 2004): error-coded lookup-table logic, the twelve Table 2 ALU
+variants, module-level time/space redundancy with fault-prone voters, the
+processor cell (memory, ALU control, router, heartbeat), the full
+processor grid with its control processor and watchdog failover, the
+Monte Carlo fault-injection methodology, and the harnesses that regenerate
+every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import build_alu, FaultCampaign, ExactFractionMask
+    from repro.workloads import gradient, paper_workloads
+
+    alu = build_alu("aluss")                     # TMR LUTs x space redundancy
+    campaign = FaultCampaign(alu, ExactFractionMask(0.03), seed=0)
+    result = campaign.run_workload_suite(paper_workloads(gradient()), 5)
+    print(f"{result.percent_correct:.1f}% correct at 3% injected faults")
+"""
+
+from repro.alu import (
+    ALUResult,
+    CMOSALU,
+    FaultableUnit,
+    NanoBoxALU,
+    Opcode,
+    ReferenceALU,
+    SimplexALU,
+    SpaceRedundantALU,
+    TABLE2_SITE_COUNTS,
+    TimeRedundantALU,
+    build_alu,
+    reference_compute,
+    variant_names,
+    variant_spec,
+)
+from repro.coding import HammingCode, IdentityCode, ParityCode, RepetitionCode
+from repro.core import describe_unit, render_tree, ErrorLedger
+from repro.faults import (
+    BernoulliMask,
+    ExactFractionMask,
+    FaultCampaign,
+    FixedCountMask,
+    SiteSpace,
+    fit_for_fault_fraction,
+    fit_for_faults_per_cycle,
+)
+from repro.grid import ControlProcessor, GridSimulator, NanoBoxGrid, Watchdog
+from repro.lut import CodedLUT, TruthTable
+from repro.workloads import Bitmap, hue_shift, paper_workloads, reverse_video
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALUResult",
+    "BernoulliMask",
+    "Bitmap",
+    "CMOSALU",
+    "CodedLUT",
+    "ControlProcessor",
+    "ErrorLedger",
+    "ExactFractionMask",
+    "FaultCampaign",
+    "FaultableUnit",
+    "FixedCountMask",
+    "GridSimulator",
+    "HammingCode",
+    "IdentityCode",
+    "NanoBoxALU",
+    "NanoBoxGrid",
+    "Opcode",
+    "ParityCode",
+    "ReferenceALU",
+    "RepetitionCode",
+    "SimplexALU",
+    "SiteSpace",
+    "SpaceRedundantALU",
+    "TABLE2_SITE_COUNTS",
+    "TimeRedundantALU",
+    "TruthTable",
+    "Watchdog",
+    "build_alu",
+    "describe_unit",
+    "fit_for_fault_fraction",
+    "fit_for_faults_per_cycle",
+    "hue_shift",
+    "paper_workloads",
+    "reference_compute",
+    "render_tree",
+    "reverse_video",
+    "variant_names",
+    "variant_spec",
+    "__version__",
+]

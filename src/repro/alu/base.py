@@ -1,0 +1,122 @@
+"""ALU interface, opcodes, and result bundle.
+
+Paper Table 1 defines the four-instruction ISA of the simple processor-cell
+ALU: AND (000), OR (001), XOR (010), ADD (111), over two 8-bit operands.
+Internally the datapath carries a 9-bit *bundle*: the 8 result bits plus the
+final carry flag; the module-level voter votes all nine bits and the
+time-redundant configurations store three 9-bit inter-operation results
+(the "+27 sites" visible in Table 2's time-redundancy rows).
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.faults.sites import SiteSpace
+
+#: Operand / result width in bits.
+RESULT_BITS = 8
+
+#: Width of the voted result bundle: 8 result bits + 1 carry flag.
+BUNDLE_BITS = RESULT_BITS + 1
+
+_RESULT_MASK = (1 << RESULT_BITS) - 1
+
+
+class Opcode(enum.IntEnum):
+    """The Table 1 instruction set (3-bit architectural opcodes)."""
+
+    AND = 0b000
+    OR = 0b001
+    XOR = 0b010
+    ADD = 0b111
+
+    @classmethod
+    def from_int(cls, value: int) -> "Opcode":
+        """Validate and convert a raw 3-bit opcode field."""
+        try:
+            return cls(value)
+        except ValueError:
+            raise ValueError(
+                f"invalid opcode {value:#05b}; valid: "
+                + ", ".join(f"{m.name}={m.value:#05b}" for m in cls)
+            ) from None
+
+
+#: Internal 2-bit encoding used by the NanoBox slice lookup tables.  The
+#: architectural 3-bit opcode is compressed by (fault-free) control logic so
+#: each slice LUT needs only five inputs (a, b, carry, op1, op0) and hence a
+#: 32-entry truth table.
+INTERNAL_OPCODE = {
+    Opcode.AND: 0b00,
+    Opcode.OR: 0b01,
+    Opcode.XOR: 0b10,
+    Opcode.ADD: 0b11,
+}
+
+
+@dataclass(frozen=True)
+class ALUResult:
+    """An ALU's 9-bit output bundle: 8-bit value + carry flag."""
+
+    value: int
+    carry: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= _RESULT_MASK:
+            raise ValueError(f"value {self.value} out of 8-bit range")
+        if self.carry not in (0, 1):
+            raise ValueError(f"carry must be 0 or 1, got {self.carry}")
+
+    @property
+    def bundle(self) -> int:
+        """Pack value and carry into the 9-bit voted bundle."""
+        return self.value | (self.carry << RESULT_BITS)
+
+    @classmethod
+    def from_bundle(cls, bundle: int) -> "ALUResult":
+        """Unpack a 9-bit bundle."""
+        if not 0 <= bundle < (1 << BUNDLE_BITS):
+            raise ValueError(f"bundle {bundle} out of {BUNDLE_BITS}-bit range")
+        return cls(value=bundle & _RESULT_MASK, carry=(bundle >> RESULT_BITS) & 1)
+
+
+class FaultableUnit(ABC):
+    """A compute unit whose storage/logic exposes fault-injection sites.
+
+    This is the paper's *NanoBox*: "a black box entity that uses a
+    specified fault-tolerance technique".  Each unit owns a
+    :class:`~repro.faults.sites.SiteSpace` describing its sites; the grid,
+    the campaign runner, and the attribution tooling all speak this
+    interface regardless of what is inside the box.
+    """
+
+    @property
+    @abstractmethod
+    def site_space(self) -> SiteSpace:
+        """The unit's fault-site layout."""
+
+    @property
+    def site_count(self) -> int:
+        """Total fault-injection sites (paper Table 2's middle column)."""
+        return self.site_space.total_sites
+
+    @abstractmethod
+    def compute(self, op: int, a: int, b: int, fault_mask: int = 0) -> ALUResult:
+        """Execute one instruction under an injected fault mask.
+
+        Args:
+            op: 3-bit architectural opcode (see :class:`Opcode`).
+            a: first 8-bit operand.
+            b: second 8-bit operand.
+            fault_mask: integer over ``site_count`` bits; set bits flip the
+                corresponding storage bit / gate node for this computation.
+        """
+
+    def _check_operands(self, a: int, b: int) -> None:
+        if not 0 <= a <= _RESULT_MASK:
+            raise ValueError(f"operand a={a} out of 8-bit range")
+        if not 0 <= b <= _RESULT_MASK:
+            raise ValueError(f"operand b={b} out of 8-bit range")

@@ -1,0 +1,58 @@
+"""Conventional CMOS baseline ALU (paper's ``alu*cmos`` family).
+
+"As a baseline for comparison, we also model a traditional CMOS ALU that
+incorporates no bit-level redundancy and does not use lookup tables for its
+logic" (Section 4).  Faults land on gate-output nodes (Figure 6b) rather
+than on stored bits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.alu.base import ALUResult, FaultableUnit, Opcode, RESULT_BITS
+from repro.faults.sites import SiteSpace
+from repro.logic.builders import CMOS_ALU_NODE_COUNT, build_cmos_alu
+from repro.logic.netlist import Netlist
+
+
+class CMOSALU(FaultableUnit):
+    """Gate-netlist ALU with per-node fault injection.
+
+    For the paper's 8-bit configuration the netlist has exactly 192 gate
+    nodes (Table 2, ``aluncmos``).
+    """
+
+    def __init__(self, width: int = RESULT_BITS) -> None:
+        self._width = width
+        self._netlist: Netlist = build_cmos_alu(width)
+        self._space = SiteSpace("cmos_alu")
+        self._space.add("gates", self._netlist.node_count)
+        if width == RESULT_BITS:
+            assert self._netlist.node_count == CMOS_ALU_NODE_COUNT
+
+    @property
+    def width(self) -> int:
+        """Operand width in bits."""
+        return self._width
+
+    @property
+    def netlist(self) -> Netlist:
+        """The underlying gate netlist (one fault site per gate output)."""
+        return self._netlist
+
+    @property
+    def site_space(self) -> SiteSpace:
+        return self._space
+
+    def compute(self, op: int, a: int, b: int, fault_mask: int = 0) -> ALUResult:
+        self._check_operands(a, b)
+        opcode = Opcode.from_int(op)
+        inputs: Dict[str, int] = {}
+        for i in range(self._width):
+            inputs[f"a{i}"] = (a >> i) & 1
+            inputs[f"b{i}"] = (b >> i) & 1
+        for j in range(3):
+            inputs[f"op{j}"] = (int(opcode) >> j) & 1
+        outputs = self._netlist.evaluate_bus(inputs, ("out",), fault_mask)
+        return ALUResult(value=outputs["out"], carry=outputs["carry"])

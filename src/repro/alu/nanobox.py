@@ -1,0 +1,178 @@
+"""The NanoBox lookup-table ALU core.
+
+Structure (reverse-engineered from paper Table 2's site counts, see
+DESIGN.md Section 2): eight bit slices, each with a *result* LUT and a
+*carry* LUT of five inputs -- ``(a_i, b_i, carry_in, op1, op0)`` -- so each
+truth table has 32 entries.  Sixteen 32-bit tables give the 512 uncoded
+sites of ``alunn``; Hamming coding (two 16-bit blocks, 5 check bits each)
+gives 672; triplicated strings give 1536.
+
+The architectural 3-bit opcode is compressed to the 2-bit internal code by
+fault-free control (the paper models faults only in the LUT bit strings for
+this ALU family).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.alu.base import (
+    ALUResult,
+    FaultableUnit,
+    INTERNAL_OPCODE,
+    Opcode,
+    RESULT_BITS,
+)
+from repro.coding.bits import bit_length_mask
+from repro.faults.sites import Segment, SiteSpace
+from repro.lut.table import TruthTable
+
+#: LUT address layout: bit0 = a_i, bit1 = b_i, bit2 = carry-in,
+#: bits 3-4 = internal opcode.
+SLICE_LUT_INPUTS = 5
+
+
+def _result_function(a: int, b: int, c: int, op_lo: int, op_hi: int) -> int:
+    """Truth function of a slice's result LUT."""
+    op = op_lo | (op_hi << 1)
+    if op == 0b00:
+        return a & b
+    if op == 0b01:
+        return a | b
+    if op == 0b10:
+        return a ^ b
+    return a ^ b ^ c  # ADD: full-adder sum
+
+
+def _carry_function(a: int, b: int, c: int, op_lo: int, op_hi: int) -> int:
+    """Truth function of a slice's carry LUT (live only for ADD)."""
+    op = op_lo | (op_hi << 1)
+    if op != 0b11:
+        return 0
+    return (a & b) | (b & c) | (a & c)  # full-adder carry
+
+
+def result_truth_table() -> TruthTable:
+    """The 32-entry result-LUT truth table shared by all eight slices."""
+    return TruthTable.from_function(SLICE_LUT_INPUTS, _result_function)
+
+
+def carry_truth_table() -> TruthTable:
+    """The 32-entry carry-LUT truth table shared by all eight slices."""
+    return TruthTable.from_function(SLICE_LUT_INPUTS, _carry_function)
+
+
+class NanoBoxALU(FaultableUnit):
+    """Eight-slice ripple ALU built from error-coded lookup tables.
+
+    Args:
+        scheme: bit-level coding scheme for every LUT -- ``"none"``
+            (``alunn``), ``"hamming"`` (``alunh``), ``"tmr"`` (``aluns``),
+            or any other scheme registered with :mod:`repro.lut`.
+        width: operand width; the paper's cell uses 8.
+    """
+
+    def __init__(
+        self,
+        scheme: str = "none",
+        width: int = RESULT_BITS,
+        block_size: int = 16,
+    ) -> None:
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self._scheme = scheme
+        self._width = width
+        # All slices share the same two truth tables; each slice still owns
+        # a distinct range of fault sites, applied via per-read fault words.
+        from repro.lut.gate_decoder import make_lut
+
+        self._result_lut = make_lut(result_truth_table(), scheme, block_size)
+        self._carry_lut = make_lut(carry_truth_table(), scheme, block_size)
+        self._lut_bits = self._result_lut.total_bits
+        self._lut_mask = bit_length_mask(self._lut_bits)
+
+        self._space = SiteSpace(f"nanobox_alu[{scheme}]")
+        self._result_segments: List[Segment] = []
+        self._carry_segments: List[Segment] = []
+        for i in range(width):
+            self._result_segments.append(
+                self._space.add(f"slice{i}.result_lut", self._lut_bits)
+            )
+            self._carry_segments.append(
+                self._space.add(f"slice{i}.carry_lut", self._lut_bits)
+            )
+
+    @property
+    def scheme(self) -> str:
+        """Bit-level coding scheme of every LUT in this ALU."""
+        return self._scheme
+
+    @property
+    def width(self) -> int:
+        """Operand width in bits."""
+        return self._width
+
+    @property
+    def site_space(self) -> SiteSpace:
+        return self._space
+
+    @property
+    def lut_count(self) -> int:
+        """Number of lookup tables (two per slice)."""
+        return 2 * self._width
+
+    def storage_image(self) -> int:
+        """Fault-free stored bits across the whole site space.
+
+        Used by the manufacturing-defect model: a stuck-at cell is
+        exactly equivalent to a permanent XOR against this image.
+        (For the ``hamming-gate`` scheme the decoder-gate sites carry no
+        static content and contribute zeros.)
+        """
+        image = 0
+        for i in range(self._width):
+            image |= self._result_lut.storage << self._result_segments[i].offset
+            image |= self._carry_lut.storage << self._carry_segments[i].offset
+        return image
+
+    def static_site_mask(self) -> int:
+        """Sites holding static storage (LUT bit strings).
+
+        Everything except the ``hamming-gate`` scheme's decoder gate
+        nodes, which are combinational logic rather than memory cells.
+        """
+        result_static = bit_length_mask(
+            getattr(self._result_lut, "storage_bits", self._result_lut.total_bits)
+        )
+        carry_static = bit_length_mask(
+            getattr(self._carry_lut, "storage_bits", self._carry_lut.total_bits)
+        )
+        mask = 0
+        for i in range(self._width):
+            mask |= result_static << self._result_segments[i].offset
+            mask |= carry_static << self._carry_segments[i].offset
+        return mask
+
+    def compute(self, op: int, a: int, b: int, fault_mask: int = 0) -> ALUResult:
+        self._check_operands(a, b)
+        opcode = Opcode.from_int(op)
+        internal = INTERNAL_OPCODE[opcode]
+        op_addr = internal << 3
+
+        value = 0
+        carry = 0
+        result_lut = self._result_lut
+        carry_lut = self._carry_lut
+        for i in range(self._width):
+            address = (
+                ((a >> i) & 1)
+                | (((b >> i) & 1) << 1)
+                | (carry << 2)
+                | op_addr
+            )
+            r_fault = self._result_segments[i].extract(fault_mask)
+            c_fault = self._carry_segments[i].extract(fault_mask)
+            bit = result_lut.read(address, r_fault)
+            carry = carry_lut.read(address, c_fault)
+            value |= bit << i
+        return ALUResult(value=value, carry=carry)

@@ -1,0 +1,46 @@
+"""Golden reference ALU.
+
+The fault-injection experiments score each implementation against the
+arithmetically exact result; this module is that oracle.  It is also a
+:class:`~repro.alu.base.FaultableUnit` with zero fault sites so it can be
+dropped anywhere a faultable ALU is expected (e.g. as a "perfect device"
+baseline series in sweeps).
+"""
+
+from __future__ import annotations
+
+from repro.alu.base import ALUResult, FaultableUnit, Opcode, RESULT_BITS
+from repro.faults.sites import SiteSpace
+
+_MASK = (1 << RESULT_BITS) - 1
+
+
+def reference_compute(op: int, a: int, b: int) -> ALUResult:
+    """Compute the exact Table 1 semantics for one instruction."""
+    opcode = Opcode.from_int(op)
+    if not 0 <= a <= _MASK or not 0 <= b <= _MASK:
+        raise ValueError(f"operands ({a}, {b}) out of 8-bit range")
+    if opcode is Opcode.AND:
+        return ALUResult(a & b, 0)
+    if opcode is Opcode.OR:
+        return ALUResult(a | b, 0)
+    if opcode is Opcode.XOR:
+        return ALUResult(a ^ b, 0)
+    total = a + b
+    return ALUResult(total & _MASK, (total >> RESULT_BITS) & 1)
+
+
+class ReferenceALU(FaultableUnit):
+    """Fault-free oracle ALU (zero injection sites)."""
+
+    def __init__(self) -> None:
+        self._space = SiteSpace("reference_alu")
+
+    @property
+    def site_space(self) -> SiteSpace:
+        return self._space
+
+    def compute(self, op: int, a: int, b: int, fault_mask: int = 0) -> ALUResult:
+        if fault_mask:
+            raise ValueError("the reference ALU has no fault sites")
+        return reference_compute(op, a, b)

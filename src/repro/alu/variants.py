@@ -1,0 +1,144 @@
+"""The twelve named ALU variants of paper Table 2.
+
+Variant names decompose as ``alu`` + module level + bit level:
+
+* module level: ``n`` = none, ``t`` = time redundancy, ``s`` = space
+  redundancy;
+* bit level: ``cmos`` = conventional gates, ``h`` = Hamming-coded LUTs,
+  ``n`` = uncoded LUTs, ``s`` = triplicated-string LUTs.
+
+:func:`build_alu` constructs any variant; ``TABLE2_SITE_COUNTS`` records the
+paper's published fault-site counts, which the construction reproduces
+exactly (asserted by the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.alu.base import FaultableUnit
+from repro.alu.cmos import CMOSALU
+from repro.alu.nanobox import NanoBoxALU
+from repro.alu.redundancy import SimplexALU, SpaceRedundantALU, TimeRedundantALU
+from repro.alu.voters import make_voter
+
+#: Paper Table 2: potential fault-injection points per implementation.
+TABLE2_SITE_COUNTS: Dict[str, int] = {
+    "aluncmos": 192,
+    "alunh": 672,
+    "alunn": 512,
+    "aluns": 1536,
+    "aluscmos": 657,
+    "alush": 2205,
+    "alusn": 1680,
+    "aluss": 5040,
+    "alutcmos": 684,
+    "aluth": 2232,
+    "alutn": 1707,
+    "aluts": 5067,
+}
+
+#: Bit-level technique suffix -> LUT coding scheme ("cmos" is special-cased).
+_BIT_LEVEL: Dict[str, str] = {
+    "cmos": "cmos",
+    "h": "hamming",
+    "n": "none",
+    "s": "tmr",
+}
+
+_BIT_LEVEL_LABEL: Dict[str, str] = {
+    "cmos": "conventional CMOS gates",
+    "hamming": "Hamming information-code lookup tables",
+    "none": "no-code lookup tables",
+    "tmr": "triplicated bit string lookup tables",
+}
+
+_MODULE_LABEL: Dict[str, str] = {
+    "n": "no module-level redundancy",
+    "t": "module-level time redundancy (three serial passes)",
+    "s": "module-level space redundancy (three concurrent copies)",
+}
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """Static description of one Table 2 ALU variant."""
+
+    name: str
+    bit_level: str        # "cmos", "hamming", "none", or "tmr"
+    module_level: str     # "n", "t", or "s"
+    expected_sites: int
+    description: str
+
+    @property
+    def uses_lut(self) -> bool:
+        """True for NanoBox (lookup-table) variants."""
+        return self.bit_level != "cmos"
+
+    @property
+    def has_module_redundancy(self) -> bool:
+        return self.module_level != "n"
+
+
+def _parse_name(name: str) -> Tuple[str, str]:
+    """Split a Table 2 name into (module suffix, bit-level scheme)."""
+    if not name.startswith("alu") or len(name) < 5:
+        raise KeyError(f"unknown ALU variant {name!r}")
+    module = name[3]
+    bit_suffix = name[4:]
+    if module not in _MODULE_LABEL or bit_suffix not in _BIT_LEVEL:
+        raise KeyError(
+            f"unknown ALU variant {name!r}; valid: {', '.join(variant_names())}"
+        )
+    return module, _BIT_LEVEL[bit_suffix]
+
+
+def variant_names() -> Tuple[str, ...]:
+    """All twelve Table 2 variant names, in the paper's table order."""
+    return tuple(TABLE2_SITE_COUNTS)
+
+
+def variant_spec(name: str) -> VariantSpec:
+    """Return the static description of a named variant."""
+    module, bit_level = _parse_name(name)
+    description = (
+        f"{_BIT_LEVEL_LABEL[bit_level]} with {_MODULE_LABEL[module]}"
+    )
+    return VariantSpec(
+        name=name,
+        bit_level=bit_level,
+        module_level=module,
+        expected_sites=TABLE2_SITE_COUNTS[name],
+        description=description,
+    )
+
+
+def _core_factory(bit_level: str) -> Callable[[], FaultableUnit]:
+    if bit_level == "cmos":
+        return CMOSALU
+    return lambda: NanoBoxALU(scheme=bit_level)
+
+
+def build_alu(name: str) -> FaultableUnit:
+    """Construct a Table 2 ALU variant by its paper name.
+
+    The returned unit's ``site_count`` equals the paper's published count
+    for every variant.
+
+    >>> build_alu("aluss").site_count
+    5040
+    """
+    module, bit_level = _parse_name(name)
+    core_factory = _core_factory(bit_level)
+    if module == "n":
+        return SimplexALU(core_factory(), name=name)
+    voter = make_voter(bit_level)
+    if module == "s":
+        return SpaceRedundantALU(core_factory, voter, name=name)
+    return TimeRedundantALU(core_factory, voter, name=name)
+
+
+def build_all() -> Dict[str, FaultableUnit]:
+    """Construct all twelve variants keyed by name."""
+    return {name: build_alu(name) for name in variant_names()}

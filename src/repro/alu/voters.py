@@ -1,0 +1,159 @@
+"""Module-level majority voters.
+
+The time- and space-redundant ALUs feed their three 9-bit result bundles
+into a voter.  Crucially, the paper models the voter as fault-prone: "we do
+model module-level error detector and corrector faults by using a lookup
+table for the module voter.  This module voter lookup table, as with the
+lookup tables within the ALU, has errors injected on its bit string"
+(Section 4).  The CMOS variants instead use a gate-level voter whose nodes
+take faults.
+
+Voter geometry (calibrated to Table 2, see DESIGN.md):
+
+* LUT voter -- nine 4-input LUTs ``(x_i, y_i, z_i, enable)`` of 16 entries:
+  144 uncoded sites, 189 Hamming (16+5), 432 triplicated.
+* CMOS voter -- nine 9-node majority cells: 81 sites.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List
+
+from repro.alu.base import BUNDLE_BITS
+from repro.coding.bits import bit_length_mask
+from repro.faults.sites import Segment, SiteSpace
+from repro.logic.builders import CMOS_VOTER_NODE_COUNT, build_cmos_voter
+from repro.lut.coded import CodedLUT
+from repro.lut.table import TruthTable
+
+
+def _voter_bit_function(x: int, y: int, z: int, enable: int) -> int:
+    """Truth function of one voter LUT: enabled 3-way majority."""
+    if not enable:
+        return 0
+    return (x & y) | (y & z) | (x & z)
+
+
+def voter_truth_table() -> TruthTable:
+    """The 16-entry truth table shared by the nine voter LUTs."""
+    return TruthTable.from_function(4, _voter_bit_function)
+
+
+class Voter(ABC):
+    """Majority voter over three ``BUNDLE_BITS``-wide result bundles."""
+
+    @property
+    @abstractmethod
+    def site_space(self) -> SiteSpace:
+        """Fault-site layout of the voter itself."""
+
+    @property
+    def site_count(self) -> int:
+        return self.site_space.total_sites
+
+    @abstractmethod
+    def vote(self, x: int, y: int, z: int, fault_mask: int = 0) -> int:
+        """Return the bitwise majority of three bundles under faults."""
+
+
+class LUTVoter(Voter):
+    """Nine error-coded lookup tables, one per voted bundle bit.
+
+    The fourth LUT input is a compute-mode enable; in these experiments it
+    is tied high, but it is what makes each table 16 entries (and hence the
+    Table 2 voter site counts).
+    """
+
+    def __init__(self, scheme: str = "none", width: int = BUNDLE_BITS) -> None:
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self._scheme = scheme
+        self._width = width
+        self._lut = CodedLUT(voter_truth_table(), scheme)
+        self._space = SiteSpace(f"lut_voter[{scheme}]")
+        self._segments: List[Segment] = [
+            self._space.add(f"bit{i}", self._lut.total_bits) for i in range(width)
+        ]
+
+    @property
+    def scheme(self) -> str:
+        """Bit-level coding scheme of the voter LUTs."""
+        return self._scheme
+
+    @property
+    def site_space(self) -> SiteSpace:
+        return self._space
+
+    def storage_image(self) -> int:
+        """Fault-free stored bits of the nine voter tables."""
+        image = 0
+        for segment in self._segments:
+            image |= self._lut.storage << segment.offset
+        return image
+
+    def static_site_mask(self) -> int:
+        """All voter sites are static LUT storage."""
+        return bit_length_mask(self.site_count)
+
+    def vote(self, x: int, y: int, z: int, fault_mask: int = 0) -> int:
+        limit = bit_length_mask(self._width)
+        for name, value in (("x", x), ("y", y), ("z", z)):
+            if value < 0 or value > limit:
+                raise ValueError(
+                    f"bundle {name}={value} out of {self._width}-bit range"
+                )
+        out = 0
+        for i in range(self._width):
+            address = (
+                ((x >> i) & 1)
+                | (((y >> i) & 1) << 1)
+                | (((z >> i) & 1) << 2)
+                | (1 << 3)  # enable tied high during compute mode
+            )
+            fault_word = self._segments[i].extract(fault_mask)
+            out |= self._lut.read(address, fault_word) << i
+        return out
+
+
+class CMOSVoter(Voter):
+    """Gate-level majority voter for the CMOS baselines (81 nodes)."""
+
+    def __init__(self, width: int = BUNDLE_BITS) -> None:
+        self._width = width
+        self._netlist = build_cmos_voter(width)
+        self._space = SiteSpace("cmos_voter")
+        self._space.add("gates", self._netlist.node_count)
+        if width == BUNDLE_BITS:
+            assert self._netlist.node_count == CMOS_VOTER_NODE_COUNT
+
+    @property
+    def netlist(self):
+        """The underlying gate netlist."""
+        return self._netlist
+
+    @property
+    def site_space(self) -> SiteSpace:
+        return self._space
+
+    def vote(self, x: int, y: int, z: int, fault_mask: int = 0) -> int:
+        inputs: Dict[str, int] = {}
+        for i in range(self._width):
+            inputs[f"x{i}"] = (x >> i) & 1
+            inputs[f"y{i}"] = (y >> i) & 1
+            inputs[f"z{i}"] = (z >> i) & 1
+        outputs = self._netlist.evaluate_bus(inputs, ("v",), fault_mask)
+        return outputs["v"]
+
+
+def make_voter(kind: str, width: int = BUNDLE_BITS) -> Voter:
+    """Build a voter by bit-level technique name.
+
+    ``"cmos"`` selects the gate-level voter; any LUT coding scheme name
+    (``"none"``, ``"hamming"``, ``"tmr"``, ...) selects a LUT voter coded
+    with that scheme -- the paper pairs each NanoBox ALU with a voter built
+    the same way as the ALU's own tables.
+    """
+    if kind == "cmos":
+        return CMOSVoter(width)
+    return LUTVoter(scheme=kind, width=width)

@@ -1,0 +1,54 @@
+"""Closed-form reliability models.
+
+Analytical error probabilities for the NanoBox building blocks under
+independent per-bit fault injection (the :class:`~repro.faults.mask.
+BernoulliMask` model).  The property-based test suite checks the Monte
+Carlo simulators against these expressions, and the analysis benchmarks
+use them to extrapolate beyond what simulation can sample.
+"""
+
+from repro.analysis.models import (
+    hamming_lut_read_error_prob,
+    instruction_error_prob,
+    majority_error_prob,
+    nocode_lut_read_error_prob,
+    predicted_percent_correct,
+    replicated_lut_read_error_prob,
+    voted_bundle_error_prob,
+)
+from repro.analysis.design_space import (
+    accuracy_per_overhead,
+    fault_budget,
+    fit_budget,
+    marginal_order_gain,
+    nmr_breakeven_probability,
+    tradeoff_table,
+)
+from repro.analysis.system import (
+    cell_survival_probability,
+    disagreement_probability,
+    expected_instructions_to_disable,
+    expected_surviving_cells,
+    grid_degradation_horizon,
+)
+
+__all__ = [
+    "accuracy_per_overhead",
+    "cell_survival_probability",
+    "disagreement_probability",
+    "expected_instructions_to_disable",
+    "expected_surviving_cells",
+    "fault_budget",
+    "fit_budget",
+    "grid_degradation_horizon",
+    "hamming_lut_read_error_prob",
+    "instruction_error_prob",
+    "majority_error_prob",
+    "marginal_order_gain",
+    "nmr_breakeven_probability",
+    "nocode_lut_read_error_prob",
+    "predicted_percent_correct",
+    "replicated_lut_read_error_prob",
+    "tradeoff_table",
+    "voted_bundle_error_prob",
+]

@@ -1,0 +1,177 @@
+"""Closed-form error-probability models under independent bit flips.
+
+All functions take the per-site flip probability ``p`` (per computation)
+and return exact probabilities, assuming every fault site flips
+independently -- the :class:`~repro.faults.mask.BernoulliMask` regime.
+The paper's exact-fraction injection converges to the same statistics for
+the large site counts involved.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from repro.alu.base import Opcode
+from repro.coding.hamming import HammingCode
+
+
+def _check_probability(p: float) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"probability must be within [0, 1], got {p}")
+
+
+def majority_error_prob(p_each: float, copies: int = 3) -> float:
+    """Probability a ``copies``-way majority over i.i.d. inputs is wrong.
+
+    Each input is independently wrong with probability ``p_each``; the
+    vote fails when more than half the inputs are wrong.  This is the
+    classic TMR expression ``3p^2 - 2p^3`` for three copies.
+    """
+    _check_probability(p_each)
+    if copies < 1 or copies % 2 == 0:
+        raise ValueError(f"copies must be a positive odd number, got {copies}")
+    need = copies // 2 + 1
+    return sum(
+        math.comb(copies, k) * p_each**k * (1 - p_each) ** (copies - k)
+        for k in range(need, copies + 1)
+    )
+
+
+def nocode_lut_read_error_prob(p: float) -> float:
+    """Per-read error of an uncoded LUT: only the addressed bit matters."""
+    _check_probability(p)
+    return p
+
+
+def replicated_lut_read_error_prob(p: float, copies: int = 3) -> float:
+    """Per-read error of a replicated-string LUT (majority of the
+    addressed bit's copies)."""
+    return majority_error_prob(p, copies)
+
+
+def hamming_lut_read_error_prob(
+    p: float, data_bits: int = 16, payload_index: int = 0
+) -> float:
+    """Per-read error of the paper-calibrated Hamming LUT block.
+
+    Exact dynamic program over the block's stored bits.  The decoder
+    delivers ``raw ^ flip`` where ``raw`` is the addressed stored bit and
+    ``flip`` fires when the syndrome names the addressed position, a
+    check-bit position, or an invalid position (see
+    :class:`repro.lut.coded.CodedLUT`).  The read errs when the delivered
+    bit differs from the fault-free bit, i.e. when
+    ``addressed_flipped XOR flip_fired`` is true.
+
+    The DP tracks the joint distribution of (syndrome, addressed-bit
+    flipped) while each stored position independently flips with
+    probability ``p``; syndromes XOR-accumulate position codes.
+    """
+    _check_probability(p)
+    code = HammingCode(data_bits)
+    n = code.total_bits
+    addressed_pos = code.data_positions[payload_index]  # stored index
+    n_syndromes = 1
+    while n_syndromes <= n:
+        n_syndromes <<= 1
+
+    # state[(syndrome, addressed_flipped)] -> probability
+    state: Dict[Tuple[int, int], float] = {(0, 0): 1.0}
+    for stored_index in range(n):
+        position_code = stored_index + 1
+        next_state: Dict[Tuple[int, int], float] = {}
+        for (syndrome, flipped), prob in state.items():
+            # Bit survives.
+            key = (syndrome, flipped)
+            next_state[key] = next_state.get(key, 0.0) + prob * (1 - p)
+            # Bit flips: syndrome accumulates its position code.
+            new_flipped = flipped ^ (1 if stored_index == addressed_pos else 0)
+            key = (syndrome ^ position_code, new_flipped)
+            next_state[key] = next_state.get(key, 0.0) + prob * p
+        state = next_state
+
+    error = 0.0
+    for (syndrome, flipped), prob in state.items():
+        if syndrome == 0:
+            fired = 0
+        elif syndrome - 1 == addressed_pos:
+            fired = 1
+        elif syndrome > n or (syndrome & (syndrome - 1)) == 0:
+            fired = 1  # check-bit or invalid syndrome: false positive
+        else:
+            fired = 0  # corrects some other data bit; output untouched
+        if flipped ^ fired:
+            error += prob
+    return error
+
+
+def per_read_error_prob(scheme: str, p: float) -> float:
+    """Dispatch per-read error probability by LUT coding scheme."""
+    if scheme == "none":
+        return nocode_lut_read_error_prob(p)
+    if scheme == "tmr":
+        return replicated_lut_read_error_prob(p, 3)
+    if scheme == "5mr":
+        return replicated_lut_read_error_prob(p, 5)
+    if scheme == "7mr":
+        return replicated_lut_read_error_prob(p, 7)
+    if scheme == "hamming":
+        return hamming_lut_read_error_prob(p)
+    raise ValueError(f"no closed-form model for scheme {scheme!r}")
+
+
+def instruction_error_prob(q: float, opcode: Opcode, width: int = 8) -> float:
+    """Approximate probability one instruction's 8-bit result is wrong.
+
+    ``q`` is the per-LUT-read error probability.  Logical opcodes read the
+    ``width`` result LUTs (carry-LUT upsets redirect the next slice's
+    address, but logical truth tables do not depend on the carry input, so
+    to first order only result reads matter); ADD reads both the result
+    and carry LUT of every slice, and any wrong read corrupts the ripple
+    chain with high probability.  Exact to first order in ``q``; the
+    property tests allow the corresponding tolerance.
+    """
+    _check_probability(q)
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    reads = 2 * width if opcode is Opcode.ADD else width
+    return 1.0 - (1.0 - q) ** reads
+
+
+def voted_bundle_error_prob(q_core: float, q_voter_read: float,
+                            width: int = 9) -> float:
+    """Probability a module-voted 9-bit bundle is wrong.
+
+    Upper-level model: three independent core results, each wrong with
+    probability ``q_core``; the voter reads ``width`` LUTs, each
+    independently misreading with probability ``q_voter_read``.  Treats a
+    wrong core result as wrong in at least one voted bit (conservative for
+    the paper's workloads, where single-bit result errors dominate).
+    """
+    _check_probability(q_core)
+    _check_probability(q_voter_read)
+    vote_fails = majority_error_prob(q_core, 3)
+    voter_ok = (1.0 - q_voter_read) ** width
+    return 1.0 - (1.0 - vote_fails) * voter_ok
+
+
+def predicted_percent_correct(
+    scheme: str, p: float, workload_mix: Dict[Opcode, float] = None
+) -> float:
+    """Predicted percent-correct for a no-module-redundancy NanoBox ALU.
+
+    ``workload_mix`` maps opcodes to their fraction of the instruction
+    stream; the default is the paper's half reverse-video (XOR), half
+    hue-shift (ADD) mix.
+    """
+    if workload_mix is None:
+        workload_mix = {Opcode.XOR: 0.5, Opcode.ADD: 0.5}
+    total = sum(workload_mix.values())
+    if not math.isclose(total, 1.0, rel_tol=1e-9):
+        raise ValueError(f"workload mix fractions must sum to 1, got {total}")
+    q = per_read_error_prob(scheme, p)
+    correct = sum(
+        fraction * (1.0 - instruction_error_prob(q, opcode))
+        for opcode, fraction in workload_mix.items()
+    )
+    return 100.0 * correct

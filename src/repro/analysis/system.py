@@ -1,0 +1,132 @@
+"""System-level reliability composition.
+
+Connects the per-computation models to the grid's watchdog dynamics: how
+often does a cell's triple computation *detect* an error (result copies
+disagreeing), how many instructions until a cell exceeds its heartbeat
+error threshold and is disabled, and what fraction of a grid survives a
+job of a given length.  These are the closed-form counterparts of the
+failover machinery in :mod:`repro.grid`, checked against simulation by
+the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from scipy import stats
+
+from repro.alu.base import Opcode
+from repro.analysis.models import instruction_error_prob, per_read_error_prob
+
+
+def disagreement_probability(
+    scheme: str, p: float, workload_mix: Dict[Opcode, float] = None
+) -> float:
+    """Probability one triple computation's result copies disagree.
+
+    Each of the three copies is independently wrong with the
+    per-instruction error probability ``e``; the copies *agree* when all
+    three are right, or all three are wrong in the same way.  At NanoBox
+    error rates a wrong result is near-uniform over many values, so the
+    all-wrong-agreeing term is negligible and
+    ``P(disagree) ~ 1 - (1 - e)^3``.
+    """
+    if workload_mix is None:
+        workload_mix = {Opcode.XOR: 0.5, Opcode.ADD: 0.5}
+    total = sum(workload_mix.values())
+    if not math.isclose(total, 1.0, rel_tol=1e-9):
+        raise ValueError(f"workload mix fractions must sum to 1, got {total}")
+    q = per_read_error_prob(scheme, p)
+    disagree = 0.0
+    for opcode, fraction in workload_mix.items():
+        e = instruction_error_prob(q, opcode)
+        disagree += fraction * (1.0 - (1.0 - e) ** 3)
+    return disagree
+
+
+def expected_instructions_to_disable(
+    error_threshold: int, disagreement_prob: float
+) -> float:
+    """Mean instructions a cell computes before the watchdog disables it.
+
+    The heartbeat goes silent after ``error_threshold + 1`` detected
+    errors; detections are i.i.d. per instruction, so the count to the
+    (t+1)-th detection is negative binomial with mean ``(t+1)/p``.
+    Returns ``inf`` when the detection probability is zero.
+    """
+    if error_threshold < 0:
+        raise ValueError(f"error_threshold must be non-negative, got {error_threshold}")
+    if not 0.0 <= disagreement_prob <= 1.0:
+        raise ValueError(
+            f"disagreement_prob must be within [0, 1], got {disagreement_prob}"
+        )
+    if disagreement_prob == 0.0:
+        return math.inf
+    return (error_threshold + 1) / disagreement_prob
+
+
+def cell_survival_probability(
+    instructions: int, error_threshold: int, disagreement_prob: float
+) -> float:
+    """Probability a cell survives ``instructions`` computations.
+
+    Survival means at most ``error_threshold`` detections:
+    ``P(Binomial(n, p) <= t)``.
+    """
+    if instructions < 0:
+        raise ValueError(f"instructions must be non-negative, got {instructions}")
+    if disagreement_prob == 0.0:
+        return 1.0
+    return float(
+        stats.binom.cdf(error_threshold, instructions, disagreement_prob)
+    )
+
+
+def expected_surviving_cells(
+    n_cells: int,
+    instructions_per_cell: int,
+    error_threshold: int,
+    disagreement_prob: float,
+) -> float:
+    """Expected alive cells after a job (cells fail independently)."""
+    if n_cells < 0:
+        raise ValueError(f"n_cells must be non-negative, got {n_cells}")
+    return n_cells * cell_survival_probability(
+        instructions_per_cell, error_threshold, disagreement_prob
+    )
+
+
+def grid_degradation_horizon(
+    scheme: str,
+    p: float,
+    error_threshold: int = 8,
+    survival_target: float = 0.9,
+) -> int:
+    """Instructions per cell until expected survival drops below target.
+
+    Binary-searches the survival curve; the practical "how long can this
+    grid run before the watchdog starts harvesting cells" number.
+    Returns a large sentinel (10**9) when the target is never crossed.
+    """
+    if not 0.0 < survival_target < 1.0:
+        raise ValueError(
+            f"survival_target must be in (0, 1), got {survival_target}"
+        )
+    d = disagreement_probability(scheme, p)
+    if d == 0.0:
+        return 10**9
+    lo, hi = 0, 1
+    while (
+        cell_survival_probability(hi, error_threshold, d) >= survival_target
+    ):
+        hi *= 2
+        if hi >= 10**9:
+            return 10**9
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if cell_survival_probability(mid, error_threshold, d) >= survival_target:
+            lo = mid
+        else:
+            hi = mid
+    return lo

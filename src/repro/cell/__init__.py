@@ -1,0 +1,37 @@
+"""The NanoBox processor cell (paper Section 3.3).
+
+Each cell contains a simple ALU, a small read/writable memory (32 words in
+the paper's initial investigation), and a communication router.  Critical
+memory-word fields -- the ``data-valid`` and ``to-be-computed`` flags --
+are stored in triplicate and majority-voted on every access (Section 2.2),
+and the computed result is stored as three copies whose majority is taken
+at shift-out time.
+"""
+
+from repro.cell.memword import (
+    MEMORY_WORD_BITS,
+    MemoryWord,
+    majority_bit,
+)
+from repro.cell.memory import CELL_MEMORY_WORDS, CellMemory
+from repro.cell.aluctrl import ALUControl
+from repro.cell.router import Direction, RoutingDecision, route_packet
+from repro.cell.heartbeat import Heartbeat
+from repro.cell.cell import CellMode, ProcessorCell
+from repro.cell.lutctrl import LUTFieldVoter
+
+__all__ = [
+    "ALUControl",
+    "CELL_MEMORY_WORDS",
+    "CellMemory",
+    "CellMode",
+    "Direction",
+    "Heartbeat",
+    "LUTFieldVoter",
+    "MEMORY_WORD_BITS",
+    "MemoryWord",
+    "ProcessorCell",
+    "RoutingDecision",
+    "majority_bit",
+    "route_packet",
+]

@@ -1,0 +1,205 @@
+"""The nbox-aluctrl unit (paper Section 3.3).
+
+In compute mode the ALU control "reads a word from the nbox-memory and
+computes the majority value of the three data-valid bits.  If the memory
+word contains valid data, nbox-aluctrl computes the majority value of the
+three to-be-computed bits.  If the memory word contains valid data which
+has yet to be computed, nbox-aluctrl sends the two operands and the opcode
+to nbox-alu" -- then writes the result copies back and clears the
+to-be-computed flag, looping over the memory for as long as the cell stays
+in compute mode (salvaged work from failed neighbours appears as new words
+with the flag set, so the loop re-examines every word each pass).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.alu.base import FaultableUnit, Opcode
+from repro.cell.memory import CellMemory
+from repro.cell.memword import MemoryWord
+
+#: Provides a fresh ALU fault mask per computation (paper Section 4).
+MaskSource = Callable[[], int]
+
+
+def _no_faults() -> int:
+    return 0
+
+
+class StepOutcome(enum.Enum):
+    """What one ALU-control step did."""
+
+    #: Word empty or already computed; pointer advanced.
+    SKIPPED = "skipped"
+    #: Word computed, results written back, flag cleared.
+    COMPUTED = "computed"
+    #: Word looked valid but held an undecodable opcode -- dropped.
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class StepReport:
+    """Diagnostic record of one ALU-control step."""
+
+    word_index: int
+    outcome: StepOutcome
+    result_copies: Optional[Tuple[int, int, int]] = None
+
+    @property
+    def copies_disagree(self) -> bool:
+        """True when the three generated result copies were not identical.
+
+        Disagreement is the module level *detecting* an error; the majority
+        vote at shift-out is what masks it.
+        """
+        if self.result_copies is None:
+            return False
+        return len(set(self.result_copies)) > 1
+
+
+class ALUControl:
+    """Cycles through cell memory computing pending instructions.
+
+    Args:
+        memory: the cell's 32-word memory.
+        alu: the cell's ALU (any :class:`~repro.alu.base.FaultableUnit`).
+        mask_source: called once per ALU execution to draw that execution's
+            transient-fault mask; defaults to fault-free.
+        copies: result copies generated per instruction (the paper's module
+            level generates three, concurrently or serially).
+        field_voter: optional LUT-built control-flag voter (paper §7's
+            control-logic-in-LUTs future work).  When supplied, the
+            data-valid / to-be-computed verdicts are taken through its
+            fault-prone tables instead of ideal majority gates.
+        control_mask_source: per-step fault mask over the field voter's
+            sites; defaults to fault-free.
+    """
+
+    def __init__(
+        self,
+        memory: CellMemory,
+        alu: FaultableUnit,
+        mask_source: MaskSource = _no_faults,
+        copies: int = 3,
+        field_voter=None,
+        control_mask_source: MaskSource = _no_faults,
+    ) -> None:
+        if copies < 1 or copies % 2 == 0:
+            raise ValueError(f"copies must be a positive odd number, got {copies}")
+        self._memory = memory
+        self._alu = alu
+        self._mask_source = mask_source
+        self._copies = copies
+        self._field_voter = field_voter
+        self._control_mask_source = control_mask_source
+        self._pointer = 0
+        self._computed_total = 0
+        self._disagreements = 0
+        self._control_misreads = 0
+
+    @property
+    def alu(self) -> FaultableUnit:
+        return self._alu
+
+    @property
+    def pointer(self) -> int:
+        """Next memory word the control will examine."""
+        return self._pointer
+
+    @property
+    def computed_total(self) -> int:
+        """Instructions computed since construction."""
+        return self._computed_total
+
+    @property
+    def disagreements(self) -> int:
+        """Computations whose result copies disagreed (detected errors)."""
+        return self._disagreements
+
+    @property
+    def control_misreads(self) -> int:
+        """Steps where the fault-prone field voter's verdict differed
+        from the ideal majority (only counted with a field voter)."""
+        return self._control_misreads
+
+    def reset(self) -> None:
+        """Return the scan pointer to word zero."""
+        self._pointer = 0
+
+    def step(self) -> StepReport:
+        """Examine one memory word; compute it if valid and pending.
+
+        Advances the pointer with wrap-around, mirroring the hardware's
+        endless compute-mode loop.
+        """
+        index = self._pointer
+        self._pointer = (self._pointer + 1) % self._memory.n_words
+
+        word = self._memory.read(index)
+        if self._field_voter is None:
+            data_valid, to_be_computed = word.data_valid, word.to_be_computed
+        else:
+            data_valid, to_be_computed = self._field_voter.classify_word(
+                self._memory.read_raw(index),
+                fault_mask=self._control_mask_source(),
+            )
+            if (data_valid, to_be_computed) != (
+                word.data_valid, word.to_be_computed
+            ):
+                self._control_misreads += 1
+        if not data_valid or not to_be_computed:
+            return StepReport(index, StepOutcome.SKIPPED)
+        try:
+            Opcode.from_int(word.opcode)
+        except ValueError:
+            # An upset corrupted the opcode beyond the ISA; drop the word
+            # rather than wedge the loop.  The watchdog counts this via the
+            # cell's error tally.
+            self._memory.write_raw(
+                index, MemoryWord.clear_to_be_computed(self._memory.read_raw(index))
+            )
+            return StepReport(index, StepOutcome.REJECTED)
+
+        copies = tuple(
+            self._alu.compute(
+                word.opcode,
+                word.operand1,
+                word.operand2,
+                fault_mask=self._mask_source(),
+            ).value
+            for _ in range(self._copies)
+        )
+        raw = self._memory.read_raw(index)
+        raw = MemoryWord.store_results(raw, copies[:3])
+        raw = MemoryWord.clear_to_be_computed(raw)
+        self._memory.write_raw(index, raw)
+
+        self._computed_total += 1
+        report = StepReport(index, StepOutcome.COMPUTED, result_copies=copies[:3])
+        if report.copies_disagree:
+            self._disagreements += 1
+        return report
+
+    def sweep(self) -> int:
+        """Run one full pass over the memory; returns instructions computed."""
+        start_computed = self._computed_total
+        for _ in range(self._memory.n_words):
+            self.step()
+        return self._computed_total - start_computed
+
+    def drain(self, max_sweeps: int = 64) -> int:
+        """Sweep until no pending work remains; returns total computed.
+
+        Raises:
+            RuntimeError: if pending work remains after ``max_sweeps``
+                passes (indicates a stuck word).
+        """
+        total = 0
+        for _ in range(max_sweeps):
+            total += self.sweep()
+            if not any(True for _ in self._memory.pending_words()):
+                return total
+        raise RuntimeError(f"pending work remains after {max_sweeps} sweeps")

@@ -1,0 +1,74 @@
+"""Processor-cell heartbeat (paper Section 2.3).
+
+"A heartbeat signal, generated within the processor cell, is used to
+determine if the cell is still active.  A watchdog unit in the
+communication fabric monitors these processor cell heartbeat signals and
+determines if a cell has exceeded its error threshold."
+
+The heartbeat generator beats every cycle while the cell's detected-error
+tally stays at or below its threshold; once the tally exceeds the
+threshold, the heartbeat goes silent, which is the watchdog's cue to
+disable the cell.
+"""
+
+from __future__ import annotations
+
+
+class Heartbeat:
+    """Error-gated heartbeat generator.
+
+    Args:
+        error_threshold: detected errors tolerated before the heartbeat
+            stops.  The paper leaves the exact protocol to future work;
+            the grid benchmarks sweep this knob.
+    """
+
+    def __init__(self, error_threshold: int = 8) -> None:
+        if error_threshold < 0:
+            raise ValueError(
+                f"error_threshold must be non-negative, got {error_threshold}"
+            )
+        self._threshold = error_threshold
+        self._errors = 0
+        self._beats = 0
+        self._forced_silent = False
+
+    @property
+    def error_threshold(self) -> int:
+        return self._threshold
+
+    @property
+    def error_count(self) -> int:
+        """Detected errors recorded so far."""
+        return self._errors
+
+    @property
+    def beats_emitted(self) -> int:
+        """Total heartbeats emitted."""
+        return self._beats
+
+    @property
+    def healthy(self) -> bool:
+        """True while the cell is under its error threshold and not killed."""
+        return not self._forced_silent and self._errors <= self._threshold
+
+    def record_error(self, count: int = 1) -> None:
+        """Add detected errors (e.g. result-copy disagreements)."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self._errors += count
+
+    def silence(self) -> None:
+        """Force the heartbeat off (models a hard cell failure)."""
+        self._forced_silent = True
+
+    def beat(self) -> bool:
+        """Emit (or withhold) one cycle's heartbeat.
+
+        Returns:
+            True when the heartbeat was emitted this cycle.
+        """
+        if not self.healthy:
+            return False
+        self._beats += 1
+        return True

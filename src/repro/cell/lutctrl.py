@@ -1,0 +1,103 @@
+"""LUT-implemented control logic (paper Section 7, future work).
+
+"Our foremost future work is to convert the entire processor cell,
+including the router and alu-control modules, into lookup tables.  In this
+way, we can expand our fault injection experiments and analyze the effect
+of high fault rates on control logic."
+
+This module takes the first step the paper sketches: the ALU control's
+majority gates for the triplicated ``data_valid`` / ``to_be_computed``
+flags are built from error-coded lookup tables, giving the control path
+its own fault-injection sites.  The ``bench_ext_lut_control`` benchmark
+measures how much the cell's instruction-level correctness degrades once
+control-flag voting is itself fault-prone.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.faults.sites import SiteSpace
+from repro.lut.coded import CodedLUT
+from repro.lut.table import TruthTable
+
+
+def _majority3(a: int, b: int, c: int) -> int:
+    return (a & b) | (b & c) | (a & c)
+
+
+def flag_voter_truth_table() -> TruthTable:
+    """3-input majority truth table (8 entries) for one flag field."""
+    return TruthTable.from_function(3, _majority3)
+
+
+class LUTFieldVoter:
+    """Fault-prone majority voter for triplicated memory-word flags.
+
+    Two lookup tables: one votes the ``data_valid`` copies, one the
+    ``to_be_computed`` copies.  With the ``tmr`` scheme each is a
+    triplicated 8-bit string (24 sites); uncoded each holds 8 sites.
+    """
+
+    def __init__(self, scheme: str = "tmr") -> None:
+        self._scheme = scheme
+        self._lut = CodedLUT(flag_voter_truth_table(), scheme)
+        self._space = SiteSpace(f"lut_field_voter[{scheme}]")
+        self._dv_segment = self._space.add("data_valid_voter", self._lut.total_bits)
+        self._tbc_segment = self._space.add(
+            "to_be_computed_voter", self._lut.total_bits
+        )
+
+    @property
+    def scheme(self) -> str:
+        """Bit-level coding scheme protecting the voter tables."""
+        return self._scheme
+
+    @property
+    def site_space(self) -> SiteSpace:
+        return self._space
+
+    @property
+    def site_count(self) -> int:
+        return self._space.total_sites
+
+    def _vote(self, segment, copies: Tuple[int, int, int], fault_mask: int) -> int:
+        address = copies[0] | (copies[1] << 1) | (copies[2] << 2)
+        return self._lut.read(address, segment.extract(fault_mask))
+
+    def vote_data_valid(
+        self, copies: Tuple[int, int, int], fault_mask: int = 0
+    ) -> int:
+        """Vote the three ``data_valid`` copies through the coded LUT."""
+        return self._vote(self._dv_segment, copies, fault_mask)
+
+    def vote_to_be_computed(
+        self, copies: Tuple[int, int, int], fault_mask: int = 0
+    ) -> int:
+        """Vote the three ``to_be_computed`` copies through the coded LUT."""
+        return self._vote(self._tbc_segment, copies, fault_mask)
+
+    def classify_word(
+        self, raw: int, fault_mask: int = 0
+    ) -> Tuple[bool, bool]:
+        """Vote both flag fields of a raw memory word under faults.
+
+        Returns ``(data_valid, to_be_computed)`` as the fault-prone control
+        logic would see them.  A wrong ``(True, True)`` verdict makes the
+        ALU control execute garbage; a wrong ``(*, False)`` verdict makes
+        it skip real work -- both effects the future-work experiment
+        quantifies.
+        """
+        from repro.cell.memword import (
+            DATA_VALID_OFFSET,
+            MEMORY_WORD_BITS,
+            TO_BE_COMPUTED_OFFSET,
+        )
+
+        if raw < 0 or raw >> MEMORY_WORD_BITS:
+            raise ValueError(f"raw word {raw:#x} exceeds {MEMORY_WORD_BITS} bits")
+        dv_copies = tuple((raw >> (DATA_VALID_OFFSET + c)) & 1 for c in range(3))
+        tbc_copies = tuple((raw >> (TO_BE_COMPUTED_OFFSET + c)) & 1 for c in range(3))
+        dv = self.vote_data_valid(dv_copies, fault_mask)
+        tbc = self.vote_to_be_computed(tbc_copies, fault_mask)
+        return bool(dv), bool(tbc)

@@ -1,0 +1,175 @@
+"""LUT-implemented routing decision (paper Section 7, future work).
+
+Completes the control-logic-in-LUTs program started by
+:mod:`repro.cell.lutctrl`: the nbox-router's five-case decision is built
+from error-coded lookup tables so routing itself becomes a
+fault-injection surface.
+
+Decomposition (kept in small tables, as real nanofabric synthesis
+would):
+
+* two 8-input *comparator* LUT pairs -- for each axis, a less-than LUT
+  and a greater-than LUT over ``(destination nibble, cell nibble)``;
+* three 4-input *decision* LUTs -- mapping the four comparator bits
+  ``(col_lt, col_gt, row_lt, row_gt)`` to the 3-bit direction code.
+
+A fault in a comparator or decision table misroutes the packet: the
+``bench_ext_lut_router`` study measures how often, per coding scheme,
+and what a misroute costs the fabric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.cell.router import Direction
+from repro.coding.bits import bit_length_mask
+from repro.faults.sites import SiteSpace
+from repro.lut.coded import CodedLUT
+from repro.lut.table import TruthTable
+
+#: Address-nibble width: the paper's grid IDs fit in 4 bits per axis
+#: (Figure 2 shows a 16-wide addressing example).
+NIBBLE_BITS = 4
+
+#: Direction encoding on the three decision-LUT outputs.
+DIRECTION_CODES: Dict[Direction, int] = {
+    Direction.HERE: 0b000,
+    Direction.LEFT: 0b001,
+    Direction.RIGHT: 0b010,
+    Direction.UP: 0b011,
+    Direction.DOWN: 0b100,
+}
+
+_CODE_TO_DIRECTION = {code: d for d, code in DIRECTION_CODES.items()}
+
+
+def _comparator_table(greater: bool) -> TruthTable:
+    """8-input truth table comparing two nibbles: ``dest <op> cell``.
+
+    Address layout: bits 0-3 destination nibble, bits 4-7 cell nibble.
+    """
+
+    def compare(*bits: int) -> int:
+        dest = sum(bits[i] << i for i in range(NIBBLE_BITS))
+        cell = sum(bits[NIBBLE_BITS + i] << i for i in range(NIBBLE_BITS))
+        return int(dest > cell) if greater else int(dest < cell)
+
+    return TruthTable.from_function(2 * NIBBLE_BITS, compare)
+
+
+def _decision_table(output_bit: int) -> TruthTable:
+    """4-input truth table producing one bit of the direction code.
+
+    Address layout: bit0 = col_lt, bit1 = col_gt, bit2 = row_lt,
+    bit3 = row_gt.  The five-case priority (column first) is encoded in
+    the table contents.
+    """
+
+    def decide(col_lt: int, col_gt: int, row_lt: int, row_gt: int) -> int:
+        if col_gt:
+            direction = Direction.LEFT
+        elif col_lt:
+            direction = Direction.RIGHT
+        elif row_gt:
+            direction = Direction.UP
+        elif row_lt:
+            direction = Direction.DOWN
+        else:
+            direction = Direction.HERE
+        return (DIRECTION_CODES[direction] >> output_bit) & 1
+
+    return TruthTable.from_function(4, decide)
+
+
+class LUTRouter:
+    """The five-case routing rule on error-coded lookup tables.
+
+    Site layout: ``col_lt | col_gt | row_lt | row_gt | dec0 | dec1 | dec2``.
+    With the ``tmr`` scheme each 256-entry comparator contributes 768
+    sites and each 16-entry decision table 48, i.e. 3216 in total;
+    uncoded: 1072.
+    """
+
+    def __init__(self, scheme: str = "tmr") -> None:
+        self._scheme = scheme
+        self._lt = CodedLUT(_comparator_table(greater=False), scheme)
+        self._gt = CodedLUT(_comparator_table(greater=True), scheme)
+        self._decision = [
+            CodedLUT(_decision_table(bit), scheme) for bit in range(3)
+        ]
+        self._space = SiteSpace(f"lut_router[{scheme}]")
+        self._segments = {
+            "col_lt": self._space.add("col_lt", self._lt.total_bits),
+            "col_gt": self._space.add("col_gt", self._gt.total_bits),
+            "row_lt": self._space.add("row_lt", self._lt.total_bits),
+            "row_gt": self._space.add("row_gt", self._gt.total_bits),
+        }
+        for bit, lut in enumerate(self._decision):
+            self._segments[f"dec{bit}"] = self._space.add(
+                f"dec{bit}", lut.total_bits
+            )
+
+    @property
+    def scheme(self) -> str:
+        """Bit-level coding scheme of every router table."""
+        return self._scheme
+
+    @property
+    def site_space(self) -> SiteSpace:
+        return self._space
+
+    @property
+    def site_count(self) -> int:
+        return self._space.total_sites
+
+    @staticmethod
+    def _compare_address(dest: int, cell: int) -> int:
+        return (dest & bit_length_mask(NIBBLE_BITS)) | (
+            (cell & bit_length_mask(NIBBLE_BITS)) << NIBBLE_BITS
+        )
+
+    def route(
+        self,
+        dest_row: int,
+        dest_col: int,
+        cell_row: int,
+        cell_col: int,
+        fault_mask: int = 0,
+    ) -> Tuple[Direction, bool]:
+        """Route one packet through the fault-prone tables.
+
+        Returns ``(direction, valid)``; ``valid`` is False when the
+        decision bits decode to an unused code (a detectable malfunction
+        a real router would treat as a drop).
+        """
+        for name, value in (("dest_row", dest_row), ("dest_col", dest_col),
+                            ("cell_row", cell_row), ("cell_col", cell_col)):
+            if not 0 <= value < (1 << NIBBLE_BITS):
+                raise ValueError(
+                    f"{name}={value} exceeds the {NIBBLE_BITS}-bit ID space"
+                )
+        col_addr = self._compare_address(dest_col, cell_col)
+        row_addr = self._compare_address(dest_row, cell_row)
+        col_lt = self._lt.read(
+            col_addr, self._segments["col_lt"].extract(fault_mask)
+        )
+        col_gt = self._gt.read(
+            col_addr, self._segments["col_gt"].extract(fault_mask)
+        )
+        row_lt = self._lt.read(
+            row_addr, self._segments["row_lt"].extract(fault_mask)
+        )
+        row_gt = self._gt.read(
+            row_addr, self._segments["row_gt"].extract(fault_mask)
+        )
+        decision_addr = col_lt | (col_gt << 1) | (row_lt << 2) | (row_gt << 3)
+        code = 0
+        for bit, lut in enumerate(self._decision):
+            code |= lut.read(
+                decision_addr, self._segments[f"dec{bit}"].extract(fault_mask)
+            ) << bit
+        direction = _CODE_TO_DIRECTION.get(code)
+        if direction is None:
+            return Direction.HERE, False
+        return direction, True

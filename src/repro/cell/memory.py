@@ -1,0 +1,170 @@
+"""Processor-cell read/writable memory.
+
+"In this initial investigation, the memory unit of a processor cell
+contains 32 words" (Section 3.3).  The memory is active in all three modes
+and is itself a fault-injection surface: every stored bit is a site, so
+single-event upsets can corrupt any field -- which is precisely why the
+critical fields are triplicated at the word level.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.cell.memword import MEMORY_WORD_BITS, MemoryWord
+from repro.coding.bits import bit_length_mask, popcount
+from repro.faults.sites import SiteSpace
+
+#: Paper Section 3.3: 32 words per cell (size arbitrary, may grow later).
+CELL_MEMORY_WORDS = 32
+
+
+class CellMemory:
+    """Word-addressed cell memory with bit-level fault overlay."""
+
+    def __init__(self, n_words: int = CELL_MEMORY_WORDS) -> None:
+        if n_words <= 0:
+            raise ValueError(f"n_words must be positive, got {n_words}")
+        self._n_words = n_words
+        self._words: List[int] = [0] * n_words
+        self._space = SiteSpace("cell_memory")
+        self._segments = [
+            self._space.add(f"word{i}", MEMORY_WORD_BITS) for i in range(n_words)
+        ]
+
+    @property
+    def n_words(self) -> int:
+        return self._n_words
+
+    @property
+    def site_space(self) -> SiteSpace:
+        """One segment of 65 sites per word."""
+        return self._space
+
+    @property
+    def site_count(self) -> int:
+        return self._space.total_sites
+
+    # ------------------------------------------------------------ raw access
+
+    def read_raw(self, index: int) -> int:
+        """Read the stored 65-bit image of word ``index``."""
+        self._check_index(index)
+        return self._words[index]
+
+    def write_raw(self, index: int, raw: int) -> None:
+        """Overwrite the stored image of word ``index``."""
+        self._check_index(index)
+        if raw < 0 or raw >> MEMORY_WORD_BITS:
+            raise ValueError(f"raw word {raw:#x} exceeds {MEMORY_WORD_BITS} bits")
+        self._words[index] = raw
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self._n_words:
+            raise IndexError(f"word index {index} out of range 0..{self._n_words - 1}")
+
+    # --------------------------------------------------------- typed access
+
+    def read(self, index: int) -> MemoryWord:
+        """Decode word ``index``, majority-voting the protected fields."""
+        return MemoryWord.unpack(self.read_raw(index))
+
+    def write(self, index: int, word: MemoryWord) -> None:
+        """Encode and store ``word`` at ``index``."""
+        self.write_raw(index, word.pack())
+
+    def clear(self) -> None:
+        """Zero the whole memory (all words invalid)."""
+        self._words = [0] * self._n_words
+
+    def erase(self, index: int) -> None:
+        """Zero a single word (data_valid becomes false)."""
+        self._check_index(index)
+        self._words[index] = 0
+
+    # --------------------------------------------------------- bulk queries
+
+    def free_slot(self) -> Optional[int]:
+        """Index of the first word with ``data_valid`` unset, or ``None``."""
+        for i in range(self._n_words):
+            if not self.read(i).data_valid:
+                return i
+        return None
+
+    def pending_words(self) -> Iterator[int]:
+        """Indices of valid words still awaiting computation."""
+        for i in range(self._n_words):
+            word = self.read(i)
+            if word.data_valid and word.to_be_computed:
+                yield i
+
+    def completed_words(self) -> Iterator[int]:
+        """Indices of valid words whose computation finished."""
+        for i in range(self._n_words):
+            word = self.read(i)
+            if word.data_valid and not word.to_be_computed:
+                yield i
+
+    def occupancy(self) -> int:
+        """Number of valid words."""
+        return sum(1 for i in range(self._n_words) if self.read(i).data_valid)
+
+    # ------------------------------------------------------------ scrubbing
+
+    def scrub(self) -> int:
+        """Rewrite every valid word in canonical triplicated form.
+
+        Majority-decodes the triplicated flags and the three result
+        copies, then re-packs the word, restoring agreement among the
+        copies.  Scrubbing bounds the *accumulation* of single-event
+        upsets: a triplicated field only fails when two copies flip
+        within one scrub interval, rather than over the whole job.
+        Non-triplicated fields (operands, instruction ID, opcode) cannot
+        be repaired and are rewritten as-is.
+
+        Returns the number of stored bits corrected.
+        """
+        corrected = 0
+        for index in range(self._n_words):
+            raw = self._words[index]
+            if raw == 0:
+                continue
+            word = MemoryWord.unpack(raw)
+            if not word.data_valid:
+                # Majority says invalid: clear stragglers so a half-set
+                # flag cannot drift into validity under later upsets.
+                corrected += popcount(raw)
+                self._words[index] = 0
+                continue
+            canonical = word.pack()
+            if canonical != raw:
+                corrected += popcount(canonical ^ raw)
+                self._words[index] = canonical
+        return corrected
+
+    # -------------------------------------------------------------- faults
+
+    def apply_faults(self, fault_mask: int) -> None:
+        """XOR a fault mask over the entire memory's stored bits.
+
+        The mask spans ``site_count`` bits, word 0's 65 bits first.  Unlike
+        the per-computation ALU masks, memory upsets *persist* until the
+        word is rewritten -- they model single-event upsets in storage.
+        """
+        if fault_mask < 0 or fault_mask >> self.site_count:
+            raise ValueError(
+                f"fault mask does not fit the {self.site_count}-site memory"
+            )
+        if fault_mask == 0:
+            return
+        word_mask = bit_length_mask(MEMORY_WORD_BITS)
+        for i, segment in enumerate(self._segments):
+            local = segment.extract(fault_mask)
+            if local:
+                self._words[i] = (self._words[i] ^ local) & word_mask
+
+    def __len__(self) -> int:
+        return self._n_words
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CellMemory(words={self._n_words}, occupied={self.occupancy()})"

@@ -1,0 +1,135 @@
+"""Fully-triplicated memory word (ablation codec).
+
+The paper triplicates only the *critical fields* -- data-valid and
+to-be-computed -- plus the result copies, leaving the instruction ID,
+opcode, and operands exposed (Section 2.2 notes contemporary information
+coding "could also be used on the memory words, for additional error
+coverage").  The endurance experiments show those unprotected fields are
+exactly where accumulated upsets leak through.
+
+:class:`FullyTriplicatedWord` is the other end of the trade: every field
+stored three times and majority-voted on read.  Cost: 135 stored bits
+against the paper layout's 65 (2.08x).  The ``bench_ablation_full_word``
+study quantifies what that buys per upset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.cell.memword import MemoryWord
+from repro.coding.bits import bit_length_mask, majority_int
+
+#: Field widths in replication order.
+_FIELDS: Tuple[Tuple[str, int], ...] = (
+    ("instruction_id", 16),
+    ("opcode", 3),
+    ("operand1", 8),
+    ("operand2", 8),
+    ("result", 8),
+    ("data_valid", 1),
+    ("to_be_computed", 1),
+)
+
+#: Total packed width: three copies of every field.
+FULL_WORD_BITS = 3 * sum(width for _, width in _FIELDS)
+
+
+@dataclass(frozen=True)
+class FullyTriplicatedWord:
+    """Memory word with whole-word triple modular redundancy.
+
+    Field semantics match :class:`~repro.cell.memword.MemoryWord`; only
+    the storage layout differs.  Copies are *blocked*: the entire field
+    set is laid out once, then repeated twice more, so a burst stays
+    inside one copy (see the burst-fault ablation for why that matters).
+    """
+
+    instruction_id: int
+    opcode: int
+    operand1: int
+    operand2: int
+    result: int = 0
+    data_valid: bool = False
+    to_be_computed: bool = False
+
+    def __post_init__(self) -> None:
+        for name, width in _FIELDS:
+            value = int(getattr(self, name))
+            if value < 0 or value >> width:
+                raise ValueError(f"{name}={value} does not fit in {width} bits")
+
+    @staticmethod
+    def copy_width() -> int:
+        """Stored bits per copy (one full field set)."""
+        return sum(width for _, width in _FIELDS)
+
+    def _pack_one(self) -> int:
+        image = 0
+        offset = 0
+        for name, width in _FIELDS:
+            image |= int(getattr(self, name)) << offset
+            offset += width
+        return image
+
+    def pack(self) -> int:
+        """Encode to the 135-bit fully-triplicated layout."""
+        one = self._pack_one()
+        width = self.copy_width()
+        return one | (one << width) | (one << (2 * width))
+
+    @classmethod
+    def unpack(cls, raw: int) -> "FullyTriplicatedWord":
+        """Decode with a whole-word bitwise majority vote."""
+        if raw < 0 or raw >> FULL_WORD_BITS:
+            raise ValueError(
+                f"raw word {raw:#x} does not fit in {FULL_WORD_BITS} bits"
+            )
+        width = cls.copy_width()
+        mask = bit_length_mask(width)
+        voted = majority_int(
+            [(raw >> (c * width)) & mask for c in range(3)]
+        )
+        fields = {}
+        offset = 0
+        for name, field_width in _FIELDS:
+            value = (voted >> offset) & bit_length_mask(field_width)
+            if name in ("data_valid", "to_be_computed"):
+                fields[name] = bool(value)
+            else:
+                fields[name] = value
+            offset += field_width
+        return cls(**fields)
+
+    def to_paper_word(self) -> MemoryWord:
+        """Convert to the paper-layout word (same field values)."""
+        return MemoryWord(
+            instruction_id=self.instruction_id,
+            opcode=self.opcode,
+            operand1=self.operand1,
+            operand2=self.operand2,
+            result=self.result,
+            data_valid=self.data_valid,
+            to_be_computed=self.to_be_computed,
+        )
+
+    @classmethod
+    def from_paper_word(cls, word: MemoryWord) -> "FullyTriplicatedWord":
+        """Convert from the paper-layout word."""
+        return cls(
+            instruction_id=word.instruction_id,
+            opcode=word.opcode,
+            operand1=word.operand1,
+            operand2=word.operand2,
+            result=word.result,
+            data_valid=word.data_valid,
+            to_be_computed=word.to_be_computed,
+        )
+
+
+def storage_overhead() -> float:
+    """Stored-bit ratio of the full-TMR layout over the paper layout."""
+    from repro.cell.memword import MEMORY_WORD_BITS
+
+    return FULL_WORD_BITS / MEMORY_WORD_BITS

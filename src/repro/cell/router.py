@@ -1,0 +1,106 @@
+"""The nbox-router routing rule (paper Section 3.3).
+
+Cell IDs follow the paper's coordinate system (Figure 2): the row address
+*decreases* moving away (down) from the control processor, so the top row
+-- the one wired to the control processor's edge bus -- has the highest
+row address; the column address *decreases* moving right, so the leftmost
+column has the highest column address.
+
+The five-way decision on an incoming packet's destination ID:
+
+1. send **left**  if destination column > cell column;
+2. send **right** if destination column < cell column;
+3. send **up**    if destination row > cell row;
+4. send **down**  if destination row < cell row;
+5. **keep here**  if destination ID == cell ID.
+
+Column comparison first: packets travel across, then along, a column --
+dimension-ordered routing, which is deadlock-free on a mesh.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class Direction(enum.Enum):
+    """Router port selection.  UP is toward the control processor."""
+
+    UP = "up"
+    DOWN = "down"
+    LEFT = "left"
+    RIGHT = "right"
+    HERE = "here"
+
+    def opposite(self) -> "Direction":
+        """The port a neighbour receives this hop on."""
+        return _OPPOSITE[self]
+
+    def step(self, row: int, col: int) -> Tuple[int, int]:
+        """Coordinates of the neighbouring cell through this port.
+
+        Remember the paper's axes: UP increases the row address (toward
+        the control processor); LEFT increases the column address.
+        """
+        if self is Direction.UP:
+            return row + 1, col
+        if self is Direction.DOWN:
+            return row - 1, col
+        if self is Direction.LEFT:
+            return row, col + 1
+        if self is Direction.RIGHT:
+            return row, col - 1
+        return row, col
+
+
+_OPPOSITE = {
+    Direction.UP: Direction.DOWN,
+    Direction.DOWN: Direction.UP,
+    Direction.LEFT: Direction.RIGHT,
+    Direction.RIGHT: Direction.LEFT,
+    Direction.HERE: Direction.HERE,
+}
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """The router's verdict for one packet."""
+
+    direction: Direction
+    #: Destination coordinates the verdict was computed from, for tracing.
+    dest_row: int
+    dest_col: int
+
+    @property
+    def keep(self) -> bool:
+        return self.direction is Direction.HERE
+
+
+def route_packet(
+    dest_row: int, dest_col: int, cell_row: int, cell_col: int
+) -> RoutingDecision:
+    """Apply the paper's five-case routing rule.
+
+    >>> route_packet(dest_row=2, dest_col=5, cell_row=2, cell_col=3).direction
+    <Direction.LEFT: 'left'>
+    """
+    if dest_col > cell_col:
+        direction = Direction.LEFT
+    elif dest_col < cell_col:
+        direction = Direction.RIGHT
+    elif dest_row > cell_row:
+        direction = Direction.UP
+    elif dest_row < cell_row:
+        direction = Direction.DOWN
+    else:
+        direction = Direction.HERE
+    return RoutingDecision(direction, dest_row, dest_col)
+
+
+def hop_count(
+    dest_row: int, dest_col: int, cell_row: int, cell_col: int
+) -> int:
+    """Manhattan distance a packet must travel under the routing rule."""
+    return abs(dest_row - cell_row) + abs(dest_col - cell_col)

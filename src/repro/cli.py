@@ -1,0 +1,328 @@
+"""Command-line interface.
+
+Everything the library can regenerate, from a shell::
+
+    nanobox-repro table1                  # the ISA table
+    nanobox-repro table2                  # variants + fault-site counts
+    nanobox-repro area                    # ~9x overhead table
+    nanobox-repro fit --variant aluss     # percent -> FIT translation
+    nanobox-repro describe aluts          # NanoBox hierarchy tree
+    nanobox-repro sweep --figure 7        # regenerate a figure (--quick)
+    nanobox-repro grid --rows 4 --cols 4 --workload hue_shift \
+        --kill 1,1@40 --fault-percent 1   # full-system run
+    nanobox-repro yield --density 1e-3    # manufacturing-yield table
+    nanobox-repro report --quick          # the whole EXPERIMENTS report
+
+Also available as ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.tables import table1_text
+
+    print(table1_text())
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.experiments.tables import table2_text
+
+    text = table2_text()
+    print(text)
+    return 0 if "MISMATCH" not in text else 1
+
+
+def _cmd_area(args: argparse.Namespace) -> int:
+    from repro.experiments.area import area_table_text
+
+    print(area_table_text())
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    from repro.experiments.fit_table import fit_table_text
+
+    print(fit_table_text(args.variant))
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from repro.alu.variants import build_alu, variant_spec
+    from repro.core.hierarchy import describe_unit, render_tree
+
+    spec = variant_spec(args.variant)
+    print(f"{spec.name}: {spec.description}")
+    print(f"fault-injection sites: {spec.expected_sites}")
+    print()
+    print(render_tree(describe_unit(build_alu(args.variant))))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import PAPER_FAULT_PERCENTAGES, run_figure
+
+    percents: Sequence[float]
+    if args.quick:
+        percents = (0, 0.5, 1, 3, 9, 30, 75)
+        trials = 2
+    else:
+        percents = PAPER_FAULT_PERCENTAGES
+        trials = args.trials
+    result = run_figure(
+        f"figure{args.figure}",
+        fault_percents=percents,
+        trials_per_workload=trials,
+        seed=args.seed,
+    )
+    if args.chart:
+        from repro.experiments.ascii_chart import figure_chart
+
+        print(figure_chart(result))
+    else:
+        print(result.to_text())
+    print(f"\nmax per-point stddev: {result.max_stddev():.2f} points")
+    if args.json:
+        from repro.experiments.export import figure_to_json
+
+        with open(args.json, "w") as f:
+            f.write(figure_to_json(result))
+        print(f"wrote JSON export to {args.json}")
+    return 0
+
+
+def _parse_kill(spec: str) -> Tuple[int, Tuple[int, int]]:
+    """Parse ``row,col@cycle`` into ``(cycle, (row, col))``."""
+    try:
+        coords, cycle = spec.split("@")
+        row, col = coords.split(",")
+        return int(cycle), (int(row), int(col))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad --kill spec {spec!r}; expected row,col@cycle"
+        ) from None
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    from repro.faults.mask import ExactFractionMask
+    from repro.grid.simulator import GridSimulator
+    from repro.workloads import bitmap as bitmaps
+    from repro.workloads import imaging
+
+    workload_factories = {
+        "reverse_video": imaging.reverse_video,
+        "hue_shift": imaging.hue_shift,
+        "brightness_boost": imaging.brightness_boost,
+        "threshold_mask": imaging.threshold_mask,
+    }
+    workload = workload_factories[args.workload]()
+
+    kill_schedule: Dict[int, List[Tuple[int, int]]] = {}
+    for cycle, coord in (args.kill or []):
+        kill_schedule.setdefault(cycle, []).append(coord)
+
+    sim = GridSimulator(
+        rows=args.rows,
+        cols=args.cols,
+        alu_scheme=args.scheme,
+        alu_fault_policy=(
+            ExactFractionMask(args.fault_percent / 100)
+            if args.fault_percent > 0
+            else None
+        ),
+        kill_schedule=kill_schedule,
+        adaptive_routing=args.adaptive,
+        seed=args.seed,
+    )
+    image = bitmaps.gradient(args.image_size, args.image_size)
+    outcome = sim.run_image_job(image, workload, max_rounds=args.rounds)
+
+    cycles = outcome.job.cycles
+    print(f"workload          : {workload.name} on "
+          f"{image.width}x{image.height} pixels")
+    print(f"grid              : {args.rows}x{args.cols}, scheme "
+          f"{args.scheme}, adaptive={args.adaptive}")
+    print(f"cycles            : shift-in {cycles.shift_in} + compute "
+          f"{cycles.compute} + shift-out {cycles.shift_out} "
+          f"= {cycles.total}")
+    print(f"rounds            : {outcome.job.rounds}")
+    print(f"failed cells      : {list(outcome.stats.failed_cells) or 'none'}")
+    print(f"salvaged / lost   : {outcome.stats.salvaged_words} / "
+          f"{outcome.stats.lost_words} words")
+    print(f"dropped packets   : {outcome.stats.dropped_packets}")
+    buses = sim.grid.bus_statistics()
+    print(f"bus utilisation   : mesh {buses.mesh_utilisation * 100:.1f}%, "
+          f"edge {buses.edge_utilisation * 100:.1f}%, peak "
+          f"{buses.peak_utilisation * 100:.1f}% ({buses.busiest_link})")
+    print(f"pixel accuracy    : {outcome.pixel_accuracy * 100:.1f}%")
+    if args.show_grid:
+        from repro.grid.display import render_grid, render_reachability
+
+        print()
+        print(render_grid(sim.grid))
+        print()
+        print(render_reachability(sim.grid))
+    return 0 if outcome.job.complete else 1
+
+
+def _cmd_yield(args: argparse.Namespace) -> int:
+    from repro.experiments.defect_yield import yield_sweep, yield_table_text
+
+    points = yield_sweep(
+        variants=tuple(args.variants),
+        densities=tuple(args.density),
+        n_parts=args.parts,
+        seed=args.seed,
+    )
+    print(yield_table_text(points))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.design_space import fault_budget, fit_budget
+    from repro.analysis.system import (
+        disagreement_probability,
+        expected_instructions_to_disable,
+        grid_degradation_horizon,
+    )
+    from repro.experiments.report import format_table
+
+    rows = []
+    for scheme in ("none", "hamming", "tmr", "5mr", "7mr"):
+        budget = fault_budget(scheme, args.target)
+        detect = disagreement_probability(scheme, args.fault_percent / 100)
+        rows.append(
+            (
+                scheme,
+                f"{100 * budget:.3f}%",
+                f"{fit_budget(scheme, args.target):.2e}",
+                f"{detect:.4f}",
+                f"{expected_instructions_to_disable(args.threshold, detect):.0f}",
+                grid_degradation_horizon(
+                    scheme, args.fault_percent / 100,
+                    error_threshold=args.threshold,
+                ),
+            )
+        )
+    print(
+        f"Closed-form analysis (target {args.target:g}% correct; "
+        f"operating point {args.fault_percent:g}% injected; "
+        f"watchdog threshold {args.threshold})"
+    )
+    print(format_table(
+        ("scheme", "fault budget", "FIT budget", "P(detect)",
+         "mean instr to disable", "90% survival horizon"),
+        rows,
+    ))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.run_all import build_report
+
+    report = build_report(quick=args.quick, seed=args.seed)
+    print(report, end="")
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nanobox-repro",
+        description="Recursive NanoBox Processor Grid reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the ISA table").set_defaults(
+        fn=_cmd_table1
+    )
+    sub.add_parser(
+        "table2", help="print variants and fault-site counts"
+    ).set_defaults(fn=_cmd_table2)
+    sub.add_parser("area", help="print the area-overhead table").set_defaults(
+        fn=_cmd_area
+    )
+
+    fit = sub.add_parser("fit", help="percent -> FIT translation")
+    fit.add_argument("--variant", default="aluss")
+    fit.set_defaults(fn=_cmd_fit)
+
+    describe = sub.add_parser("describe", help="show a variant's hierarchy")
+    describe.add_argument("variant")
+    describe.set_defaults(fn=_cmd_describe)
+
+    sweep = sub.add_parser("sweep", help="regenerate Figure 7, 8, or 9")
+    sweep.add_argument("--figure", type=int, choices=(7, 8, 9), default=7)
+    sweep.add_argument("--trials", type=int, default=5,
+                       help="trials per workload (paper: 5)")
+    sweep.add_argument("--quick", action="store_true")
+    sweep.add_argument("--chart", action="store_true",
+                       help="render as an ASCII chart instead of a table")
+    sweep.add_argument("--json", default=None,
+                       help="also write a JSON export to this path")
+    sweep.add_argument("--seed", type=int, default=2004)
+    sweep.set_defaults(fn=_cmd_sweep)
+
+    grid = sub.add_parser("grid", help="run a full-system image job")
+    grid.add_argument("--rows", type=int, default=4)
+    grid.add_argument("--cols", type=int, default=4)
+    grid.add_argument("--scheme", default="tmr",
+                      help="cell ALU LUT coding scheme")
+    grid.add_argument("--workload", default="reverse_video",
+                      choices=("reverse_video", "hue_shift",
+                               "brightness_boost", "threshold_mask"))
+    grid.add_argument("--image-size", type=int, default=8)
+    grid.add_argument("--fault-percent", type=float, default=0.0)
+    grid.add_argument("--kill", type=_parse_kill, action="append",
+                      metavar="ROW,COL@CYCLE")
+    grid.add_argument("--adaptive", action="store_true",
+                      help="route around dead cells")
+    grid.add_argument("--rounds", type=int, default=3)
+    grid.add_argument("--seed", type=int, default=0)
+    grid.add_argument("--show-grid", action="store_true",
+                      help="render the final fabric state")
+    grid.set_defaults(fn=_cmd_grid)
+
+    yld = sub.add_parser("yield", help="manufacturing-yield table")
+    yld.add_argument("--variants", nargs="+",
+                     default=["alunn", "aluns"])
+    yld.add_argument("--density", type=float, nargs="+",
+                     default=[1e-3])
+    yld.add_argument("--parts", type=int, default=10)
+    yld.add_argument("--seed", type=int, default=0)
+    yld.set_defaults(fn=_cmd_yield)
+
+    analyze = sub.add_parser("analyze",
+                             help="closed-form budgets and horizons")
+    analyze.add_argument("--target", type=float, default=98.0,
+                         help="target percent-correct")
+    analyze.add_argument("--fault-percent", type=float, default=1.0,
+                         help="operating injected-fault percentage")
+    analyze.add_argument("--threshold", type=int, default=8,
+                         help="watchdog error threshold")
+    analyze.set_defaults(fn=_cmd_analyze)
+
+    report = sub.add_parser("report", help="full EXPERIMENTS report")
+    report.add_argument("--quick", action="store_true")
+    report.add_argument("--seed", type=int, default=2004)
+    report.add_argument("--out", default=None)
+    report.set_defaults(fn=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests of main()
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+"""Error-coding substrate for the NanoBox bit level.
+
+The NanoBox bit-level fault-tolerance technique (paper Section 2.1) stores a
+logic function's truth table together with check bits of an error-correction
+code.  This package provides the codes the paper evaluates:
+
+* :class:`IdentityCode` -- "no code" lookup tables (``alun*`` / ``alu*n``);
+* :class:`HammingCode` -- single-error-correcting information code
+  (``alu*h``), the paper cites Hamming/Hsiao/Reed-Solomon as the family;
+* :class:`RepetitionCode` -- triplicated bit strings voted by majority
+  (``alu*s``), i.e. bit-level triple modular redundancy;
+* :class:`ParityCode` -- detect-only even parity, used by ablation studies.
+
+All codes operate on Python integers interpreted as little-endian bit strings
+(bit ``i`` of the integer is bit ``i`` of the string), which keeps the
+fault-injection XOR (paper Figure 6a) a single machine operation.
+"""
+
+from repro.coding.base import BlockCode, DecodeOutcome, DecodeResult, IdentityCode
+from repro.coding.bits import (
+    bit_length_mask,
+    bits_from_int,
+    bits_to_int,
+    hamming_distance,
+    majority_int,
+    popcount,
+    random_word,
+)
+from repro.coding.hamming import HammingCode
+from repro.coding.hsiao import HsiaoCode
+from repro.coding.parity import ParityCode
+from repro.coding.registry import available_codes, make_code
+from repro.coding.tmr import RepetitionCode
+
+__all__ = [
+    "BlockCode",
+    "DecodeOutcome",
+    "DecodeResult",
+    "HammingCode",
+    "HsiaoCode",
+    "IdentityCode",
+    "ParityCode",
+    "RepetitionCode",
+    "available_codes",
+    "bit_length_mask",
+    "bits_from_int",
+    "bits_to_int",
+    "hamming_distance",
+    "majority_int",
+    "make_code",
+    "popcount",
+    "random_word",
+]

@@ -1,0 +1,130 @@
+"""Block-code interface used by the coded lookup tables.
+
+A :class:`BlockCode` turns ``data_bits`` of payload into ``total_bits`` of
+storage.  The stored word -- payload *and* check bits -- is what the fault
+injector corrupts, mirroring the paper's model where "each bit of the logic
+function truth table, along with the truth table check bits, is stored in a
+memory cell" (Figure 1b).
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.coding.bits import bit_length_mask
+
+
+class DecodeOutcome(enum.Enum):
+    """What the decoder believed happened to the stored word."""
+
+    #: Syndrome was zero: the decoder saw no evidence of corruption.
+    CLEAN = "clean"
+    #: The decoder flipped one stored bit it believed to be in error.  With
+    #: more errors than the code can handle this may be a *mis*-correction --
+    #: the mechanism behind the paper's surprising ``alunh`` < ``alunn``
+    #: result (Section 5).
+    CORRECTED = "corrected"
+    #: The decoder saw corruption it could not localise (detect-only codes).
+    DETECTED = "detected"
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Decoder output: best-effort payload plus what the decoder believed.
+
+    Attributes:
+        data: the recovered payload bits (little-endian integer).
+        outcome: the decoder's belief about the stored word.
+        flipped_position: stored-word bit index the decoder flipped, or
+            ``None`` when no correction was applied.
+    """
+
+    data: int
+    outcome: DecodeOutcome
+    flipped_position: Optional[int] = None
+
+    @property
+    def corrected(self) -> bool:
+        """True when the decoder applied a correction."""
+        return self.outcome is DecodeOutcome.CORRECTED
+
+
+class BlockCode(ABC):
+    """Systematic block code over little-endian integer bit strings."""
+
+    def __init__(self, data_bits: int) -> None:
+        if data_bits <= 0:
+            raise ValueError(f"data_bits must be positive, got {data_bits}")
+        self._data_bits = data_bits
+
+    @property
+    def data_bits(self) -> int:
+        """Number of payload bits per code word."""
+        return self._data_bits
+
+    @property
+    @abstractmethod
+    def total_bits(self) -> int:
+        """Number of stored bits per code word (payload + check bits)."""
+
+    @property
+    def check_bits(self) -> int:
+        """Number of check bits per code word."""
+        return self.total_bits - self.data_bits
+
+    @property
+    def overhead(self) -> float:
+        """Storage overhead ratio ``total_bits / data_bits``."""
+        return self.total_bits / self.data_bits
+
+    @abstractmethod
+    def encode(self, data: int) -> int:
+        """Encode ``data`` (``data_bits`` wide) into a stored word."""
+
+    @abstractmethod
+    def decode(self, stored: int) -> DecodeResult:
+        """Decode a (possibly corrupted) stored word."""
+
+    def _check_data_range(self, data: int) -> None:
+        if data < 0 or data >> self.data_bits:
+            raise ValueError(
+                f"data {data:#x} does not fit in {self.data_bits} data bits"
+            )
+
+    def _check_stored_range(self, stored: int) -> None:
+        if stored < 0 or stored >> self.total_bits:
+            raise ValueError(
+                f"stored word {stored:#x} does not fit in {self.total_bits} bits"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(data_bits={self.data_bits}, "
+            f"total_bits={self.total_bits})"
+        )
+
+
+class IdentityCode(BlockCode):
+    """The "no code" configuration: stored word is the payload itself.
+
+    Used by the ``alunn`` / ``alutn`` / ``alusn`` lookup tables.  Errors on
+    bits that a given lookup does not address are simply never observed --
+    the property that lets no-code tables beat Hamming-coded ones at high
+    fault densities (paper Section 5).
+    """
+
+    @property
+    def total_bits(self) -> int:
+        return self.data_bits
+
+    def encode(self, data: int) -> int:
+        self._check_data_range(data)
+        return data
+
+    def decode(self, stored: int) -> DecodeResult:
+        self._check_stored_range(stored)
+        return DecodeResult(data=stored & bit_length_mask(self.data_bits),
+                            outcome=DecodeOutcome.CLEAN)

@@ -1,0 +1,115 @@
+"""Bit-string helpers shared across the coding, LUT, and fault packages.
+
+Bit strings are plain Python integers: bit ``i`` of the integer is position
+``i`` of the string.  Integers make the paper's fault-injection model (XOR a
+stored bit string with a randomly generated fault mask, Figure 6a) a single
+``^`` operation regardless of string length.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+try:  # Python >= 3.10
+    _POPCOUNT = int.bit_count  # type: ignore[attr-defined]
+
+    def popcount(value: int) -> int:
+        """Return the number of set bits in ``value`` (``value >= 0``)."""
+        return _POPCOUNT(value)
+
+except AttributeError:  # pragma: no cover - exercised only on Python 3.9
+
+    def popcount(value: int) -> int:
+        """Return the number of set bits in ``value`` (``value >= 0``)."""
+        return bin(value).count("1")
+
+
+def bit_length_mask(n_bits: int) -> int:
+    """Return an integer with the low ``n_bits`` bits set.
+
+    >>> bin(bit_length_mask(4))
+    '0b1111'
+    """
+    if n_bits < 0:
+        raise ValueError(f"n_bits must be non-negative, got {n_bits}")
+    return (1 << n_bits) - 1
+
+
+def bits_from_int(value: int, n_bits: int) -> List[int]:
+    """Expand ``value`` into a little-endian list of ``n_bits`` 0/1 ints.
+
+    >>> bits_from_int(0b1011, 4)
+    [1, 1, 0, 1]
+    """
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    if value >> n_bits:
+        raise ValueError(f"value {value:#x} does not fit in {n_bits} bits")
+    return [(value >> i) & 1 for i in range(n_bits)]
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Pack a little-endian sequence of 0/1 values into an integer.
+
+    >>> bits_to_int([1, 1, 0, 1])
+    11
+    """
+    value = 0
+    for i, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise ValueError(f"bit {i} is {bit!r}, expected 0 or 1")
+        value |= bit << i
+    return value
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Return the number of bit positions at which ``a`` and ``b`` differ."""
+    return popcount(a ^ b)
+
+
+def majority_int(words: Iterable[int]) -> int:
+    """Bitwise majority vote over an odd number of equal-width words.
+
+    This is the voting rule the NanoBox uses both for triplicated lookup
+    table bit strings and for the triplicated critical fields of a memory
+    word (paper Sections 2.1-2.2).
+
+    >>> majority_int([0b1100, 0b1010, 0b1001])
+    8
+    """
+    word_list = list(words)
+    if not word_list:
+        raise ValueError("majority_int needs at least one word")
+    if len(word_list) % 2 == 0:
+        raise ValueError(
+            f"majority vote requires an odd number of words, got {len(word_list)}"
+        )
+    if len(word_list) == 3:  # the common case, worth a closed form
+        a, b, c = word_list
+        return (a & b) | (b & c) | (a & c)
+    threshold = len(word_list) // 2
+    width = max(w.bit_length() for w in word_list)
+    result = 0
+    for i in range(width):
+        ones = sum((w >> i) & 1 for w in word_list)
+        if ones > threshold:
+            result |= 1 << i
+    return result
+
+
+def random_word(n_bits: int, rng) -> int:
+    """Draw a uniformly random ``n_bits``-wide integer from ``rng``.
+
+    ``rng`` is a :class:`numpy.random.Generator`; all randomness in this
+    library flows through explicitly seeded generators so experiments are
+    reproducible.
+    """
+    value = 0
+    remaining = n_bits
+    shift = 0
+    while remaining > 0:
+        chunk = min(remaining, 32)
+        value |= int(rng.integers(0, 1 << chunk)) << shift
+        shift += chunk
+        remaining -= chunk
+    return value

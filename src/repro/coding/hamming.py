@@ -1,0 +1,129 @@
+"""Single-error-correcting Hamming code.
+
+This is the "information code" bit-level technique of the paper (Section
+2.1): a small number of check bits protect the lookup-table truth table, and
+a syndrome decoder corrects the stored bit it believes flipped.
+
+The failure mode that matters for the paper's results: when a code word holds
+*more* errors than the code can correct, the syndrome aliases to some other
+position and the decoder flips a bit that was previously correct.  Because
+the syndrome is computed over the whole stored block, errors on bits the
+current lookup never addresses can thereby corrupt the addressed bit -- the
+paper's explanation for ``alunh`` losing to the uncoded ``alunn``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.coding.base import BlockCode, DecodeOutcome, DecodeResult
+from repro.coding.bits import popcount
+
+
+def check_bits_for(data_bits: int) -> int:
+    """Return the number of Hamming check bits needed for ``data_bits``.
+
+    The classic bound: ``r`` check bits protect up to ``2**r - r - 1`` data
+    bits.  For the NanoBox lookup tables, 16 data bits need 5 check bits,
+    which is what makes ``alunh`` = 16 LUTs x (32 + 2x5) = 672 fault sites.
+    """
+    if data_bits <= 0:
+        raise ValueError(f"data_bits must be positive, got {data_bits}")
+    r = 1
+    while (1 << r) - r - 1 < data_bits:
+        r += 1
+    return r
+
+
+class HammingCode(BlockCode):
+    """Systematic Hamming SEC code over a little-endian stored word.
+
+    The stored word uses the textbook positional layout: stored bit ``i``
+    is Hamming position ``i + 1``; check bits live at power-of-two
+    positions and each covers every position whose index has the matching
+    bit set.
+    """
+
+    def __init__(self, data_bits: int) -> None:
+        super().__init__(data_bits)
+        self._r = check_bits_for(data_bits)
+        self._n = data_bits + self._r
+        self._data_positions: List[int] = []   # stored indices of data bits
+        self._check_positions: List[int] = []  # stored indices of check bits
+        for pos in range(1, self._n + 1):
+            if pos & (pos - 1) == 0:  # power of two -> check bit
+                self._check_positions.append(pos - 1)
+            else:
+                self._data_positions.append(pos - 1)
+        # parity_masks[j]: stored-word mask of every position covered by
+        # check bit j (positions whose index has bit j set), check bit
+        # included.  Syndrome bit j = parity(stored & mask).
+        self._parity_masks: List[int] = []
+        for j in range(self._r):
+            mask = 0
+            for pos in range(1, self._n + 1):
+                if pos & (1 << j):
+                    mask |= 1 << (pos - 1)
+            self._parity_masks.append(mask)
+        # Same masks restricted to data positions, used by the encoder.
+        data_mask = 0
+        for idx in self._data_positions:
+            data_mask |= 1 << idx
+        self._encode_masks: List[int] = [m & data_mask for m in self._parity_masks]
+
+    @property
+    def total_bits(self) -> int:
+        return self._n
+
+    @property
+    def data_positions(self) -> Tuple[int, ...]:
+        """Stored-word indices that hold payload bits, in payload order."""
+        return tuple(self._data_positions)
+
+    @property
+    def check_positions(self) -> Tuple[int, ...]:
+        """Stored-word indices that hold check bits."""
+        return tuple(self._check_positions)
+
+    def encode(self, data: int) -> int:
+        self._check_data_range(data)
+        stored = 0
+        for i, idx in enumerate(self._data_positions):
+            if (data >> i) & 1:
+                stored |= 1 << idx
+        for j, idx in enumerate(self._check_positions):
+            if popcount(stored & self._encode_masks[j]) & 1:
+                stored |= 1 << idx
+        return stored
+
+    def syndrome(self, stored: int) -> int:
+        """Return the decoder syndrome: 0 if clean, else a Hamming position."""
+        self._check_stored_range(stored)
+        syn = 0
+        for j, mask in enumerate(self._parity_masks):
+            if popcount(stored & mask) & 1:
+                syn |= 1 << j
+        return syn
+
+    def extract(self, stored: int) -> int:
+        """Pull the payload bits out of a stored word without decoding."""
+        data = 0
+        for i, idx in enumerate(self._data_positions):
+            if (stored >> idx) & 1:
+                data |= 1 << i
+        return data
+
+    def decode(self, stored: int) -> DecodeResult:
+        syn = self.syndrome(stored)
+        if syn == 0:
+            return DecodeResult(data=self.extract(stored),
+                                outcome=DecodeOutcome.CLEAN)
+        if syn <= self._n:
+            corrected = stored ^ (1 << (syn - 1))
+            return DecodeResult(data=self.extract(corrected),
+                                outcome=DecodeOutcome.CORRECTED,
+                                flipped_position=syn - 1)
+        # Syndrome points past the end of the shortened code word: the
+        # decoder knows the word is corrupt but cannot localise the error.
+        return DecodeResult(data=self.extract(stored),
+                            outcome=DecodeOutcome.DETECTED)

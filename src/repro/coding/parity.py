@@ -1,0 +1,34 @@
+"""Detect-only even-parity code.
+
+Not one of the paper's three headline configurations, but the simplest
+member of the information-code family the paper cites ([18]); the ablation
+benchmarks use it to show what detection-without-correction buys at NanoBox
+fault densities.
+"""
+
+from __future__ import annotations
+
+from repro.coding.base import BlockCode, DecodeOutcome, DecodeResult
+from repro.coding.bits import bit_length_mask, popcount
+
+
+class ParityCode(BlockCode):
+    """One even-parity check bit appended above the payload bits."""
+
+    @property
+    def total_bits(self) -> int:
+        return self.data_bits + 1
+
+    def encode(self, data: int) -> int:
+        self._check_data_range(data)
+        parity = popcount(data) & 1
+        return data | (parity << self.data_bits)
+
+    def decode(self, stored: int) -> DecodeResult:
+        self._check_stored_range(stored)
+        data = stored & bit_length_mask(self.data_bits)
+        if popcount(stored) & 1:
+            # Odd overall parity: some odd number of bits flipped.  A parity
+            # code cannot say which, so the payload is passed through as-is.
+            return DecodeResult(data=data, outcome=DecodeOutcome.DETECTED)
+        return DecodeResult(data=data, outcome=DecodeOutcome.CLEAN)

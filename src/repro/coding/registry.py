@@ -1,0 +1,51 @@
+"""Name-based factory for bit-level codes.
+
+The twelve ALU variants of paper Table 2 are generated mechanically from a
+(bit-level technique, module-level technique) pair; this registry supplies
+the bit-level half by short name:
+
+* ``"none"``    -> :class:`IdentityCode`    (``alu*n``)
+* ``"hamming"`` -> :class:`HammingCode`     (``alu*h``)
+* ``"tmr"``     -> :class:`RepetitionCode`  (``alu*s``, triplicated strings)
+* ``"parity"``  -> :class:`ParityCode`      (ablations only)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.coding.base import BlockCode, IdentityCode
+from repro.coding.hamming import HammingCode
+from repro.coding.hsiao import HsiaoCode
+from repro.coding.parity import ParityCode
+from repro.coding.tmr import RepetitionCode
+
+_FACTORIES: Dict[str, Callable[[int], BlockCode]] = {
+    "none": IdentityCode,
+    "hamming": HammingCode,
+    "hsiao": HsiaoCode,
+    "parity": ParityCode,
+    "tmr": lambda data_bits: RepetitionCode(data_bits, copies=3),
+    "5mr": lambda data_bits: RepetitionCode(data_bits, copies=5),
+    "7mr": lambda data_bits: RepetitionCode(data_bits, copies=7),
+}
+
+
+def available_codes() -> Tuple[str, ...]:
+    """Return the registered code names, sorted for stable display."""
+    return tuple(sorted(_FACTORIES))
+
+
+def make_code(name: str, data_bits: int) -> BlockCode:
+    """Instantiate the named bit-level code for ``data_bits`` of payload.
+
+    Raises:
+        KeyError: if ``name`` is not registered.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown code {name!r}; available: {', '.join(available_codes())}"
+        ) from None
+    return factory(data_bits)

@@ -1,0 +1,121 @@
+"""Repetition (N-modular redundancy) code.
+
+The paper's best-performing bit-level technique stores the truth-table bit
+string in triplicate and votes each addressed bit through a three-input
+majority gate (Section 2.1).  ``RepetitionCode`` generalises to any odd
+number of copies so ablation studies can sweep the redundancy order.
+"""
+
+from __future__ import annotations
+
+from repro.coding.base import BlockCode, DecodeOutcome, DecodeResult
+from repro.coding.bits import bit_length_mask, majority_int
+
+
+class RepetitionCode(BlockCode):
+    """Store ``copies`` identical images of the payload, decode by majority.
+
+    Unlike an information code, a repetition decoder only ever looks at the
+    copies of the bit actually being read, so faults on non-addressed bits
+    are invisible -- no mis-correction cross-talk.  Combined with the 3x
+    storage cost this is exactly the trade-off the paper explores in [16,17].
+
+    Two physical layouts are supported.  Under the paper's uniform fault
+    model they are statistically identical; under *spatially correlated*
+    bursts they are not:
+
+    * ``"blocked"`` (default) -- copy ``c`` occupies positions
+      ``c*m .. c*m+m-1``.  A short burst lands inside one copy and is
+      voted away.
+    * ``"interleaved"`` -- the copies of bit ``i`` sit at adjacent
+      positions ``i*copies .. i*copies+copies-1``.  A burst of length
+      >= ``(copies+1)//2 + 1``... in practice a burst spanning two copies
+      of the same bit defeats the vote -- the layout-vulnerability the
+      burst-fault ablation measures.
+    """
+
+    LAYOUTS = ("blocked", "interleaved")
+
+    def __init__(
+        self, data_bits: int, copies: int = 3, layout: str = "blocked"
+    ) -> None:
+        super().__init__(data_bits)
+        if copies < 1 or copies % 2 == 0:
+            raise ValueError(f"copies must be a positive odd number, got {copies}")
+        if layout not in self.LAYOUTS:
+            raise ValueError(
+                f"layout must be one of {self.LAYOUTS}, got {layout!r}"
+            )
+        self._copies = copies
+        self._layout = layout
+
+    @property
+    def copies(self) -> int:
+        """Number of stored images of the payload."""
+        return self._copies
+
+    @property
+    def layout(self) -> str:
+        """Physical copy layout: ``"blocked"`` or ``"interleaved"``."""
+        return self._layout
+
+    @property
+    def total_bits(self) -> int:
+        return self.data_bits * self._copies
+
+    def position(self, copy: int, index: int) -> int:
+        """Stored position of payload bit ``index`` in copy ``copy``."""
+        if self._layout == "blocked":
+            return copy * self.data_bits + index
+        return index * self._copies + copy
+
+    def encode(self, data: int) -> int:
+        self._check_data_range(data)
+        if self._layout == "blocked":
+            stored = 0
+            for c in range(self._copies):
+                stored |= data << (c * self.data_bits)
+            return stored
+        stored = 0
+        for i in range(self.data_bits):
+            if (data >> i) & 1:
+                for c in range(self._copies):
+                    stored |= 1 << self.position(c, i)
+        return stored
+
+    def copy_words(self, stored: int):
+        """Split a stored word into its ``copies`` payload-width images."""
+        self._check_stored_range(stored)
+        if self._layout == "blocked":
+            mask = bit_length_mask(self.data_bits)
+            return [
+                (stored >> (c * self.data_bits)) & mask
+                for c in range(self._copies)
+            ]
+        words = []
+        for c in range(self._copies):
+            word = 0
+            for i in range(self.data_bits):
+                word |= ((stored >> self.position(c, i)) & 1) << i
+            words.append(word)
+        return words
+
+    def decode(self, stored: int) -> DecodeResult:
+        words = self.copy_words(stored)
+        data = majority_int(words)
+        if all(w == data for w in words):
+            return DecodeResult(data=data, outcome=DecodeOutcome.CLEAN)
+        return DecodeResult(data=data, outcome=DecodeOutcome.CORRECTED)
+
+    def decode_bit(self, stored: int, index: int) -> int:
+        """Majority-vote a single payload bit -- the lookup-table fast path.
+
+        This mirrors the hardware, where only the addressed bit of each copy
+        reaches the majority gate.
+        """
+        if index < 0 or index >= self.data_bits:
+            raise IndexError(f"bit index {index} out of range 0..{self.data_bits - 1}")
+        ones = 0
+        for c in range(self._copies):
+            ones += (stored >> self.position(c, index)) & 1
+        return 1 if ones > self._copies // 2 else 0

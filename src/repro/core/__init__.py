@@ -1,0 +1,27 @@
+"""The recursive NanoBox abstraction (paper Section 2).
+
+A *NanoBox* is "a black box entity that uses a specified fault-tolerance
+technique"; the processor grid is a hierarchy of such boxes, with a
+different technique possible at the bit, module, and system levels.  Faults
+that escape one level's technique should be masked by the box one level up.
+
+This package provides the level vocabulary, an introspector that renders
+any :class:`~repro.alu.base.FaultableUnit` (or grid cell) as its box
+hierarchy, and an error ledger that attributes injected faults to boxes and
+records which level ultimately masked them -- the bookkeeping behind the
+hierarchy-effectiveness analyses in :mod:`repro.experiments`.
+"""
+
+from repro.core.box import FaultToleranceLevel, NanoBox
+from repro.core.hierarchy import area_overhead, describe_unit, render_tree
+from repro.core.telemetry import ErrorLedger, InjectionReport
+
+__all__ = [
+    "ErrorLedger",
+    "FaultToleranceLevel",
+    "InjectionReport",
+    "NanoBox",
+    "area_overhead",
+    "describe_unit",
+    "render_tree",
+]

@@ -1,0 +1,88 @@
+"""NanoBox tree nodes and fault-tolerance levels."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+
+class FaultToleranceLevel(enum.Enum):
+    """The three rungs of the recursive hierarchy (paper Section 2)."""
+
+    #: Error-coded lookup-table bit strings / raw gate nodes.
+    BIT = "bit"
+    #: Space or time redundancy around an ALU, plus the majority voter and
+    #: triplicated memory-word fields.
+    MODULE = "module"
+    #: The grid: heartbeat monitoring, watchdog, cell disable and failover.
+    SYSTEM = "system"
+
+    @property
+    def rank(self) -> int:
+        """0 for bit, 1 for module, 2 for system (outermost)."""
+        return ("bit", "module", "system").index(self.value)
+
+
+@dataclass(frozen=True)
+class NanoBox:
+    """One black box in the recursive hierarchy.
+
+    Attributes:
+        name: the box's label (e.g. ``slice3.result_lut`` or ``voter``).
+        level: which hierarchy rung the box's technique belongs to.
+        technique: the fault-tolerance technique the box applies
+            (``"tmr"``, ``"hamming"``, ``"majority-vote"``, ``"none"``...).
+        sites: fault-injection sites contained in this box, children
+            included.
+        children: nested boxes.
+    """
+
+    name: str
+    level: FaultToleranceLevel
+    technique: str
+    sites: int
+    children: Tuple["NanoBox", ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.sites < 0:
+            raise ValueError(f"sites must be non-negative, got {self.sites}")
+        child_sites = sum(c.sites for c in self.children)
+        if self.children and child_sites > self.sites:
+            raise ValueError(
+                f"box {self.name!r} claims {self.sites} sites but children "
+                f"hold {child_sites}"
+            )
+
+    @property
+    def own_sites(self) -> int:
+        """Sites owned directly by this box (not inside any child)."""
+        return self.sites - sum(c.sites for c in self.children)
+
+    @property
+    def depth(self) -> int:
+        """Height of the box tree rooted here (a leaf has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(c.depth for c in self.children)
+
+    def walk(self) -> Iterator["NanoBox"]:
+        """Yield this box and all descendants, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["NanoBox"]:
+        """Locate a descendant (or self) by exact name."""
+        for box in self.walk():
+            if box.name == name:
+                return box
+        return None
+
+    def boxes_at(self, level: FaultToleranceLevel) -> Tuple["NanoBox", ...]:
+        """All boxes in the tree whose technique lives at ``level``."""
+        return tuple(b for b in self.walk() if b.level is level)
+
+    def leaf_count(self) -> int:
+        """Number of leaves in the tree."""
+        return sum(1 for b in self.walk() if not b.children)

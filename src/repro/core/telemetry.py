@@ -1,0 +1,128 @@
+"""Error accounting across hierarchy levels.
+
+The recursive-reliability argument (paper Section 2) is that faults
+uncorrectable at one level "should be covered by the fault tolerance
+technique of a box at a higher level".  :class:`ErrorLedger` measures that
+directly: for each injected computation it records how many faults landed
+in each site segment and whether the unit's final output was still correct,
+accumulating the masked / unmasked tallies per fault-count bucket that the
+hierarchy-effectiveness benches report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.alu.base import FaultableUnit
+from repro.alu.reference import reference_compute
+from repro.coding.bits import popcount
+
+
+@dataclass(frozen=True)
+class InjectionReport:
+    """Outcome of one observed computation under one fault mask."""
+
+    total_faults: int
+    faults_by_segment: Dict[str, int]
+    output_correct: bool
+
+    @property
+    def masked(self) -> bool:
+        """True when faults were injected yet the output stayed correct."""
+        return self.total_faults > 0 and self.output_correct
+
+
+class ErrorLedger:
+    """Accumulates injection outcomes for one compute unit."""
+
+    def __init__(self, unit: FaultableUnit) -> None:
+        self._unit = unit
+        self._observations = 0
+        self._clean_runs = 0
+        self._masked = 0
+        self._unmasked = 0
+        self._segment_faults: Dict[str, int] = {
+            seg.name: 0 for seg in unit.site_space.segments
+        }
+        # masked/unmasked tallies keyed by injected-fault count
+        self._by_count: Dict[int, Tuple[int, int]] = {}
+
+    @property
+    def unit(self) -> FaultableUnit:
+        return self._unit
+
+    @property
+    def observations(self) -> int:
+        """Total computations observed."""
+        return self._observations
+
+    @property
+    def masked_count(self) -> int:
+        """Computations where injected faults were fully masked."""
+        return self._masked
+
+    @property
+    def unmasked_count(self) -> int:
+        """Computations where injected faults corrupted the output."""
+        return self._unmasked
+
+    @property
+    def clean_runs(self) -> int:
+        """Computations that received no faults at all."""
+        return self._clean_runs
+
+    @property
+    def segment_faults(self) -> Dict[str, int]:
+        """Cumulative injected faults per site segment."""
+        return dict(self._segment_faults)
+
+    def coverage(self) -> float:
+        """Fraction of faulty computations whose errors were masked.
+
+        Raises:
+            ValueError: if no faulty computation has been observed.
+        """
+        faulty = self._masked + self._unmasked
+        if faulty == 0:
+            raise ValueError("no faulty computations observed yet")
+        return self._masked / faulty
+
+    def coverage_by_fault_count(self) -> Dict[int, float]:
+        """Masking probability as a function of injected-fault count."""
+        return {
+            count: masked / (masked + unmasked)
+            for count, (masked, unmasked) in sorted(self._by_count.items())
+            if masked + unmasked > 0
+        }
+
+    def observe(self, op: int, a: int, b: int, fault_mask: int) -> InjectionReport:
+        """Run one computation under ``fault_mask`` and record the outcome."""
+        by_segment = self._unit.site_space.attribute(fault_mask)
+        total = popcount(fault_mask)
+        result = self._unit.compute(op, a, b, fault_mask=fault_mask)
+        expected = reference_compute(op, a, b)
+        correct = result.value == expected.value
+
+        self._observations += 1
+        if total == 0:
+            self._clean_runs += 1
+        elif correct:
+            self._masked += 1
+        else:
+            self._unmasked += 1
+        if total > 0:
+            masked, unmasked = self._by_count.get(total, (0, 0))
+            if correct:
+                masked += 1
+            else:
+                unmasked += 1
+            self._by_count[total] = (masked, unmasked)
+        for name, count in by_segment.items():
+            self._segment_faults[name] += count
+
+        return InjectionReport(
+            total_faults=total,
+            faults_by_segment=by_segment,
+            output_correct=correct,
+        )

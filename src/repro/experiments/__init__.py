@@ -1,0 +1,79 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+* :mod:`repro.experiments.tables` -- Table 1 (ISA) and Table 2 (ALU
+  variants and fault-site counts);
+* :mod:`repro.experiments.figures` -- Figures 7, 8, 9 (percent-correct
+  versus injected fault percentage, grouped by module-level technique);
+* :mod:`repro.experiments.fit_table` -- the Section 4/5 FIT-rate
+  translations and headline reliability claims;
+* :mod:`repro.experiments.area` -- the ~9x area-overhead claim;
+* :mod:`repro.experiments.ablations` -- design-choice studies beyond the
+  paper (decoder semantics, redundancy order, voter coding, mask policy);
+* :mod:`repro.experiments.run_all` -- regenerate everything and emit the
+  EXPERIMENTS.md comparison tables.
+"""
+
+from repro.experiments.figures import (
+    PAPER_FAULT_PERCENTAGES,
+    FigureResult,
+    SeriesPoint,
+    figure7,
+    figure8,
+    figure9,
+    run_figure,
+    sweep_variant,
+)
+from repro.experiments.tables import table1_text, table2_rows, table2_text
+from repro.experiments.fit_table import fit_rows, fit_table_text, headline_claims
+from repro.experiments.area import area_rows, area_table_text
+from repro.experiments.report import format_series, format_table
+from repro.experiments.ascii_chart import ascii_chart, figure_chart
+from repro.experiments.defect_yield import yield_at, yield_sweep, yield_table_text
+from repro.experiments.export import (
+    figure_from_json,
+    figure_to_csv,
+    figure_to_json,
+    records_to_csv,
+    records_to_json,
+)
+from repro.experiments.scaling import (
+    detection_latency,
+    detection_table_text,
+    pipeline_scaling,
+    pipeline_table_text,
+)
+
+__all__ = [
+    "PAPER_FAULT_PERCENTAGES",
+    "FigureResult",
+    "SeriesPoint",
+    "area_rows",
+    "area_table_text",
+    "ascii_chart",
+    "detection_latency",
+    "detection_table_text",
+    "figure_chart",
+    "figure_from_json",
+    "figure_to_csv",
+    "figure_to_json",
+    "figure7",
+    "figure8",
+    "figure9",
+    "fit_rows",
+    "fit_table_text",
+    "format_series",
+    "format_table",
+    "headline_claims",
+    "pipeline_scaling",
+    "pipeline_table_text",
+    "records_to_csv",
+    "records_to_json",
+    "run_figure",
+    "sweep_variant",
+    "table1_text",
+    "table2_rows",
+    "table2_text",
+    "yield_at",
+    "yield_sweep",
+    "yield_table_text",
+]

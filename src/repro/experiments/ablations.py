@@ -1,0 +1,158 @@
+"""Ablation studies on the design choices behind the paper's results.
+
+None of these appear in the paper; they answer the obvious follow-on
+questions its Section 5 discussion raises:
+
+* **Decoder semantics** -- how much of ``alunh``'s loss to ``alunn`` comes
+  from the output-corrector architecture (false positives on check-bit
+  syndromes) versus the Hamming code itself?  ``hamming-sec`` is the
+  textbook decoder, ``hamming-fp`` the fully pessimistic one.
+* **Redundancy order** -- is 3x the right bit-level replication, or do
+  5x / 7x strings buy their area back?
+* **Voter construction** -- the paper votes through fault-prone LUTs
+  coded the same way as the ALU's tables; what does a differently-coded
+  (or gate-level) voter cost?
+* **Mask policy** -- exact-fraction (the paper's semantics) versus
+  independent Bernoulli flips.
+* **Hamming block size** -- 16-bit blocks match Table 2's 672 sites; how
+  does protection scale with block granularity?
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.alu.base import FaultableUnit
+from repro.alu.nanobox import NanoBoxALU
+from repro.alu.redundancy import SimplexALU, SpaceRedundantALU
+from repro.alu.voters import make_voter
+from repro.faults.campaign import FaultCampaign
+from repro.faults.mask import BernoulliMask, ExactFractionMask
+from repro.workloads.bitmap import gradient
+from repro.workloads.imaging import paper_workloads
+
+#: Default fault percentages for the ablation sweeps (a dense low-end).
+ABLATION_PERCENTS: Tuple[float, ...] = (0, 0.5, 1, 2, 3, 5, 9)
+
+
+def _score(
+    alu: FaultableUnit,
+    percent: float,
+    trials_per_workload: int,
+    seed: int,
+    policy_factory=ExactFractionMask,
+) -> float:
+    workloads = paper_workloads(gradient(8, 8))
+    campaign = FaultCampaign(alu, policy_factory(percent / 100.0), seed=seed)
+    return campaign.run_workload_suite(workloads, trials_per_workload).percent_correct
+
+
+def _sweep(
+    alu: FaultableUnit,
+    percents: Sequence[float],
+    trials_per_workload: int,
+    seed: int,
+    policy_factory=ExactFractionMask,
+) -> List[float]:
+    return [
+        _score(alu, pct, trials_per_workload, seed, policy_factory)
+        for pct in percents
+    ]
+
+
+def hamming_semantics_ablation(
+    percents: Sequence[float] = ABLATION_PERCENTS,
+    trials_per_workload: int = 5,
+    seed: int = 11,
+) -> Dict[str, List[float]]:
+    """Compare information-code decoder semantics against no code.
+
+    Expected shape: ``hamming-sec`` (textbook SEC) and ``hsiao``
+    (SEC-DED, never corrects on an even syndrome) beat ``none`` at low
+    densities; the paper's output-corrector ``hamming`` loses to
+    ``none`` everywhere; the pessimistic ``hamming-fp`` collapses
+    fastest.
+    """
+    series: Dict[str, List[float]] = {}
+    for scheme in ("none", "hamming", "hamming-sec", "hamming-fp", "hsiao"):
+        alu = SimplexALU(NanoBoxALU(scheme=scheme), name=f"ablate[{scheme}]")
+        series[scheme] = _sweep(alu, percents, trials_per_workload, seed)
+    return series
+
+
+def redundancy_order_ablation(
+    percents: Sequence[float] = ABLATION_PERCENTS,
+    trials_per_workload: int = 5,
+    seed: int = 12,
+) -> Dict[str, List[float]]:
+    """Sweep bit-level replication order: 1x (none), 3x, 5x, 7x strings."""
+    series: Dict[str, List[float]] = {}
+    for scheme, label in (
+        ("none", "1x"),
+        ("tmr", "3x"),
+        ("5mr", "5x"),
+        ("7mr", "7x"),
+    ):
+        alu = SimplexALU(NanoBoxALU(scheme=scheme), name=f"ablate[{label}]")
+        series[label] = _sweep(alu, percents, trials_per_workload, seed)
+    return series
+
+
+def voter_coding_ablation(
+    percents: Sequence[float] = ABLATION_PERCENTS,
+    trials_per_workload: int = 5,
+    seed: int = 13,
+) -> Dict[str, List[float]]:
+    """Space-redundant TMR-LUT cores with differently built voters."""
+    series: Dict[str, List[float]] = {}
+    for voter_kind in ("tmr", "none", "hamming", "cmos"):
+        alu = SpaceRedundantALU(
+            lambda: NanoBoxALU(scheme="tmr"),
+            make_voter(voter_kind),
+            name=f"ablate[voter:{voter_kind}]",
+        )
+        series[f"voter:{voter_kind}"] = _sweep(
+            alu, percents, trials_per_workload, seed
+        )
+    return series
+
+
+def mask_policy_ablation(
+    percents: Sequence[float] = ABLATION_PERCENTS,
+    trials_per_workload: int = 5,
+    seed: int = 14,
+) -> Dict[str, List[float]]:
+    """Exact-fraction versus Bernoulli injection on the TMR ALU.
+
+    The two should agree closely -- the exact-count draw is a conditioned
+    version of the Bernoulli draw -- validating that the paper's injection
+    semantics is not doing hidden work.
+    """
+    alu = SimplexALU(NanoBoxALU(scheme="tmr"), name="ablate[policy]")
+    return {
+        "exact": _sweep(alu, percents, trials_per_workload, seed,
+                        ExactFractionMask),
+        "bernoulli": _sweep(alu, percents, trials_per_workload, seed,
+                            BernoulliMask),
+    }
+
+
+def hamming_block_size_ablation(
+    percents: Sequence[float] = ABLATION_PERCENTS,
+    trials_per_workload: int = 5,
+    seed: int = 15,
+) -> Dict[str, List[float]]:
+    """Hamming protection granularity: 8-, 16-, and 32-bit blocks.
+
+    Smaller blocks mean fewer non-addressed bits per syndrome, hence fewer
+    false positives, at higher check-bit cost (the 16-bit block is what
+    reproduces Table 2's 672 sites).
+    """
+    series: Dict[str, List[float]] = {}
+    for block in (8, 16, 32):
+        alu = SimplexALU(
+            NanoBoxALU(scheme="hamming", block_size=block),
+            name=f"ablate[block{block}]",
+        )
+        series[f"block{block}"] = _sweep(alu, percents, trials_per_workload, seed)
+    return series

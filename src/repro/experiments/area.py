@@ -1,0 +1,49 @@
+"""Area-overhead accounting (abstract / Section 5).
+
+"By triplicating at the bit-level and triplicating again at the
+module-level, we incur area overhead on the order of 9x."  Fault sites are
+storage bits or gate nodes laid out as a regular nanodevice fabric, so the
+site-count ratio against the unprotected lookup-table ALU (``alunn``)
+tracks area.  ``aluss`` / ``alunn`` = 5040 / 512 ~ 9.8x -- the paper's
+"order of 9x".
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.alu.variants import TABLE2_SITE_COUNTS, variant_names, variant_spec
+from repro.experiments.report import format_table
+
+#: Overhead baseline: the NanoBox ALU with no redundancy of any form.
+BASELINE_VARIANT = "alunn"
+
+
+def area_rows() -> List[Tuple[str, int, float, str]]:
+    """(variant, sites, overhead vs alunn, description) for all variants."""
+    baseline = TABLE2_SITE_COUNTS[BASELINE_VARIANT]
+    rows = []
+    for name in variant_names():
+        sites = TABLE2_SITE_COUNTS[name]
+        rows.append(
+            (name, sites, sites / baseline, variant_spec(name).description)
+        )
+    return rows
+
+
+def headline_overhead() -> float:
+    """The paper's headline configuration overhead: aluss vs alunn."""
+    return TABLE2_SITE_COUNTS["aluss"] / TABLE2_SITE_COUNTS[BASELINE_VARIANT]
+
+
+def area_table_text() -> str:
+    """Render the overhead table."""
+    rows = [
+        (name, sites, f"{ratio:.2f}x")
+        for name, sites, ratio, _desc in area_rows()
+    ]
+    return (
+        f"Area overhead relative to {BASELINE_VARIANT} "
+        f"(paper headline: ~9x for aluss)\n"
+        + format_table(("ALU", "sites", "overhead"), rows)
+    )

@@ -1,0 +1,96 @@
+"""Dependency-free ASCII charts for figure series.
+
+The paper's Figures 7-9 are line charts of percent-correct versus
+injected fault percentage.  ``ascii_chart`` renders the same series in a
+terminal: one column per swept percentage, one marker character per ALU
+variant, a 0-100 y-axis, and a legend.  Used by the CLI's ``sweep
+--chart`` and the ``fault_sweep`` example.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+#: Marker characters assigned to series in insertion order.
+MARKERS = "o*x+#@%&"
+
+
+def ascii_chart(
+    x_labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    height: int = 18,
+    y_min: float = 0.0,
+    y_max: float = 100.0,
+    col_width: int = 6,
+) -> str:
+    """Render series as a fixed-width ASCII chart.
+
+    Args:
+        x_labels: one label per x position (e.g. fault percentages).
+        series: name -> y values (same length as ``x_labels``).
+        height: chart rows between ``y_min`` and ``y_max``.
+        y_min, y_max: y-axis range.
+        col_width: character columns per x position.
+
+    Overlapping markers at the same cell are drawn as ``'='``.
+    """
+    if height < 2:
+        raise ValueError(f"height must be at least 2, got {height}")
+    if y_max <= y_min:
+        raise ValueError("y_max must exceed y_min")
+    if len(series) > len(MARKERS):
+        raise ValueError(
+            f"at most {len(MARKERS)} series supported, got {len(series)}"
+        )
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, expected "
+                f"{len(x_labels)}"
+            )
+
+    n_cols = len(x_labels)
+    span = y_max - y_min
+    grid: List[List[str]] = [
+        [" "] * (n_cols * col_width) for _ in range(height + 1)
+    ]
+
+    markers = {name: MARKERS[i] for i, name in enumerate(series)}
+    for name, values in series.items():
+        marker = markers[name]
+        for i, value in enumerate(values):
+            clamped = min(max(value, y_min), y_max)
+            row = height - round((clamped - y_min) / span * height)
+            col = i * col_width + col_width // 2
+            cell = grid[row][col]
+            grid[row][col] = marker if cell == " " else "="
+
+    lines: List[str] = []
+    for row_index, row in enumerate(grid):
+        y_value = y_max - span * row_index / height
+        if row_index % max(height // 6, 1) == 0 or row_index == height:
+            label = f"{y_value:6.1f} |"
+        else:
+            label = "       |"
+        lines.append(label + "".join(row).rstrip())
+
+    axis = "       +" + "-" * (n_cols * col_width)
+    lines.append(axis)
+    x_line = "        "
+    for label in x_labels:
+        x_line += str(label).center(col_width)
+    lines.append(x_line.rstrip())
+    legend = "        legend: " + "  ".join(
+        f"{markers[name]}={name}" for name in series
+    ) + "  (= overlap)"
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def figure_chart(result, height: int = 18) -> str:
+    """Chart a :class:`~repro.experiments.figures.FigureResult`."""
+    labels = [f"{p:g}" for p in result.fault_percents]
+    return (
+        f"{result.title}\n"
+        + ascii_chart(labels, result.series(), height=height)
+    )

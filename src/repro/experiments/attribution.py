@@ -1,0 +1,133 @@
+"""Fault attribution: which box of the hierarchy lets errors through?
+
+The recursive argument (paper Section 2) says faults uncorrectable at
+one level are caught one level up.  This study instruments that claim:
+running a redundant ALU under injection with the
+:class:`~repro.core.telemetry.ErrorLedger`, it reports
+
+* the masking probability as a function of how many faults landed in one
+  computation (the hierarchy's measured coverage curve), and
+* for *unmasked* computations, how the faults were distributed over the
+  unit's segments (cores vs voter vs holding registers) compared to the
+  overall distribution -- exposing which structures are the weak points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.alu.variants import build_alu
+from repro.core.telemetry import ErrorLedger
+from repro.faults.mask import ExactFractionMask
+from repro.workloads.bitmap import gradient
+from repro.workloads.imaging import paper_workloads
+
+
+@dataclass(frozen=True)
+class AttributionReport:
+    """Outcome of one attribution study."""
+
+    variant: str
+    fault_fraction: float
+    observations: int
+    masked: int
+    unmasked: int
+    coverage_by_count: Dict[int, float]
+    #: segment -> cumulative faults over all computations
+    segment_faults: Dict[str, int]
+    #: segment -> cumulative faults over *unmasked* computations only
+    unmasked_segment_faults: Dict[str, int]
+
+    @property
+    def coverage(self) -> float:
+        faulty = self.masked + self.unmasked
+        return self.masked / faulty if faulty else 1.0
+
+    def segment_shares(self) -> List[Tuple[str, float, float]]:
+        """(segment, share of all faults, share of unmasking faults)."""
+        total_all = sum(self.segment_faults.values()) or 1
+        total_bad = sum(self.unmasked_segment_faults.values()) or 1
+        rows = []
+        for name in self.segment_faults:
+            rows.append(
+                (
+                    name,
+                    self.segment_faults[name] / total_all,
+                    self.unmasked_segment_faults.get(name, 0) / total_bad,
+                )
+            )
+        return rows
+
+    def overexposed_segments(self, threshold: float = 1.1) -> List[str]:
+        """Segments whose share among unmasked computations exceeds their
+        overall share by ``threshold`` -- the hierarchy's weak points."""
+        weak = []
+        for name, share_all, share_bad in self.segment_shares():
+            if share_all > 0 and share_bad / share_all >= threshold:
+                weak.append(name)
+        return weak
+
+
+def attribution_study(
+    variant: str = "aluss",
+    fault_fraction: float = 0.03,
+    observations: int = 600,
+    seed: int = 0,
+) -> AttributionReport:
+    """Run the instrumented injection campaign for one variant."""
+    if observations <= 0:
+        raise ValueError(f"observations must be positive, got {observations}")
+    unit = build_alu(variant)
+    ledger = ErrorLedger(unit)
+    policy = ExactFractionMask(fault_fraction)
+    rng = np.random.default_rng(seed)
+    instructions = []
+    for stream in paper_workloads(gradient(8, 8)).values():
+        instructions.extend(stream)
+
+    unmasked_segments: Dict[str, int] = {
+        seg.name: 0 for seg in unit.site_space.segments
+    }
+    for i in range(observations):
+        op, a, b, _expected = instructions[i % len(instructions)]
+        mask = policy.generate(unit.site_count, rng)
+        report = ledger.observe(op, a, b, mask)
+        if report.total_faults and not report.output_correct:
+            for name, count in report.faults_by_segment.items():
+                unmasked_segments[name] += count
+
+    return AttributionReport(
+        variant=variant,
+        fault_fraction=fault_fraction,
+        observations=ledger.observations,
+        masked=ledger.masked_count,
+        unmasked=ledger.unmasked_count,
+        coverage_by_count=ledger.coverage_by_fault_count(),
+        segment_faults=ledger.segment_faults,
+        unmasked_segment_faults=unmasked_segments,
+    )
+
+
+def attribution_table_text(report: AttributionReport) -> str:
+    """Render the per-segment attribution comparison."""
+    from repro.experiments.report import format_table
+
+    rows = [
+        (name, f"{100 * share_all:.1f}%", f"{100 * share_bad:.1f}%",
+         f"{share_bad / share_all:.2f}" if share_all else "-")
+        for name, share_all, share_bad in report.segment_shares()
+    ]
+    header = (
+        f"Fault attribution: {report.variant} at "
+        f"{100 * report.fault_fraction:g}% injected "
+        f"(coverage {100 * report.coverage:.1f}% over "
+        f"{report.masked + report.unmasked} faulty computations)\n"
+    )
+    return header + format_table(
+        ("segment", "share of all faults", "share in unmasked runs",
+         "exposure ratio"),
+        rows,
+    )

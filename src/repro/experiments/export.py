@@ -1,0 +1,122 @@
+"""Machine-readable export of experiment results.
+
+Figure sweeps, yield studies, and campaign summaries serialise to JSON
+(for archival / cross-run comparison) and CSV (for external plotting).
+The JSON documents carry enough metadata -- variant names, fault
+percentages, seeds are the caller's responsibility -- to regenerate the
+exact run.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import platform
+from dataclasses import asdict, is_dataclass
+from typing import Any, Dict, List, Sequence
+
+from repro.experiments.figures import FigureResult, SeriesPoint
+
+
+def run_manifest(**parameters: Any) -> Dict[str, Any]:
+    """Provenance record to attach to exported results.
+
+    Captures the library version and interpreter/platform alongside the
+    caller's experiment parameters (seeds, trial counts, ...), so an
+    archived JSON export documents how to regenerate itself.
+    """
+    import repro
+
+    return {
+        "library": "repro",
+        "version": repro.__version__,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "parameters": dict(parameters),
+    }
+
+
+def figure_to_dict(
+    result: FigureResult, manifest: Dict[str, Any] = None
+) -> Dict[str, Any]:
+    """Convert a figure sweep to a JSON-serialisable dictionary.
+
+    Pass a :func:`run_manifest` to embed provenance in the export.
+    """
+    data = {
+        "name": result.name,
+        "title": result.title,
+        "fault_percents": list(result.fault_percents),
+        "points": [asdict(point) for point in result.points],
+    }
+    if manifest is not None:
+        data["manifest"] = manifest
+    return data
+
+
+def figure_to_json(result: FigureResult, indent: int = 2) -> str:
+    """Serialise a figure sweep to JSON."""
+    return json.dumps(figure_to_dict(result), indent=indent, sort_keys=True)
+
+
+def figure_from_json(text: str) -> FigureResult:
+    """Reconstruct a figure sweep from its JSON export."""
+    data = json.loads(text)
+    try:
+        points = tuple(SeriesPoint(**p) for p in data["points"])
+        return FigureResult(
+            name=data["name"],
+            title=data["title"],
+            fault_percents=tuple(data["fault_percents"]),
+            points=points,
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"not a figure export: {exc}") from exc
+
+
+def figure_to_csv(result: FigureResult) -> str:
+    """Serialise a figure sweep to CSV (one row per plotted point)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["figure", "variant", "fault_percent", "percent_correct",
+         "stddev", "samples", "fit_rate"]
+    )
+    for p in result.points:
+        writer.writerow(
+            [result.name, p.variant, p.fault_percent, f"{p.percent_correct:.4f}",
+             f"{p.stddev:.4f}", p.samples, f"{p.fit_rate:.6e}"]
+        )
+    return buffer.getvalue()
+
+
+def records_to_json(records: Sequence[Any], indent: int = 2) -> str:
+    """Serialise any sequence of result dataclasses to JSON.
+
+    Works for :class:`~repro.experiments.defect_yield.YieldPoint`,
+    :class:`~repro.experiments.scaling.DetectionPoint`, and friends.
+    """
+    rows: List[Dict[str, Any]] = []
+    for record in records:
+        if not is_dataclass(record):
+            raise TypeError(f"expected a dataclass record, got {type(record)}")
+        rows.append(asdict(record))
+    return json.dumps(rows, indent=indent, sort_keys=True)
+
+
+def records_to_csv(records: Sequence[Any]) -> str:
+    """Serialise a homogeneous sequence of result dataclasses to CSV."""
+    rows = []
+    for record in records:
+        if not is_dataclass(record):
+            raise TypeError(f"expected a dataclass record, got {type(record)}")
+        rows.append(asdict(record))
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0]))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()

@@ -1,0 +1,173 @@
+"""Figures 7, 8, 9: percent correct versus injected fault percentage.
+
+The paper's methodology (Section 4): eighteen injected fault percentages,
+each data point the average over five trials of each of two workloads
+(reverse video and hue shift, 64 eight-bit pixels), a fresh randomly
+generated fault mask per computation, the flipped-to-total site ratio held
+constant across ALU implementations.
+
+Figure 7 groups the four bit-level techniques with *no* module-level fault
+tolerance, Figure 8 with module-level *time* redundancy, Figure 9 with
+module-level *space* redundancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.alu.variants import build_alu
+from repro.experiments.report import format_series
+from repro.faults.campaign import FaultCampaign
+from repro.faults.fit import fit_for_fault_fraction
+from repro.faults.mask import ExactFractionMask
+from repro.faults.stats import SampleStats
+from repro.workloads.bitmap import Bitmap, gradient
+from repro.workloads.imaging import paper_workloads
+
+#: The eighteen injected fault percentages of Section 4.
+PAPER_FAULT_PERCENTAGES: Tuple[float, ...] = (
+    0, 0.05, 0.1, 0.5, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 20, 30, 50, 75,
+)
+
+#: ALUs per figure, in the paper's legend order.
+FIGURE_VARIANTS: Dict[str, Tuple[str, ...]] = {
+    "figure7": ("aluncmos", "alunh", "alunn", "aluns"),
+    "figure8": ("alutcmos", "aluth", "alutn", "aluts"),
+    "figure9": ("aluscmos", "alush", "alusn", "aluss"),
+}
+
+FIGURE_TITLES: Dict[str, str] = {
+    "figure7": "No Module-Level Fault Tolerance",
+    "figure8": "Time Redundancy Module-Level Fault Tolerance",
+    "figure9": "Space Redundancy Module-Level Fault Tolerance",
+}
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One plotted point: a variant at one injected fault percentage."""
+
+    variant: str
+    fault_percent: float
+    percent_correct: float
+    stddev: float
+    samples: int
+    fit_rate: float
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """All series of one figure."""
+
+    name: str
+    title: str
+    fault_percents: Tuple[float, ...]
+    points: Tuple[SeriesPoint, ...]
+
+    def series(self) -> Dict[str, List[float]]:
+        """Percent-correct series keyed by variant, in sweep order."""
+        out: Dict[str, List[float]] = {}
+        for point in self.points:
+            out.setdefault(point.variant, []).append(point.percent_correct)
+        return out
+
+    def point(self, variant: str, fault_percent: float) -> SeriesPoint:
+        """Look up a single plotted point."""
+        for p in self.points:
+            if p.variant == variant and p.fault_percent == fault_percent:
+                return p
+        raise KeyError(f"no point for {variant!r} at {fault_percent}%")
+
+    def max_stddev(self) -> float:
+        """Largest per-point standard deviation (paper: worst was 24.51)."""
+        return max(p.stddev for p in self.points)
+
+    def to_text(self) -> str:
+        """Render as the paper's figure, in fixed-width text."""
+        body = format_series(
+            "fault%", list(self.fault_percents), self.series()
+        )
+        return f"{self.title}\n{body}"
+
+
+def sweep_variant(
+    variant: str,
+    fault_percents: Sequence[float] = PAPER_FAULT_PERCENTAGES,
+    bitmap: Optional[Bitmap] = None,
+    trials_per_workload: int = 5,
+    seed: int = 2004,
+) -> List[SeriesPoint]:
+    """Sweep one ALU variant over the injected fault percentages."""
+    if trials_per_workload <= 0:
+        raise ValueError(
+            f"trials_per_workload must be positive, got {trials_per_workload}"
+        )
+    bmp = bitmap if bitmap is not None else gradient(8, 8)
+    workloads = paper_workloads(bmp)
+    alu = build_alu(variant)
+    points: List[SeriesPoint] = []
+    for percent in fault_percents:
+        fraction = percent / 100.0
+        campaign = FaultCampaign(alu, ExactFractionMask(fraction), seed=seed)
+        result = campaign.run_workload_suite(workloads, trials_per_workload)
+        stats: SampleStats = result.stats
+        points.append(
+            SeriesPoint(
+                variant=variant,
+                fault_percent=percent,
+                percent_correct=stats.mean,
+                stddev=stats.stddev,
+                samples=stats.n,
+                fit_rate=fit_for_fault_fraction(fraction, alu.site_count),
+            )
+        )
+    return points
+
+
+def run_figure(
+    name: str,
+    fault_percents: Sequence[float] = PAPER_FAULT_PERCENTAGES,
+    bitmap: Optional[Bitmap] = None,
+    trials_per_workload: int = 5,
+    seed: int = 2004,
+) -> FigureResult:
+    """Regenerate one of Figures 7, 8, 9 by name."""
+    try:
+        variants = FIGURE_VARIANTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {name!r}; have {sorted(FIGURE_VARIANTS)}"
+        ) from None
+    points: List[SeriesPoint] = []
+    for variant in variants:
+        points.extend(
+            sweep_variant(
+                variant,
+                fault_percents=fault_percents,
+                bitmap=bitmap,
+                trials_per_workload=trials_per_workload,
+                seed=seed,
+            )
+        )
+    return FigureResult(
+        name=name,
+        title=FIGURE_TITLES[name],
+        fault_percents=tuple(fault_percents),
+        points=tuple(points),
+    )
+
+
+def figure7(**kwargs) -> FigureResult:
+    """Figure 7: bit-level techniques, no module-level redundancy."""
+    return run_figure("figure7", **kwargs)
+
+
+def figure8(**kwargs) -> FigureResult:
+    """Figure 8: bit-level techniques under module-level time redundancy."""
+    return run_figure("figure8", **kwargs)
+
+
+def figure9(**kwargs) -> FigureResult:
+    """Figure 9: bit-level techniques under module-level space redundancy."""
+    return run_figure("figure9", **kwargs)

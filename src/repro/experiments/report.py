@@ -1,0 +1,66 @@
+"""Plain-text rendering of experiment output.
+
+The paper's tables and figure series are reproduced as fixed-width text so
+benchmark runs and EXPERIMENTS.md can show them without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render rows as a fixed-width ASCII table with a header rule."""
+    if not headers:
+        raise ValueError("format_table needs at least one column")
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+        cells.append([str(c) for c in row])
+    widths = [
+        max(len(cells[r][c]) for r in range(len(cells)))
+        for c in range(len(headers))
+    ]
+    lines = []
+    for r, row_cells in enumerate(cells):
+        line = "  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row_cells))
+        lines.append(line.rstrip())
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    y_format: str = "{:6.1f}",
+) -> str:
+    """Render figure series as one row per x value, one column per series.
+
+    This is the textual equivalent of the paper's Figures 7-9: injected
+    fault percentage down the side, one ALU per column.
+    """
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} points, "
+                f"expected {len(x_values)}"
+            )
+    headers = [x_label] + names
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [f"{x:g}"] + [y_format.format(series[name][i]) for name in names]
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_percent(value: float) -> str:
+    """Uniform percent formatting used across reports."""
+    return f"{value:.1f}"

@@ -1,0 +1,56 @@
+"""Transient-fault injection framework.
+
+Implements the paper's evaluation methodology (Section 4): every fault-prone
+storage bit or gate node in a design is a *site*; each computation draws a
+fresh random *fault mask* over those sites ("after each ALU computation, we
+generate a new fault mask, thereby modeling uniformly distributed random
+transient device faults"); the injected-fault *percentage* is the ratio of
+flipped sites to total sites, held constant across ALU implementations.
+
+Also provides the FIT-rate arithmetic the paper uses to translate fault
+percentages into failures-in-time (one computation per 0.5 ns).
+"""
+
+from repro.faults.sites import Segment, SiteSpace
+from repro.faults.defects import DefectMap, DefectiveUnit, sample_defect_map
+from repro.faults.mask import (
+    BernoulliMask,
+    BurstMask,
+    ExactFractionMask,
+    FixedCountMask,
+    MaskPolicy,
+)
+from repro.faults.fit import (
+    CLOCK_HZ,
+    CMOS_REFERENCE_FIT,
+    SECONDS_PER_CYCLE,
+    faults_per_cycle_for_fit,
+    fit_for_fault_fraction,
+    fit_for_faults_per_cycle,
+)
+from repro.faults.campaign import CampaignResult, FaultCampaign, TrialResult
+from repro.faults.stats import SampleStats, summarize
+
+__all__ = [
+    "BernoulliMask",
+    "BurstMask",
+    "CLOCK_HZ",
+    "CMOS_REFERENCE_FIT",
+    "CampaignResult",
+    "DefectMap",
+    "DefectiveUnit",
+    "ExactFractionMask",
+    "FaultCampaign",
+    "FixedCountMask",
+    "MaskPolicy",
+    "SECONDS_PER_CYCLE",
+    "SampleStats",
+    "Segment",
+    "SiteSpace",
+    "TrialResult",
+    "faults_per_cycle_for_fit",
+    "fit_for_fault_fraction",
+    "fit_for_faults_per_cycle",
+    "sample_defect_map",
+    "summarize",
+]

@@ -1,0 +1,61 @@
+"""FIT-rate (failures in time) arithmetic.
+
+Paper Section 4: "FIT rates are then determined by computing the ratio of
+the number of injected errors per 0.5 nanoseconds" at a 2 GHz clock (from
+the device-level simulations of [16]).  One FIT is one device upset per 1e9
+hours.  Worked example from the paper: ``aluss`` has 5040 sites; 1 % of them
+is ~50 faults per cycle, i.e. 3.6e14 errors/hour, i.e. a raw FIT rate of
+3.6e23.
+"""
+
+from __future__ import annotations
+
+#: NanoBox clock rate determined by device-level simulation in [16].
+CLOCK_HZ = 2.0e9
+
+#: One ALU computation per clock: 0.5 ns.
+SECONDS_PER_CYCLE = 1.0 / CLOCK_HZ
+
+#: Hours expressed in FIT's denominator (1 FIT = 1 upset / 1e9 hours).
+_FIT_HOURS = 1.0e9
+
+#: Contemporary CMOS failure rate cited by the paper ([2]): ~50,000 FITs,
+#: i.e. roughly one error every two years.
+CMOS_REFERENCE_FIT = 5.0e4
+
+_SECONDS_PER_HOUR = 3600.0
+
+
+def fit_for_faults_per_cycle(faults_per_cycle: float) -> float:
+    """Convert a per-cycle injected-fault count to a raw FIT rate.
+
+    >>> round(fit_for_faults_per_cycle(50.0) / 1e23, 2)
+    3.6
+    """
+    if faults_per_cycle < 0:
+        raise ValueError(
+            f"faults_per_cycle must be non-negative, got {faults_per_cycle}"
+        )
+    errors_per_hour = faults_per_cycle * (_SECONDS_PER_HOUR / SECONDS_PER_CYCLE)
+    return errors_per_hour * _FIT_HOURS
+
+
+def fit_for_fault_fraction(fraction: float, n_sites: int) -> float:
+    """FIT rate for flipping ``fraction`` of ``n_sites`` sites each cycle.
+
+    This is the x-axis translation used when the paper states that 3 %
+    injected errors on ``aluss`` corresponds to a FIT rate of 1e24.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be within [0, 1], got {fraction}")
+    if n_sites < 0:
+        raise ValueError(f"n_sites must be non-negative, got {n_sites}")
+    return fit_for_faults_per_cycle(fraction * n_sites)
+
+
+def faults_per_cycle_for_fit(fit: float) -> float:
+    """Inverse of :func:`fit_for_faults_per_cycle`."""
+    if fit < 0:
+        raise ValueError(f"fit must be non-negative, got {fit}")
+    errors_per_hour = fit / _FIT_HOURS
+    return errors_per_hour * (SECONDS_PER_CYCLE / _SECONDS_PER_HOUR)

@@ -1,0 +1,204 @@
+"""Fault-mask generation policies.
+
+The paper "force[s] a given fraction of the fault injection points to flip
+their states" per computation, with the flipped-to-total ratio held constant
+across ALU implementations.  :class:`ExactFractionMask` implements that
+semantics (with stochastic rounding of the fractional site, so very small
+designs at very small percentages still see the right *expected* count);
+:class:`BernoulliMask` flips each site independently, which is analytically
+convenient and used by the cross-validation property tests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+def _pack_sites(flags: np.ndarray) -> int:
+    """Pack a uint8 0/1 site vector into a little-endian mask integer."""
+    if flags.size == 0:
+        return 0
+    packed = np.packbits(flags, bitorder="little")
+    return int.from_bytes(packed.tobytes(), "little")
+
+
+class MaskPolicy(ABC):
+    """Strategy for drawing one fault mask over ``n_sites`` sites."""
+
+    @abstractmethod
+    def generate(self, n_sites: int, rng: np.random.Generator) -> int:
+        """Draw a fresh fault mask (integer, one bit per site)."""
+
+    @abstractmethod
+    def expected_faults(self, n_sites: int) -> float:
+        """Expected number of flipped sites per draw."""
+
+
+class ExactFractionMask(MaskPolicy):
+    """Flip ``round(fraction * n_sites)`` distinct sites, chosen uniformly.
+
+    The fractional remainder is resolved stochastically: a fraction of
+    0.5 % over 192 sites flips one site with probability 0.96, zero sites
+    otherwise, keeping the expected ratio exact.  This is the paper's
+    default injection semantics.
+    """
+
+    def __init__(self, fraction: float) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be within [0, 1], got {fraction}")
+        self._fraction = fraction
+
+    @property
+    def fraction(self) -> float:
+        """Fraction of sites flipped per computation."""
+        return self._fraction
+
+    def expected_faults(self, n_sites: int) -> float:
+        return self._fraction * n_sites
+
+    def generate(self, n_sites: int, rng: np.random.Generator) -> int:
+        if n_sites < 0:
+            raise ValueError(f"n_sites must be non-negative, got {n_sites}")
+        exact = self._fraction * n_sites
+        count = int(exact)
+        remainder = exact - count
+        if remainder > 0.0 and rng.random() < remainder:
+            count += 1
+        if count == 0:
+            return 0
+        flags = np.zeros(n_sites, dtype=np.uint8)
+        flags[rng.choice(n_sites, size=count, replace=False)] = 1
+        return _pack_sites(flags)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExactFractionMask({self._fraction!r})"
+
+
+class BernoulliMask(MaskPolicy):
+    """Flip each site independently with probability ``p``.
+
+    Matches the closed-form models in :mod:`repro.analysis`, which assume
+    independent per-bit flips.
+    """
+
+    def __init__(self, probability: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(
+                f"probability must be within [0, 1], got {probability}"
+            )
+        self._probability = probability
+
+    @property
+    def probability(self) -> float:
+        """Per-site flip probability."""
+        return self._probability
+
+    def expected_faults(self, n_sites: int) -> float:
+        return self._probability * n_sites
+
+    def generate(self, n_sites: int, rng: np.random.Generator) -> int:
+        if n_sites < 0:
+            raise ValueError(f"n_sites must be non-negative, got {n_sites}")
+        if n_sites == 0 or self._probability == 0.0:
+            return 0
+        flags = (rng.random(n_sites) < self._probability).astype(np.uint8)
+        return _pack_sites(flags)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BernoulliMask({self._probability!r})"
+
+
+class BurstMask(MaskPolicy):
+    """Spatially-correlated faults: clusters of adjacent flipped sites.
+
+    The paper models uniformly distributed transients, but physical
+    upsets in dense nanodevice arrays cluster -- one particle strike or
+    one fabrication blemish takes out a *run* of neighbouring cells.
+    ``BurstMask`` flips the same expected number of sites as
+    :class:`ExactFractionMask` at the same fraction, but groups them
+    into bursts of ``burst_length`` consecutive sites, so layout
+    decisions (e.g. whether a TMR string's copies are blocked or
+    interleaved) become visible.
+    """
+
+    def __init__(self, fraction: float, burst_length: int = 4) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be within [0, 1], got {fraction}")
+        if burst_length <= 0:
+            raise ValueError(
+                f"burst_length must be positive, got {burst_length}"
+            )
+        self._fraction = fraction
+        self._burst_length = burst_length
+
+    @property
+    def fraction(self) -> float:
+        """Expected fraction of sites flipped per computation."""
+        return self._fraction
+
+    @property
+    def burst_length(self) -> int:
+        """Sites per burst."""
+        return self._burst_length
+
+    def expected_faults(self, n_sites: int) -> float:
+        return self._fraction * n_sites
+
+    def generate(self, n_sites: int, rng: np.random.Generator) -> int:
+        if n_sites < 0:
+            raise ValueError(f"n_sites must be non-negative, got {n_sites}")
+        if n_sites == 0 or self._fraction == 0.0:
+            return 0
+        exact_bursts = self._fraction * n_sites / self._burst_length
+        count = int(exact_bursts)
+        remainder = exact_bursts - count
+        if remainder > 0.0 and rng.random() < remainder:
+            count += 1
+        if count == 0:
+            return 0
+        flags = np.zeros(n_sites, dtype=np.uint8)
+        starts = rng.integers(0, n_sites, size=count)
+        for start in starts:
+            end = min(int(start) + self._burst_length, n_sites)
+            flags[int(start):end] = 1
+        return _pack_sites(flags)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BurstMask({self._fraction!r}, burst_length={self._burst_length})"
+
+
+class FixedCountMask(MaskPolicy):
+    """Flip exactly ``count`` distinct sites per draw.
+
+    Used by targeted experiments ("what does one fault in the voter do?")
+    rather than the percentage sweeps.
+    """
+
+    def __init__(self, count: int) -> None:
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self._count = count
+
+    @property
+    def count(self) -> int:
+        """Number of sites flipped per draw."""
+        return self._count
+
+    def expected_faults(self, n_sites: int) -> float:
+        return float(min(self._count, n_sites))
+
+    def generate(self, n_sites: int, rng: np.random.Generator) -> int:
+        if self._count > n_sites:
+            raise ValueError(
+                f"cannot flip {self._count} of only {n_sites} sites"
+            )
+        if self._count == 0:
+            return 0
+        flags = np.zeros(n_sites, dtype=np.uint8)
+        flags[rng.choice(n_sites, size=self._count, replace=False)] = 1
+        return _pack_sites(flags)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FixedCountMask({self._count!r})"

@@ -1,0 +1,287 @@
+"""The conventional CMOS control processor (paper Section 3).
+
+"The control microprocessor packages data into a form the NanoBox
+Processor Grid understands, stores that data in its CMOS memory, then
+feeds the data to the NanoBox Processor Grid by a bus along one edge of
+the grid" -- and, because packets carry unique instruction IDs, it can
+reassemble results arriving in any order (Section 3.2.3).
+
+The retry protocol implemented here answers the paper's future-work
+question of "how the control microprocessor should reroute data assigned
+to a failed processor cell": after shift-out, any instruction whose result
+never arrived is resubmitted to the still-reachable cells.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cell.cell import CellMode
+from repro.grid.grid import Coord, NanoBoxGrid
+from repro.grid.packet import InstructionPacket
+from repro.grid.watchdog import Watchdog
+
+#: One job instruction: (instruction_id, opcode, operand1, operand2).
+JobInstruction = Tuple[int, int, int, int]
+
+
+@dataclass
+class PhaseStats:
+    """Cycle accounting for one mode phase of one round."""
+
+    shift_in: int = 0
+    compute: int = 0
+    shift_out: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.shift_in + self.compute + self.shift_out
+
+
+@dataclass
+class JobResult:
+    """Everything the control processor knows after a job completes."""
+
+    results: Dict[int, int]
+    submitted: int
+    rounds: int
+    cycles: PhaseStats
+    unassigned: List[int] = field(default_factory=list)
+    missing: List[int] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when every submitted instruction produced a result."""
+        return len(self.results) == self.submitted
+
+    def accuracy_against(self, expected: Dict[int, int]) -> float:
+        """Fraction of expected results that arrived *and* are correct."""
+        if not expected:
+            return 1.0
+        good = sum(
+            1 for iid, value in expected.items() if self.results.get(iid) == value
+        )
+        return good / len(expected)
+
+
+class JobTimeout(RuntimeError):
+    """A phase exceeded its cycle budget."""
+
+
+class ControlProcessor:
+    """Drives the grid through shift-in / compute / shift-out rounds.
+
+    Args:
+        grid: the NanoBox fabric.
+        watchdog: optional heartbeat monitor polled every cycle.
+        tick_hooks: callables invoked every cycle *before* the fabric
+            steps -- the simulator uses these for scheduled cell kills and
+            memory upsets.
+        max_phase_cycles: per-phase safety budget.
+    """
+
+    def __init__(
+        self,
+        grid: NanoBoxGrid,
+        watchdog: Optional[Watchdog] = None,
+        tick_hooks: Sequence[Callable[[], None]] = (),
+        max_phase_cycles: int = 100_000,
+    ) -> None:
+        self._grid = grid
+        self._watchdog = watchdog
+        self._hooks = tuple(tick_hooks)
+        self._max_phase_cycles = max_phase_cycles
+
+    @property
+    def grid(self) -> NanoBoxGrid:
+        return self._grid
+
+    # ----------------------------------------------------------- low level
+
+    def _tick(self) -> None:
+        for hook in self._hooks:
+            hook()
+        self._grid.step()
+        if self._watchdog is not None:
+            self._watchdog.poll()
+
+    # ----------------------------------------------------------- assignment
+
+    def assign(
+        self, instructions: Sequence[JobInstruction]
+    ) -> Tuple[Dict[int, Coord], List[int]]:
+        """Spread instructions round-robin over reachable cells.
+
+        Respects each cell's free memory capacity.  Returns the placement
+        map and the IDs that could not be placed (no capacity anywhere).
+        """
+        targets = [
+            coord
+            for coord in sorted(self._grid.alive_cells())
+            if self._grid.reachable(*coord)
+        ]
+        capacity = {
+            coord: self._grid.cell(*coord).memory.n_words
+            - self._grid.cell(*coord).memory.occupancy()
+            for coord in targets
+        }
+        placement: Dict[int, Coord] = {}
+        unassigned: List[int] = []
+        index = 0
+        for iid, _op, _a, _b in instructions:
+            placed = False
+            for _ in range(len(targets)):
+                coord = targets[index % len(targets)] if targets else None
+                index += 1
+                if coord is None:
+                    break
+                if capacity[coord] > 0:
+                    capacity[coord] -= 1
+                    placement[iid] = coord
+                    placed = True
+                    break
+            if not placed:
+                unassigned.append(iid)
+        return placement, unassigned
+
+    # -------------------------------------------------------------- phases
+
+    def _run_shift_in(
+        self,
+        instructions: Sequence[JobInstruction],
+        placement: Dict[int, Coord],
+    ) -> int:
+        self._grid.set_mode(CellMode.SHIFT_IN)
+        queues: Dict[int, deque] = {}
+        for iid, op, a, b in instructions:
+            if iid not in placement:
+                continue
+            row, col = placement[iid]
+            packet = InstructionPacket(
+                dest_row=row,
+                dest_col=col,
+                instruction_id=iid,
+                opcode=op,
+                operand1=a,
+                operand2=b,
+            )
+            injection = self._grid.injection_column(col)
+            if injection is None:
+                continue  # no alive top-row entry: unrecoverable this round
+            queues.setdefault(injection, deque()).append(packet)
+
+        cycles = 0
+        while True:
+            for col, queue in queues.items():
+                if queue and not self._grid.cp_bus_busy(col):
+                    if self._grid.cp_send(queue[0]):
+                        queue.popleft()
+            self._tick()
+            cycles += 1
+            if cycles > self._max_phase_cycles:
+                raise JobTimeout(f"shift-in exceeded {self._max_phase_cycles} cycles")
+            if all(not q for q in queues.values()) and self._grid.idle():
+                return cycles
+
+    def _run_compute(self) -> int:
+        self._grid.set_mode(CellMode.COMPUTE)
+        cycles = 0
+        idle_margin = 0
+        while True:
+            self._tick()
+            cycles += 1
+            if cycles > self._max_phase_cycles:
+                raise JobTimeout(f"compute exceeded {self._max_phase_cycles} cycles")
+            if self._grid.total_pending_instructions() == 0:
+                # One extra memory sweep of margin, mirroring the paper's
+                # "control processor then waits for a specified number of
+                # cycles" discipline.
+                idle_margin += 1
+                if idle_margin >= 2:
+                    return cycles
+            else:
+                idle_margin = 0
+
+    def _run_shift_out(self, expected_count: int) -> int:
+        self._grid.set_mode(CellMode.SHIFT_OUT)
+        cycles = 0
+        idle_streak = 0
+        while True:
+            self._tick()
+            cycles += 1
+            if cycles > self._max_phase_cycles:
+                raise JobTimeout(f"shift-out exceeded {self._max_phase_cycles} cycles")
+            if len(self._grid.cp_inbox) >= expected_count:
+                return cycles
+            # An idle fabric can only restart if a cell pops a completed
+            # word on the very next cycle; three idle cycles in a row
+            # means every reachable result has drained.  (Words that
+            # memory upsets mark "completed" *behind* a cell's shift-out
+            # pointer are unreachable until the next round, so waiting on
+            # a zero completed-count would hang.)
+            if self._grid.idle():
+                idle_streak += 1
+                if idle_streak >= 3:
+                    return cycles
+            else:
+                idle_streak = 0
+
+    # ----------------------------------------------------------------- jobs
+
+    def run_job(
+        self,
+        instructions: Sequence[JobInstruction],
+        max_rounds: int = 3,
+    ) -> JobResult:
+        """Execute a job, retrying missing instructions on later rounds.
+
+        Args:
+            instructions: ``(instruction_id, opcode, operand1, operand2)``
+                tuples with unique IDs.
+            max_rounds: total submission rounds (1 = no retries).
+        """
+        ids = [iid for iid, *_ in instructions]
+        if len(set(ids)) != len(ids):
+            raise ValueError("instruction IDs must be unique within a job")
+
+        stats = PhaseStats()
+        results: Dict[int, int] = {}
+        remaining: List[JobInstruction] = list(instructions)
+        unassigned_final: List[int] = []
+        rounds = 0
+
+        while remaining and rounds < max_rounds:
+            rounds += 1
+            placement, unassigned = self._run_round(remaining, stats, results)
+            unassigned_final = unassigned
+            remaining = [
+                instr for instr in remaining if instr[0] not in results
+            ]
+
+        return JobResult(
+            results=results,
+            submitted=len(instructions),
+            rounds=rounds,
+            cycles=stats,
+            unassigned=unassigned_final,
+            missing=sorted(
+                iid for iid, *_ in instructions if iid not in results
+            ),
+        )
+
+    def _run_round(
+        self,
+        instructions: Sequence[JobInstruction],
+        stats: PhaseStats,
+        results: Dict[int, int],
+    ) -> Tuple[Dict[int, Coord], List[int]]:
+        placement, unassigned = self.assign(instructions)
+        stats.shift_in += self._run_shift_in(instructions, placement)
+        stats.compute += self._run_compute()
+        stats.shift_out += self._run_shift_out(expected_count=len(placement))
+        while self._grid.cp_inbox:
+            packet = self._grid.cp_inbox.popleft()
+            results[packet.instruction_id] = packet.result
+        return placement, unassigned

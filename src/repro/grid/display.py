@@ -1,0 +1,85 @@
+"""ASCII rendering of grid state.
+
+One glyph block per cell, drawn in paper orientation (control processor
+and highest row address at the top, highest column address at the left),
+showing liveness, memory occupancy, and error pressure at a glance.
+Used by the CLI's ``grid --show-grid`` and the failover example.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.grid.grid import NanoBoxGrid
+
+
+def _cell_glyph(cell) -> str:
+    """Four-character summary of one cell: ``Roo!`` style.
+
+    * first char: ``#`` alive / ``X`` dead;
+    * next two: memory occupancy (hex, capped at 0xFF);
+    * last: error pressure -- ``.`` none, digits up to 9, ``!`` over 9.
+    """
+    state = "#" if cell.alive else "X"
+    occupancy = min(cell.memory.occupancy(), 0xFF)
+    errors = cell.heartbeat.error_count
+    if errors == 0:
+        pressure = "."
+    elif errors <= 9:
+        pressure = str(errors)
+    else:
+        pressure = "!"
+    return f"{state}{occupancy:02d}{pressure}"
+
+
+def render_grid(grid: NanoBoxGrid) -> str:
+    """Render the fabric as rows of cell glyphs plus a legend.
+
+    >>> from repro.grid.grid import NanoBoxGrid
+    >>> print(render_grid(NanoBoxGrid(1, 2)))  # doctest: +SKIP
+    """
+    lines: List[str] = []
+    width = grid.cols * 5 + 1
+    lines.append(" CP ".center(width, "="))
+    for row in reversed(range(grid.rows)):
+        glyphs = []
+        for col in reversed(range(grid.cols)):
+            glyphs.append(_cell_glyph(grid.cell(row, col)))
+        lines.append(" " + " ".join(glyphs))
+    lines.append("-" * width)
+    alive = len(grid.alive_cells())
+    lines.append(
+        f" {alive}/{grid.rows * grid.cols} alive | cycle {grid.cycle} | "
+        f"mode {grid.mode.value}"
+    )
+    lines.append(
+        " legend: '#nn?' = alive, nn words used, ? = error pressure "
+        "(. none, 1-9, ! >9); 'Xnn?' = disabled"
+    )
+    return "\n".join(lines)
+
+
+def render_reachability(grid: NanoBoxGrid) -> str:
+    """Render which cells the control processor can still reach.
+
+    ``O`` reachable, ``x`` alive-but-stranded, ``.`` dead -- the map that
+    makes the deterministic-vs-adaptive routing difference visible.
+    """
+    lines: List[str] = []
+    lines.append("=CP" + "=" * (2 * grid.cols - 2))
+    for row in reversed(range(grid.rows)):
+        glyphs = []
+        for col in reversed(range(grid.cols)):
+            cell = grid.cell(row, col)
+            if not cell.alive:
+                glyphs.append(".")
+            elif grid.reachable(row, col):
+                glyphs.append("O")
+            else:
+                glyphs.append("x")
+        lines.append(" " + " ".join(glyphs))
+    lines.append(
+        " O reachable   x stranded   . dead   "
+        f"(adaptive routing: {'on' if grid.adaptive_routing else 'off'})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,575 @@
+"""The two-dimensional NanoBox Processor Grid fabric.
+
+Coordinates follow the paper (Figure 2): row addresses *decrease* moving
+down away from the control processor, so the top row -- the only row wired
+to the control processor, via one 8-bit edge bus per column -- is row
+``rows - 1``; column addresses *decrease* moving right, so the leftmost
+column is ``cols - 1``.  There are no cross-grid buses: every packet moves
+hop by hop over the four nearest-neighbour links of each cell.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple
+
+from repro.alu.base import FaultableUnit
+from repro.alu.nanobox import NanoBoxALU
+from repro.cell.aluctrl import MaskSource, _no_faults
+from repro.cell.cell import CellFullError, CellMode, ProcessorCell
+from repro.cell.router import Direction, route_packet
+from repro.grid.bus import Bus
+from repro.grid.packet import InstructionPacket, Packet, ResultPacket
+from repro.grid.routing import (
+    Envelope,
+    choose_direction,
+    default_hop_budget,
+    instruction_candidates,
+    result_candidates,
+)
+
+#: Coordinate pair (row, col) in paper coordinates.
+Coord = Tuple[int, int]
+
+#: Sentinel endpoint for control-processor edge buses.
+CONTROL_PROCESSOR = ("CP", "CP")
+
+
+def _default_alu_factory() -> FaultableUnit:
+    """Paper's best cell configuration: triplicated-string LUT ALU."""
+    return NanoBoxALU(scheme="tmr")
+
+
+@dataclass(frozen=True)
+class BusStatistics:
+    """Aggregate fabric-link counters (see ``NanoBoxGrid.bus_statistics``)."""
+
+    delivered: int
+    mesh_utilisation: float
+    edge_utilisation: float
+    peak_utilisation: float
+    busiest_link: str
+
+
+class NanoBoxGrid:
+    """Grid of processor cells, buses, and the control-processor edge bus.
+
+    Args:
+        rows: grid height (cells per column).
+        cols: grid width (cells per row); the paper envisions "on the
+            order of hundreds of processor cells".
+        alu_factory: builds each cell's ALU core.
+        mask_source_factory: given a cell coordinate, returns that cell's
+            per-execution fault-mask supplier (default: fault-free).
+        n_words: memory words per cell (paper: 32).
+        error_threshold: heartbeat error budget per cell.
+        adaptive_routing: when True, packets detour around dead cells
+            (the future-work rerouting protocol; see
+            :mod:`repro.grid.routing`); when False, the paper's
+            deterministic five-case rule is used and anything aimed
+            through a dead cell is dropped.
+        lut_router_scheme: when set (e.g. ``"tmr"`` or ``"none"``), each
+            cell's routing decision runs through a fault-prone
+            :class:`~repro.cell.lutrouter.LUTRouter` built with that
+            coding scheme instead of the ideal architectural rule --
+            paper §7's router-in-LUTs future work, live in the fabric.
+        router_mask_source_factory: per-cell fault-mask supplier for the
+            LUT routers (one draw per routing decision).
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        alu_factory: Callable[[], FaultableUnit] = _default_alu_factory,
+        mask_source_factory: Optional[Callable[[Coord], MaskSource]] = None,
+        n_words: int = 32,
+        error_threshold: int = 8,
+        adaptive_routing: bool = False,
+        lut_router_scheme: Optional[str] = None,
+        router_mask_source_factory: Optional[Callable[[Coord], MaskSource]] = None,
+    ) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError(f"grid must be at least 1x1, got {rows}x{cols}")
+        if lut_router_scheme is not None and (rows > 16 or cols > 16):
+            raise ValueError(
+                "LUT routers use 4-bit address nibbles: grid dimensions "
+                f"must be <= 16, got {rows}x{cols}"
+            )
+        self.rows = rows
+        self.cols = cols
+        self.adaptive_routing = adaptive_routing
+        self._hop_budget = default_hop_budget(rows, cols)
+        self._lut_routers: Dict[Coord, object] = {}
+        self._router_mask_sources: Dict[Coord, MaskSource] = {}
+        self.misroutes = 0
+        self.invalid_routes = 0
+        if lut_router_scheme is not None:
+            from repro.cell.lutrouter import LUTRouter
+
+            for r in range(rows):
+                for c in range(cols):
+                    self._lut_routers[(r, c)] = LUTRouter(lut_router_scheme)
+                    self._router_mask_sources[(r, c)] = (
+                        router_mask_source_factory((r, c))
+                        if router_mask_source_factory
+                        else _no_faults
+                    )
+        self._cells: Dict[Coord, ProcessorCell] = {}
+        for r in range(rows):
+            for c in range(cols):
+                source = (
+                    mask_source_factory((r, c)) if mask_source_factory else _no_faults
+                )
+                self._cells[(r, c)] = ProcessorCell(
+                    r,
+                    c,
+                    alu_factory(),
+                    mask_source=source,
+                    n_words=n_words,
+                    error_threshold=error_threshold,
+                )
+
+        # Directed buses between neighbours plus per-column edge buses.
+        self._buses: Dict[Tuple[Coord, Coord], Bus] = {}
+        for r in range(rows):
+            for c in range(cols):
+                for direction in (Direction.UP, Direction.DOWN,
+                                  Direction.LEFT, Direction.RIGHT):
+                    nr, nc = direction.step(r, c)
+                    if 0 <= nr < rows and 0 <= nc < cols:
+                        key = ((r, c), (nr, nc))
+                        if key not in self._buses:
+                            self._buses[key] = Bus(f"{(r, c)}->{(nr, nc)}")
+        top = rows - 1
+        for c in range(cols):
+            self._buses[(CONTROL_PROCESSOR, (top, c))] = Bus(f"CP->{(top, c)}")
+            self._buses[((top, c), CONTROL_PROCESSOR)] = Bus(f"{(top, c)}->CP")
+
+        # Per-cell per-direction outbound queues of in-flight envelopes;
+        # forwarded traffic is queued ahead of locally generated traffic
+        # (paper Section 3.2.3).
+        self._outboxes: Dict[Coord, Dict[Direction, Deque[Envelope]]] = {
+            coord: {
+                d: deque()
+                for d in (Direction.UP, Direction.DOWN,
+                          Direction.LEFT, Direction.RIGHT)
+            }
+            for coord in self._cells
+        }
+        self._inboxes: Dict[Coord, Deque[Envelope]] = {
+            coord: deque() for coord in self._cells
+        }
+        self.cp_inbox: Deque[ResultPacket] = deque()
+        self.dropped_packets: List[Packet] = []
+        self._mode = CellMode.SHIFT_IN
+        self._cycle = 0
+
+    # ------------------------------------------------------------- topology
+
+    @property
+    def top_row(self) -> int:
+        """Row address of the row wired to the control processor."""
+        return self.rows - 1
+
+    def cell(self, row: int, col: int) -> ProcessorCell:
+        try:
+            return self._cells[(row, col)]
+        except KeyError:
+            raise IndexError(
+                f"no cell at ({row}, {col}) in a {self.rows}x{self.cols} grid"
+            ) from None
+
+    def cells(self) -> Iterator[ProcessorCell]:
+        """All cells, row-major."""
+        return iter(self._cells.values())
+
+    def alive_cells(self) -> List[Coord]:
+        """Coordinates of all cells whose heartbeat is healthy."""
+        return [coord for coord, cell in self._cells.items() if cell.alive]
+
+    def neighbours(self, row: int, col: int) -> Dict[Direction, Coord]:
+        """In-grid neighbours of a cell, keyed by outgoing direction."""
+        result: Dict[Direction, Coord] = {}
+        for direction in (Direction.UP, Direction.DOWN,
+                          Direction.LEFT, Direction.RIGHT):
+            nr, nc = direction.step(row, col)
+            if 0 <= nr < self.rows and 0 <= nc < self.cols:
+                result[direction] = (nr, nc)
+        return result
+
+    def reachable(self, row: int, col: int) -> bool:
+        """True when the control processor can exchange packets with a cell.
+
+        Under the paper's deterministic rule, the route runs straight
+        down the destination column from the edge bus (and straight back
+        up for results), so a cell is reachable iff it and every cell
+        above it in its column are alive.  With adaptive routing a cell
+        is reachable iff some path of alive cells connects it to an alive
+        top-row cell.
+        """
+        if not self.cell(row, col).alive:
+            return False
+        if not self.adaptive_routing:
+            return all(
+                self._cells[(r, col)].alive for r in range(row + 1, self.rows)
+            )
+        # BFS over alive cells from every alive top-row entry point.
+        frontier = [
+            (self.top_row, c)
+            for c in range(self.cols)
+            if self._cells[(self.top_row, c)].alive
+        ]
+        seen = set(frontier)
+        while frontier:
+            current = frontier.pop()
+            if current == (row, col):
+                return True
+            for neighbour in self.neighbours(*current).values():
+                if neighbour not in seen and self._cells[neighbour].alive:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return (row, col) in seen
+
+    # ----------------------------------------------------------------- mode
+
+    @property
+    def mode(self) -> CellMode:
+        return self._mode
+
+    @property
+    def cycle(self) -> int:
+        """Cycles simulated so far."""
+        return self._cycle
+
+    def set_mode(self, mode: CellMode) -> None:
+        """Broadcast a mode switch to every cell (control-processor lines)."""
+        self._mode = mode
+        for cell in self._cells.values():
+            cell.set_mode(mode)
+
+    # ----------------------------------------------------------- CP traffic
+
+    def injection_column(self, dest_col: int) -> Optional[int]:
+        """Edge-bus column the CP should inject on for a destination.
+
+        The deterministic fabric always injects on the destination
+        column; the adaptive fabric injects on the nearest *alive*
+        top-row cell's column (ties broken toward lower columns).
+        Returns ``None`` when no top-row cell is alive.
+        """
+        if not 0 <= dest_col < self.cols:
+            raise ValueError(f"destination column {dest_col} out of range")
+        if not self.adaptive_routing:
+            return dest_col
+        alive = [
+            c for c in range(self.cols)
+            if self._cells[(self.top_row, c)].alive
+        ]
+        if not alive:
+            return None
+        return min(alive, key=lambda c: (abs(c - dest_col), c))
+
+    def cp_send(self, packet: InstructionPacket) -> bool:
+        """Control processor pushes a packet onto an edge bus.
+
+        Returns False when the selected bus is still busy.
+
+        Raises:
+            RuntimeError: with adaptive routing when no alive top-row
+                cell remains to inject through.
+        """
+        column = self.injection_column(packet.dest_col)
+        if column is None:
+            raise RuntimeError("no alive top-row cell to inject through")
+        top_cell = (self.top_row, column)
+        return self._buses[(CONTROL_PROCESSOR, top_cell)].try_send(
+            Envelope(packet)
+        )
+
+    def cp_bus_busy(self, col: int) -> bool:
+        """True while column ``col``'s downstream edge bus is occupied."""
+        return self._buses[(CONTROL_PROCESSOR, (self.top_row, col))].busy
+
+    # ------------------------------------------------------------- failures
+
+    def kill_cell(self, row: int, col: int) -> None:
+        """Hard-fail a cell (heartbeat silenced immediately)."""
+        self.cell(row, col).heartbeat.silence()
+
+    # ----------------------------------------------------------- simulation
+
+    def step(self) -> None:
+        """Advance the whole fabric one clock cycle."""
+        self._cycle += 1
+        self._tick_buses()
+        self._route_inboxes()
+        self._cell_actions()
+        self._drain_outboxes()
+
+    def _tick_buses(self) -> None:
+        for (_, dst), bus in self._buses.items():
+            delivered = bus.tick()
+            if delivered is None:
+                continue
+            if dst == CONTROL_PROCESSOR:
+                if isinstance(delivered.packet, ResultPacket):
+                    self.cp_inbox.append(delivered.packet)
+                else:  # pragma: no cover - cells never send instructions up
+                    self.dropped_packets.append(delivered.packet)
+            elif self._cells[dst].alive:
+                self._inboxes[dst].append(delivered)
+            else:
+                # The fabric around a disabled cell ceases delivering to it.
+                self.dropped_packets.append(delivered.packet)
+
+    def _neighbour_alive_test(self, coord: Coord, allow_cp: bool):
+        """Predicate: is the neighbour through a direction a live exit?
+
+        The control processor is a valid exit only for result packets
+        (``allow_cp``); instructions must stay inside the grid.
+        """
+
+        def alive(direction: Direction) -> bool:
+            target = self._bus_target(coord, direction)
+            if target is None:
+                return False
+            if target == CONTROL_PROCESSOR:
+                return allow_cp
+            return self._cells[target].alive
+
+        return alive
+
+    def _route_one(self, coord: Coord, envelope: Envelope) -> None:
+        """Decide one envelope's fate at one cell."""
+        cell = self._cells[coord]
+        packet = envelope.packet
+        if envelope.hops > self._hop_budget:
+            self.dropped_packets.append(packet)
+            return
+
+        if isinstance(packet, ResultPacket):
+            if not self.adaptive_routing:
+                # Results always flow toward the control processor;
+                # through-traffic goes to the head of the queue.
+                self._outboxes[coord][Direction.UP].appendleft(
+                    envelope.forwarded(coord)
+                )
+                return
+            direction = choose_direction(
+                result_candidates(cell.row, cell.col, self.top_row),
+                coord,
+                envelope.prev,
+                self._neighbour_alive_test(coord, allow_cp=True),
+            )
+            if direction is None:
+                self.dropped_packets.append(packet)
+            else:
+                self._outboxes[coord][direction].appendleft(
+                    envelope.forwarded(coord)
+                )
+            return
+
+        if self._lut_routers:
+            # Paper §7: the routing decision itself runs through
+            # fault-prone lookup tables.
+            router = self._lut_routers[coord]
+            direction, valid = router.route(
+                packet.dest_row,
+                packet.dest_col,
+                cell.row,
+                cell.col,
+                fault_mask=self._router_mask_sources[coord](),
+            )
+            if not valid:
+                self.invalid_routes += 1
+                self.dropped_packets.append(packet)
+                return
+            ideal = route_packet(
+                packet.dest_row, packet.dest_col, cell.row, cell.col
+            ).direction
+            if direction is not ideal:
+                self.misroutes += 1
+            if direction is Direction.HERE:
+                try:
+                    cell.store_instruction(
+                        packet.instruction_id,
+                        packet.opcode,
+                        packet.operand1,
+                        packet.operand2,
+                    )
+                except CellFullError:
+                    self.dropped_packets.append(packet)
+                return
+            self._outboxes[coord][direction].append(envelope.forwarded(coord))
+            return
+
+        decision = route_packet(
+            packet.dest_row, packet.dest_col, cell.row, cell.col
+        )
+        if decision.keep:
+            try:
+                cell.store_instruction(
+                    packet.instruction_id,
+                    packet.opcode,
+                    packet.operand1,
+                    packet.operand2,
+                )
+            except CellFullError:
+                self.dropped_packets.append(packet)
+            return
+        if not self.adaptive_routing:
+            self._outboxes[coord][decision.direction].append(
+                envelope.forwarded(coord)
+            )
+            return
+        direction = choose_direction(
+            instruction_candidates(
+                packet.dest_row, packet.dest_col, cell.row, cell.col
+            ),
+            coord,
+            envelope.prev,
+            self._neighbour_alive_test(coord, allow_cp=False),
+        )
+        if direction is None:
+            self.dropped_packets.append(packet)
+        else:
+            self._outboxes[coord][direction].append(envelope.forwarded(coord))
+
+    def _route_inboxes(self) -> None:
+        for coord, inbox in self._inboxes.items():
+            cell = self._cells[coord]
+            while inbox:
+                envelope = inbox.popleft()
+                if not cell.alive:
+                    self.dropped_packets.append(envelope.packet)
+                    continue
+                self._route_one(coord, envelope)
+
+    def _result_exit(self, coord: Coord) -> Optional[Direction]:
+        """Direction a freshly popped result should leave through."""
+        if not self.adaptive_routing:
+            return Direction.UP
+        cell = self._cells[coord]
+        return choose_direction(
+            result_candidates(cell.row, cell.col, self.top_row),
+            coord,
+            None,
+            self._neighbour_alive_test(coord, allow_cp=True),
+        )
+
+    def _cell_actions(self) -> None:
+        for coord, cell in self._cells.items():
+            if not cell.alive:
+                continue
+            if self._mode is CellMode.COMPUTE:
+                cell.compute_step()
+            elif self._mode is CellMode.SHIFT_OUT:
+                exit_direction = self._result_exit(coord)
+                if exit_direction is None:
+                    continue  # isolated cell: keep results until retry
+                exit_queue = self._outboxes[coord][exit_direction]
+                if not exit_queue:
+                    popped = cell.pop_result()
+                    if popped is not None:
+                        iid, result = popped
+                        exit_queue.append(
+                            Envelope(ResultPacket(iid, result), prev=coord)
+                        )
+
+    def _drain_outboxes(self) -> None:
+        for coord, queues in self._outboxes.items():
+            if not self._cells[coord].alive:
+                for queue in queues.values():
+                    while queue:
+                        self.dropped_packets.append(queue.popleft().packet)
+                continue
+            for direction, queue in queues.items():
+                if not queue:
+                    continue
+                target = self._bus_target(coord, direction)
+                if target is None:
+                    # Outer-edge buses are disabled (paper Section 3.1)
+                    # except the top row's link to the control processor.
+                    self.dropped_packets.append(queue.popleft().packet)
+                    continue
+                bus = self._buses[(coord, target)]
+                if bus.try_send(queue[0]):
+                    queue.popleft()
+
+    def _bus_target(self, coord: Coord, direction: Direction):
+        row, col = coord
+        nr, nc = direction.step(row, col)
+        if 0 <= nr < self.rows and 0 <= nc < self.cols:
+            return (nr, nc)
+        if direction is Direction.UP and row == self.top_row:
+            return CONTROL_PROCESSOR
+        return None
+
+    # ------------------------------------------------------------ inventory
+
+    def idle(self) -> bool:
+        """True when no packet is in flight, queued, or undelivered."""
+        if any(bus.busy for bus in self._buses.values()):
+            return False
+        if any(self._inboxes[c] for c in self._cells):
+            return False
+        for queues in self._outboxes.values():
+            if any(queues[d] for d in queues):
+                return False
+        return True
+
+    def total_pending_instructions(self) -> int:
+        """Valid, not-yet-computed words across all alive cells."""
+        return sum(
+            sum(1 for _ in cell.memory.pending_words())
+            for cell in self._cells.values()
+            if cell.alive
+        )
+
+    def total_completed_instructions(self) -> int:
+        """Computed words awaiting shift-out across all alive cells."""
+        return sum(
+            sum(1 for _ in cell.memory.completed_words())
+            for cell in self._cells.values()
+            if cell.alive
+        )
+
+    def bus_statistics(self) -> "BusStatistics":
+        """Aggregate link-utilisation counters since construction.
+
+        Utilisation = busy cycles / elapsed cycles, averaged separately
+        over the mesh links and the control-processor edge buses (the
+        edge buses are the paper's only pin interface and the expected
+        bottleneck).
+        """
+        if self._cycle == 0:
+            return BusStatistics(0, 0.0, 0.0, 0.0, "")
+        mesh_util: List[float] = []
+        edge_util: List[float] = []
+        busiest_name = ""
+        busiest_util = -1.0
+        for (src, dst), bus in self._buses.items():
+            utilisation = bus.busy_cycles / self._cycle
+            if CONTROL_PROCESSOR in (src, dst):
+                edge_util.append(utilisation)
+            else:
+                mesh_util.append(utilisation)
+            if utilisation > busiest_util:
+                busiest_util = utilisation
+                busiest_name = bus.name
+        return BusStatistics(
+            delivered=sum(b.delivered_count for b in self._buses.values()),
+            mesh_utilisation=sum(mesh_util) / len(mesh_util) if mesh_util else 0.0,
+            edge_utilisation=sum(edge_util) / len(edge_util) if edge_util else 0.0,
+            peak_utilisation=max(busiest_util, 0.0),
+            busiest_link=busiest_name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        alive = len(self.alive_cells())
+        return (
+            f"NanoBoxGrid({self.rows}x{self.cols}, mode={self._mode.value}, "
+            f"alive={alive}/{self.rows * self.cols}, cycle={self._cycle})"
+        )

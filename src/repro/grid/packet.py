@@ -1,0 +1,142 @@
+"""Grid packet formats and 8-bit flit serialisation.
+
+Data traverses the grid over 8-bit nearest-neighbour buses, so every
+packet is a sequence of byte-wide flits led by a start-of-packet marker.
+Instruction packets (paper Section 3.2.1) carry "a unique instruction ID,
+an ALU instruction, two operands, and the ID of the processor cell where
+the instruction will be computed"; result packets (Section 3.2.3) carry
+the instruction ID and the majority-voted result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Union
+
+#: Start-of-packet marker values (first flit of every packet).
+SOP_INSTRUCTION = 0xA5
+SOP_RESULT = 0x5A
+
+#: Flit counts, marker included.  An 8-bit bus therefore needs this many
+#: cycles to move one packet across one hop.
+FLITS_PER_INSTRUCTION = 8
+FLITS_PER_RESULT = 4
+
+_BYTE = 0xFF
+
+
+@dataclass(frozen=True)
+class InstructionPacket:
+    """Control-processor -> cell packet (shift-in mode)."""
+
+    dest_row: int
+    dest_col: int
+    instruction_id: int
+    opcode: int
+    operand1: int
+    operand2: int
+
+    def __post_init__(self) -> None:
+        checks = (
+            ("dest_row", self.dest_row, 0xFF),
+            ("dest_col", self.dest_col, 0xFF),
+            ("instruction_id", self.instruction_id, 0xFFFF),
+            ("opcode", self.opcode, 0b111),
+            ("operand1", self.operand1, _BYTE),
+            ("operand2", self.operand2, _BYTE),
+        )
+        for name, value, limit in checks:
+            if not 0 <= value <= limit:
+                raise ValueError(f"{name}={value} outside 0..{limit}")
+
+    @property
+    def flit_count(self) -> int:
+        return FLITS_PER_INSTRUCTION
+
+    def to_flits(self) -> List[int]:
+        """Serialise to byte-wide flits, SOP marker first."""
+        return [
+            SOP_INSTRUCTION,
+            self.dest_row,
+            self.dest_col,
+            (self.instruction_id >> 8) & _BYTE,
+            self.instruction_id & _BYTE,
+            self.opcode,
+            self.operand1,
+            self.operand2,
+        ]
+
+    @classmethod
+    def from_flits(cls, flits: Sequence[int]) -> "InstructionPacket":
+        """Deserialise; raises ``ValueError`` on framing errors."""
+        if len(flits) != FLITS_PER_INSTRUCTION:
+            raise ValueError(
+                f"instruction packet needs {FLITS_PER_INSTRUCTION} flits, "
+                f"got {len(flits)}"
+            )
+        if flits[0] != SOP_INSTRUCTION:
+            raise ValueError(f"bad instruction SOP marker {flits[0]:#04x}")
+        return cls(
+            dest_row=flits[1],
+            dest_col=flits[2],
+            instruction_id=(flits[3] << 8) | flits[4],
+            opcode=flits[5],
+            operand1=flits[6],
+            operand2=flits[7],
+        )
+
+
+@dataclass(frozen=True)
+class ResultPacket:
+    """Cell -> control-processor packet (shift-out mode).
+
+    Result packets always travel up toward the control processor, so they
+    carry no destination ID -- the fabric's shift-out rule moves them.
+    """
+
+    instruction_id: int
+    result: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.instruction_id <= 0xFFFF:
+            raise ValueError(f"instruction_id={self.instruction_id} outside 16 bits")
+        if not 0 <= self.result <= _BYTE:
+            raise ValueError(f"result={self.result} outside 8 bits")
+
+    @property
+    def flit_count(self) -> int:
+        return FLITS_PER_RESULT
+
+    def to_flits(self) -> List[int]:
+        """Serialise to byte-wide flits, SOP marker first."""
+        return [
+            SOP_RESULT,
+            (self.instruction_id >> 8) & _BYTE,
+            self.instruction_id & _BYTE,
+            self.result,
+        ]
+
+    @classmethod
+    def from_flits(cls, flits: Sequence[int]) -> "ResultPacket":
+        """Deserialise; raises ``ValueError`` on framing errors."""
+        if len(flits) != FLITS_PER_RESULT:
+            raise ValueError(
+                f"result packet needs {FLITS_PER_RESULT} flits, got {len(flits)}"
+            )
+        if flits[0] != SOP_RESULT:
+            raise ValueError(f"bad result SOP marker {flits[0]:#04x}")
+        return cls(instruction_id=(flits[1] << 8) | flits[2], result=flits[3])
+
+
+Packet = Union[InstructionPacket, ResultPacket]
+
+
+def parse_packet(flits: Sequence[int]) -> Packet:
+    """Dispatch on the SOP marker and deserialise."""
+    if not flits:
+        raise ValueError("empty flit sequence")
+    if flits[0] == SOP_INSTRUCTION:
+        return InstructionPacket.from_flits(flits)
+    if flits[0] == SOP_RESULT:
+        return ResultPacket.from_flits(flits)
+    raise ValueError(f"unknown SOP marker {flits[0]:#04x}")

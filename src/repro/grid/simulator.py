@@ -1,0 +1,266 @@
+"""Cycle-based full-system simulator (paper Section 7 future work).
+
+"We also plan to develop a cycle-based, full-system simulator for running
+a range of application-level workloads."  :class:`GridSimulator` is that
+simulator: it assembles a grid, a watchdog, per-cell ALU fault injection,
+persistent memory single-event upsets, and a cell-kill schedule, then runs
+whole image-processing jobs through the control processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.alu.base import FaultableUnit
+from repro.alu.nanobox import NanoBoxALU
+from repro.faults.mask import MaskPolicy
+from repro.grid.control import ControlProcessor, JobInstruction, JobResult
+from repro.grid.grid import Coord, NanoBoxGrid
+from repro.grid.watchdog import Watchdog
+from repro.workloads.bitmap import Bitmap
+from repro.workloads.imaging import ImageWorkload
+
+
+@dataclass(frozen=True)
+class SimulationStats:
+    """Fabric-level counters gathered after a job."""
+
+    cycles: int
+    dropped_packets: int
+    failed_cells: Tuple[Coord, ...]
+    salvaged_words: int
+    lost_words: int
+    memory_upsets: int
+
+
+@dataclass(frozen=True)
+class ImageJobOutcome:
+    """Result of running an image workload through the grid."""
+
+    job: JobResult
+    output: Bitmap
+    expected: Bitmap
+    stats: SimulationStats
+
+    @property
+    def pixel_accuracy(self) -> float:
+        """Fraction of pixels that arrived and are correct."""
+        total = self.expected.pixel_count
+        wrong = self.expected.difference_count(self.output)
+        return (total - wrong) / total
+
+
+class GridSimulator:
+    """Composable full-system simulation harness.
+
+    Args:
+        rows, cols: grid dimensions.
+        alu_scheme: bit-level LUT coding scheme for every cell's ALU.
+        alu_fault_policy: per-execution transient-fault policy for cell
+            ALUs (None = fault-free ALUs).
+        memory_upset_rate: probability per stored memory bit per cycle of
+            a persistent single-event upset (the Section 2.2 threat the
+            triplicated fields defend against).
+        kill_schedule: ``{cycle: [cell coordinates]}`` hard failures.
+        memory_salvageable: passed through to the watchdog.
+        error_threshold: per-cell heartbeat error budget.
+        adaptive_routing: route packets around dead cells (see
+            :mod:`repro.grid.routing`).
+        scrub_interval: cycles between memory-scrub passes (0 disables).
+            Scrubbing rewrites every valid word in canonical triplicated
+            form, so upsets on protected fields must accumulate within
+            one interval to defeat the majority vote.
+        lut_router_scheme: build each cell's routing decision from
+            error-coded lookup tables with this scheme (paper §7).
+        router_fault_policy: per-decision fault policy for the LUT
+            routers (requires ``lut_router_scheme``).
+        seed: base PRNG seed for all injection streams.
+    """
+
+    def __init__(
+        self,
+        rows: int = 4,
+        cols: int = 4,
+        alu_scheme: str = "tmr",
+        alu_fault_policy: Optional[MaskPolicy] = None,
+        memory_upset_rate: float = 0.0,
+        kill_schedule: Optional[Dict[int, Sequence[Coord]]] = None,
+        memory_salvageable: bool = True,
+        error_threshold: int = 8,
+        n_words: int = 32,
+        adaptive_routing: bool = False,
+        scrub_interval: int = 0,
+        lut_router_scheme: Optional[str] = None,
+        router_fault_policy: Optional[MaskPolicy] = None,
+        seed: int = 0,
+    ) -> None:
+        if memory_upset_rate < 0 or memory_upset_rate >= 1:
+            raise ValueError(
+                f"memory_upset_rate must be in [0, 1), got {memory_upset_rate}"
+            )
+        if scrub_interval < 0:
+            raise ValueError(
+                f"scrub_interval must be non-negative, got {scrub_interval}"
+            )
+        self._rng = np.random.default_rng(seed)
+        self._alu_policy = alu_fault_policy
+        self._memory_upset_rate = memory_upset_rate
+        self._scrub_interval = scrub_interval
+        self._scrub_corrections = 0
+        self._kill_schedule = {
+            int(cycle): list(coords)
+            for cycle, coords in (kill_schedule or {}).items()
+        }
+        self._memory_upsets = 0
+
+        def alu_factory() -> FaultableUnit:
+            return NanoBoxALU(scheme=alu_scheme)
+
+        def mask_source_factory(coord: Coord):
+            if self._alu_policy is None:
+                return lambda: 0
+            cell_rng = np.random.default_rng(
+                np.random.SeedSequence([seed, coord[0], coord[1]])
+            )
+            policy = self._alu_policy
+            sites = NanoBoxALU(scheme=alu_scheme).site_count
+
+            def source() -> int:
+                return policy.generate(sites, cell_rng)
+
+            return source
+
+        router_mask_source_factory = None
+        if lut_router_scheme is not None and router_fault_policy is not None:
+            from repro.cell.lutrouter import LUTRouter
+
+            router_sites = LUTRouter(lut_router_scheme).site_count
+
+            def router_mask_source_factory(coord: Coord):
+                cell_rng = np.random.default_rng(
+                    np.random.SeedSequence([seed, coord[0], coord[1], 11])
+                )
+                policy = router_fault_policy
+
+                def source() -> int:
+                    return policy.generate(router_sites, cell_rng)
+
+                return source
+
+        self.grid = NanoBoxGrid(
+            rows,
+            cols,
+            alu_factory=alu_factory,
+            mask_source_factory=mask_source_factory,
+            n_words=n_words,
+            error_threshold=error_threshold,
+            adaptive_routing=adaptive_routing,
+            lut_router_scheme=lut_router_scheme,
+            router_mask_source_factory=router_mask_source_factory,
+        )
+        self.watchdog = Watchdog(self.grid, memory_salvageable=memory_salvageable)
+        self.control = ControlProcessor(
+            self.grid,
+            watchdog=self.watchdog,
+            tick_hooks=(
+                self._apply_schedule,
+                self._apply_memory_upsets,
+                self._apply_scrub,
+            ),
+        )
+
+    # ------------------------------------------------------------ injection
+
+    def _apply_schedule(self) -> None:
+        coords = self._kill_schedule.pop(self.grid.cycle + 1, None)
+        if coords:
+            for coord in coords:
+                self.grid.kill_cell(*coord)
+
+    def _apply_memory_upsets(self) -> None:
+        if self._memory_upset_rate <= 0:
+            return
+        bits_per_cell = None
+        for cell in self.grid.cells():
+            if not cell.alive:
+                continue
+            if bits_per_cell is None:
+                bits_per_cell = cell.memory.site_count
+            count = int(self._rng.binomial(bits_per_cell, self._memory_upset_rate))
+            if count == 0:
+                continue
+            positions = self._rng.choice(bits_per_cell, size=count, replace=False)
+            mask = 0
+            for p in positions:
+                mask |= 1 << int(p)
+            cell.memory.apply_faults(mask)
+            self._memory_upsets += count
+
+    def _apply_scrub(self) -> None:
+        if self._scrub_interval <= 0:
+            return
+        if self.grid.cycle % self._scrub_interval != 0:
+            return
+        for cell in self.grid.cells():
+            if cell.alive:
+                self._scrub_corrections += cell.memory.scrub()
+
+    @property
+    def scrub_corrections(self) -> int:
+        """Stored bits repaired by scrubbing so far."""
+        return self._scrub_corrections
+
+    # ----------------------------------------------------------------- jobs
+
+    def run_instructions(
+        self, instructions: Sequence[JobInstruction], max_rounds: int = 3
+    ) -> JobResult:
+        """Run raw instructions through the control processor."""
+        return self.control.run_job(instructions, max_rounds=max_rounds)
+
+    def run_image_job(
+        self,
+        bitmap: Bitmap,
+        workload: ImageWorkload,
+        max_rounds: int = 3,
+        fill_value: int = 0,
+    ) -> ImageJobOutcome:
+        """Process a bitmap: packetise, execute, reassemble by pixel ID.
+
+        Pixels whose result never arrives (dropped packets, dead cells
+        past the retry budget) are filled with ``fill_value`` so the
+        output image always has the right shape.
+        """
+        compiled = workload.compile(bitmap)
+        instructions: List[JobInstruction] = [
+            (iid, op, a, b) for iid, (op, a, b, _expected) in enumerate(compiled)
+        ]
+        job = self.run_instructions(instructions, max_rounds=max_rounds)
+        pixels = [
+            job.results.get(iid, fill_value) for iid in range(len(compiled))
+        ]
+        output = bitmap.with_pixels(pixels)
+        return ImageJobOutcome(
+            job=job,
+            output=output,
+            expected=workload.apply(bitmap),
+            stats=self.stats(),
+        )
+
+    # ------------------------------------------------------------- metrics
+
+    def stats(self) -> SimulationStats:
+        """Snapshot fabric counters."""
+        salvaged = sum(r.salvaged_words for r in self.watchdog.reports)
+        lost = sum(r.lost_words for r in self.watchdog.reports)
+        return SimulationStats(
+            cycles=self.grid.cycle,
+            dropped_packets=len(self.grid.dropped_packets),
+            failed_cells=self.watchdog.disabled_cells,
+            salvaged_words=salvaged,
+            lost_words=lost,
+            memory_upsets=self._memory_upsets,
+        )

@@ -1,0 +1,132 @@
+"""Watchdog and failover (paper Section 2.3, evaluated per Section 7).
+
+"A watchdog unit in the communication fabric monitors these processor cell
+heartbeat signals and determines if a cell has exceeded its error
+threshold.  If a processor cell is disabled, the communication fabric
+surrounding the disabled processor cell will cease sending instructions to
+that processor cell.  If the router and cell memory are still functioning,
+the contents of the cell memory will be sent to the surrounding processor
+cells so that they can finish any outstanding computations."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.cell.cell import CellFullError
+from repro.grid.grid import Coord, NanoBoxGrid
+
+
+@dataclass(frozen=True)
+class SalvageReport:
+    """Record of one cell's failover."""
+
+    failed_cell: Coord
+    cycle: int
+    salvaged_words: int
+    adopted: Dict[Coord, int]
+    lost_words: int
+
+    @property
+    def fully_salvaged(self) -> bool:
+        """True when every pending word found a new home."""
+        return self.lost_words == 0
+
+
+class Watchdog:
+    """Monitors heartbeats; disables silent cells and salvages their work.
+
+    Args:
+        grid: the fabric to monitor.
+        memory_salvageable: model knob for whether a failed cell's router
+            and memory survived (the paper's condition for salvage).  When
+            False, pending work dies with the cell and only the control
+            processor's retry protocol can recover it.
+    """
+
+    def __init__(self, grid: NanoBoxGrid, memory_salvageable: bool = True) -> None:
+        self._grid = grid
+        self._memory_salvageable = memory_salvageable
+        self._disabled: Set[Coord] = set()
+        self._reports: List[SalvageReport] = []
+
+    @property
+    def disabled_cells(self) -> Tuple[Coord, ...]:
+        """Cells the watchdog has taken out of service."""
+        return tuple(sorted(self._disabled))
+
+    @property
+    def reports(self) -> Tuple[SalvageReport, ...]:
+        """Failover reports, oldest first."""
+        return tuple(self._reports)
+
+    def poll(self) -> List[SalvageReport]:
+        """Sample every cell's heartbeat once; handle new failures.
+
+        Returns the salvage reports generated this poll (usually empty).
+        """
+        new_reports: List[SalvageReport] = []
+        for cell in self._grid.cells():
+            coord = cell.cell_id
+            if coord in self._disabled:
+                continue
+            if cell.heartbeat.beat():
+                continue
+            self._disabled.add(coord)
+            new_reports.append(self._fail_over(coord))
+        self._reports.extend(new_reports)
+        return new_reports
+
+    def _fail_over(self, coord: Coord) -> SalvageReport:
+        cell = self._grid.cell(*coord)
+        cell.heartbeat.silence()  # idempotent; covers threshold-exceeded cells
+        if not self._memory_salvageable:
+            pending = sum(1 for _ in cell.memory.pending_words())
+            cell.memory.clear()
+            return SalvageReport(
+                failed_cell=coord,
+                cycle=self._grid.cycle,
+                salvaged_words=0,
+                adopted={},
+                lost_words=pending,
+            )
+
+        words = cell.extract_pending()
+        adopted: Dict[Coord, int] = {}
+        lost = 0
+        # Round-robin over alive neighbours, widening to any alive cell if
+        # the immediate neighbourhood is full or dead.
+        candidates = [
+            c
+            for c in self._grid.neighbours(*coord).values()
+            if self._grid.cell(*c).alive
+        ]
+        if not candidates:
+            candidates = [
+                c for c in self._grid.alive_cells() if c != coord
+            ]
+        index = 0
+        for word in words:
+            placed = False
+            for _ in range(len(candidates)):
+                target = candidates[index % len(candidates)] if candidates else None
+                index += 1
+                if target is None:
+                    break
+                try:
+                    self._grid.cell(*target).adopt_word(word)
+                    adopted[target] = adopted.get(target, 0) + 1
+                    placed = True
+                    break
+                except CellFullError:
+                    continue
+            if not placed:
+                lost += 1
+        return SalvageReport(
+            failed_cell=coord,
+            cycle=self._grid.cycle,
+            salvaged_words=len(words),
+            adopted=adopted,
+            lost_words=lost,
+        )

@@ -1,0 +1,143 @@
+"""Netlist builders: generic cells plus the paper's CMOS baseline circuits.
+
+The CMOS baseline ALU reproduces the 192 fault-injection nodes of paper
+Table 2 (``aluncmos``): 8 bit slices x 24 gate nodes, where each slice holds
+14 datapath gates and a 10-gate replicated opcode decoder (per-slice decode
+keeps select wires short, in keeping with the paper's nearest-neighbour
+signalling constraint).  The CMOS majority voter reproduces the 81-node
+module-level voter implied by ``aluscmos`` = 3x192 + 81.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.logic.gates import GateType, Signal
+from repro.logic.netlist import Netlist
+
+#: Gate nodes per CMOS ALU bit slice (14 datapath + 10 decode).
+CMOS_ALU_NODES_PER_SLICE = 24
+#: Gate nodes in the complete 8-bit CMOS ALU (Table 2: ``aluncmos`` = 192).
+CMOS_ALU_NODE_COUNT = 8 * CMOS_ALU_NODES_PER_SLICE
+#: Gate nodes per voted bit of the CMOS majority voter.
+CMOS_VOTER_NODES_PER_BIT = 9
+#: Gate nodes in the 9-bit CMOS voter (Table 2: ``aluscmos`` - 3x192 = 81).
+CMOS_VOTER_NODE_COUNT = 9 * CMOS_VOTER_NODES_PER_BIT
+
+
+def build_full_adder(
+    net: Netlist, a: Signal, b: Signal, cin: Signal, tag: str
+) -> Tuple[Signal, Signal, Dict[str, Signal]]:
+    """Append a full adder; returns ``(sum, carry_out, internal signals)``.
+
+    The decomposition (2 XOR, 2 AND, 1 OR = 5 nodes, with ``a XOR b``
+    shared) is the one used inside the CMOS ALU slice.
+    """
+    xor_ab = net.add(GateType.XOR, a, b, name=f"{tag}.xor_ab")
+    total = net.add(GateType.XOR, xor_ab, cin, name=f"{tag}.sum")
+    and_ab = net.add(GateType.AND, a, b, name=f"{tag}.and_ab")
+    and_c = net.add(GateType.AND, xor_ab, cin, name=f"{tag}.and_c")
+    cout = net.add(GateType.OR, and_ab, and_c, name=f"{tag}.cout")
+    internals = {"xor_ab": xor_ab, "and_ab": and_ab, "and_c": and_c}
+    return total, cout, internals
+
+
+def build_majority3(
+    net: Netlist, x: Signal, y: Signal, z: Signal, tag: str, buffered: bool = True
+) -> Signal:
+    """Append a three-input majority cell.
+
+    With ``buffered=True`` the cell matches the CMOS voter bit exactly:
+    three input buffers (nanoscale drive-strength repair), three pairwise
+    ANDs, a two-OR merge tree, and an output buffer -- 9 gate nodes.
+    """
+    if buffered:
+        x = net.add(GateType.BUF, x, name=f"{tag}.bx")
+        y = net.add(GateType.BUF, y, name=f"{tag}.by")
+        z = net.add(GateType.BUF, z, name=f"{tag}.bz")
+    and_xy = net.add(GateType.AND, x, y, name=f"{tag}.and_xy")
+    and_yz = net.add(GateType.AND, y, z, name=f"{tag}.and_yz")
+    and_xz = net.add(GateType.AND, x, z, name=f"{tag}.and_xz")
+    or1 = net.add(GateType.OR, and_xy, and_yz, name=f"{tag}.or1")
+    maj = net.add(GateType.OR, or1, and_xz, name=f"{tag}.maj")
+    if buffered:
+        maj = net.add(GateType.BUF, maj, name=f"{tag}.out")
+    return maj
+
+
+def _build_opcode_decoder(
+    net: Netlist, op: Tuple[Signal, Signal, Signal], tag: str
+) -> Dict[str, Signal]:
+    """Append the 10-gate one-hot decoder for the Table 1 opcodes.
+
+    Opcodes: AND=000, OR=001, XOR=010, ADD=111.
+    """
+    op0, op1, op2 = op
+    n0 = net.add(GateType.NOT, op0, name=f"{tag}.n0")
+    n1 = net.add(GateType.NOT, op1, name=f"{tag}.n1")
+    n2 = net.add(GateType.NOT, op2, name=f"{tag}.n2")
+    a01 = net.add(GateType.AND, n2, n1, name=f"{tag}.a01")        # op = 00x
+    s_and = net.add(GateType.AND, a01, n0, name=f"{tag}.s_and")   # 000
+    s_or = net.add(GateType.AND, a01, op0, name=f"{tag}.s_or")    # 001
+    a10 = net.add(GateType.AND, n2, op1, name=f"{tag}.a10")       # op = 01x
+    s_xor = net.add(GateType.AND, a10, n0, name=f"{tag}.s_xor")   # 010
+    a11 = net.add(GateType.AND, op2, op1, name=f"{tag}.a11")      # op = 11x
+    s_add = net.add(GateType.AND, a11, op0, name=f"{tag}.s_add")  # 111
+    return {"s_and": s_and, "s_or": s_or, "s_xor": s_xor, "s_add": s_add}
+
+
+def build_cmos_alu(width: int = 8) -> Netlist:
+    """Build the conventional CMOS baseline ALU (paper Table 2 ``aluncmos``).
+
+    Inputs ``a0..a{w-1}``, ``b0..b{w-1}``, ``op0..op2``; outputs
+    ``out0..out{w-1}`` and ``carry`` (the slice-``w-1`` carry-out, gated so
+    it is only live for ADD).  Every gate output is a fault-injection node;
+    for ``width=8`` the total is exactly 192.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    net = Netlist("cmos_alu")
+    a_bits = [net.input(f"a{i}") for i in range(width)]
+    b_bits = [net.input(f"b{i}") for i in range(width)]
+    op = (net.input("op0"), net.input("op1"), net.input("op2"))
+
+    carry: Signal = net.const(0)
+    for i in range(width):
+        tag = f"s{i}"
+        sel = _build_opcode_decoder(net, op, tag)
+        a, b = a_bits[i], b_bits[i]
+        total, cout, internals = build_full_adder(net, a, b, carry, tag)
+        xor_ab = internals["xor_ab"]
+        and_ab = internals["and_ab"]
+        or_ab = net.add(GateType.OR, a, b, name=f"{tag}.or_ab")
+        carry = net.add(GateType.AND, cout, sel["s_add"], name=f"{tag}.cout_g")
+        m0 = net.add(GateType.AND, and_ab, sel["s_and"], name=f"{tag}.m0")
+        m1 = net.add(GateType.AND, or_ab, sel["s_or"], name=f"{tag}.m1")
+        m2 = net.add(GateType.AND, xor_ab, sel["s_xor"], name=f"{tag}.m2")
+        m3 = net.add(GateType.AND, total, sel["s_add"], name=f"{tag}.m3")
+        or01 = net.add(GateType.OR, m0, m1, name=f"{tag}.or01")
+        or23 = net.add(GateType.OR, m2, m3, name=f"{tag}.or23")
+        out = net.add(GateType.OR, or01, or23, name=f"{tag}.out")
+        net.set_output(f"out{i}", out)
+
+    net.set_output("carry", carry)
+    return net
+
+
+def build_cmos_voter(width: int = 9) -> Netlist:
+    """Build the CMOS module-level majority voter (81 nodes for 9 bits).
+
+    Votes three ``width``-bit result bundles bitwise: inputs ``x0..``,
+    ``y0..``, ``z0..``; outputs ``v0..v{w-1}``.  The 9-bit bundle is the
+    ALU's 8 result bits plus its carry flag.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    net = Netlist("cmos_voter")
+    xs = [net.input(f"x{i}") for i in range(width)]
+    ys = [net.input(f"y{i}") for i in range(width)]
+    zs = [net.input(f"z{i}") for i in range(width)]
+    for i in range(width):
+        maj = build_majority3(net, xs[i], ys[i], zs[i], tag=f"v{i}", buffered=True)
+        net.set_output(f"v{i}", maj)
+    return net

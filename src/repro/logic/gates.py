@@ -1,0 +1,109 @@
+"""Gate primitives for the CMOS netlist simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+
+class GateType(enum.Enum):
+    """Supported combinational gate types.
+
+    Arbitrary fan-in is allowed for the symmetric gates; ``NOT`` and ``BUF``
+    require exactly one input.
+    """
+
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NAND = "nand"
+    NOR = "nor"
+    NOT = "not"
+    BUF = "buf"
+
+
+def _eval_and(bits: Tuple[int, ...]) -> int:
+    return int(all(bits))
+
+
+def _eval_or(bits: Tuple[int, ...]) -> int:
+    return int(any(bits))
+
+
+def _eval_xor(bits: Tuple[int, ...]) -> int:
+    acc = 0
+    for b in bits:
+        acc ^= b
+    return acc
+
+
+_EVALUATORS: Dict[GateType, Callable[[Tuple[int, ...]], int]] = {
+    GateType.AND: _eval_and,
+    GateType.OR: _eval_or,
+    GateType.XOR: _eval_xor,
+    GateType.NAND: lambda bits: 1 - _eval_and(bits),
+    GateType.NOR: lambda bits: 1 - _eval_or(bits),
+    GateType.NOT: lambda bits: 1 - bits[0],
+    GateType.BUF: lambda bits: bits[0],
+}
+
+_UNARY = frozenset({GateType.NOT, GateType.BUF})
+
+
+def evaluate_gate(gate_type: GateType, bits: Tuple[int, ...]) -> int:
+    """Evaluate one gate over already-resolved input bits."""
+    return _EVALUATORS[gate_type](bits)
+
+
+class SignalKind(enum.Enum):
+    """Where a signal's value comes from during evaluation."""
+
+    INPUT = "input"    # primary input, supplied by the caller
+    GATE = "gate"      # output node of a gate (a fault-injection site)
+    CONST = "const"    # hard-wired 0 or 1 (not a fault site)
+
+
+@dataclass(frozen=True)
+class Signal:
+    """Handle to a value inside a :class:`~repro.logic.netlist.Netlist`.
+
+    ``index`` is the position within the kind's namespace: input number,
+    gate node number, or constant value.
+    """
+
+    kind: SignalKind
+    index: int
+    name: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or f"{self.kind.value}{self.index}"
+        return f"Signal({label})"
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate instance: a type, ordered input signals, and a debug name.
+
+    The gate's output is netlist node ``index`` -- the paper's fault model
+    flips these nodes ("nodes between transistors are flipped via XOR
+    gates", Figure 6b).
+    """
+
+    gate_type: GateType
+    inputs: Tuple[Signal, ...]
+    index: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.gate_type in _UNARY:
+            if len(self.inputs) != 1:
+                raise ValueError(
+                    f"{self.gate_type.value} gate takes exactly one input, "
+                    f"got {len(self.inputs)}"
+                )
+        elif len(self.inputs) < 2:
+            raise ValueError(
+                f"{self.gate_type.value} gate needs at least two inputs, "
+                f"got {len(self.inputs)}"
+            )

@@ -1,0 +1,143 @@
+"""Gate-level Hamming check/correct logic.
+
+Paper Section 4: "we do not model faults in the lookup table error
+detector or corrector" -- the decoder is assumed perfect even while the
+bits it guards are being shredded.  This module removes that idealisation:
+it builds the detector/corrector datapath of Figure 1(b) as a real gate
+netlist (check-bit regeneration XOR trees, syndrome comparison, and the
+output corrector), so the decoder's own nodes become fault-injection
+sites.  The ``bench_ablation_faulty_decoder`` study measures what the
+idealisation was worth.
+
+The netlist realises the same paper-calibrated semantics as
+:class:`repro.lut.coded.CodedLUT`'s ``hamming`` scheme: the output flips
+when the syndrome names the addressed position, a check-bit position, or
+an invalid position.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.coding.hamming import HammingCode
+from repro.logic.gates import GateType, Signal
+from repro.logic.netlist import Netlist
+
+
+def build_xor_tree(net: Netlist, signals: Sequence[Signal], tag: str) -> Signal:
+    """Append a balanced XOR reduction; returns the parity signal."""
+    if not signals:
+        return net.const(0)
+    layer = list(signals)
+    level = 0
+    while len(layer) > 1:
+        next_layer: List[Signal] = []
+        for i in range(0, len(layer) - 1, 2):
+            next_layer.append(
+                net.add(GateType.XOR, layer[i], layer[i + 1],
+                        name=f"{tag}.x{level}_{i // 2}")
+            )
+        if len(layer) % 2:
+            next_layer.append(layer[-1])
+        layer = next_layer
+        level += 1
+    return layer[0]
+
+
+def build_equality(net: Netlist, a: Sequence[Signal], b: Sequence[Signal],
+                   tag: str) -> Signal:
+    """Append an n-bit equality comparator (XNOR + AND tree)."""
+    if len(a) != len(b):
+        raise ValueError("equality operands must have equal width")
+    bits = [
+        net.add(GateType.NOT,
+                net.add(GateType.XOR, a[i], b[i], name=f"{tag}.d{i}"),
+                name=f"{tag}.e{i}")
+        for i in range(len(a))
+    ]
+    result = bits[0]
+    for i, bit in enumerate(bits[1:], start=1):
+        result = net.add(GateType.AND, result, bit, name=f"{tag}.a{i}")
+    return result
+
+
+def build_hamming_checker(data_bits: int = 16) -> Netlist:
+    """Build the fault-prone decoder for one Hamming block.
+
+    Inputs:
+        ``s0..s{n-1}``  -- the (possibly corrupted) stored block bits;
+        ``p0..p{r-1}``  -- the addressed position code (stored index + 1);
+        ``raw``         -- the addressed stored bit (the storage array's
+        read port output).
+
+    Outputs:
+        ``syn0..``      -- the recomputed syndrome;
+        ``flip``        -- the corrector's flip decision;
+        ``out``         -- the delivered function output, ``raw ^ flip``.
+    """
+    code = HammingCode(data_bits)
+    n, r = code.total_bits, code.check_bits
+    net = Netlist(f"hamming_checker_{data_bits}")
+    stored = [net.input(f"s{i}") for i in range(n)]
+    pos = [net.input(f"p{j}") for j in range(r)]
+    raw = net.input("raw")
+
+    # Syndrome: one parity tree per check bit over its covered positions
+    # (check bit included) -- the "check bit generator" + "error
+    # detector" of Figure 1b fused, as a real implementation would.
+    syndrome: List[Signal] = []
+    for j in range(r):
+        covered = [
+            stored[i] for i in range(n) if (i + 1) & (1 << j)
+        ]
+        syn_bit = build_xor_tree(net, covered, tag=f"syn{j}")
+        syndrome.append(syn_bit)
+        net.set_output(f"syn{j}", syn_bit)
+
+    # syndrome != 0
+    any_syn = syndrome[0]
+    for j, bit in enumerate(syndrome[1:], start=1):
+        any_syn = net.add(GateType.OR, any_syn, bit, name=f"det.or{j}")
+
+    # syndrome == addressed position code
+    match_addr = build_equality(net, syndrome, pos, tag="cmp_addr")
+
+    # syndrome names a check-bit position (a one-hot code word).  A
+    # 5-bit value is a power of two iff exactly one bit is set: detect
+    # via OR of per-bit "this bit set and no higher/lower bit set" --
+    # implemented as sum-of-products over the r one-hot patterns.
+    one_hot_terms: List[Signal] = []
+    for j in range(r):
+        term = syndrome[j]
+        for k in range(r):
+            if k == j:
+                continue
+            inv = net.add(GateType.NOT, syndrome[k], name=f"oh{j}.n{k}")
+            term = net.add(GateType.AND, term, inv, name=f"oh{j}.a{k}")
+        one_hot_terms.append(term)
+    is_check = one_hot_terms[0]
+    for j, term in enumerate(one_hot_terms[1:], start=1):
+        is_check = net.add(GateType.OR, is_check, term, name=f"oh.or{j}")
+
+    # syndrome > n (invalid position in the shortened code): MSB-first
+    # magnitude comparison against the constant n, tracking "equal so
+    # far" through the constant's one-bits.
+    gt: Signal = net.const(0)
+    eq: Signal = net.const(1)
+    for j in reversed(range(r)):
+        n_bit = (n >> j) & 1
+        if n_bit == 0:
+            term = net.add(GateType.AND, eq, syndrome[j], name=f"gt.t{j}")
+            gt = net.add(GateType.OR, gt, term, name=f"gt.o{j}")
+        else:
+            eq = net.add(GateType.AND, eq, syndrome[j], name=f"gt.e{j}")
+
+    # flip = any_syn AND (match_addr OR is_check OR invalid)
+    fire = net.add(GateType.OR, match_addr, is_check, name="fire.or1")
+    fire = net.add(GateType.OR, fire, gt, name="fire.or2")
+    flip = net.add(GateType.AND, any_syn, fire, name="flip")
+    net.set_output("flip", flip)
+
+    out = net.add(GateType.XOR, raw, flip, name="out")
+    net.set_output("out", out)
+    return net

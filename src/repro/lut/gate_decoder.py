@@ -1,0 +1,127 @@
+"""Hamming LUT with a fault-prone gate-level decoder.
+
+Lifts the paper's idealisation that "faults in the lookup table error
+detector or corrector" are not modelled: storage bits *and* the decoder's
+gate nodes are fault-injection sites.  Fault-free it is bit-for-bit
+equivalent to :class:`~repro.lut.coded.CodedLUT`'s ``hamming`` scheme
+(the property tests assert this); under injection, check-logic upsets add
+a new error channel the idealised model never sees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.coding.bits import bit_length_mask
+from repro.coding.hamming import HammingCode
+from repro.lut.coded import CodedLUT, DEFAULT_BLOCK_SIZE
+from repro.lut.table import TruthTable
+from repro.logic.hamming_checker import build_hamming_checker
+
+
+class GateDecodedHammingLUT:
+    """Paper-semantics Hamming LUT with decoder gates as fault sites.
+
+    Site layout: the coded storage bits first (identical to the
+    ``hamming`` :class:`CodedLUT`), then one shared decoder's gate nodes
+    -- a single physical checker serves the LUT's blocks, as reads are
+    sequential.
+    """
+
+    def __init__(
+        self,
+        truth: TruthTable,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        if truth.size % block_size != 0:
+            raise ValueError(
+                f"table size {truth.size} is not a multiple of the "
+                f"{block_size}-bit block"
+            )
+        self._storage_lut = CodedLUT(truth, "hamming", block_size)
+        self._block_size = block_size
+        self._code = HammingCode(block_size)
+        self._checker = build_hamming_checker(block_size)
+        self._storage_bits = self._storage_lut.total_bits
+        self._gate_bits = self._checker.node_count
+
+    # ------------------------------------------------------------ geometry
+
+    @property
+    def truth(self) -> TruthTable:
+        return self._storage_lut.truth
+
+    @property
+    def scheme(self) -> str:
+        return "hamming-gate"
+
+    @property
+    def n_inputs(self) -> int:
+        return self._storage_lut.n_inputs
+
+    @property
+    def storage_bits(self) -> int:
+        """Stored-bit sites (truth bits + check bits)."""
+        return self._storage_bits
+
+    @property
+    def decoder_gate_bits(self) -> int:
+        """Decoder gate-node sites."""
+        return self._gate_bits
+
+    @property
+    def total_bits(self) -> int:
+        """All fault sites: storage then decoder gates."""
+        return self._storage_bits + self._gate_bits
+
+    @property
+    def storage(self) -> int:
+        """The fault-free stored image (storage sites only)."""
+        return self._storage_lut.storage
+
+    # ----------------------------------------------------------------- read
+
+    def read(self, address: int, fault_word: int = 0) -> int:
+        """Read one bit with faults on storage and/or decoder gates."""
+        if address < 0 or address >= self.truth.size:
+            raise IndexError(
+                f"address {address} out of range 0..{self.truth.size - 1}"
+            )
+        storage_fault = fault_word & bit_length_mask(self._storage_bits)
+        gate_fault = fault_word >> self._storage_bits
+
+        stored = self._storage_lut.storage ^ storage_fault
+        block_index = address // self._block_size
+        payload_index = address % self._block_size
+        block = (
+            stored >> (block_index * self._code.total_bits)
+        ) & bit_length_mask(self._code.total_bits)
+
+        inputs: Dict[str, int] = {}
+        for i in range(self._code.total_bits):
+            inputs[f"s{i}"] = (block >> i) & 1
+        position_code = self._code.data_positions[payload_index] + 1
+        for j in range(self._code.check_bits):
+            inputs[f"p{j}"] = (position_code >> j) & 1
+        inputs["raw"] = (block >> self._code.data_positions[payload_index]) & 1
+
+        outputs = self._checker.evaluate(inputs, fault_mask=gate_fault)
+        return outputs["out"]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GateDecodedHammingLUT(n_inputs={self.n_inputs}, "
+            f"storage={self._storage_bits}, gates={self._gate_bits})"
+        )
+
+
+def make_lut(
+    truth: TruthTable,
+    scheme: str,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+):
+    """LUT factory: dispatches ``hamming-gate`` to the gate-level decoder
+    implementation and every other scheme to :class:`CodedLUT`."""
+    if scheme == "hamming-gate":
+        return GateDecodedHammingLUT(truth, block_size)
+    return CodedLUT(truth, scheme, block_size)

@@ -1,0 +1,53 @@
+"""Truth-table synthesis helpers.
+
+``synthesize`` tabulates any Python predicate into a :class:`TruthTable`;
+``figure1_sum_table`` reconstructs the paper's running example (Figure 1),
+a 4-variable sum function implemented as an error-correcting lookup table
+instead of discrete gates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.lut.table import TruthTable
+
+
+def synthesize(n_inputs: int, fn: Callable[..., int]) -> TruthTable:
+    """Tabulate ``fn(bit0, ..., bit_{k-1}) -> 0/1`` into a truth table."""
+    return TruthTable.from_function(n_inputs, fn)
+
+
+def synthesize_word(
+    n_inputs: int, fn: Callable[..., int], n_outputs: int
+) -> Sequence[TruthTable]:
+    """Tabulate a multi-output function into one table per output bit.
+
+    ``fn`` returns an ``n_outputs``-bit integer; output bit ``i`` becomes
+    table ``i``.  This is how a conventional multi-bit circuit (paper
+    Figure 1a) is mapped onto single-output NanoBox lookup tables.
+    """
+    if n_outputs <= 0:
+        raise ValueError(f"n_outputs must be positive, got {n_outputs}")
+    tables = []
+    for out_bit in range(n_outputs):
+        def column(*bits: int, _out_bit: int = out_bit) -> int:
+            return (fn(*bits) >> _out_bit) & 1
+
+        tables.append(TruthTable.from_function(n_inputs, column))
+    return tuple(tables)
+
+
+def figure1_sum_table() -> TruthTable:
+    """The paper's Figure 1 example: the sum bit of four added variables.
+
+    Figure 1 shows "a sum function of four variables" first as conventional
+    combinational logic, then as a single encoded lookup table.  The sum
+    (low) bit of ``a + b + c + d`` is the 4-input odd-parity function.
+    """
+    return TruthTable.from_function(4, lambda a, b, c, d: (a + b + c + d) & 1)
+
+
+def figure1_carry_table() -> TruthTable:
+    """Companion to :func:`figure1_sum_table`: bit 1 of ``a + b + c + d``."""
+    return TruthTable.from_function(4, lambda a, b, c, d: ((a + b + c + d) >> 1) & 1)

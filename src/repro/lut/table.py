@@ -1,0 +1,104 @@
+"""Immutable truth tables."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.coding.bits import bit_length_mask, bits_from_int
+
+
+class TruthTable:
+    """A ``k``-input, 1-output logic function stored as a ``2**k``-bit string.
+
+    Bit ``i`` of :attr:`bits` is the function's output for input address
+    ``i``, where address bit ``j`` is the value of input ``j``.
+    """
+
+    __slots__ = ("_n_inputs", "_bits")
+
+    def __init__(self, n_inputs: int, bits: int) -> None:
+        if n_inputs < 0:
+            raise ValueError(f"n_inputs must be non-negative, got {n_inputs}")
+        size = 1 << n_inputs
+        if bits < 0 or bits >> size:
+            raise ValueError(
+                f"bit string {bits:#x} does not fit a {n_inputs}-input table "
+                f"({size} entries)"
+            )
+        self._n_inputs = n_inputs
+        self._bits = bits
+
+    @classmethod
+    def from_function(cls, n_inputs: int, fn: Callable[..., int]) -> "TruthTable":
+        """Tabulate ``fn(bit0, bit1, ..., bit_{k-1}) -> 0/1``."""
+        bits = 0
+        for address in range(1 << n_inputs):
+            out = fn(*bits_from_int(address, n_inputs))
+            if out not in (0, 1):
+                raise ValueError(
+                    f"function returned {out!r} at address {address}; expected 0/1"
+                )
+            bits |= out << address
+        return cls(n_inputs, bits)
+
+    @classmethod
+    def from_outputs(cls, outputs: Sequence[int]) -> "TruthTable":
+        """Build from an explicit output column (length must be ``2**k``)."""
+        size = len(outputs)
+        n_inputs = size.bit_length() - 1
+        if size == 0 or (1 << n_inputs) != size:
+            raise ValueError(f"output column length {size} is not a power of two")
+        bits = 0
+        for address, out in enumerate(outputs):
+            if out not in (0, 1):
+                raise ValueError(
+                    f"output {out!r} at address {address}; expected 0/1"
+                )
+            bits |= out << address
+        return cls(n_inputs, bits)
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of table inputs ``k``."""
+        return self._n_inputs
+
+    @property
+    def size(self) -> int:
+        """Number of truth-table entries, ``2**k``."""
+        return 1 << self._n_inputs
+
+    @property
+    def bits(self) -> int:
+        """The raw truth-table bit string."""
+        return self._bits
+
+    def lookup(self, address: int) -> int:
+        """Return the fault-free output for ``address``."""
+        if address < 0 or address >= self.size:
+            raise IndexError(f"address {address} out of range 0..{self.size - 1}")
+        return (self._bits >> address) & 1
+
+    def __call__(self, *input_bits: int) -> int:
+        """Evaluate the table on individual input bits."""
+        if len(input_bits) != self._n_inputs:
+            raise ValueError(
+                f"expected {self._n_inputs} input bits, got {len(input_bits)}"
+            )
+        address = 0
+        for j, bit in enumerate(input_bits):
+            if bit not in (0, 1):
+                raise ValueError(f"input {j} is {bit!r}, expected 0 or 1")
+            address |= bit << j
+        return self.lookup(address)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TruthTable):
+            return NotImplemented
+        return self._n_inputs == other._n_inputs and self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash((self._n_inputs, self._bits))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mask = bit_length_mask(self.size)
+        return f"TruthTable(n_inputs={self._n_inputs}, bits={self._bits & mask:#x})"

@@ -1,0 +1,63 @@
+"""Image-processing workloads (paper Section 4).
+
+The NanoBox concept demonstration targets data-parallel, streaming image
+processing: "We model a single processor cell and test the cell with the
+computations needed to reverse the colors of a bitmap and to perform hue
+shifts of a bitmap."  The test bitmap holds 64 eight-bit pixels; reverse
+video XORs every pixel with ``11111111`` and the hue shift adds ``00001100``.
+
+This package provides the bitmap container, deterministic bitmap
+generators, the instruction compilers for the paper's two workloads plus
+additional streaming operations, and simple portable-graymap I/O.
+"""
+
+from repro.workloads.bitmap import Bitmap, checkerboard, gradient, random_bitmap
+from repro.workloads.imaging import (
+    HUE_SHIFT_CONSTANT,
+    REVERSE_VIDEO_MASK,
+    ImageWorkload,
+    brightness_boost,
+    hue_shift,
+    paper_workloads,
+    reverse_video,
+    threshold_mask,
+)
+from repro.workloads.streams import (
+    StreamWorkload,
+    checksum_stream,
+    random_alu_stream,
+    sliding_xor_stream,
+)
+from repro.workloads.dataflow import (
+    DataflowOutcome,
+    DataflowProgram,
+    GridDataflowExecutor,
+    Ref,
+    checksum_tree_program,
+    fir_filter_program,
+)
+
+__all__ = [
+    "Bitmap",
+    "DataflowOutcome",
+    "DataflowProgram",
+    "GridDataflowExecutor",
+    "HUE_SHIFT_CONSTANT",
+    "ImageWorkload",
+    "REVERSE_VIDEO_MASK",
+    "Ref",
+    "StreamWorkload",
+    "checksum_tree_program",
+    "fir_filter_program",
+    "brightness_boost",
+    "checkerboard",
+    "checksum_stream",
+    "gradient",
+    "hue_shift",
+    "paper_workloads",
+    "random_alu_stream",
+    "random_bitmap",
+    "reverse_video",
+    "sliding_xor_stream",
+    "threshold_mask",
+]

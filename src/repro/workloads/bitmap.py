@@ -1,0 +1,170 @@
+"""Bitmap container and generators.
+
+The paper's test workload is a bitmap of 64 eight-bit pixels, which the
+control processor breaks into processor-cell-sized pieces (the unique
+instruction ID doubles as a pixel ID) and reassembles after computation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+#: The paper's concept-demonstration workload size.
+PAPER_PIXEL_COUNT = 64
+
+_PIXEL_MAX = 0xFF
+
+
+class Bitmap:
+    """A small grayscale image: ``height x width`` eight-bit pixels.
+
+    Pixels are stored row-major; :meth:`pixel_stream` yields them in the
+    order the control processor packetises them (pixel ID order).
+    """
+
+    def __init__(self, width: int, height: int, pixels: Sequence[int]) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError(f"bitmap dimensions must be positive, got {width}x{height}")
+        expected = width * height
+        if len(pixels) != expected:
+            raise ValueError(
+                f"expected {expected} pixels for {width}x{height}, got {len(pixels)}"
+            )
+        for i, p in enumerate(pixels):
+            if not 0 <= p <= _PIXEL_MAX:
+                raise ValueError(f"pixel {i} value {p!r} out of 8-bit range")
+        self._width = width
+        self._height = height
+        self._pixels: List[int] = list(pixels)
+
+    # ------------------------------------------------------------ accessors
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    @property
+    def pixel_count(self) -> int:
+        return self._width * self._height
+
+    @property
+    def pixels(self) -> List[int]:
+        """A copy of the pixel values, row-major."""
+        return list(self._pixels)
+
+    def get(self, x: int, y: int) -> int:
+        """Pixel at column ``x``, row ``y``."""
+        self._check_coords(x, y)
+        return self._pixels[y * self._width + x]
+
+    def _check_coords(self, x: int, y: int) -> None:
+        if not (0 <= x < self._width and 0 <= y < self._height):
+            raise IndexError(
+                f"({x}, {y}) outside {self._width}x{self._height} bitmap"
+            )
+
+    def pixel_stream(self) -> Iterator[int]:
+        """Yield pixels in packetisation (pixel ID) order."""
+        return iter(self._pixels)
+
+    # ----------------------------------------------------------- transforms
+
+    def map_pixels(self, fn) -> "Bitmap":
+        """Return a new bitmap with ``fn`` applied to every pixel."""
+        return Bitmap(
+            self._width, self._height, [fn(p) & _PIXEL_MAX for p in self._pixels]
+        )
+
+    def with_pixels(self, pixels: Sequence[int]) -> "Bitmap":
+        """Return a same-shape bitmap holding ``pixels``."""
+        return Bitmap(self._width, self._height, pixels)
+
+    def difference_count(self, other: "Bitmap") -> int:
+        """Number of pixel positions at which two bitmaps differ."""
+        if (self._width, self._height) != (other._width, other._height):
+            raise ValueError("bitmaps must have identical shape")
+        return sum(a != b for a, b in zip(self._pixels, other._pixels))
+
+    # ------------------------------------------------------------------ I/O
+
+    def to_pgm(self) -> str:
+        """Serialise as an ASCII portable graymap (P2)."""
+        rows = []
+        for y in range(self._height):
+            row = self._pixels[y * self._width : (y + 1) * self._width]
+            rows.append(" ".join(str(p) for p in row))
+        body = "\n".join(rows)
+        return f"P2\n{self._width} {self._height}\n{_PIXEL_MAX}\n{body}\n"
+
+    @classmethod
+    def from_pgm(cls, text: str) -> "Bitmap":
+        """Parse an ASCII portable graymap (P2), ignoring ``#`` comments."""
+        tokens: List[str] = []
+        for line in text.splitlines():
+            line = line.split("#", 1)[0]
+            tokens.extend(line.split())
+        if not tokens or tokens[0] != "P2":
+            raise ValueError("not an ASCII PGM (missing P2 magic)")
+        if len(tokens) < 4:
+            raise ValueError("truncated PGM header")
+        width, height, maxval = int(tokens[1]), int(tokens[2]), int(tokens[3])
+        if maxval <= 0 or maxval > _PIXEL_MAX:
+            raise ValueError(f"unsupported maxval {maxval}")
+        values = [int(t) for t in tokens[4:]]
+        if maxval != _PIXEL_MAX:
+            values = [v * _PIXEL_MAX // maxval for v in values]
+        return cls(width, height, values)
+
+    # ------------------------------------------------------------- dunders
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitmap):
+            return NotImplemented
+        return (
+            self._width == other._width
+            and self._height == other._height
+            and self._pixels == other._pixels
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._width, self._height, tuple(self._pixels)))
+
+    def __len__(self) -> int:
+        return self.pixel_count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Bitmap({self._width}x{self._height})"
+
+
+def gradient(width: int = 8, height: int = 8) -> Bitmap:
+    """Deterministic diagonal gradient -- the default 64-pixel workload."""
+    pixels = [
+        ((x * 255 // max(width - 1, 1)) + (y * 255 // max(height - 1, 1))) // 2
+        for y in range(height)
+        for x in range(width)
+    ]
+    return Bitmap(width, height, pixels)
+
+
+def checkerboard(width: int = 8, height: int = 8, low: int = 0, high: int = 255) -> Bitmap:
+    """Two-tone checkerboard, maximally sensitive to bit-flip errors."""
+    for name, v in (("low", low), ("high", high)):
+        if not 0 <= v <= _PIXEL_MAX:
+            raise ValueError(f"{name} value {v} out of 8-bit range")
+    pixels = [
+        high if (x + y) % 2 else low for y in range(height) for x in range(width)
+    ]
+    return Bitmap(width, height, pixels)
+
+
+def random_bitmap(width: int = 8, height: int = 8, seed: int = 0) -> Bitmap:
+    """Uniform random pixels from a seeded generator."""
+    rng = np.random.default_rng(seed)
+    pixels = [int(v) for v in rng.integers(0, 256, size=width * height)]
+    return Bitmap(width, height, pixels)

@@ -1,0 +1,229 @@
+"""Non-streaming (dependent) workloads (paper Section 7).
+
+"In this way, we can evaluate how the NanoBox Processor Grid may be
+adapted for non-streaming workloads."  The streaming image kernels are
+embarrassingly parallel -- every instruction's operands are known up
+front.  A :class:`DataflowProgram` instead forms a DAG: an instruction's
+operands may be *references to other instructions' results*, so the
+control processor must execute the program in dependency waves, feeding
+each wave's results back as the next wave's operands (the NanoBox memory
+word carries only literal operands, so dependency resolution is the
+CMOS host's job -- consistent with the paper's co-processor split).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.alu.base import Opcode
+from repro.alu.reference import reference_compute
+
+
+@dataclass(frozen=True)
+class Ref:
+    """Reference to another dataflow node's 8-bit result."""
+
+    node: int
+
+
+#: A literal 8-bit operand or a reference to a prior node's result.
+Operand = Union[int, Ref]
+
+
+@dataclass(frozen=True)
+class Node:
+    """One dataflow instruction."""
+
+    opcode: Opcode
+    a: Operand
+    b: Operand
+
+    def dependencies(self) -> Tuple[int, ...]:
+        deps = []
+        for operand in (self.a, self.b):
+            if isinstance(operand, Ref):
+                deps.append(operand.node)
+        return tuple(deps)
+
+
+class DataflowProgram:
+    """A DAG of Table 1 instructions executed in dependency waves."""
+
+    def __init__(self) -> None:
+        self._nodes: List[Node] = []
+
+    # ------------------------------------------------------------ building
+
+    def add(self, opcode: Opcode, a: Operand, b: Operand) -> Ref:
+        """Append a node; returns a reference to its future result."""
+        for operand in (a, b):
+            if isinstance(operand, Ref):
+                if not 0 <= operand.node < len(self._nodes):
+                    raise ValueError(
+                        f"reference to undefined node {operand.node}"
+                    )
+            elif not 0 <= operand <= 0xFF:
+                raise ValueError(f"literal operand {operand} out of 8-bit range")
+        self._nodes.append(Node(opcode, a, b))
+        return Ref(len(self._nodes) - 1)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        return tuple(self._nodes)
+
+    # ------------------------------------------------------------- analysis
+
+    def waves(self) -> List[List[int]]:
+        """Partition nodes into dependency levels (wave i depends only on
+        waves < i).  Because ``add`` only allows backward references the
+        graph is acyclic by construction."""
+        level: Dict[int, int] = {}
+        for index, node in enumerate(self._nodes):
+            deps = node.dependencies()
+            level[index] = (
+                0 if not deps else 1 + max(level[d] for d in deps)
+            )
+        result: List[List[int]] = [[] for _ in range(max(level.values(), default=-1) + 1)]
+        for index, lvl in level.items():
+            result[lvl].append(index)
+        return result
+
+    @property
+    def depth(self) -> int:
+        """Number of dependency waves (the critical path length)."""
+        return len(self.waves())
+
+    # ------------------------------------------------------------ reference
+
+    def reference_results(self) -> Dict[int, int]:
+        """Fault-free results of every node."""
+        values: Dict[int, int] = {}
+        for index, node in enumerate(self._nodes):
+            a = values[node.a.node] if isinstance(node.a, Ref) else node.a
+            b = values[node.b.node] if isinstance(node.b, Ref) else node.b
+            values[index] = reference_compute(int(node.opcode), a, b).value
+        return values
+
+
+@dataclass(frozen=True)
+class DataflowOutcome:
+    """Result of running a program through an executor."""
+
+    results: Dict[int, int]
+    waves_executed: int
+    missing: Tuple[int, ...]
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing
+
+    def accuracy_against(self, expected: Dict[int, int]) -> float:
+        if not expected:
+            return 1.0
+        good = sum(
+            1 for node, value in expected.items()
+            if self.results.get(node) == value
+        )
+        return good / len(expected)
+
+
+class GridDataflowExecutor:
+    """Executes dataflow programs on a NanoBox grid, wave by wave.
+
+    Each wave becomes one shift-in/compute/shift-out job; the control
+    processor substitutes resolved results into the next wave's operand
+    fields.  A node whose dependency went missing (dead cells past the
+    retry budget) is skipped and reported in ``missing`` along with its
+    transitive dependents.
+    """
+
+    def __init__(self, simulator) -> None:
+        self._simulator = simulator
+
+    def run(self, program: DataflowProgram, max_rounds: int = 3) -> DataflowOutcome:
+        results: Dict[int, int] = {}
+        missing: List[int] = []
+        waves = program.waves()
+        for wave in waves:
+            instructions = []
+            skipped: List[int] = []
+            for index in wave:
+                node = program.nodes[index]
+                operands = []
+                resolvable = True
+                for operand in (node.a, node.b):
+                    if isinstance(operand, Ref):
+                        if operand.node in results:
+                            operands.append(results[operand.node])
+                        else:
+                            resolvable = False
+                            break
+                    else:
+                        operands.append(operand)
+                if not resolvable:
+                    skipped.append(index)
+                    continue
+                instructions.append(
+                    (index, int(node.opcode), operands[0], operands[1])
+                )
+            missing.extend(skipped)
+            if not instructions:
+                continue
+            job = self._simulator.run_instructions(
+                instructions, max_rounds=max_rounds
+            )
+            results.update(job.results)
+            missing.extend(
+                iid for iid, *_ in instructions if iid not in job.results
+            )
+        return DataflowOutcome(
+            results=results,
+            waves_executed=len(waves),
+            missing=tuple(sorted(missing)),
+        )
+
+
+def fir_filter_program(
+    samples: Sequence[int], taps: Sequence[int] = (0x03, 0x05, 0x02)
+) -> DataflowProgram:
+    """A small multiply-free FIR-like filter as a dataflow program.
+
+    Each output accumulates ANDed tap/sample pairs through a chain of
+    ADDs -- a genuinely dependent computation (depth = number of taps),
+    unlike the single-wave image kernels.
+    """
+    program = DataflowProgram()
+    for start in range(len(samples) - len(taps) + 1):
+        accumulator: Optional[Ref] = None
+        for k, tap in enumerate(taps):
+            term = program.add(Opcode.AND, samples[start + k], tap)
+            if accumulator is None:
+                accumulator = term
+            else:
+                accumulator = program.add(Opcode.ADD, accumulator, term)
+    return program
+
+
+def checksum_tree_program(data: Sequence[int]) -> DataflowProgram:
+    """Balanced XOR-reduction tree over a data block (depth ~ log2 n)."""
+    if not data:
+        raise ValueError("checksum tree needs at least one byte")
+    program = DataflowProgram()
+    frontier: List[Operand] = list(data)
+    while len(frontier) > 1:
+        next_frontier: List[Operand] = []
+        for i in range(0, len(frontier) - 1, 2):
+            next_frontier.append(
+                program.add(Opcode.XOR, frontier[i], frontier[i + 1])
+            )
+        if len(frontier) % 2:
+            next_frontier.append(frontier[-1])
+        frontier = next_frontier
+    if not len(program):
+        # Single byte: emit one no-op XOR with zero so there is a result.
+        program.add(Opcode.XOR, frontier[0], 0)
+    return program

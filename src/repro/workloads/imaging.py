@@ -1,0 +1,104 @@
+"""Image-processing workload compilers.
+
+An :class:`ImageWorkload` turns a bitmap into the per-pixel ALU instruction
+stream a NanoBox processor cell executes, and knows the expected output
+bitmap.  The paper's two workloads:
+
+* *reverse video* -- XOR each pixel with ``11111111``;
+* *hue shift* -- ADD the constant ``00001100`` to each pixel.
+
+Both produce one instruction per pixel, 64 instructions for the paper's
+64-pixel bitmap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.alu.base import Opcode
+from repro.alu.reference import reference_compute
+from repro.workloads.bitmap import Bitmap
+
+#: Reverse video XOR mask (paper Section 4: "11111111").
+REVERSE_VIDEO_MASK = 0xFF
+
+#: Hue shift ADD constant (paper Section 4: "00001100").
+HUE_SHIFT_CONSTANT = 0x0C
+
+#: One compiled instruction: (opcode, operand1, operand2, expected result).
+Instruction = Tuple[int, int, int, int]
+
+
+@dataclass(frozen=True)
+class ImageWorkload:
+    """A named per-pixel ALU operation over a bitmap.
+
+    Attributes:
+        name: workload label used in reports.
+        opcode: Table 1 opcode applied to every pixel.
+        operand: the constant second operand.
+    """
+
+    name: str
+    opcode: Opcode
+    operand: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.operand <= 0xFF:
+            raise ValueError(f"operand {self.operand} out of 8-bit range")
+
+    def compile(self, bitmap: Bitmap) -> List[Instruction]:
+        """Compile to one ``(op, pixel, operand, expected)`` per pixel.
+
+        The instruction index is the pixel ID the control processor uses
+        to reassemble the image.
+        """
+        instructions: List[Instruction] = []
+        for pixel in bitmap.pixel_stream():
+            expected = reference_compute(int(self.opcode), pixel, self.operand).value
+            instructions.append((int(self.opcode), pixel, self.operand, expected))
+        return instructions
+
+    def apply(self, bitmap: Bitmap) -> Bitmap:
+        """Return the expected (fault-free) output bitmap."""
+        return bitmap.map_pixels(
+            lambda p: reference_compute(int(self.opcode), p, self.operand).value
+        )
+
+
+def reverse_video() -> ImageWorkload:
+    """Paper workload 1: reverse the video of a bitmap (XOR ``0xFF``)."""
+    return ImageWorkload("reverse_video", Opcode.XOR, REVERSE_VIDEO_MASK)
+
+
+def hue_shift(constant: int = HUE_SHIFT_CONSTANT) -> ImageWorkload:
+    """Paper workload 2: shift the hue of a bitmap (ADD ``0x0C``)."""
+    return ImageWorkload("hue_shift", Opcode.ADD, constant)
+
+
+def brightness_boost(amount: int = 0x20) -> ImageWorkload:
+    """Extension workload: saturating-free brightness add (wraps at 256)."""
+    return ImageWorkload("brightness_boost", Opcode.ADD, amount)
+
+
+def threshold_mask(mask: int = 0x80) -> ImageWorkload:
+    """Extension workload: AND with a bit mask (keeps the MSB plane)."""
+    return ImageWorkload("threshold_mask", Opcode.AND, mask)
+
+
+def highlight_overlay(mask: int = 0x0F) -> ImageWorkload:
+    """Extension workload: OR with a constant (lifts dark pixels)."""
+    return ImageWorkload("highlight_overlay", Opcode.OR, mask)
+
+
+def paper_workloads(bitmap: Bitmap) -> Dict[str, List[Instruction]]:
+    """Compile the paper's two workloads over ``bitmap``.
+
+    This is the instruction mix behind every plotted point of Figures
+    7-9: five trials of each of these two streams.
+    """
+    return {
+        "reverse_video": reverse_video().compile(bitmap),
+        "hue_shift": hue_shift().compile(bitmap),
+    }

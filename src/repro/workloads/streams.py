@@ -1,0 +1,82 @@
+"""Non-image streaming workloads.
+
+The paper's future work calls for "a range of application-level workloads"
+beyond the two image kernels.  These generators produce additional
+data-parallel instruction streams over the same four-instruction ISA so
+sweeps can check that the fault-tolerance ranking is not an artefact of the
+image workloads' operand patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.alu.base import Opcode
+from repro.alu.reference import reference_compute
+
+#: One instruction: (opcode, operand1, operand2, expected result).
+Instruction = Tuple[int, int, int, int]
+
+
+@dataclass(frozen=True)
+class StreamWorkload:
+    """A named, precompiled instruction stream."""
+
+    name: str
+    instructions: Tuple[Instruction, ...]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+def _with_expected(triples: List[Tuple[int, int, int]]) -> Tuple[Instruction, ...]:
+    return tuple(
+        (op, a, b, reference_compute(op, a, b).value) for op, a, b in triples
+    )
+
+
+def random_alu_stream(length: int = 64, seed: int = 0) -> StreamWorkload:
+    """Uniformly random opcodes and operands -- the least structured mix."""
+    if length <= 0:
+        raise ValueError(f"length must be positive, got {length}")
+    rng = np.random.default_rng(seed)
+    opcodes = [int(m) for m in Opcode]
+    triples = [
+        (
+            opcodes[int(rng.integers(len(opcodes)))],
+            int(rng.integers(256)),
+            int(rng.integers(256)),
+        )
+        for _ in range(length)
+    ]
+    return StreamWorkload("random_alu", _with_expected(triples))
+
+
+def checksum_stream(data: bytes = b"", length: int = 64) -> StreamWorkload:
+    """Additive checksum over a byte stream: ``acc = acc + byte`` per step.
+
+    The dependence chain is *logical* only -- each instruction carries its
+    own operands, as NanoBox memory words do -- but operand values follow
+    the running checksum so errors would compound in a real deployment.
+    """
+    if not data:
+        data = bytes((i * 29 + 7) & 0xFF for i in range(length))
+    acc = 0
+    triples = []
+    for byte in data:
+        triples.append((int(Opcode.ADD), acc, byte))
+        acc = (acc + byte) & 0xFF
+    return StreamWorkload("checksum", _with_expected(triples))
+
+
+def sliding_xor_stream(data: bytes = b"", length: int = 64) -> StreamWorkload:
+    """Pairwise XOR of neighbouring bytes -- an edge-detector-like kernel."""
+    if not data:
+        data = bytes((i * i + 3 * i) & 0xFF for i in range(length + 1))
+    triples = [
+        (int(Opcode.XOR), data[i], data[i + 1]) for i in range(len(data) - 1)
+    ]
+    return StreamWorkload("sliding_xor", _with_expected(triples))

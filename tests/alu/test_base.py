@@ -1,0 +1,60 @@
+"""Unit tests for ALU base types."""
+
+import pytest
+
+from repro.alu.base import (
+    ALUResult,
+    BUNDLE_BITS,
+    INTERNAL_OPCODE,
+    Opcode,
+    RESULT_BITS,
+)
+
+
+class TestOpcode:
+    def test_paper_encodings(self):
+        assert Opcode.AND == 0b000
+        assert Opcode.OR == 0b001
+        assert Opcode.XOR == 0b010
+        assert Opcode.ADD == 0b111
+
+    def test_from_int_valid(self):
+        for op in Opcode:
+            assert Opcode.from_int(int(op)) is op
+
+    @pytest.mark.parametrize("value", [0b011, 0b100, 0b101, 0b110, 8, -1])
+    def test_from_int_invalid(self, value):
+        with pytest.raises(ValueError, match="invalid opcode"):
+            Opcode.from_int(value)
+
+    def test_internal_encoding_is_2bit_and_distinct(self):
+        values = set(INTERNAL_OPCODE.values())
+        assert values == {0b00, 0b01, 0b10, 0b11}
+        assert len(INTERNAL_OPCODE) == 4
+
+
+class TestALUResult:
+    def test_bundle_roundtrip(self):
+        for value in (0, 0xFF, 0x5A):
+            for carry in (0, 1):
+                result = ALUResult(value, carry)
+                assert ALUResult.from_bundle(result.bundle) == result
+
+    def test_bundle_layout(self):
+        assert ALUResult(0xFF, 1).bundle == 0x1FF
+        assert ALUResult(0x01, 0).bundle == 0x001
+        assert BUNDLE_BITS == RESULT_BITS + 1 == 9
+
+    def test_value_range_enforced(self):
+        with pytest.raises(ValueError):
+            ALUResult(256, 0)
+        with pytest.raises(ValueError):
+            ALUResult(-1, 0)
+
+    def test_carry_range_enforced(self):
+        with pytest.raises(ValueError):
+            ALUResult(0, 2)
+
+    def test_from_bundle_range(self):
+        with pytest.raises(ValueError):
+            ALUResult.from_bundle(1 << 9)

@@ -1,0 +1,59 @@
+"""Unit tests for the CMOS baseline ALU."""
+
+import pytest
+
+from repro.alu.base import Opcode
+from repro.alu.cmos import CMOSALU
+from repro.alu.reference import reference_compute
+from tests.conftest import OPERAND_CASES
+
+
+class TestGeometry:
+    def test_paper_site_count(self):
+        assert CMOSALU().site_count == 192
+
+    def test_single_gates_segment(self):
+        alu = CMOSALU()
+        assert [s.name for s in alu.site_space.segments] == ["gates"]
+
+
+class TestCorrectness:
+    def test_matches_reference(self):
+        alu = CMOSALU()
+        for op in Opcode:
+            for a, b in OPERAND_CASES:
+                got = alu.compute(int(op), a, b)
+                want = reference_compute(int(op), a, b)
+                assert (got.value, got.carry) == (want.value, want.carry)
+
+    def test_invalid_opcode(self):
+        with pytest.raises(ValueError):
+            CMOSALU().compute(0b100, 0, 0)
+
+    def test_operand_range(self):
+        with pytest.raises(ValueError):
+            CMOSALU().compute(0, 300, 0)
+
+
+class TestFaultBehaviour:
+    def test_output_gate_flip(self):
+        alu = CMOSALU()
+        # Find the slice-0 output gate by name and flip it.
+        gates = alu.netlist.gates
+        out0 = next(g for g in gates if g.name == "s0.out")
+        clean = alu.compute(int(Opcode.AND), 0xFF, 0xFF).value
+        faulty = alu.compute(
+            int(Opcode.AND), 0xFF, 0xFF, fault_mask=1 << out0.index
+        ).value
+        assert faulty == clean ^ 0x01
+
+    def test_decode_gate_flip_changes_operation(self):
+        alu = CMOSALU()
+        gates = alu.netlist.gates
+        s_and = next(g for g in gates if g.name == "s3.s_and")
+        # Killing slice 3's AND-select forces that slice's output to 0
+        # (no mux leg selected) for an AND instruction with both bits set.
+        faulty = alu.compute(
+            int(Opcode.AND), 0xFF, 0xFF, fault_mask=1 << s_and.index
+        ).value
+        assert faulty == 0xFF ^ 0x08

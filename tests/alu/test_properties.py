@@ -1,0 +1,89 @@
+"""Property-based tests across the ALU family (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alu.base import Opcode
+from repro.alu.nanobox import NanoBoxALU
+from repro.alu.cmos import CMOSALU
+from repro.alu.reference import reference_compute
+from repro.alu.variants import build_alu
+from repro.coding.bits import random_word
+
+operands = st.integers(min_value=0, max_value=255)
+opcodes = st.sampled_from([int(op) for op in Opcode])
+
+
+class TestFaultFreeEquivalence:
+    @given(opcodes, operands, operands)
+    def test_nanobox_schemes_match_reference(self, op, a, b):
+        want = reference_compute(op, a, b)
+        for scheme in ("none", "hamming", "tmr"):
+            got = NanoBoxALU(scheme=scheme).compute(op, a, b)
+            assert (got.value, got.carry) == (want.value, want.carry)
+
+    @given(opcodes, operands, operands)
+    def test_cmos_matches_reference(self, op, a, b):
+        got = CMOSALU().compute(op, a, b)
+        want = reference_compute(op, a, b)
+        assert (got.value, got.carry) == (want.value, want.carry)
+
+
+class TestRedundancyInvariants:
+    @given(opcodes, operands, operands, st.integers(min_value=0, max_value=2),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_single_copy_corruption_always_masked_in_space_redundancy(
+        self, op, a, b, copy, seed
+    ):
+        """Whatever faults land in ONE copy of alusn, the vote holds."""
+        alu = build_alu("alusn")
+        segment = alu.site_space.segment(f"copy{copy}")
+        rng = np.random.default_rng(seed)
+        local = random_word(segment.size, rng)
+        result = alu.compute(op, a, b, fault_mask=segment.inject(local))
+        want = reference_compute(op, a, b)
+        assert (result.value, result.carry) == (want.value, want.carry)
+
+    @given(opcodes, operands, operands, st.integers(min_value=0, max_value=2),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_single_pass_corruption_always_masked_in_time_redundancy(
+        self, op, a, b, pass_index, seed
+    ):
+        alu = build_alu("alutn")
+        segment = alu.site_space.segment(f"pass{pass_index}")
+        rng = np.random.default_rng(seed)
+        local = random_word(segment.size, rng)
+        result = alu.compute(op, a, b, fault_mask=segment.inject(local))
+        want = reference_compute(op, a, b)
+        assert (result.value, result.carry) == (want.value, want.carry)
+
+    @given(opcodes, operands, operands,
+           st.integers(min_value=0, max_value=(1 << 9) - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_single_storage_register_corruption_masked(self, op, a, b, flips):
+        """Any corruption of ONE stored inter-operation result is voted
+        away in the time-redundant configuration."""
+        alu = build_alu("alutn")
+        segment = alu.site_space.segment("stored1")
+        result = alu.compute(op, a, b, fault_mask=segment.inject(flips))
+        want = reference_compute(op, a, b)
+        assert (result.value, result.carry) == (want.value, want.carry)
+
+
+class TestMaskIsTransient:
+    @given(opcodes, operands, operands,
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_no_state_leaks_between_computations(self, op, a, b, seed):
+        """A faulted computation must not contaminate later fault-free
+        ones -- transient faults are per-computation overlays."""
+        alu = build_alu("aluns")
+        rng = np.random.default_rng(seed)
+        mask = random_word(alu.site_count, rng)
+        alu.compute(op, a, b, fault_mask=mask)
+        clean = alu.compute(op, a, b)
+        want = reference_compute(op, a, b)
+        assert (clean.value, clean.carry) == (want.value, want.carry)

@@ -1,0 +1,118 @@
+"""Unit tests for the module-level redundancy wrappers."""
+
+import pytest
+
+from repro.alu.base import Opcode
+from repro.alu.nanobox import NanoBoxALU
+from repro.alu.redundancy import SimplexALU, SpaceRedundantALU, TimeRedundantALU
+from repro.alu.reference import reference_compute
+from repro.alu.voters import LUTVoter
+from tests.conftest import OPERAND_CASES
+
+
+def make_space(scheme="none", voter_scheme=None):
+    return SpaceRedundantALU(
+        lambda: NanoBoxALU(scheme=scheme),
+        LUTVoter(voter_scheme or scheme),
+    )
+
+
+def make_time(scheme="none", voter_scheme=None):
+    return TimeRedundantALU(
+        lambda: NanoBoxALU(scheme=scheme),
+        LUTVoter(voter_scheme or scheme),
+    )
+
+
+class TestSimplex:
+    def test_site_count_passthrough(self):
+        assert SimplexALU(NanoBoxALU("none")).site_count == 512
+
+    def test_compute_delegates(self):
+        alu = SimplexALU(NanoBoxALU("none"))
+        for a, b in OPERAND_CASES:
+            assert alu.compute(0b111, a, b) == reference_compute(0b111, a, b)
+
+    def test_mask_reaches_core(self):
+        alu = SimplexALU(NanoBoxALU("none"))
+        # Same fault as the nanobox test: flip XOR(0,0) entry of slice 0.
+        mask = 1 << 0b10000
+        assert alu.compute(0b010, 0, 0, fault_mask=mask).value == 1
+
+
+class TestSpaceRedundant:
+    def test_layout(self):
+        alu = make_space("tmr", "tmr")
+        names = [s.name for s in alu.site_space.segments]
+        assert names == ["copy0", "copy1", "copy2", "voter"]
+        assert alu.site_count == 3 * 1536 + 432  # aluss = 5040
+
+    def test_fault_free(self):
+        alu = make_space()
+        for op in Opcode:
+            for a, b in OPERAND_CASES[:4]:
+                assert alu.compute(int(op), a, b) == reference_compute(int(op), a, b)
+
+    def test_single_copy_fully_corrupted_is_outvoted(self):
+        alu = make_space("none")
+        copy1 = alu.site_space.segment("copy1")
+        mask = copy1.inject((1 << copy1.size) - 1)
+        for a, b in OPERAND_CASES[:4]:
+            assert alu.compute(0b010, a, b, fault_mask=mask).value == a ^ b
+
+    def test_two_copies_corrupted_defeats_vote(self):
+        alu = make_space("none")
+        # Flip the XOR(0,0) addressed entry of slice 0 in two copies.
+        local = 1 << 0b10000
+        mask = alu.site_space.segment("copy0").inject(local)
+        mask |= alu.site_space.segment("copy1").inject(local)
+        assert alu.compute(0b010, 0, 0, fault_mask=mask).value == 1
+
+    def test_voter_fault_corrupts_final_result(self):
+        alu = make_space("none")
+        voter_seg = alu.site_space.segment("voter")
+        # Voter bit 0 LUT, address x=y=z=1 (since 0^0... choose operands
+        # giving result bit0=1): use XOR(1,0) -> result bit0 = 1.
+        mask = voter_seg.inject(1 << 0b1111)
+        got = alu.compute(0b010, 0x01, 0x00, fault_mask=mask).value
+        assert got == 0x00
+
+
+class TestTimeRedundant:
+    def test_layout(self):
+        alu = make_time("tmr", "tmr")
+        names = [s.name for s in alu.site_space.segments]
+        assert names == ["pass0", "pass1", "pass2", "voter",
+                         "stored0", "stored1", "stored2"]
+        assert alu.site_count == 3 * 1536 + 432 + 27  # aluts = 5067
+
+    def test_storage_sites(self):
+        assert make_time().storage_sites == 27
+
+    def test_fault_free(self):
+        alu = make_time()
+        for op in Opcode:
+            for a, b in OPERAND_CASES[:4]:
+                assert alu.compute(int(op), a, b) == reference_compute(int(op), a, b)
+
+    def test_single_pass_fault_outvoted(self):
+        alu = make_time("none")
+        mask = alu.site_space.segment("pass2").inject(1 << 0b10000)
+        assert alu.compute(0b010, 0, 0, fault_mask=mask).value == 0
+
+    def test_storage_bit_flip_single_copy_outvoted(self):
+        alu = make_time("none")
+        mask = alu.site_space.segment("stored0").inject(1 << 0)
+        assert alu.compute(0b010, 0, 0, fault_mask=mask).value == 0
+
+    def test_storage_flips_in_two_copies_defeat_vote(self):
+        alu = make_time("none")
+        mask = alu.site_space.segment("stored0").inject(1 << 0)
+        mask |= alu.site_space.segment("stored1").inject(1 << 0)
+        assert alu.compute(0b010, 0, 0, fault_mask=mask).value == 1
+
+    def test_carry_travels_through_bundle(self):
+        alu = make_time("none")
+        result = alu.compute(0b111, 0xFF, 0x01)
+        assert result.value == 0x00
+        assert result.carry == 1

@@ -1,0 +1,60 @@
+"""Unit tests for the golden reference ALU (paper Table 1 semantics)."""
+
+import pytest
+
+from repro.alu.base import Opcode
+from repro.alu.reference import ReferenceALU, reference_compute
+from tests.conftest import OPERAND_CASES
+
+
+class TestReferenceCompute:
+    @pytest.mark.parametrize("a,b", OPERAND_CASES)
+    def test_and(self, a, b):
+        assert reference_compute(0b000, a, b).value == a & b
+
+    @pytest.mark.parametrize("a,b", OPERAND_CASES)
+    def test_or(self, a, b):
+        assert reference_compute(0b001, a, b).value == a | b
+
+    @pytest.mark.parametrize("a,b", OPERAND_CASES)
+    def test_xor(self, a, b):
+        assert reference_compute(0b010, a, b).value == a ^ b
+
+    @pytest.mark.parametrize("a,b", OPERAND_CASES)
+    def test_add_truncates_and_carries(self, a, b):
+        result = reference_compute(0b111, a, b)
+        assert result.value == (a + b) & 0xFF
+        assert result.carry == (a + b) >> 8
+
+    def test_logical_ops_never_carry(self):
+        for op in (Opcode.AND, Opcode.OR, Opcode.XOR):
+            assert reference_compute(int(op), 0xFF, 0xFF).carry == 0
+
+    def test_add_carry_boundary(self):
+        assert reference_compute(0b111, 0xFF, 0x01).carry == 1
+        assert reference_compute(0b111, 0xFE, 0x01).carry == 0
+
+    def test_invalid_opcode(self):
+        with pytest.raises(ValueError):
+            reference_compute(0b011, 0, 0)
+
+    def test_operand_range(self):
+        with pytest.raises(ValueError):
+            reference_compute(0b000, 256, 0)
+        with pytest.raises(ValueError):
+            reference_compute(0b000, 0, -1)
+
+
+class TestReferenceALU:
+    def test_zero_sites(self):
+        assert ReferenceALU().site_count == 0
+
+    def test_compute_matches_function(self):
+        alu = ReferenceALU()
+        for a, b in OPERAND_CASES:
+            for op in Opcode:
+                assert alu.compute(int(op), a, b) == reference_compute(int(op), a, b)
+
+    def test_rejects_fault_mask(self):
+        with pytest.raises(ValueError):
+            ReferenceALU().compute(0, 1, 2, fault_mask=1)

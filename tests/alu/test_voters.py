@@ -1,0 +1,96 @@
+"""Unit tests for the module-level voters."""
+
+import itertools
+
+import pytest
+
+from repro.alu.voters import CMOSVoter, LUTVoter, make_voter, voter_truth_table
+
+
+class TestVoterTruthTable:
+    def test_enabled_majority(self):
+        table = voter_truth_table()
+        for x, y, z in itertools.product((0, 1), repeat=3):
+            addr = x | (y << 1) | (z << 2) | (1 << 3)
+            assert table.lookup(addr) == (1 if x + y + z >= 2 else 0)
+
+    def test_disabled_outputs_zero(self):
+        table = voter_truth_table()
+        for addr in range(8):
+            assert table.lookup(addr) == 0
+
+
+class TestLUTVoterGeometry:
+    @pytest.mark.parametrize(
+        "scheme,expected",
+        [("none", 144), ("hamming", 189), ("tmr", 432)],
+    )
+    def test_paper_site_counts(self, scheme, expected):
+        assert LUTVoter(scheme=scheme).site_count == expected
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            LUTVoter(width=0)
+
+
+class TestCMOSVoterGeometry:
+    def test_paper_site_count(self):
+        assert CMOSVoter().site_count == 81
+
+
+@pytest.mark.parametrize("voter", [LUTVoter("none"), LUTVoter("tmr"),
+                                   LUTVoter("hamming"), CMOSVoter()],
+                         ids=["lut-none", "lut-tmr", "lut-hamming", "cmos"])
+class TestVoting:
+    def test_unanimous(self, voter):
+        for value in (0, 0x1FF, 0x0AB):
+            assert voter.vote(value, value, value) == value
+
+    def test_single_dissenter_outvoted(self, voter):
+        good = 0x15A
+        bad = good ^ 0x0FF
+        assert voter.vote(bad, good, good) == good
+        assert voter.vote(good, bad, good) == good
+        assert voter.vote(good, good, bad) == good
+
+    def test_bitwise_not_wordwise(self, voter):
+        # Three different words still produce a per-bit majority.
+        assert voter.vote(0b110000000, 0b101000000, 0b011000000) == 0b111000000
+
+
+class TestVoterFaults:
+    def test_lut_voter_fault_flips_voted_bit(self):
+        voter = LUTVoter("none")
+        # Address for bit 0 with x=y=z=1, enable=1 is 0b1111 = 15.
+        segment = voter.site_space.segment("bit0")
+        mask = segment.inject(1 << 0b1111)
+        assert voter.vote(0x1FF, 0x1FF, 0x1FF, fault_mask=mask) == 0x1FE
+
+    def test_tmr_voter_masks_its_own_single_fault(self):
+        voter = LUTVoter("tmr")
+        segment = voter.site_space.segment("bit0")
+        mask = segment.inject(1 << 0b1111)  # copy 0 of the addressed bit
+        assert voter.vote(0x1FF, 0x1FF, 0x1FF, fault_mask=mask) == 0x1FF
+
+    def test_cmos_voter_fault(self):
+        voter = CMOSVoter()
+        out_gate = next(
+            g for g in voter.netlist.gates if g.name == "v0.out"
+        )
+        got = voter.vote(0x1FF, 0x1FF, 0x1FF, fault_mask=1 << out_gate.index)
+        assert got == 0x1FE
+
+
+class TestMakeVoter:
+    def test_cmos_kind(self):
+        assert isinstance(make_voter("cmos"), CMOSVoter)
+
+    def test_lut_kinds(self):
+        for scheme in ("none", "hamming", "tmr"):
+            voter = make_voter(scheme)
+            assert isinstance(voter, LUTVoter)
+            assert voter.scheme == scheme
+
+    def test_bundle_range_check(self):
+        with pytest.raises(ValueError):
+            LUTVoter("none").vote(1 << 9, 0, 0)

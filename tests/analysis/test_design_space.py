@@ -1,0 +1,88 @@
+"""Tests for the design-space helpers."""
+
+import pytest
+
+from repro.analysis.design_space import (
+    accuracy_per_overhead,
+    fault_budget,
+    fit_budget,
+    marginal_order_gain,
+    nmr_breakeven_probability,
+    tradeoff_table,
+)
+from repro.analysis.models import predicted_percent_correct
+
+
+class TestFaultBudget:
+    def test_budget_meets_target(self):
+        for scheme in ("none", "tmr", "hamming"):
+            budget = fault_budget(scheme, 98.0)
+            assert predicted_percent_correct(scheme, budget) >= 98.0 - 1e-3
+
+    def test_budget_is_maximal(self):
+        budget = fault_budget("tmr", 98.0)
+        assert predicted_percent_correct("tmr", budget + 1e-3) < 98.0
+
+    def test_tmr_budget_dwarfs_uncoded(self):
+        assert fault_budget("tmr", 98.0) > 5 * fault_budget("none", 98.0)
+
+    def test_hamming_budget_below_uncoded(self):
+        assert fault_budget("hamming", 98.0) < fault_budget("none", 98.0)
+
+    def test_unreachable_target(self):
+        # No configuration holds 100.000..% at nonzero faults; at exactly
+        # 100 the budget collapses to ~0.
+        assert fault_budget("none", 100.0) == pytest.approx(0.0, abs=1e-5)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            fault_budget("tmr", 0.0)
+        with pytest.raises(ValueError):
+            fault_budget("tmr", 101.0)
+
+
+class TestFitBudget:
+    def test_paper_headline_decade(self):
+        """TMR strings hold ~98% into the 1e24 FIT decade."""
+        budget = fit_budget("tmr", 98.0)
+        assert 1e23 < budget < 1e25
+
+    def test_ordering(self):
+        assert fit_budget("tmr", 98.0) > fit_budget("none", 98.0) \
+            > fit_budget("hamming", 98.0)
+
+
+class TestTradeoffs:
+    def test_table_shape(self):
+        rows = tradeoff_table(0.02)
+        assert [r[0] for r in rows] == ["none", "hamming", "tmr", "5mr", "7mr"]
+        for _scheme, overhead, accuracy, fom in rows:
+            assert fom == pytest.approx(accuracy / overhead)
+
+    def test_tmr_best_figure_of_merit_at_knee(self):
+        """At the paper's 2-3% knee, triplication's accuracy per unit
+        area beats the information code and every heavier replication
+        order (an unprotected table is always 'cheapest' per site, but
+        misses the accuracy target entirely there)."""
+        rows = {r[0]: r[3] for r in tradeoff_table(0.025)}
+        assert rows["tmr"] > rows["hamming"]
+        assert rows["tmr"] > rows["5mr"] > rows["7mr"]
+
+    def test_accuracy_per_overhead_consistent(self):
+        rows = {r[0]: r[3] for r in tradeoff_table(0.01)}
+        assert accuracy_per_overhead("tmr", 0.01) == pytest.approx(rows["tmr"])
+
+
+class TestNMRAnalysis:
+    def test_breakeven_is_half(self):
+        assert nmr_breakeven_probability() == 0.5
+
+    def test_marginal_gain_positive_below_breakeven(self):
+        assert marginal_order_gain(0.05, 3) > 0
+        assert marginal_order_gain(0.05, 5) > 0
+
+    def test_marginal_gain_shrinks(self):
+        assert marginal_order_gain(0.05, 3) > marginal_order_gain(0.05, 5)
+
+    def test_marginal_gain_negative_above_breakeven(self):
+        assert marginal_order_gain(0.7, 3) < 0

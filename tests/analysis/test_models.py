@@ -1,0 +1,159 @@
+"""Tests for the closed-form models, cross-validated against Monte Carlo."""
+
+import numpy as np
+import pytest
+
+from repro.alu.base import Opcode
+from repro.alu.nanobox import NanoBoxALU
+from repro.alu.redundancy import SimplexALU
+from repro.analysis.models import (
+    hamming_lut_read_error_prob,
+    instruction_error_prob,
+    majority_error_prob,
+    nocode_lut_read_error_prob,
+    per_read_error_prob,
+    predicted_percent_correct,
+    replicated_lut_read_error_prob,
+    voted_bundle_error_prob,
+)
+from repro.faults.campaign import FaultCampaign
+from repro.faults.mask import BernoulliMask
+from repro.lut.coded import CodedLUT
+from repro.lut.table import TruthTable
+
+
+class TestMajorityErrorProb:
+    def test_classic_tmr_formula(self):
+        for p in (0.0, 0.01, 0.1, 0.5, 1.0):
+            expected = 3 * p**2 * (1 - p) + p**3
+            assert majority_error_prob(p, 3) == pytest.approx(expected)
+
+    def test_boundaries(self):
+        assert majority_error_prob(0.0) == 0.0
+        assert majority_error_prob(1.0) == 1.0
+        assert majority_error_prob(0.5) == pytest.approx(0.5)
+
+    def test_higher_order_better_below_half(self):
+        p = 0.05
+        assert majority_error_prob(p, 7) < majority_error_prob(p, 5) < \
+            majority_error_prob(p, 3) < p
+
+    def test_higher_order_worse_above_half(self):
+        p = 0.8
+        assert majority_error_prob(p, 5) > majority_error_prob(p, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            majority_error_prob(0.1, 2)
+        with pytest.raises(ValueError):
+            majority_error_prob(1.5, 3)
+
+
+class TestPerReadModels:
+    def test_nocode_is_identity(self):
+        assert nocode_lut_read_error_prob(0.03) == 0.03
+
+    def test_replicated_is_majority(self):
+        assert replicated_lut_read_error_prob(0.1) == majority_error_prob(0.1, 3)
+
+    def test_dispatch(self):
+        assert per_read_error_prob("none", 0.1) == 0.1
+        assert per_read_error_prob("tmr", 0.1) == majority_error_prob(0.1, 3)
+        with pytest.raises(ValueError):
+            per_read_error_prob("cmos", 0.1)
+
+    def test_hamming_zero_fault_rate(self):
+        assert hamming_lut_read_error_prob(0.0) == pytest.approx(0.0)
+
+    def test_hamming_exceeds_nocode(self):
+        """The check-bit false positives must make the paper-calibrated
+        Hamming read strictly worse than no code."""
+        for p in (0.005, 0.01, 0.03):
+            assert hamming_lut_read_error_prob(p) > nocode_lut_read_error_prob(p)
+
+    def test_hamming_low_density_slope(self):
+        """To first order the error is ~(check bits)*p = 5p: single
+        check-bit hits fire false positives, single data-bit hits are
+        absorbed."""
+        p = 1e-4
+        assert hamming_lut_read_error_prob(p) == pytest.approx(5 * p, rel=0.05)
+
+    def test_hamming_monte_carlo_agreement(self):
+        """Exact DP must match a direct simulation of the coded LUT."""
+        p = 0.02
+        table = TruthTable(5, 0x2B9D_55AA)
+        lut = CodedLUT(table, "hamming")
+        rng = np.random.default_rng(17)
+        address = 7
+        trials = 20000
+        errors = 0
+        block_bits = 21
+        for _ in range(trials):
+            flags = rng.random(block_bits) < p
+            mask = 0
+            for i, f in enumerate(flags):
+                if f:
+                    mask |= 1 << i
+            if lut.read(address, mask) != table.lookup(address):
+                errors += 1
+        measured = errors / trials
+        predicted = hamming_lut_read_error_prob(p, payload_index=address)
+        assert measured == pytest.approx(predicted, abs=0.006)
+
+
+class TestInstructionErrorProb:
+    def test_xor_uses_width_reads(self):
+        q = 0.01
+        assert instruction_error_prob(q, Opcode.XOR) == pytest.approx(
+            1 - (1 - q) ** 8
+        )
+
+    def test_add_uses_double_reads(self):
+        q = 0.01
+        assert instruction_error_prob(q, Opcode.ADD) == pytest.approx(
+            1 - (1 - q) ** 16
+        )
+
+    def test_zero_error(self):
+        assert instruction_error_prob(0.0, Opcode.ADD) == 0.0
+
+
+class TestVotedBundle:
+    def test_perfect_parts(self):
+        assert voted_bundle_error_prob(0.0, 0.0) == 0.0
+
+    def test_voter_dominates_when_cores_perfect(self):
+        q = voted_bundle_error_prob(0.0, 0.01)
+        assert q == pytest.approx(1 - 0.99**9)
+
+
+class TestPredictedPercentCorrect:
+    def test_zero_faults_is_100(self):
+        for scheme in ("none", "tmr", "hamming"):
+            assert predicted_percent_correct(scheme, 0.0) == pytest.approx(100.0)
+
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            predicted_percent_correct("none", 0.01, {Opcode.XOR: 0.6})
+
+    @pytest.mark.parametrize("scheme,variant", [("none", "alunn"), ("tmr", "aluns")])
+    @pytest.mark.parametrize("p", [0.01, 0.03])
+    def test_matches_bernoulli_monte_carlo(self, scheme, variant, p,
+                                           paper_instruction_streams):
+        """Closed form vs simulation within a few points."""
+        from repro.alu.variants import build_alu
+
+        predicted = predicted_percent_correct(scheme, p)
+        campaign = FaultCampaign(build_alu(variant), BernoulliMask(p), seed=3)
+        measured = campaign.run_workload_suite(
+            paper_instruction_streams, trials_per_workload=10
+        ).percent_correct
+        assert measured == pytest.approx(predicted, abs=5.0)
+
+    def test_ranking_matches_paper(self):
+        """At every density the model must rank tmr > none > hamming."""
+        for p in (0.005, 0.01, 0.03, 0.09):
+            tmr = predicted_percent_correct("tmr", p)
+            none = predicted_percent_correct("none", p)
+            hamming = predicted_percent_correct("hamming", p)
+            assert tmr > none > hamming

@@ -1,0 +1,114 @@
+"""Tests for the system-level reliability composition."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.system import (
+    cell_survival_probability,
+    disagreement_probability,
+    expected_instructions_to_disable,
+    expected_surviving_cells,
+    grid_degradation_horizon,
+)
+
+
+class TestDisagreementProbability:
+    def test_zero_faults(self):
+        assert disagreement_probability("tmr", 0.0) == 0.0
+
+    def test_monotone_in_fault_rate(self):
+        values = [disagreement_probability("none", p) for p in (0.01, 0.03, 0.09)]
+        assert values[0] < values[1] < values[2]
+
+    def test_tmr_detects_less_often(self):
+        # TMR masks bit-level faults, so whole-copy errors are rarer.
+        assert disagreement_probability("tmr", 0.03) < \
+            disagreement_probability("none", 0.03)
+
+    def test_bad_mix(self):
+        from repro.alu.base import Opcode
+
+        with pytest.raises(ValueError):
+            disagreement_probability("none", 0.01, {Opcode.XOR: 0.7})
+
+    def test_matches_simulation(self):
+        """Cross-check against the cell's actual disagreement counter."""
+        from repro.alu.nanobox import NanoBoxALU
+        from repro.cell.aluctrl import ALUControl
+        from repro.cell.memory import CellMemory
+        from repro.cell.memword import MemoryWord
+        from repro.faults.mask import BernoulliMask
+
+        p = 0.02
+        rng = np.random.default_rng(3)
+        alu = NanoBoxALU(scheme="none")
+        policy = BernoulliMask(p)
+        memory = CellMemory(32)
+        ctrl = ALUControl(
+            memory, alu,
+            mask_source=lambda: policy.generate(alu.site_count, rng),
+        )
+        trials = 600
+        computed = 0
+        pixels = [(i * 37 + 11) & 0xFF for i in range(32)]
+        while computed < trials:
+            for i in range(32):
+                op = 0b010 if i % 2 == 0 else 0b111
+                memory.write(i, MemoryWord(
+                    instruction_id=i, opcode=op, operand1=pixels[i],
+                    operand2=0x0C, data_valid=True, to_be_computed=True,
+                ))
+            ctrl.reset()
+            computed += ctrl.sweep()
+        measured = ctrl.disagreements / computed
+        predicted = disagreement_probability("none", p)
+        assert measured == pytest.approx(predicted, abs=0.08)
+
+
+class TestDisableHorizon:
+    def test_negative_binomial_mean(self):
+        assert expected_instructions_to_disable(8, 0.1) == pytest.approx(90.0)
+        assert expected_instructions_to_disable(0, 0.5) == pytest.approx(2.0)
+
+    def test_zero_probability_infinite(self):
+        assert expected_instructions_to_disable(8, 0.0) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_instructions_to_disable(-1, 0.1)
+        with pytest.raises(ValueError):
+            expected_instructions_to_disable(1, 1.5)
+
+
+class TestSurvival:
+    def test_no_errors_survive(self):
+        assert cell_survival_probability(1000, 8, 0.0) == 1.0
+
+    def test_monotone_decreasing_in_length(self):
+        values = [
+            cell_survival_probability(n, 4, 0.05) for n in (10, 100, 400)
+        ]
+        assert values[0] > values[1] > values[2]
+
+    def test_expected_surviving_cells(self):
+        expected = expected_surviving_cells(64, 100, 4, 0.05)
+        assert 0 <= expected <= 64
+        assert expected == pytest.approx(
+            64 * cell_survival_probability(100, 4, 0.05)
+        )
+
+    def test_horizon_consistent_with_survival(self):
+        horizon = grid_degradation_horizon("none", 0.02, error_threshold=8)
+        d = disagreement_probability("none", 0.02)
+        assert cell_survival_probability(horizon, 8, d) >= 0.9
+        assert cell_survival_probability(horizon + 5, 8, d) < 0.9 + 0.05
+
+    def test_tmr_horizon_far_longer(self):
+        # At 1% injected faults: ~19 instructions for uncoded cells vs
+        # ~510 for TMR cells before the watchdog starts harvesting.
+        assert grid_degradation_horizon("tmr", 0.01) > \
+            20 * grid_degradation_horizon("none", 0.01)
+
+    def test_horizon_validation(self):
+        with pytest.raises(ValueError):
+            grid_degradation_horizon("none", 0.01, survival_target=1.5)

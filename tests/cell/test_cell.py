@@ -1,0 +1,151 @@
+"""Unit tests for the assembled processor cell."""
+
+import pytest
+
+from repro.alu.nanobox import NanoBoxALU
+from repro.cell.cell import CellFullError, CellMode, ProcessorCell
+from repro.cell.memword import MemoryWord
+
+
+def make_cell(n_words=8, threshold=8):
+    return ProcessorCell(
+        row=2, col=3, alu=NanoBoxALU(scheme="tmr"),
+        n_words=n_words, error_threshold=threshold,
+    )
+
+
+class TestIdentity:
+    def test_cell_id(self):
+        cell = make_cell()
+        assert cell.cell_id == (2, 3)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessorCell(-1, 0, NanoBoxALU())
+
+
+class TestModes:
+    def test_starts_in_shift_in(self):
+        assert make_cell().mode is CellMode.SHIFT_IN
+
+    def test_mode_switch_resets_pointers(self):
+        cell = make_cell()
+        cell.store_instruction(1, 0b010, 0x01, 0xFF)
+        cell.set_mode(CellMode.COMPUTE)
+        cell.compute_step()
+        cell.set_mode(CellMode.SHIFT_OUT)
+        assert cell.pop_result() == (1, 0x01 ^ 0xFF)
+
+
+class TestShiftIn:
+    def test_store_fills_slots_in_order(self):
+        cell = make_cell(n_words=2)
+        assert cell.store_instruction(1, 0, 1, 2) == 0
+        assert cell.store_instruction(2, 0, 1, 2) == 1
+
+    def test_full_memory_raises_and_counts(self):
+        cell = make_cell(n_words=1)
+        cell.store_instruction(1, 0, 1, 2)
+        with pytest.raises(CellFullError):
+            cell.store_instruction(2, 0, 1, 2)
+        assert cell.rejected_packets == 1
+
+    def test_stored_word_pending(self):
+        cell = make_cell()
+        cell.store_instruction(7, 0b111, 10, 20)
+        word = cell.memory.read(0)
+        assert word.data_valid and word.to_be_computed
+        assert word.instruction_id == 7
+
+
+class TestCompute:
+    def test_compute_step_executes(self):
+        cell = make_cell()
+        cell.store_instruction(1, 0b111, 200, 100)
+        cell.set_mode(CellMode.COMPUTE)
+        computed = any(cell.compute_step() for _ in range(8))
+        assert computed
+        assert cell.memory.read(0).result == (200 + 100) & 0xFF
+
+    def test_dead_cell_does_not_compute(self):
+        cell = make_cell(threshold=0)
+        cell.store_instruction(1, 0b010, 1, 2)
+        cell.heartbeat.silence()
+        cell.set_mode(CellMode.COMPUTE)
+        assert not cell.compute_step()
+        assert cell.memory.read(0).to_be_computed
+
+    def test_corrupt_opcode_counts_error(self):
+        cell = make_cell()
+        bad = MemoryWord(
+            instruction_id=1, opcode=0b100, operand1=0, operand2=0,
+            data_valid=True, to_be_computed=True,
+        )
+        cell.memory.write(0, bad)
+        cell.set_mode(CellMode.COMPUTE)
+        cell.compute_step()
+        assert cell.heartbeat.error_count == 1
+
+
+class TestShiftOut:
+    def test_pop_results_in_word_order(self):
+        cell = make_cell()
+        for iid, (a, b) in enumerate([(1, 2), (3, 4), (5, 6)]):
+            cell.store_instruction(iid + 10, 0b111, a, b)
+        cell.set_mode(CellMode.COMPUTE)
+        for _ in range(10):
+            cell.compute_step()
+        cell.set_mode(CellMode.SHIFT_OUT)
+        assert cell.pop_result() == (10, 3)
+        assert cell.pop_result() == (11, 7)
+        assert cell.pop_result() == (12, 11)
+        assert cell.pop_result() is None
+
+    def test_pop_skips_pending_words(self):
+        cell = make_cell()
+        cell.store_instruction(1, 0b010, 0, 0)  # never computed
+        cell.set_mode(CellMode.SHIFT_OUT)
+        assert cell.pop_result() is None
+
+    def test_popped_words_erased(self):
+        cell = make_cell()
+        cell.store_instruction(1, 0b010, 0xF0, 0x0F)
+        cell.set_mode(CellMode.COMPUTE)
+        for _ in range(4):
+            cell.compute_step()
+        cell.set_mode(CellMode.SHIFT_OUT)
+        cell.pop_result()
+        assert cell.memory.occupancy() == 0
+
+
+class TestSalvage:
+    def test_extract_pending_removes_words(self):
+        cell = make_cell()
+        cell.store_instruction(1, 0b010, 1, 2)
+        cell.store_instruction(2, 0b010, 3, 4)
+        words = cell.extract_pending()
+        assert [w.instruction_id for w in words] == [1, 2]
+        assert cell.memory.occupancy() == 0
+
+    def test_adopt_word_runs_on_next_pass(self):
+        donor = make_cell()
+        donor.store_instruction(9, 0b111, 2, 3)
+        salvaged = donor.extract_pending()[0]
+
+        adopter = make_cell()
+        adopter.set_mode(CellMode.COMPUTE)
+        adopter.adopt_word(salvaged)
+        for _ in range(4):
+            adopter.compute_step()
+        assert adopter.memory.read(0).result == 5
+
+    def test_adopt_full_cell_raises(self):
+        cell = make_cell(n_words=1)
+        cell.store_instruction(1, 0, 1, 2)
+        with pytest.raises(CellFullError):
+            cell.adopt_word(
+                MemoryWord(
+                    instruction_id=2, opcode=0, operand1=0, operand2=0,
+                    data_valid=True, to_be_computed=True,
+                )
+            )

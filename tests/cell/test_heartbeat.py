@@ -1,0 +1,60 @@
+"""Unit tests for the heartbeat generator."""
+
+import pytest
+
+from repro.cell.heartbeat import Heartbeat
+
+
+class TestHeartbeat:
+    def test_beats_while_healthy(self):
+        hb = Heartbeat(error_threshold=2)
+        assert hb.beat()
+        assert hb.beat()
+        assert hb.beats_emitted == 2
+
+    def test_errors_within_threshold_keep_beating(self):
+        hb = Heartbeat(error_threshold=3)
+        hb.record_error(3)
+        assert hb.healthy
+        assert hb.beat()
+
+    def test_exceeding_threshold_silences(self):
+        hb = Heartbeat(error_threshold=3)
+        hb.record_error(4)
+        assert not hb.healthy
+        assert not hb.beat()
+
+    def test_incremental_errors(self):
+        hb = Heartbeat(error_threshold=2)
+        for _ in range(2):
+            hb.record_error()
+            assert hb.beat()
+        hb.record_error()
+        assert not hb.beat()
+
+    def test_zero_threshold(self):
+        hb = Heartbeat(error_threshold=0)
+        assert hb.beat()
+        hb.record_error()
+        assert not hb.beat()
+
+    def test_forced_silence(self):
+        hb = Heartbeat(error_threshold=100)
+        hb.silence()
+        assert not hb.healthy
+        assert not hb.beat()
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            Heartbeat(error_threshold=-1)
+
+    def test_negative_error_count_rejected(self):
+        with pytest.raises(ValueError):
+            Heartbeat().record_error(-1)
+
+    def test_silence_does_not_count_beats(self):
+        hb = Heartbeat()
+        hb.beat()
+        hb.silence()
+        hb.beat()
+        assert hb.beats_emitted == 1

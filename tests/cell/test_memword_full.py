@@ -1,0 +1,114 @@
+"""Tests for the fully-triplicated memory word codec."""
+
+import numpy as np
+import pytest
+
+from repro.cell.memword import MemoryWord
+from repro.cell.memword_full import (
+    FULL_WORD_BITS,
+    FullyTriplicatedWord,
+    storage_overhead,
+)
+
+
+def sample(**overrides):
+    fields = dict(
+        instruction_id=0x4321, opcode=0b111, operand1=0x9C,
+        operand2=0x0C, result=0xA8, data_valid=True, to_be_computed=True,
+    )
+    fields.update(overrides)
+    return FullyTriplicatedWord(**fields)
+
+
+class TestLayout:
+    def test_width(self):
+        assert FULL_WORD_BITS == 3 * 45 == 135
+
+    def test_overhead(self):
+        assert storage_overhead() == pytest.approx(135 / 65)
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        word = sample()
+        assert FullyTriplicatedWord.unpack(word.pack()) == word
+
+    def test_field_validation(self):
+        with pytest.raises(ValueError):
+            sample(operand1=256)
+        with pytest.raises(ValueError):
+            sample(opcode=8)
+
+    def test_unpack_range(self):
+        with pytest.raises(ValueError):
+            FullyTriplicatedWord.unpack(1 << FULL_WORD_BITS)
+
+    def test_every_single_upset_masked(self):
+        """The whole point: ANY single stored-bit flip anywhere in the
+        word leaves every field intact -- including the operands the
+        paper layout exposes."""
+        word = sample()
+        raw = word.pack()
+        for bit in range(FULL_WORD_BITS):
+            assert FullyTriplicatedWord.unpack(raw ^ (1 << bit)) == word
+
+    def test_paper_layout_exposes_operands(self):
+        """Contrast case: the paper layout has single bits that corrupt
+        an operand."""
+        paper = sample().to_paper_word()
+        raw = paper.pack()
+        exposed = sum(
+            1
+            for bit in range(65)
+            if MemoryWord.unpack(raw ^ (1 << bit)).operand1 != paper.operand1
+        )
+        assert exposed == 8  # each operand1 bit is a single point of failure
+
+    def test_double_upset_same_field_bit_defeats_vote(self):
+        word = sample()
+        width = FullyTriplicatedWord.copy_width()
+        # Flip instruction_id bit 0 in copies 0 and 1.
+        raw = word.pack() ^ 1 ^ (1 << width)
+        decoded = FullyTriplicatedWord.unpack(raw)
+        assert decoded.instruction_id == word.instruction_id ^ 1
+
+
+class TestConversions:
+    def test_paper_roundtrip(self):
+        word = sample()
+        assert FullyTriplicatedWord.from_paper_word(
+            word.to_paper_word()
+        ) == word
+
+
+class TestUpsetResilienceComparison:
+    def test_full_tmr_beats_paper_layout_per_bit(self):
+        """At equal per-bit upset probability, the fully triplicated
+        word corrupts its operand/ID fields far less often."""
+        rng = np.random.default_rng(0)
+        word = sample()
+        paper_raw = word.to_paper_word().pack()
+        full_raw = word.pack()
+        p = 0.02
+        trials = 1500
+        paper_bad = full_bad = 0
+        for _ in range(trials):
+            paper_noise = 0
+            for i in range(65):
+                if rng.random() < p:
+                    paper_noise |= 1 << i
+            full_noise = 0
+            for i in range(FULL_WORD_BITS):
+                if rng.random() < p:
+                    full_noise |= 1 << i
+            decoded_paper = MemoryWord.unpack(paper_raw ^ paper_noise)
+            decoded_full = FullyTriplicatedWord.unpack(full_raw ^ full_noise)
+            if (decoded_paper.operand1, decoded_paper.instruction_id) != (
+                word.operand1, word.instruction_id
+            ):
+                paper_bad += 1
+            if (decoded_full.operand1, decoded_full.instruction_id) != (
+                word.operand1, word.instruction_id
+            ):
+                full_bad += 1
+        assert full_bad < paper_bad / 3

@@ -1,0 +1,102 @@
+"""Property-based tests for the cell layer (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cell.memword import (
+    DATA_VALID_OFFSET,
+    MEMORY_WORD_BITS,
+    MemoryWord,
+    TO_BE_COMPUTED_OFFSET,
+)
+from repro.cell.router import Direction, hop_count, route_packet
+from repro.coding.bits import popcount
+
+words = st.builds(
+    MemoryWord,
+    instruction_id=st.integers(min_value=0, max_value=0xFFFF),
+    opcode=st.integers(min_value=0, max_value=7),
+    operand1=st.integers(min_value=0, max_value=255),
+    operand2=st.integers(min_value=0, max_value=255),
+    result=st.integers(min_value=0, max_value=255),
+    data_valid=st.booleans(),
+    to_be_computed=st.booleans(),
+)
+
+coords = st.tuples(st.integers(min_value=0, max_value=15),
+                   st.integers(min_value=0, max_value=15))
+
+
+class TestMemoryWordProperties:
+    @given(words)
+    def test_pack_unpack_roundtrip(self, word):
+        assert MemoryWord.unpack(word.pack()) == word
+
+    @given(words)
+    def test_packed_width(self, word):
+        assert word.pack() >> MEMORY_WORD_BITS == 0
+
+    @given(words, st.integers(min_value=0, max_value=MEMORY_WORD_BITS - 1))
+    def test_single_upset_never_corrupts_protected_fields(self, word, bit):
+        """Any single stored-bit flip leaves the triplicated flags and
+        the voted result intact."""
+        corrupted = word.pack() ^ (1 << bit)
+        read = MemoryWord.unpack(corrupted)
+        assert read.data_valid == word.data_valid
+        assert read.to_be_computed == word.to_be_computed
+        assert read.result == word.result
+
+    @given(words, st.integers(min_value=0,
+                              max_value=(1 << MEMORY_WORD_BITS) - 1))
+    def test_unpack_total_on_any_corruption(self, word, noise):
+        """unpack never raises, whatever the corruption pattern."""
+        read = MemoryWord.unpack(word.pack() ^ noise)
+        assert 0 <= read.result <= 255
+        assert 0 <= read.opcode <= 7
+
+    @given(words, st.tuples(st.integers(min_value=0, max_value=255),
+                            st.integers(min_value=0, max_value=255),
+                            st.integers(min_value=0, max_value=255)))
+    def test_voted_result_is_bitwise_majority(self, word, results):
+        raw = MemoryWord.store_results(word.pack(), results)
+        a, b, c = results
+        assert MemoryWord.voted_result(raw) == (a & b) | (b & c) | (a & c)
+
+    @given(words)
+    def test_clear_then_set_flag_roundtrip(self, word):
+        raw = word.pack()
+        cleared = MemoryWord.clear_to_be_computed(raw)
+        assert not MemoryWord.unpack(cleared).to_be_computed
+        restored = MemoryWord.set_to_be_computed(cleared)
+        assert MemoryWord.unpack(restored).to_be_computed
+
+
+class TestRoutingProperties:
+    @given(coords, coords)
+    def test_route_always_converges(self, dest, start):
+        row, col = start
+        for _ in range(64):
+            decision = route_packet(dest[0], dest[1], row, col)
+            if decision.keep:
+                break
+            row, col = decision.direction.step(row, col)
+        assert (row, col) == dest
+
+    @given(coords, coords)
+    def test_each_hop_reduces_distance(self, dest, start):
+        if dest == start:
+            return
+        decision = route_packet(dest[0], dest[1], start[0], start[1])
+        nxt = decision.direction.step(*start)
+        assert hop_count(dest[0], dest[1], *nxt) == hop_count(
+            dest[0], dest[1], *start
+        ) - 1
+
+    @given(coords, coords)
+    def test_keep_iff_at_destination(self, dest, cell):
+        decision = route_packet(dest[0], dest[1], cell[0], cell[1])
+        assert decision.keep == (dest == cell)
+
+    @given(st.sampled_from(list(Direction)))
+    def test_opposite_is_involution(self, direction):
+        assert direction.opposite().opposite() is direction

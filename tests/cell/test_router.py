@@ -1,0 +1,83 @@
+"""Unit tests for the five-case routing rule (paper Section 3.3)."""
+
+import pytest
+
+from repro.cell.router import Direction, hop_count, route_packet
+
+
+class TestFiveCases:
+    def test_send_left_when_dest_col_greater(self):
+        # Column addresses decrease moving right, so a higher destination
+        # column lies to the LEFT.
+        assert route_packet(2, 5, 2, 3).direction is Direction.LEFT
+
+    def test_send_right_when_dest_col_smaller(self):
+        assert route_packet(2, 1, 2, 3).direction is Direction.RIGHT
+
+    def test_send_up_when_dest_row_greater(self):
+        # Row addresses decrease moving down, so a higher destination row
+        # lies UP (toward the control processor).
+        assert route_packet(5, 3, 2, 3).direction is Direction.UP
+
+    def test_send_down_when_dest_row_smaller(self):
+        assert route_packet(0, 3, 2, 3).direction is Direction.DOWN
+
+    def test_keep_here(self):
+        decision = route_packet(2, 3, 2, 3)
+        assert decision.direction is Direction.HERE
+        assert decision.keep
+
+    def test_column_takes_priority_over_row(self):
+        # Dimension order: resolve column first, then row.
+        assert route_packet(9, 9, 0, 0).direction is Direction.LEFT
+        assert route_packet(9, 0, 0, 0).direction is Direction.UP
+
+
+class TestDirectionGeometry:
+    def test_opposites(self):
+        assert Direction.UP.opposite() is Direction.DOWN
+        assert Direction.LEFT.opposite() is Direction.RIGHT
+        assert Direction.HERE.opposite() is Direction.HERE
+
+    def test_step_axes(self):
+        assert Direction.UP.step(1, 1) == (2, 1)
+        assert Direction.DOWN.step(1, 1) == (0, 1)
+        assert Direction.LEFT.step(1, 1) == (1, 2)
+        assert Direction.RIGHT.step(1, 1) == (1, 0)
+        assert Direction.HERE.step(1, 1) == (1, 1)
+
+    def test_step_matches_routing_semantics(self):
+        """Following the routing decision one hop must strictly reduce
+        the Manhattan distance to the destination."""
+        dest = (3, 4)
+        for row in range(6):
+            for col in range(6):
+                if (row, col) == dest:
+                    continue
+                decision = route_packet(dest[0], dest[1], row, col)
+                nr, nc = decision.direction.step(row, col)
+                assert hop_count(dest[0], dest[1], nr, nc) == hop_count(
+                    dest[0], dest[1], row, col
+                ) - 1
+
+
+class TestHopCount:
+    def test_zero_at_destination(self):
+        assert hop_count(2, 2, 2, 2) == 0
+
+    def test_manhattan(self):
+        assert hop_count(0, 0, 3, 4) == 7
+
+
+class TestRoutingConvergence:
+    @pytest.mark.parametrize("dest", [(0, 0), (7, 7), (3, 5), (5, 0)])
+    def test_every_start_reaches_destination(self, dest):
+        for start_row in range(8):
+            for start_col in range(8):
+                row, col = start_row, start_col
+                for _ in range(20):
+                    decision = route_packet(dest[0], dest[1], row, col)
+                    if decision.keep:
+                        break
+                    row, col = decision.direction.step(row, col)
+                assert (row, col) == dest

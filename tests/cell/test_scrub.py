@@ -1,0 +1,98 @@
+"""Tests for memory scrubbing."""
+
+import pytest
+
+from repro.cell.memory import CellMemory
+from repro.cell.memword import (
+    DATA_VALID_OFFSET,
+    MemoryWord,
+    TO_BE_COMPUTED_OFFSET,
+)
+
+
+def valid_word(iid=1):
+    return MemoryWord(
+        instruction_id=iid, opcode=0b010, operand1=0x0F, operand2=0xF0,
+        result=0xFF, data_valid=True, to_be_computed=False,
+    )
+
+
+class TestScrub:
+    def test_clean_memory_noop(self):
+        memory = CellMemory(4)
+        memory.write(0, valid_word())
+        assert memory.scrub() == 0
+        assert memory.read(0) == valid_word()
+
+    def test_single_flag_upset_repaired(self):
+        memory = CellMemory(2)
+        memory.write(0, valid_word())
+        memory.apply_faults(1 << DATA_VALID_OFFSET)  # one dv copy flips
+        assert memory.scrub() == 1
+        # All three copies agree again.
+        raw = memory.read_raw(0)
+        copies = [(raw >> (DATA_VALID_OFFSET + c)) & 1 for c in range(3)]
+        assert copies == [1, 1, 1]
+
+    def test_result_copy_upset_repaired(self):
+        memory = CellMemory(1)
+        memory.write(0, valid_word())
+        raw = memory.read_raw(0)
+        raw = MemoryWord.store_results(raw, (0xFF, 0xF0, 0xFF))
+        memory.write_raw(0, raw)
+        corrected = memory.scrub()
+        assert corrected == 4  # the four flipped bits of copy 1
+        assert MemoryWord.result_copies(memory.read_raw(0)) == (0xFF,) * 3
+
+    def test_two_copy_upset_locks_in_wrong_value(self):
+        """Scrubbing can only restore the majority; if two copies flipped
+        first, the wrong value becomes canonical -- the inherent TMR
+        limit."""
+        memory = CellMemory(1)
+        memory.write(0, valid_word())
+        memory.apply_faults(0b11 << TO_BE_COMPUTED_OFFSET)
+        memory.scrub()
+        assert memory.read(0).to_be_computed  # wrong, and now unanimous
+
+    def test_invalid_word_with_stray_bits_cleared(self):
+        memory = CellMemory(1)
+        # A freed word picks up a stray upset: scrub must zero it before
+        # further upsets can drift it toward a phantom-valid word.
+        memory.apply_faults(1 << DATA_VALID_OFFSET)
+        assert memory.scrub() == 1
+        assert memory.read_raw(0) == 0
+
+    def test_nontriplicated_fields_untouched(self):
+        memory = CellMemory(1)
+        memory.write(0, valid_word())
+        memory.apply_faults(1 << 0)  # instruction-ID bit: unprotected
+        memory.scrub()
+        assert memory.read(0).instruction_id == valid_word().instruction_id ^ 1
+
+
+class TestSimulatorScrubbing:
+    def test_scrub_counter_and_benefit(self):
+        from repro.grid.simulator import GridSimulator
+        from repro.workloads.bitmap import gradient
+        from repro.workloads.imaging import reverse_video
+
+        upset_rate = 3e-4
+        plain = GridSimulator(rows=2, cols=2, seed=5,
+                              memory_upset_rate=upset_rate)
+        scrubbed = GridSimulator(rows=2, cols=2, seed=5,
+                                 memory_upset_rate=upset_rate,
+                                 scrub_interval=8)
+        acc_plain = plain.run_image_job(
+            gradient(8, 8), reverse_video()
+        ).pixel_accuracy
+        acc_scrubbed = scrubbed.run_image_job(
+            gradient(8, 8), reverse_video()
+        ).pixel_accuracy
+        assert scrubbed.scrub_corrections > 0
+        assert acc_scrubbed >= acc_plain
+
+    def test_invalid_interval(self):
+        from repro.grid.simulator import GridSimulator
+
+        with pytest.raises(ValueError):
+            GridSimulator(scrub_interval=-1)

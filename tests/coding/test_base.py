@@ -1,0 +1,51 @@
+"""Unit tests for the block-code base interface and the identity code."""
+
+import pytest
+
+from repro.coding.base import DecodeOutcome, DecodeResult, IdentityCode
+
+
+class TestIdentityCode:
+    def test_no_overhead(self):
+        code = IdentityCode(32)
+        assert code.total_bits == 32
+        assert code.check_bits == 0
+        assert code.overhead == 1.0
+
+    def test_encode_is_identity(self):
+        code = IdentityCode(16)
+        for data in (0, 1, 0xFFFF, 0x1234):
+            assert code.encode(data) == data
+
+    def test_decode_never_flags(self):
+        code = IdentityCode(8)
+        for stored in range(256):
+            result = code.decode(stored)
+            assert result.data == stored
+            assert result.outcome is DecodeOutcome.CLEAN
+            assert not result.corrected
+
+    def test_range_checks(self):
+        code = IdentityCode(4)
+        with pytest.raises(ValueError):
+            code.encode(16)
+        with pytest.raises(ValueError):
+            code.decode(16)
+
+    def test_invalid_data_bits(self):
+        with pytest.raises(ValueError):
+            IdentityCode(0)
+        with pytest.raises(ValueError):
+            IdentityCode(-3)
+
+
+class TestDecodeResult:
+    def test_corrected_property(self):
+        assert DecodeResult(0, DecodeOutcome.CORRECTED, 3).corrected
+        assert not DecodeResult(0, DecodeOutcome.CLEAN).corrected
+        assert not DecodeResult(0, DecodeOutcome.DETECTED).corrected
+
+    def test_frozen(self):
+        result = DecodeResult(1, DecodeOutcome.CLEAN)
+        with pytest.raises(AttributeError):
+            result.data = 2

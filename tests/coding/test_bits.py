@@ -1,0 +1,128 @@
+"""Unit tests for bit-string helpers."""
+
+import numpy as np
+import pytest
+
+from repro.coding.bits import (
+    bit_length_mask,
+    bits_from_int,
+    bits_to_int,
+    hamming_distance,
+    majority_int,
+    popcount,
+    random_word,
+)
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount(0) == 0
+
+    def test_single_bits(self):
+        for i in range(70):
+            assert popcount(1 << i) == 1
+
+    def test_all_ones(self):
+        assert popcount((1 << 100) - 1) == 100
+
+    def test_mixed(self):
+        assert popcount(0b1011001) == 4
+
+
+class TestBitLengthMask:
+    def test_zero_width(self):
+        assert bit_length_mask(0) == 0
+
+    def test_small_widths(self):
+        assert bit_length_mask(1) == 1
+        assert bit_length_mask(4) == 0xF
+        assert bit_length_mask(8) == 0xFF
+
+    def test_large_width(self):
+        assert bit_length_mask(200) == (1 << 200) - 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bit_length_mask(-1)
+
+
+class TestBitsConversion:
+    def test_roundtrip(self):
+        for value in (0, 1, 0b1011, 0xDEAD, (1 << 33) | 5):
+            n = max(value.bit_length(), 1)
+            assert bits_to_int(bits_from_int(value, n)) == value
+
+    def test_little_endian_order(self):
+        assert bits_from_int(0b001, 3) == [1, 0, 0]
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            bits_from_int(16, 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bits_from_int(-1, 4)
+
+    def test_bad_bit_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2, 1])
+
+
+class TestHammingDistance:
+    def test_identical(self):
+        assert hamming_distance(0xABCD, 0xABCD) == 0
+
+    def test_single_flip(self):
+        assert hamming_distance(0b1000, 0b0000) == 1
+
+    def test_symmetry(self):
+        assert hamming_distance(0b1100, 0b0011) == hamming_distance(0b0011, 0b1100)
+
+
+class TestMajorityInt:
+    def test_three_way(self):
+        assert majority_int([0b1100, 0b1010, 0b1001]) == 0b1000
+
+    def test_unanimous(self):
+        assert majority_int([0xF0, 0xF0, 0xF0]) == 0xF0
+
+    def test_five_way(self):
+        # bit 0 set in 3 of 5 -> kept; bit 1 set in 2 of 5 -> dropped.
+        words = [0b01, 0b01, 0b11, 0b10, 0b00]
+        assert majority_int(words) == 0b01
+
+    def test_single_word(self):
+        assert majority_int([42]) == 42
+
+    def test_even_count_rejected(self):
+        with pytest.raises(ValueError):
+            majority_int([1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            majority_int([])
+
+    def test_one_corrupted_copy_masked(self):
+        base = 0b10110010
+        corrupted = base ^ 0b00011000
+        assert majority_int([base, corrupted, base]) == base
+
+
+class TestRandomWord:
+    def test_width_respected(self, rng):
+        for width in (1, 8, 31, 32, 33, 100):
+            for _ in range(20):
+                value = random_word(width, rng)
+                assert 0 <= value < (1 << width)
+
+    def test_zero_width(self, rng):
+        assert random_word(0, rng) == 0
+
+    def test_deterministic_per_seed(self):
+        a = random_word(64, np.random.default_rng(7))
+        b = random_word(64, np.random.default_rng(7))
+        assert a == b
+
+    def test_covers_high_bits(self, rng):
+        # Over many draws of a 64-bit word, the top bit should appear.
+        assert any(random_word(64, rng) >> 63 for _ in range(64))

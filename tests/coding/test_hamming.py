@@ -1,0 +1,112 @@
+"""Unit tests for the Hamming SEC code."""
+
+import pytest
+
+from repro.coding.base import DecodeOutcome
+from repro.coding.hamming import HammingCode, check_bits_for
+
+
+class TestCheckBitsFor:
+    def test_paper_geometry(self):
+        # 16 data bits need 5 check bits: this is what lands alunh on 672.
+        assert check_bits_for(16) == 5
+
+    def test_small_sizes(self):
+        assert check_bits_for(1) == 2
+        assert check_bits_for(4) == 3
+        assert check_bits_for(11) == 4
+
+    def test_boundaries(self):
+        assert check_bits_for(26) == 5   # 2^5 - 5 - 1 = 26
+        assert check_bits_for(27) == 6
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            check_bits_for(0)
+
+
+class TestHammingGeometry:
+    def test_total_bits(self):
+        code = HammingCode(16)
+        assert code.total_bits == 21
+        assert code.check_bits == 5
+
+    def test_positions_partition(self):
+        code = HammingCode(16)
+        assert len(code.data_positions) == 16
+        assert len(code.check_positions) == 5
+        assert set(code.data_positions) | set(code.check_positions) == set(range(21))
+
+    def test_check_positions_are_powers_of_two(self):
+        code = HammingCode(16)
+        for idx in code.check_positions:
+            position = idx + 1
+            assert position & (position - 1) == 0
+
+    def test_overhead(self):
+        assert HammingCode(16).overhead == pytest.approx(21 / 16)
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("data_bits", [4, 8, 11, 16])
+    def test_roundtrip_clean(self, data_bits):
+        code = HammingCode(data_bits)
+        for data in range(min(1 << data_bits, 256)):
+            result = code.decode(code.encode(data))
+            assert result.data == data
+            assert result.outcome is DecodeOutcome.CLEAN
+
+    def test_encode_range_check(self):
+        with pytest.raises(ValueError):
+            HammingCode(4).encode(16)
+
+    def test_decode_range_check(self):
+        with pytest.raises(ValueError):
+            HammingCode(4).decode(1 << 10)
+
+    @pytest.mark.parametrize("data", [0, 1, 0x5A5A, 0xFFFF, 0x8001])
+    def test_single_error_corrected_everywhere(self, data):
+        code = HammingCode(16)
+        stored = code.encode(data)
+        for position in range(code.total_bits):
+            result = code.decode(stored ^ (1 << position))
+            assert result.data == data, f"flip at {position} not corrected"
+            assert result.outcome is DecodeOutcome.CORRECTED
+            assert result.flipped_position == position
+
+    def test_double_error_miscorrects_or_detects(self):
+        # A double error must never be reported CLEAN.
+        code = HammingCode(16)
+        stored = code.encode(0x1234)
+        for i in range(code.total_bits):
+            for j in range(i + 1, code.total_bits):
+                corrupted = stored ^ (1 << i) ^ (1 << j)
+                result = code.decode(corrupted)
+                assert result.outcome is not DecodeOutcome.CLEAN
+
+    def test_syndrome_zero_iff_codeword(self):
+        code = HammingCode(8)
+        for data in range(256):
+            assert code.syndrome(code.encode(data)) == 0
+
+    def test_extract_ignores_check_bits(self):
+        code = HammingCode(16)
+        stored = code.encode(0xBEEF)
+        # Corrupting a check bit leaves extraction untouched.
+        for idx in code.check_positions:
+            assert code.extract(stored ^ (1 << idx)) == 0xBEEF
+
+
+class TestShortenedCodeEdgeCases:
+    def test_invalid_syndrome_detected(self):
+        # For a shortened code some double errors produce syndromes past
+        # the code length; the decoder must flag rather than crash.
+        code = HammingCode(16)
+        stored = code.encode(0)
+        seen_detected = False
+        for i in range(code.total_bits):
+            for j in range(i + 1, code.total_bits):
+                result = code.decode(stored ^ (1 << i) ^ (1 << j))
+                if result.outcome is DecodeOutcome.DETECTED:
+                    seen_detected = True
+        assert seen_detected, "expected some invalid syndromes in a shortened code"

@@ -1,0 +1,128 @@
+"""Unit tests for the Hsiao SEC-DED code."""
+
+import itertools
+
+import pytest
+
+from repro.coding.base import DecodeOutcome
+from repro.coding.bits import popcount
+from repro.coding.hsiao import HsiaoCode, check_bits_for
+
+
+class TestCheckBitsFor:
+    def test_classic_22_16(self):
+        assert check_bits_for(16) == 6
+
+    def test_small_sizes(self):
+        assert check_bits_for(1) == 3   # one weight-3 column needs width 3
+        assert check_bits_for(4) == 4   # C(4,3)=4 columns
+        assert check_bits_for(8) == 5   # C(5,3)=10 >= 8
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            check_bits_for(0)
+
+
+class TestConstruction:
+    def test_geometry(self):
+        code = HsiaoCode(16)
+        assert code.total_bits == 22
+        assert code.check_bits == 6
+
+    def test_columns_odd_weight_and_distinct(self):
+        code = HsiaoCode(16)
+        assert len(set(code.columns)) == 16
+        for col in code.columns:
+            assert popcount(col) % 2 == 1
+            assert popcount(col) >= 3
+
+    def test_minimum_weight_selection(self):
+        # With r=6 there are C(6,3)=20 weight-3 columns: all 16 used
+        # columns should be weight 3.
+        code = HsiaoCode(16)
+        assert all(popcount(c) == 3 for c in code.columns)
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("data_bits", [4, 8, 16])
+    def test_clean_roundtrip(self, data_bits):
+        code = HsiaoCode(data_bits)
+        for data in range(min(1 << data_bits, 256)):
+            result = code.decode(code.encode(data))
+            assert result.data == data
+            assert result.outcome is DecodeOutcome.CLEAN
+
+    @pytest.mark.parametrize("data", [0, 0xFFFF, 0x5A5A, 0x8001])
+    def test_single_error_corrected(self, data):
+        code = HsiaoCode(16)
+        stored = code.encode(data)
+        for position in range(code.total_bits):
+            result = code.decode(stored ^ (1 << position))
+            assert result.data == data, f"single error at {position}"
+            assert result.outcome is DecodeOutcome.CORRECTED
+            assert result.flipped_position == position
+
+    def test_every_double_error_detected_never_miscorrected(self):
+        """The SEC-DED guarantee Hamming lacks: any two flips produce a
+        DETECTED verdict with the payload passed through unmodified --
+        no third bit is ever corrupted by the decoder."""
+        code = HsiaoCode(16)
+        data = 0x1234
+        stored = code.encode(data)
+        data_mask = (1 << 16) - 1
+        for i, j in itertools.combinations(range(code.total_bits), 2):
+            corrupted = stored ^ (1 << i) ^ (1 << j)
+            result = code.decode(corrupted)
+            assert result.outcome is DecodeOutcome.DETECTED, (i, j)
+            assert result.data == corrupted & data_mask
+
+    def test_syndrome_zero_iff_codeword(self):
+        code = HsiaoCode(8)
+        for data in range(256):
+            assert code.syndrome(code.encode(data)) == 0
+
+    def test_range_checks(self):
+        code = HsiaoCode(4)
+        with pytest.raises(ValueError):
+            code.encode(16)
+        with pytest.raises(ValueError):
+            code.decode(1 << code.total_bits)
+
+
+class TestHsiaoLUTScheme:
+    def test_lut_geometry(self):
+        from repro.lut.coded import CodedLUT
+        from repro.lut.table import TruthTable
+
+        table = TruthTable.from_function(5, lambda *b: sum(b) % 2)
+        lut = CodedLUT(table, "hsiao")
+        assert lut.total_bits == 44  # two (22,16) blocks
+
+    def test_single_fault_never_observable(self):
+        from repro.lut.coded import CodedLUT
+        from repro.lut.table import TruthTable
+
+        table = TruthTable.from_function(5, lambda *b: sum(b) % 2)
+        lut = CodedLUT(table, "hsiao")
+        for address in (0, 13, 31):
+            for site in range(44):
+                assert lut.read(address, 1 << site) == table.lookup(address)
+
+    def test_double_fault_no_false_positive(self):
+        """A double error on *non-addressed* bits of the block must leave
+        the addressed read intact -- the fix for the alunh pathology."""
+        from repro.coding.hsiao import HsiaoCode as HC
+        from repro.lut.coded import CodedLUT
+        from repro.lut.table import TruthTable
+
+        table = TruthTable.from_function(5, lambda *b: sum(b) % 2)
+        lut = CodedLUT(table, "hsiao")
+        address = 3  # block 0, payload index 3
+        # Flip two other data bits of block 0.
+        mask = (1 << 5) | (1 << 9)
+        assert lut.read(address, mask) == table.lookup(address)
+
+    def test_registry(self):
+        from repro.coding import make_code
+
+        assert make_code("hsiao", 16).total_bits == 22

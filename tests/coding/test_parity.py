@@ -1,0 +1,52 @@
+"""Unit tests for the detect-only parity code."""
+
+import pytest
+
+from repro.coding.base import DecodeOutcome
+from repro.coding.parity import ParityCode
+
+
+class TestParityCode:
+    def test_one_check_bit(self):
+        code = ParityCode(16)
+        assert code.total_bits == 17
+        assert code.check_bits == 1
+
+    def test_even_parity_invariant(self):
+        code = ParityCode(8)
+        for data in range(256):
+            stored = code.encode(data)
+            assert bin(stored).count("1") % 2 == 0
+
+    def test_clean_roundtrip(self):
+        code = ParityCode(8)
+        for data in range(256):
+            result = code.decode(code.encode(data))
+            assert result.data == data
+            assert result.outcome is DecodeOutcome.CLEAN
+
+    def test_single_error_detected_not_corrected(self):
+        code = ParityCode(8)
+        stored = code.encode(0b1010_0101)
+        for position in range(code.total_bits):
+            result = code.decode(stored ^ (1 << position))
+            assert result.outcome is DecodeOutcome.DETECTED
+            # Payload passes through as stored (possibly wrong): detection only.
+            if position < 8:
+                assert result.data == 0b1010_0101 ^ (1 << position)
+            else:
+                assert result.data == 0b1010_0101
+
+    def test_double_error_escapes_detection(self):
+        code = ParityCode(8)
+        stored = code.encode(0xFF)
+        result = code.decode(stored ^ 0b11)
+        assert result.outcome is DecodeOutcome.CLEAN  # the classic parity hole
+        assert result.data != 0xFF
+
+    def test_range_checks(self):
+        code = ParityCode(4)
+        with pytest.raises(ValueError):
+            code.encode(16)
+        with pytest.raises(ValueError):
+            code.decode(1 << 5)

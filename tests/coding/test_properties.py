@@ -1,0 +1,142 @@
+"""Property-based tests for the coding substrate (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import (
+    HammingCode,
+    IdentityCode,
+    ParityCode,
+    RepetitionCode,
+)
+from repro.coding.base import DecodeOutcome
+from repro.coding.bits import (
+    bits_from_int,
+    bits_to_int,
+    hamming_distance,
+    majority_int,
+    popcount,
+)
+
+data16 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+data8 = st.integers(min_value=0, max_value=255)
+
+
+class TestBitProperties:
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_popcount_matches_bin(self, value):
+        assert popcount(value) == bin(value).count("1")
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=64, max_value=80))
+    def test_bits_roundtrip(self, value, width):
+        assert bits_to_int(bits_from_int(value, width)) == value
+
+    @given(data16, data16, data16)
+    def test_majority3_between_inputs(self, a, b, c):
+        m = majority_int([a, b, c])
+        # Majority of any bit equals at least two of the inputs' bits,
+        # so m agrees with each input on at least ... the simplest
+        # invariant: majority(a, a, c) == a.
+        assert majority_int([a, a, c]) == a
+        # Bound: every set bit of m is set in at least two inputs.
+        for i in range(max(a, b, c).bit_length()):
+            votes = ((a >> i) & 1) + ((b >> i) & 1) + ((c >> i) & 1)
+            assert ((m >> i) & 1) == (1 if votes >= 2 else 0)
+
+    @given(data16, data16)
+    def test_hamming_distance_triangle_zero(self, a, b):
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+        assert hamming_distance(a, a) == 0
+        assert (hamming_distance(a, b) == 0) == (a == b)
+
+
+class TestHammingProperties:
+    @given(data16)
+    def test_roundtrip(self, data):
+        code = HammingCode(16)
+        assert code.decode(code.encode(data)).data == data
+
+    @given(data16, st.integers(min_value=0, max_value=20))
+    def test_any_single_error_corrected(self, data, position):
+        code = HammingCode(16)
+        result = code.decode(code.encode(data) ^ (1 << position))
+        assert result.data == data
+        assert result.outcome is DecodeOutcome.CORRECTED
+
+    @given(data16, st.integers(min_value=0, max_value=20),
+           st.integers(min_value=0, max_value=20))
+    def test_double_error_never_clean(self, data, i, j):
+        if i == j:
+            return
+        code = HammingCode(16)
+        result = code.decode(code.encode(data) ^ (1 << i) ^ (1 << j))
+        assert result.outcome is not DecodeOutcome.CLEAN
+
+    @given(data16)
+    def test_codeword_weight_parity_structure(self, data):
+        # Syndrome of a valid codeword is always zero.
+        code = HammingCode(16)
+        assert code.syndrome(code.encode(data)) == 0
+
+
+class TestRepetitionProperties:
+    @given(data8, st.sampled_from([3, 5, 7]))
+    def test_roundtrip(self, data, copies):
+        code = RepetitionCode(8, copies=copies)
+        assert code.decode(code.encode(data)).data == data
+
+    @given(data8, st.lists(st.integers(min_value=0, max_value=23),
+                           min_size=1, max_size=1))
+    def test_single_flip_always_masked(self, data, flips):
+        code = RepetitionCode(8)
+        stored = code.encode(data)
+        for f in flips:
+            stored ^= 1 << f
+        assert code.decode(stored).data == data
+
+    @given(data8, st.integers(min_value=0, max_value=(1 << 24) - 1))
+    def test_decode_bit_consistent_with_decode(self, data, noise):
+        code = RepetitionCode(8)
+        stored = code.encode(data) ^ noise
+        full = code.decode(stored).data
+        for i in range(8):
+            assert code.decode_bit(stored, i) == (full >> i) & 1
+
+    @given(data8, st.integers(min_value=0, max_value=(1 << 24) - 1))
+    def test_majority_bounded_by_copies(self, data, noise):
+        # Whatever the corruption, the decoded value only contains bits
+        # that at least two copies assert.
+        code = RepetitionCode(8)
+        stored = code.encode(data) ^ noise
+        words = code.copy_words(stored)
+        decoded = code.decode(stored).data
+        for i in range(8):
+            votes = sum((w >> i) & 1 for w in words)
+            assert ((decoded >> i) & 1) == (1 if votes >= 2 else 0)
+
+
+class TestParityProperties:
+    @given(data8)
+    def test_roundtrip(self, data):
+        code = ParityCode(8)
+        result = code.decode(code.encode(data))
+        assert result.data == data
+        assert result.outcome is DecodeOutcome.CLEAN
+
+    @given(data8, st.integers(min_value=0, max_value=(1 << 9) - 1))
+    def test_detection_iff_odd_weight_error(self, data, error):
+        code = ParityCode(8)
+        result = code.decode(code.encode(data) ^ error)
+        if popcount(error) % 2 == 1:
+            assert result.outcome is DecodeOutcome.DETECTED
+        else:
+            assert result.outcome is DecodeOutcome.CLEAN
+
+
+class TestIdentityProperties:
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_transparent(self, data):
+        code = IdentityCode(32)
+        assert code.encode(data) == data
+        assert code.decode(data).data == data

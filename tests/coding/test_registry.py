@@ -1,0 +1,49 @@
+"""Unit tests for the code registry."""
+
+import pytest
+
+from repro.coding import (
+    HammingCode,
+    IdentityCode,
+    ParityCode,
+    RepetitionCode,
+    available_codes,
+    make_code,
+)
+
+
+class TestRegistry:
+    def test_available_sorted(self):
+        names = available_codes()
+        assert list(names) == sorted(names)
+        assert {"none", "hamming", "tmr", "parity"} <= set(names)
+
+    def test_make_none(self):
+        assert isinstance(make_code("none", 32), IdentityCode)
+
+    def test_make_hamming(self):
+        code = make_code("hamming", 16)
+        assert isinstance(code, HammingCode)
+        assert code.total_bits == 21
+
+    def test_make_tmr(self):
+        code = make_code("tmr", 32)
+        assert isinstance(code, RepetitionCode)
+        assert code.copies == 3
+
+    def test_make_higher_order(self):
+        assert make_code("5mr", 8).total_bits == 40
+        assert make_code("7mr", 8).total_bits == 56
+
+    def test_make_parity(self):
+        assert isinstance(make_code("parity", 8), ParityCode)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown code"):
+            make_code("reed-solomon", 16)
+
+    @pytest.mark.parametrize("name", ["none", "hamming", "tmr", "parity"])
+    def test_all_roundtrip(self, name):
+        code = make_code(name, 8)
+        for data in (0, 0x55, 0xFF):
+            assert code.decode(code.encode(data)).data == data

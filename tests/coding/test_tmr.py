@@ -1,0 +1,89 @@
+"""Unit tests for the repetition (NMR) code."""
+
+import pytest
+
+from repro.coding.base import DecodeOutcome
+from repro.coding.tmr import RepetitionCode
+
+
+class TestConstruction:
+    def test_default_triplication(self):
+        code = RepetitionCode(32)
+        assert code.copies == 3
+        assert code.total_bits == 96
+
+    def test_five_copies(self):
+        assert RepetitionCode(8, copies=5).total_bits == 40
+
+    @pytest.mark.parametrize("copies", [0, 2, 4, -1])
+    def test_even_or_nonpositive_copies_rejected(self, copies):
+        with pytest.raises(ValueError):
+            RepetitionCode(8, copies=copies)
+
+    def test_paper_lut_geometry(self):
+        # One 32-entry LUT triplicated = 96 sites; 16 LUTs = aluns' 1536.
+        assert 16 * RepetitionCode(32).total_bits == 1536
+
+
+class TestEncodeDecode:
+    def test_encode_replicates(self):
+        code = RepetitionCode(4)
+        assert code.encode(0b1010) == 0b1010_1010_1010
+
+    def test_clean_roundtrip(self):
+        code = RepetitionCode(8)
+        for data in range(256):
+            result = code.decode(code.encode(data))
+            assert result.data == data
+            assert result.outcome is DecodeOutcome.CLEAN
+
+    def test_single_copy_corruption_masked(self):
+        code = RepetitionCode(8)
+        stored = code.encode(0b1100_0011)
+        for copy in range(3):
+            for bit in range(8):
+                corrupted = stored ^ (1 << (copy * 8 + bit))
+                result = code.decode(corrupted)
+                assert result.data == 0b1100_0011
+                assert result.outcome is DecodeOutcome.CORRECTED
+
+    def test_two_copies_same_bit_not_masked(self):
+        code = RepetitionCode(8)
+        stored = code.encode(0)
+        corrupted = stored ^ (1 << 3) ^ (1 << (8 + 3))  # bit 3 in copies 0, 1
+        assert code.decode(corrupted).data == 1 << 3
+
+    def test_errors_in_different_bits_of_different_copies_masked(self):
+        code = RepetitionCode(8)
+        stored = code.encode(0x96)
+        corrupted = stored ^ (1 << 0) ^ (1 << (8 + 5)) ^ (1 << (16 + 7))
+        assert code.decode(corrupted).data == 0x96
+
+    def test_copy_words(self):
+        code = RepetitionCode(4)
+        stored = code.encode(0b0110)
+        assert code.copy_words(stored) == [0b0110] * 3
+
+
+class TestDecodeBit:
+    def test_matches_full_decode(self, rng):
+        code = RepetitionCode(16)
+        stored = code.encode(0xA5C3)
+        for _ in range(50):
+            corrupted = stored
+            for __ in range(3):
+                corrupted ^= 1 << int(rng.integers(code.total_bits))
+            full = code.decode(corrupted).data
+            for i in range(16):
+                assert code.decode_bit(corrupted, i) == (full >> i) & 1
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            RepetitionCode(8).decode_bit(0, 8)
+
+    def test_five_copy_masking(self):
+        code = RepetitionCode(4, copies=5)
+        stored = code.encode(0b1111)
+        # Two copies of bit 0 corrupted: 3 of 5 still say 1.
+        corrupted = stored ^ 1 ^ (1 << 4)
+        assert code.decode_bit(corrupted, 0) == 1

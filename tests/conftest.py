@@ -1,0 +1,40 @@
+"""Shared fixtures for the NanoBox test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.bitmap import gradient
+from repro.workloads.imaging import paper_workloads
+
+
+@pytest.fixture
+def rng():
+    """Deterministic NumPy generator for tests that need randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def paper_bitmap():
+    """The 64-pixel gradient bitmap used as the default workload image."""
+    return gradient(8, 8)
+
+
+@pytest.fixture(scope="session")
+def paper_instruction_streams(paper_bitmap):
+    """Compiled reverse-video + hue-shift instruction streams."""
+    return paper_workloads(paper_bitmap)
+
+
+#: Representative operand pairs exercising corner values and mixed bits.
+OPERAND_CASES = [
+    (0x00, 0x00),
+    (0xFF, 0xFF),
+    (0xAA, 0x55),
+    (0x0F, 0xF0),
+    (0x01, 0xFF),
+    (0x80, 0x80),
+    (0xC8, 0x64),
+    (0x3C, 0xA7),
+]

@@ -1,0 +1,69 @@
+"""Unit tests for NanoBox tree nodes."""
+
+import pytest
+
+from repro.core.box import FaultToleranceLevel, NanoBox
+
+
+def leaf(name, sites=10, level=FaultToleranceLevel.BIT, technique="tmr"):
+    return NanoBox(name=name, level=level, technique=technique, sites=sites)
+
+
+class TestLevels:
+    def test_ranks(self):
+        assert FaultToleranceLevel.BIT.rank == 0
+        assert FaultToleranceLevel.MODULE.rank == 1
+        assert FaultToleranceLevel.SYSTEM.rank == 2
+
+
+class TestNanoBox:
+    def test_leaf(self):
+        box = leaf("lut")
+        assert box.depth == 1
+        assert box.own_sites == 10
+        assert box.leaf_count() == 1
+
+    def test_nested(self):
+        children = (leaf("a", 10), leaf("b", 20))
+        parent = NanoBox(
+            "core", FaultToleranceLevel.MODULE, "space", 35, children
+        )
+        assert parent.own_sites == 5
+        assert parent.depth == 2
+        assert parent.leaf_count() == 2
+
+    def test_children_cannot_exceed_parent(self):
+        with pytest.raises(ValueError, match="children"):
+            NanoBox(
+                "bad", FaultToleranceLevel.MODULE, "x", 5, (leaf("a", 10),)
+            )
+
+    def test_negative_sites_rejected(self):
+        with pytest.raises(ValueError):
+            leaf("neg", sites=-1)
+
+    def test_walk_preorder(self):
+        inner = NanoBox(
+            "inner", FaultToleranceLevel.BIT, "x", 3, (leaf("deep", 1),)
+        )
+        root = NanoBox("root", FaultToleranceLevel.MODULE, "y", 10, (inner,))
+        assert [b.name for b in root.walk()] == ["root", "inner", "deep"]
+
+    def test_find(self):
+        root = NanoBox(
+            "root", FaultToleranceLevel.MODULE, "y", 10, (leaf("needle", 2),)
+        )
+        assert root.find("needle").sites == 2
+        assert root.find("missing") is None
+
+    def test_boxes_at_level(self):
+        root = NanoBox(
+            "root",
+            FaultToleranceLevel.MODULE,
+            "space",
+            30,
+            (leaf("a"), leaf("b"),
+             NanoBox("voter", FaultToleranceLevel.MODULE, "maj", 5)),
+        )
+        assert len(root.boxes_at(FaultToleranceLevel.BIT)) == 2
+        assert len(root.boxes_at(FaultToleranceLevel.MODULE)) == 2  # root + voter

@@ -1,0 +1,81 @@
+"""Unit tests for hierarchy introspection and area accounting."""
+
+import pytest
+
+from repro.alu.reference import ReferenceALU
+from repro.alu.variants import build_alu
+from repro.core.box import FaultToleranceLevel
+from repro.core.hierarchy import area_overhead, describe_unit, render_tree
+
+
+class TestDescribeUnit:
+    def test_simplex_nanobox(self):
+        box = describe_unit(build_alu("alunn"))
+        assert box.level is FaultToleranceLevel.MODULE
+        assert box.technique == "none"
+        assert box.sites == 512
+        assert box.leaf_count() == 16  # the sixteen LUTs
+
+    def test_space_redundant(self):
+        box = describe_unit(build_alu("aluss"))
+        assert box.technique == "space-redundancy"
+        assert box.sites == 5040
+        names = [c.name for c in box.children]
+        assert any("copy0" in n for n in names)
+        assert any("voter" in n for n in names)
+
+    def test_time_redundant_has_registers(self):
+        box = describe_unit(build_alu("aluts"))
+        assert box.technique == "time-redundancy"
+        registers = [
+            c for c in box.children if "result_registers" in c.name
+        ]
+        assert len(registers) == 1
+        assert registers[0].sites == 27
+
+    def test_cmos_core_is_opaque_leaf(self):
+        box = describe_unit(build_alu("aluncmos"))
+        core = box.children[0]
+        assert core.technique == "cmos-gates"
+        assert not core.children
+
+    def test_site_totals_consistent(self):
+        for name in ("alunn", "alunh", "aluss", "alutcmos"):
+            unit = build_alu(name)
+            box = describe_unit(unit)
+            assert box.sites == unit.site_count
+
+    def test_reference_alu(self):
+        box = describe_unit(ReferenceALU())
+        assert box.sites == 0
+        assert box.technique == "oracle"
+
+    def test_custom_name(self):
+        assert describe_unit(build_alu("alunn"), name="cellA").name == "cellA"
+
+
+class TestRenderTree:
+    def test_contains_key_lines(self):
+        text = render_tree(describe_unit(build_alu("aluts")))
+        assert "time-redundancy" in text
+        assert "sites=5067" in text
+        assert "16 x tmr leaf boxes" in text
+
+    def test_leaf_render(self):
+        from repro.core.box import NanoBox
+
+        text = render_tree(
+            NanoBox("solo", FaultToleranceLevel.BIT, "none", 4)
+        )
+        assert text == "solo  [bit/none]  sites=4"
+
+
+class TestAreaOverhead:
+    def test_paper_headline(self):
+        overhead = area_overhead(build_alu("aluss"), build_alu("alunn"))
+        assert overhead == pytest.approx(5040 / 512)
+        assert 9.0 < overhead < 10.0  # "on the order of 9x"
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            area_overhead(build_alu("alunn"), ReferenceALU())

@@ -1,0 +1,72 @@
+"""Unit tests for the hierarchy error ledger."""
+
+import numpy as np
+import pytest
+
+from repro.alu.variants import build_alu
+from repro.coding.bits import random_word
+from repro.core.telemetry import ErrorLedger
+
+
+class TestErrorLedger:
+    def test_clean_runs_counted(self):
+        ledger = ErrorLedger(build_alu("alunn"))
+        report = ledger.observe(0b010, 0x12, 0x34, fault_mask=0)
+        assert report.total_faults == 0
+        assert report.output_correct
+        assert not report.masked
+        assert ledger.clean_runs == 1
+        assert ledger.observations == 1
+
+    def test_coverage_requires_faulty_runs(self):
+        ledger = ErrorLedger(build_alu("alunn"))
+        ledger.observe(0b010, 1, 2, fault_mask=0)
+        with pytest.raises(ValueError):
+            ledger.coverage()
+
+    def test_masked_fault_detected(self):
+        alu = build_alu("aluns")  # bit-level TMR masks single flips
+        ledger = ErrorLedger(alu)
+        # One fault: a single copy of the slice-0 XOR(0,0) entry.
+        seg = alu.site_space.segment("core")
+        report = ledger.observe(0b010, 0, 0, fault_mask=1 << 16)
+        assert report.total_faults == 1
+        assert report.output_correct
+        assert report.masked
+        assert ledger.masked_count == 1
+
+    def test_unmasked_fault_detected(self):
+        alu = build_alu("alunn")
+        ledger = ErrorLedger(alu)
+        report = ledger.observe(0b010, 0, 0, fault_mask=1 << 0b10000)
+        assert not report.output_correct
+        assert ledger.unmasked_count == 1
+
+    def test_segment_attribution(self):
+        alu = build_alu("aluss")
+        ledger = ErrorLedger(alu)
+        voter_seg = alu.site_space.segment("voter")
+        mask = voter_seg.inject(0b101)
+        report = ledger.observe(0b000, 0xFF, 0x0F, fault_mask=mask)
+        assert report.faults_by_segment["voter"] == 2
+        assert ledger.segment_faults["voter"] == 2
+        assert ledger.segment_faults["copy0"] == 0
+
+    def test_coverage_by_fault_count_monotone_tail(self):
+        """Masking probability at 1 fault must exceed that at many
+        faults for the TMR ALU."""
+        alu = build_alu("aluns")
+        ledger = ErrorLedger(alu)
+        rng = np.random.default_rng(5)
+        for _ in range(150):
+            # one random single-site fault
+            site = int(rng.integers(alu.site_count))
+            ledger.observe(0b010, 0xAA, 0x55, fault_mask=1 << site)
+        for _ in range(150):
+            mask = random_word(alu.site_count, rng)  # ~50% density
+            ledger.observe(0b010, 0xAA, 0x55, fault_mask=mask)
+        coverage = ledger.coverage_by_fault_count()
+        single = coverage[1]
+        heavy = np.mean([v for k, v in coverage.items() if k > 100])
+        assert single > 0.95
+        assert single > heavy

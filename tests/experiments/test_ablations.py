@@ -1,0 +1,79 @@
+"""Tests for the ablation studies (reduced sweeps)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    hamming_block_size_ablation,
+    hamming_semantics_ablation,
+    mask_policy_ablation,
+    redundancy_order_ablation,
+    voter_coding_ablation,
+)
+
+QUICK = (0, 2, 9)
+TRIALS = 3
+
+
+class TestHammingSemantics:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return hamming_semantics_ablation(percents=QUICK,
+                                          trials_per_workload=TRIALS)
+
+    def test_all_semantics_present(self, series):
+        assert set(series) == {
+            "none", "hamming", "hamming-sec", "hamming-fp", "hsiao",
+        }
+
+    def test_hsiao_beats_paper_hamming(self, series):
+        """SEC-DED refuses to correct on even syndromes, so the
+        double-error false positives disappear."""
+        assert series["hsiao"][1] > series["hamming"][1]
+
+    def test_textbook_sec_beats_none_at_low_density(self, series):
+        """A clean SEC decoder absorbs single hits the uncoded table
+        cannot -- the paper's architecture, not the code, loses."""
+        assert series["hamming-sec"][1] >= series["none"][1]
+
+    def test_paper_decoder_loses_to_none(self, series):
+        assert series["hamming"][1] < series["none"][1]
+
+    def test_pessimistic_decoder_worst(self, series):
+        assert series["hamming-fp"][1] <= series["hamming"][1]
+
+
+class TestRedundancyOrder:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return redundancy_order_ablation(percents=QUICK,
+                                         trials_per_workload=TRIALS)
+
+    def test_more_copies_better_at_moderate_density(self, series):
+        assert series["7x"][1] >= series["5x"][1] >= series["3x"][1] \
+            > series["1x"][1]
+
+    def test_everything_perfect_at_zero(self, series):
+        for label in series:
+            assert series[label][0] == 100.0
+
+
+class TestVoterCoding:
+    def test_tmr_voter_best_protected(self):
+        series = voter_coding_ablation(percents=(3,), trials_per_workload=4)
+        assert series["voter:tmr"][0] >= series["voter:hamming"][0] - 3.0
+        assert series["voter:tmr"][0] >= series["voter:none"][0] - 3.0
+
+
+class TestMaskPolicy:
+    def test_exact_and_bernoulli_agree(self):
+        series = mask_policy_ablation(percents=(0, 3), trials_per_workload=5)
+        assert series["exact"][0] == series["bernoulli"][0] == 100.0
+        assert abs(series["exact"][1] - series["bernoulli"][1]) < 8.0
+
+
+class TestHammingBlockSize:
+    def test_smaller_blocks_fewer_false_positives(self):
+        series = hamming_block_size_ablation(percents=(1,),
+                                             trials_per_workload=4)
+        # Fewer non-addressed check bits per syndrome -> higher accuracy.
+        assert series["block8"][0] >= series["block32"][0]

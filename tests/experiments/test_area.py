@@ -1,0 +1,31 @@
+"""Tests for the area-overhead accounting."""
+
+import pytest
+
+from repro.experiments.area import (
+    area_rows,
+    area_table_text,
+    headline_overhead,
+)
+
+
+class TestAreaOverhead:
+    def test_headline_is_order_nine(self):
+        overhead = headline_overhead()
+        assert overhead == pytest.approx(5040 / 512)
+        assert 9.0 <= overhead < 10.0
+
+    def test_baseline_normalised(self):
+        rows = {name: ratio for name, _, ratio, _ in area_rows()}
+        assert rows["alunn"] == 1.0
+
+    def test_monotone_with_redundancy(self):
+        rows = {name: ratio for name, _, ratio, _ in area_rows()}
+        assert rows["aluns"] == pytest.approx(3.0)
+        assert rows["aluss"] > rows["alusn"] > rows["alunn"]
+        assert rows["aluts"] > rows["aluss"]  # +27 storage sites
+
+    def test_render(self):
+        text = area_table_text()
+        assert "9.84x" in text
+        assert "alunn" in text

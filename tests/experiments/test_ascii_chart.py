@@ -1,0 +1,63 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.ascii_chart import MARKERS, ascii_chart, figure_chart
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        text = ascii_chart(
+            ["0", "1"], {"a": [100.0, 50.0], "b": [100.0, 0.0]}
+        )
+        assert "legend: o=a  x=b" not in text  # markers are positional
+        assert "o=a" in text
+        assert "*=b" in text
+        lines = text.splitlines()
+        assert any(line.startswith(" 100.0 |") for line in lines)
+        assert any(line.startswith("   0.0 |") for line in lines)
+
+    def test_overlap_marker(self):
+        text = ascii_chart(["0"], {"a": [100.0], "b": [100.0]})
+        assert "=" in text.splitlines()[0]
+
+    def test_values_clamped(self):
+        text = ascii_chart(["0"], {"a": [150.0]})
+        assert "o" in text.splitlines()[0]
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_chart(["0", "1"], {"a": [1.0]})
+
+    def test_too_many_series(self):
+        series = {f"s{i}": [0.0] for i in range(len(MARKERS) + 1)}
+        with pytest.raises(ValueError, match="at most"):
+            ascii_chart(["0"], series)
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            ascii_chart(["0"], {"a": [0.0]}, height=1)
+        with pytest.raises(ValueError):
+            ascii_chart(["0"], {"a": [0.0]}, y_min=10, y_max=10)
+
+    def test_x_labels_present(self):
+        text = ascii_chart(["0.05", "75"], {"a": [1.0, 2.0]})
+        assert "0.05" in text
+        assert "75" in text
+
+    def test_marker_row_tracks_value(self):
+        # 100 -> top row, 0 -> bottom (pre-axis) row.
+        text = ascii_chart(["x"], {"hi": [100.0]}, height=10)
+        assert "o" in text.splitlines()[0]
+        text = ascii_chart(["x"], {"lo": [0.0]}, height=10)
+        assert "o" in text.splitlines()[10]
+
+
+class TestFigureChart:
+    def test_renders_figure_result(self):
+        from repro.experiments.figures import figure7
+
+        result = figure7(fault_percents=(0, 9), trials_per_workload=1, seed=3)
+        text = figure_chart(result)
+        assert "No Module-Level Fault Tolerance" in text
+        assert "aluns" in text

@@ -1,0 +1,84 @@
+"""Tests for the manufacturing-yield experiment."""
+
+import pytest
+
+from repro.experiments.defect_yield import (
+    functional_test,
+    manufacture,
+    yield_at,
+    yield_sweep,
+    yield_table_text,
+)
+from repro.alu.variants import build_alu
+from repro.faults.defects import DefectMap, DefectiveUnit
+
+
+class TestFunctionalTest:
+    def test_pristine_part_passes(self):
+        for name in ("alunn", "aluns", "aluncmos"):
+            alu = build_alu(name)
+            part = DefectiveUnit(alu, DefectMap.pristine(alu.site_count))
+            assert functional_test(part)
+
+    def test_observable_defect_fails(self):
+        alu = build_alu("alunn")
+        # Stick the XOR(0,0) entry wrong: the (0,0) test vector catches it.
+        part = DefectiveUnit(
+            alu, DefectMap(alu.site_count, stuck0=0, stuck1=1 << 16)
+        )
+        assert not functional_test(part)
+
+
+class TestManufacture:
+    def test_part_count(self):
+        parts = manufacture("alunn", 0.001, 5, seed=0)
+        assert len(parts) == 5
+
+    def test_parts_have_distinct_defects(self):
+        parts = manufacture("alunn", 0.01, 6, seed=0)
+        maps = {(p.defects.stuck0, p.defects.stuck1) for p in parts}
+        assert len(maps) > 1
+
+    def test_deterministic(self):
+        a = manufacture("alunn", 0.01, 3, seed=5)
+        b = manufacture("alunn", 0.01, 3, seed=5)
+        assert [(p.defects.stuck0, p.defects.stuck1) for p in a] == [
+            (p.defects.stuck0, p.defects.stuck1) for p in b
+        ]
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            manufacture("alunn", 0.01, 0)
+
+
+class TestYield:
+    def test_zero_density_perfect(self):
+        point = yield_at("alunn", 0.0, n_parts=3, seed=0)
+        assert point.perfect_yield == 1.0
+        assert point.mean_accuracy == 100.0
+
+    def test_tmr_outyields_uncoded(self):
+        """The recursive-masking claim, in yield terms: at the same
+        defect density, triplicated-string parts pass functional test
+        far more often."""
+        density = 2e-3
+        uncoded = yield_at("alunn", density, n_parts=12, seed=3)
+        tmr = yield_at("aluns", density, n_parts=12, seed=3)
+        assert tmr.perfect_yield >= uncoded.perfect_yield
+
+    def test_degradation_graceful_for_tmr(self):
+        point = yield_at("aluns", 5e-3, n_parts=8, seed=4)
+        assert point.mean_accuracy >= 99.0
+
+    def test_sweep_and_render(self):
+        points = yield_sweep(
+            variants=("alunn",), densities=(1e-3,), n_parts=3, seed=0
+        )
+        text = yield_table_text(points)
+        assert "alunn" in text
+        assert "perfect yield" in text
+
+    def test_any_defect_probability(self):
+        point = yield_at("alunn", 1e-3, n_parts=2, seed=0)
+        # 512 sites at 1e-3: P(any defect) ~ 40%.
+        assert 0.3 < point.any_defect_probability < 0.5

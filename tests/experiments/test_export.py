@@ -1,0 +1,102 @@
+"""Tests for result export/import."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments.export import (
+    figure_from_json,
+    figure_to_csv,
+    figure_to_dict,
+    figure_to_json,
+    records_to_csv,
+    records_to_json,
+)
+from repro.experiments.figures import figure7
+
+
+@pytest.fixture(scope="module")
+def small_figure():
+    return figure7(fault_percents=(0, 3), trials_per_workload=2, seed=5)
+
+
+class TestFigureExport:
+    def test_dict_structure(self, small_figure):
+        data = figure_to_dict(small_figure)
+        assert data["name"] == "figure7"
+        assert data["fault_percents"] == [0, 3]
+        assert len(data["points"]) == 8  # 4 variants x 2 percents
+
+    def test_json_roundtrip(self, small_figure):
+        text = figure_to_json(small_figure)
+        restored = figure_from_json(text)
+        assert restored == small_figure
+
+    def test_json_is_valid(self, small_figure):
+        json.loads(figure_to_json(small_figure))
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(ValueError, match="not a figure export"):
+            figure_from_json('{"bogus": 1}')
+
+    def test_csv_shape(self, small_figure):
+        text = figure_to_csv(small_figure)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 8
+        assert rows[0]["figure"] == "figure7"
+        assert float(rows[0]["percent_correct"]) == 100.0
+
+
+class TestManifest:
+    def test_manifest_contents(self):
+        from repro.experiments.export import run_manifest
+
+        manifest = run_manifest(seed=2004, trials=5)
+        assert manifest["library"] == "repro"
+        assert manifest["parameters"] == {"seed": 2004, "trials": 5}
+        assert manifest["version"]
+
+    def test_manifest_embedded_in_figure_export(self, small_figure):
+        from repro.experiments.export import run_manifest
+
+        data = figure_to_dict(small_figure, manifest=run_manifest(seed=5))
+        assert data["manifest"]["parameters"]["seed"] == 5
+        # Roundtrip still works without the manifest key interfering.
+        import json as _json
+
+        restored = figure_from_json(_json.dumps(
+            {k: v for k, v in data.items() if k != "manifest"}
+        ))
+        assert restored == small_figure
+
+
+class TestRecordExport:
+    def test_records_json(self):
+        from repro.experiments.scaling import DetectionPoint
+
+        points = [
+            DetectionPoint(2, 2, 4, 2.0, 1.0),
+            DetectionPoint(4, 4, 16, 8.0, 1.0),
+        ]
+        data = json.loads(records_to_json(points))
+        assert data[1]["cells"] == 16
+
+    def test_records_csv(self):
+        from repro.experiments.scaling import DetectionPoint
+
+        points = [DetectionPoint(2, 2, 4, 2.0, 1.0)]
+        text = records_to_csv(points)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows[0]["external_latency"] == "2.0"
+
+    def test_empty_records(self):
+        assert records_to_csv([]) == ""
+        assert json.loads(records_to_json([])) == []
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(TypeError):
+            records_to_json([{"not": "a dataclass"}])
+        with pytest.raises(TypeError):
+            records_to_csv([42])

@@ -1,0 +1,56 @@
+"""Tests for the FIT translations and headline-claim checks."""
+
+import pytest
+
+from repro.experiments.fit_table import (
+    fit_rows,
+    fit_table_text,
+    headline_claims,
+    headline_claims_text,
+)
+
+
+class TestFitRows:
+    def test_aluss_worked_example(self):
+        rows = {pct: (faults, fit) for pct, faults, fit in fit_rows("aluss")}
+        faults, fit = rows[1]
+        assert faults == pytest.approx(50.4)
+        assert fit == pytest.approx(3.6e23, rel=0.01)
+
+    def test_three_percent_exceeds_1e24(self):
+        rows = {pct: fit for pct, _, fit in fit_rows("aluss")}
+        assert rows[3] > 1e24
+
+    def test_render(self):
+        text = fit_table_text("aluss")
+        assert "5040 sites" in text
+        assert "e+23" in text or "e23" in text
+
+
+class TestHeadlineClaims:
+    @pytest.fixture(scope="class")
+    def claims(self):
+        return headline_claims(trials_per_workload=5, seed=7)
+
+    def test_four_claims(self, claims):
+        assert len(claims) == 4
+
+    def test_all_hold(self, claims):
+        for claim in claims:
+            assert claim.holds, claim.claim
+
+    def test_hundred_percent_at_1e23(self, claims):
+        c = claims[0]
+        assert float(c.measured_value) >= 99.0
+
+    def test_98_percent_at_1e24(self, claims):
+        c = claims[1]
+        assert float(c.measured_value) >= 94.0
+
+    def test_twenty_orders_of_magnitude(self, claims):
+        c = claims[3]
+        assert float(c.measured_value) >= 19.0
+
+    def test_render(self):
+        text = headline_claims_text(trials_per_workload=2, seed=7)
+        assert "paper" in text and "measured" in text

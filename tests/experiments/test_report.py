@@ -1,0 +1,46 @@
+"""Unit tests for text report rendering."""
+
+import pytest
+
+from repro.experiments.report import format_percent, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(("name", "n"), [("a", 1), ("long-name", 20)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_empty_headers(self):
+        with pytest.raises(ValueError):
+            format_table((), [])
+
+    def test_no_trailing_whitespace(self):
+        text = format_table(("x", "y"), [("a", "b")])
+        assert all(line == line.rstrip() for line in text.splitlines())
+
+
+class TestFormatSeries:
+    def test_layout(self):
+        text = format_series(
+            "fault%", [0, 1], {"aluns": [100.0, 99.5], "alunn": [100.0, 89.4]}
+        )
+        lines = text.splitlines()
+        assert "aluns" in lines[0] and "alunn" in lines[0]
+        assert lines[2].startswith("0")
+        assert "99.5" in text and "89.4" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("x", [0, 1], {"s": [1.0]})
+
+
+class TestFormatPercent:
+    def test_one_decimal(self):
+        assert format_percent(98.345) == "98.3"

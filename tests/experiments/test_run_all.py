@@ -1,0 +1,46 @@
+"""Tests for the everything-regenerator."""
+
+import pytest
+
+from repro.experiments.run_all import build_report, main
+
+
+class TestBuildReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return build_report(quick=True, seed=7)
+
+    def test_all_sections_present(self, report):
+        for section in (
+            "== Table 1 ==",
+            "== Table 2 ==",
+            "== Figure 7 ==",
+            "== Figure 8 ==",
+            "== Figure 9 ==",
+            "== FIT translation ==",
+            "== Headline claims ==",
+            "== Area overhead ==",
+            "== Ablation: Hamming decoder semantics ==",
+            "== Extension: manufacturing yield ==",
+            "== Extension: system-check scaling ==",
+            "== Analysis: fault budgets at 98% ==",
+        ):
+            assert section in report, section
+
+    def test_table2_verified(self, report):
+        assert "MISMATCH" not in report
+
+    def test_headline_claims_hold(self, report):
+        headline = report.split("== Headline claims ==")[1].split("==")[0]
+        assert "FAIL" not in headline
+
+    def test_stddev_note_present(self, report):
+        assert "24.51" in report  # the paper's worst-case spread, cited
+
+
+class TestMain:
+    def test_writes_output_file(self, tmp_path, capsys):
+        out = tmp_path / "r.txt"
+        assert main(["--quick", "--seed", "7", "--out", str(out)]) == 0
+        assert "== Table 2 ==" in out.read_text()
+        capsys.readouterr()  # drain stdout

@@ -1,0 +1,80 @@
+"""Tests for the system-scaling studies."""
+
+import pytest
+
+from repro.experiments.scaling import (
+    ExternalSurveyChecker,
+    detection_latency,
+    detection_table_text,
+    pipeline_scaling,
+    pipeline_table_text,
+)
+from repro.grid.grid import NanoBoxGrid
+
+
+class TestExternalSurveyChecker:
+    def test_polls_round_robin(self):
+        grid = NanoBoxGrid(2, 2)
+        checker = ExternalSurveyChecker(grid)
+        assert checker.cells_per_survey == 4
+        for _ in range(8):
+            assert checker.poll_one() == []
+        assert checker.cycles_polled == 8
+
+    def test_detects_dead_cell_within_one_survey(self):
+        grid = NanoBoxGrid(3, 3)
+        checker = ExternalSurveyChecker(grid)
+        grid.kill_cell(1, 1)
+        detected = []
+        for _ in range(checker.cells_per_survey):
+            detected.extend(checker.poll_one())
+        assert detected == [(1, 1)]
+
+
+class TestDetectionLatency:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return detection_latency(
+            sizes=((2, 2), (4, 4), (6, 6)), trials=40, seed=1
+        )
+
+    def test_watchdog_constant(self, points):
+        assert all(p.watchdog_latency == 1.0 for p in points)
+
+    def test_external_grows_with_cell_count(self, points):
+        latencies = [p.external_latency for p in points]
+        assert latencies[0] < latencies[1] < latencies[2]
+
+    def test_external_mean_near_half_survey(self, points):
+        """Uniform kill phase -> mean latency ~ cells/2."""
+        for p in points:
+            assert p.external_latency == pytest.approx(p.cells / 2, rel=0.5)
+
+    def test_slowdown_ratio_superlinear_in_grid_side(self, points):
+        # 36 cells vs 4 cells: ratio of ratios should track cell count.
+        assert points[-1].ratio / points[0].ratio > 4
+
+    def test_render(self, points):
+        text = detection_table_text(points)
+        assert "watchdog" in text
+        assert "slowdown" in text
+
+
+class TestPipelineScaling:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return pipeline_scaling(sizes=((2, 2), (2, 4), (2, 8)), seed=0)
+
+    def test_more_columns_speed_shift_in(self, points):
+        """Each column adds an independent 8-bit edge bus."""
+        shift_ins = [p.shift_in for p in points]
+        assert shift_ins[0] > shift_ins[1] > shift_ins[2]
+
+    def test_shift_in_dominates(self, points):
+        for p in points:
+            assert p.shift_in >= p.shift_out
+
+    def test_render(self, points):
+        text = pipeline_table_text(points)
+        assert "shift-in" in text
+        assert "2x8" in text

@@ -1,0 +1,103 @@
+"""Tests for the burst (spatially-correlated) fault policy and the
+interleaved repetition layout it interacts with."""
+
+import numpy as np
+import pytest
+
+from repro.coding.bits import popcount
+from repro.coding.tmr import RepetitionCode
+from repro.faults.mask import BurstMask
+
+
+class TestBurstMask:
+    def test_zero_fraction(self, rng):
+        assert BurstMask(0.0).generate(1000, rng) == 0
+
+    def test_expected_fault_count(self):
+        policy = BurstMask(0.05, burst_length=4)
+        rng = np.random.default_rng(0)
+        counts = [popcount(policy.generate(2000, rng)) for _ in range(200)]
+        # Overlapping bursts and edge clipping push the realised count a
+        # bit below the target; it must stay in the right ballpark.
+        assert 60 <= np.mean(counts) <= 105
+
+    def test_faults_are_clustered(self, rng):
+        policy = BurstMask(0.02, burst_length=8)
+        mask = policy.generate(4096, rng)
+        # Count runs of consecutive set bits: with 8-bit bursts the number
+        # of distinct runs must be far below the number of set bits.
+        bits = [(mask >> i) & 1 for i in range(4096)]
+        runs = sum(
+            1 for i, b in enumerate(bits)
+            if b and (i == 0 or not bits[i - 1])
+        )
+        assert runs <= popcount(mask) / 3
+
+    def test_burst_clipped_at_boundary(self, rng):
+        policy = BurstMask(0.5, burst_length=10)
+        mask = policy.generate(16, rng)
+        assert mask >> 16 == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstMask(-0.1)
+        with pytest.raises(ValueError):
+            BurstMask(0.1, burst_length=0)
+
+
+class TestInterleavedLayout:
+    def test_positions_blocked(self):
+        code = RepetitionCode(4, layout="blocked")
+        assert code.position(0, 2) == 2
+        assert code.position(1, 2) == 6
+        assert code.position(2, 2) == 10
+
+    def test_positions_interleaved(self):
+        code = RepetitionCode(4, layout="interleaved")
+        assert code.position(0, 2) == 6
+        assert code.position(1, 2) == 7
+        assert code.position(2, 2) == 8
+
+    def test_roundtrip_both_layouts(self):
+        for layout in RepetitionCode.LAYOUTS:
+            code = RepetitionCode(8, layout=layout)
+            for data in (0, 0xA5, 0xFF):
+                assert code.decode(code.encode(data)).data == data
+
+    def test_single_fault_masked_both_layouts(self):
+        for layout in RepetitionCode.LAYOUTS:
+            code = RepetitionCode(8, layout=layout)
+            stored = code.encode(0x3C)
+            for site in range(code.total_bits):
+                assert code.decode(stored ^ (1 << site)).data == 0x3C
+
+    def test_interleaved_burst_defeats_vote(self):
+        """A burst covering two adjacent positions of the interleaved
+        layout flips two copies of one bit -- the vote loses."""
+        code = RepetitionCode(8, layout="interleaved")
+        stored = code.encode(0x00)
+        bit = 3
+        burst = (1 << code.position(0, bit)) | (1 << code.position(1, bit))
+        assert code.decode_bit(stored ^ burst, bit) == 1
+
+    def test_blocked_burst_confined_to_one_copy(self):
+        """The same-length burst in the blocked layout stays inside one
+        copy and is voted away."""
+        code = RepetitionCode(8, layout="blocked")
+        stored = code.encode(0x00)
+        burst = 0b11 << 3  # two adjacent sites, both in copy 0
+        assert code.decode(stored ^ burst).data == 0x00
+
+    def test_invalid_layout(self):
+        with pytest.raises(ValueError):
+            RepetitionCode(8, layout="diagonal")
+
+    def test_lut_scheme_integration(self):
+        from repro.lut.coded import CodedLUT
+        from repro.lut.table import TruthTable
+
+        table = TruthTable.from_function(5, lambda *b: sum(b) % 2)
+        lut = CodedLUT(table, "tmr-interleaved")
+        assert lut.total_bits == 96
+        for address in (0, 13, 31):
+            assert lut.read(address) == table.lookup(address)

@@ -1,0 +1,91 @@
+"""Property-based tests for the defect model (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alu.base import Opcode
+from repro.alu.nanobox import NanoBoxALU
+from repro.alu.redundancy import SimplexALU
+from repro.alu.reference import reference_compute
+from repro.coding.bits import random_word
+from repro.faults.defects import DefectMap, DefectiveUnit
+
+opcodes = st.sampled_from([int(op) for op in Opcode])
+operands = st.integers(min_value=0, max_value=255)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def fresh_alu():
+    return SimplexALU(NanoBoxALU(scheme="none"))
+
+
+class TestDefectProperties:
+    @given(opcodes, operands, operands, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_pristine_map_is_identity(self, op, a, b, seed):
+        alu = fresh_alu()
+        part = DefectiveUnit(alu, DefectMap.pristine(alu.site_count))
+        rng = np.random.default_rng(seed)
+        mask = random_word(alu.site_count, rng)
+        assert part.compute(op, a, b, fault_mask=mask) == alu.compute(
+            op, a, b, fault_mask=mask
+        )
+
+    @given(opcodes, operands, operands, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_agreeing_stuck_values_harmless(self, op, a, b, seed):
+        """Sticking any subset of cells at exactly their stored values
+        changes nothing, under any transient mask restricted to the
+        healthy cells."""
+        alu = fresh_alu()
+        image = alu.storage_image()
+        rng = np.random.default_rng(seed)
+        subset = random_word(alu.site_count, rng)
+        defects = DefectMap(
+            n_sites=alu.site_count,
+            stuck0=subset & ~image,
+            stuck1=subset & image,
+        )
+        part = DefectiveUnit(alu, defects)
+        transient = random_word(alu.site_count, rng) & ~subset
+        assert part.compute(op, a, b, fault_mask=transient) == alu.compute(
+            op, a, b, fault_mask=transient
+        )
+
+    @given(opcodes, operands, operands, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_disagreeing_defects_equal_constant_xor(self, op, a, b, seed):
+        """Stuck-at disagreement is exactly a constant XOR overlay."""
+        alu = fresh_alu()
+        image = alu.storage_image()
+        rng = np.random.default_rng(seed)
+        subset = random_word(alu.site_count, rng)
+        # Stick every selected cell at the WRONG value.
+        defects = DefectMap(
+            n_sites=alu.site_count,
+            stuck0=subset & image,
+            stuck1=subset & ~image,
+        )
+        part = DefectiveUnit(alu, defects)
+        assert part.compute(op, a, b) == alu.compute(
+            op, a, b, fault_mask=subset
+        )
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_transients_on_defective_cells_suppressed(self, seed):
+        """A dead cell cannot toggle: transient flips aimed at defective
+        sites have no additional effect."""
+        alu = fresh_alu()
+        rng = np.random.default_rng(seed)
+        subset = random_word(alu.site_count, rng)
+        defects = DefectMap(
+            n_sites=alu.site_count,
+            stuck0=subset & alu.storage_image(),
+            stuck1=subset & ~alu.storage_image(),
+        )
+        part = DefectiveUnit(alu, defects)
+        base = part.compute(0b111, 0x5A, 0xA5)
+        with_transients = part.compute(0b111, 0x5A, 0xA5, fault_mask=subset)
+        assert base == with_transients

@@ -1,0 +1,181 @@
+"""Unit tests for the permanent-defect model."""
+
+import numpy as np
+import pytest
+
+from repro.alu.nanobox import NanoBoxALU
+from repro.alu.redundancy import SimplexALU
+from repro.alu.reference import reference_compute
+from repro.alu.variants import build_alu
+from repro.coding.bits import popcount
+from repro.faults.defects import DefectMap, DefectiveUnit, sample_defect_map
+
+
+class TestDefectMap:
+    def test_pristine(self):
+        d = DefectMap.pristine(100)
+        assert d.defect_count == 0
+        assert d.density == 0.0
+
+    def test_conflicting_polarity_rejected(self):
+        with pytest.raises(ValueError, match="stuck at both"):
+            DefectMap(n_sites=8, stuck0=0b1, stuck1=0b1)
+
+    def test_mask_width_enforced(self):
+        with pytest.raises(ValueError):
+            DefectMap(n_sites=4, stuck0=1 << 4, stuck1=0)
+
+    def test_counts_and_density(self):
+        d = DefectMap(n_sites=10, stuck0=0b101, stuck1=0b010)
+        assert d.defect_count == 3
+        assert d.density == pytest.approx(0.3)
+
+    def test_xor_against_semantics(self):
+        # storage 1 at a stuck-0 site disagrees; storage 0 agrees.
+        d = DefectMap(n_sites=4, stuck0=0b0011, stuck1=0b1100)
+        storage = 0b0101
+        # site0 stuck0, stored 1 -> flip; site1 stuck0, stored 0 -> ok;
+        # site2 stuck1, stored 1 -> ok; site3 stuck1, stored 0 -> flip.
+        assert d.xor_against(storage) == 0b1001
+
+
+class TestSampleDefectMap:
+    def test_zero_density(self, rng):
+        d = sample_defect_map(1000, 0.0, rng)
+        assert d.defect_count == 0
+
+    def test_density_statistics(self):
+        rng = np.random.default_rng(1)
+        d = sample_defect_map(20000, 0.01, rng)
+        assert 120 < d.defect_count < 280
+
+    def test_polarity_fraction(self):
+        rng = np.random.default_rng(2)
+        d = sample_defect_map(20000, 0.05, rng, stuck1_fraction=1.0)
+        assert d.stuck0 == 0
+        assert d.defect_count > 0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            sample_defect_map(10, 1.5, rng)
+        with pytest.raises(ValueError):
+            sample_defect_map(10, 0.5, rng, stuck1_fraction=-1)
+
+
+class TestStorageImages:
+    def test_nanobox_image_matches_lut_storage(self):
+        alu = NanoBoxALU(scheme="tmr")
+        image = alu.storage_image()
+        # Extract slice 3's result segment and compare to the LUT storage.
+        seg = alu.site_space.segment("slice3.result_lut")
+        assert seg.extract(image) == alu._result_lut.storage
+
+    def test_wrapped_images_compose(self):
+        for name in ("alunn", "aluns", "alusn", "aluss", "alutn"):
+            unit = build_alu(name)
+            image = unit.storage_image()
+            assert image >> unit.site_count == 0
+
+    def test_time_redundancy_registers_are_dynamic(self):
+        unit = build_alu("alutn")
+        static = unit.static_site_mask()
+        for i in range(3):
+            seg = unit.site_space.segment(f"stored{i}")
+            assert seg.extract(static) == 0
+
+
+class TestDefectiveUnit:
+    def test_pristine_part_identical(self):
+        alu = build_alu("alunn")
+        part = DefectiveUnit(alu, DefectMap.pristine(alu.site_count))
+        assert part.exact
+        for op in (0, 1, 2, 7):
+            got = part.compute(op, 0xC8, 0x64)
+            want = reference_compute(op, 0xC8, 0x64)
+            assert (got.value, got.carry) == (want.value, want.carry)
+
+    def test_size_mismatch_rejected(self):
+        alu = build_alu("alunn")
+        with pytest.raises(ValueError, match="covers"):
+            DefectiveUnit(alu, DefectMap.pristine(alu.site_count + 1))
+
+    def test_stuck_bit_agreeing_with_storage_harmless(self):
+        alu = SimplexALU(NanoBoxALU(scheme="none"))
+        image = alu.storage_image()
+        # Pick a site whose stored value is 1 and stick it at 1.
+        site = (image & -image).bit_length() - 1
+        part = DefectiveUnit(
+            alu, DefectMap(alu.site_count, stuck0=0, stuck1=1 << site)
+        )
+        assert part.exact
+        for op in (0, 1, 2, 7):
+            got = part.compute(op, 0xAA, 0x55)
+            want = reference_compute(op, 0xAA, 0x55)
+            assert got.value == want.value
+
+    def test_stuck_bit_disagreeing_with_storage_observable(self):
+        alu = SimplexALU(NanoBoxALU(scheme="none"))
+        # XOR(0,0) entry of slice 0's result LUT stores 0 (site 16);
+        # stick it at 1 and the instruction output flips.
+        part = DefectiveUnit(
+            alu, DefectMap(alu.site_count, stuck0=0, stuck1=1 << 16)
+        )
+        assert part.compute(0b010, 0, 0).value == 1
+
+    def test_tmr_masks_single_stuck_cell(self):
+        alu = SimplexALU(NanoBoxALU(scheme="tmr"))
+        # Copy 0 of the XOR(0,0) entry (stored 0): stick at 1 -> outvoted.
+        part = DefectiveUnit(
+            alu, DefectMap(alu.site_count, stuck0=0, stuck1=1 << 16)
+        )
+        assert part.compute(0b010, 0, 0).value == 0
+
+    def test_transient_flip_on_dead_cell_suppressed(self):
+        alu = SimplexALU(NanoBoxALU(scheme="none"))
+        # Stick the XOR(0,0) entry at its correct value 0: a transient
+        # flip on that same cell must have no effect.
+        part = DefectiveUnit(
+            alu, DefectMap(alu.site_count, stuck0=1 << 16, stuck1=0)
+        )
+        assert part.compute(0b010, 0, 0, fault_mask=1 << 16).value == 0
+
+    def test_cmos_defects_are_inexact_inversions(self):
+        alu = build_alu("aluncmos")
+        part = DefectiveUnit(
+            alu, DefectMap(alu.site_count, stuck0=0b1, stuck1=0)
+        )
+        assert not part.exact
+
+    def test_register_defect_marks_inexact(self):
+        alu = build_alu("alutn")
+        seg = alu.site_space.segment("stored0")
+        part = DefectiveUnit(
+            alu,
+            DefectMap(alu.site_count, stuck0=seg.inject(1), stuck1=0),
+        )
+        assert not part.exact
+
+    def test_site_space_passthrough(self):
+        alu = build_alu("aluns")
+        part = DefectiveUnit(alu, DefectMap.pristine(alu.site_count))
+        assert part.site_count == alu.site_count
+        assert part.site_space is alu.site_space
+
+
+class TestDefectsWithCampaigns:
+    def test_campaign_accepts_defective_parts(self):
+        from repro.faults.campaign import FaultCampaign
+        from repro.faults.mask import ExactFractionMask
+        from repro.workloads.bitmap import gradient
+        from repro.workloads.imaging import paper_workloads
+
+        rng = np.random.default_rng(9)
+        alu = build_alu("aluns")
+        part = DefectiveUnit(
+            alu, sample_defect_map(alu.site_count, 0.001, rng)
+        )
+        campaign = FaultCampaign(part, ExactFractionMask(0.01), seed=1)
+        result = campaign.run_workload_suite(
+            paper_workloads(gradient(8, 8)), 2
+        )
+        assert result.percent_correct >= 90.0

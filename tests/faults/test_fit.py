@@ -1,0 +1,72 @@
+"""Unit tests for FIT-rate arithmetic (paper Section 4 worked examples)."""
+
+import pytest
+
+from repro.faults.fit import (
+    CLOCK_HZ,
+    CMOS_REFERENCE_FIT,
+    SECONDS_PER_CYCLE,
+    faults_per_cycle_for_fit,
+    fit_for_fault_fraction,
+    fit_for_faults_per_cycle,
+)
+
+
+class TestConstants:
+    def test_two_gigahertz(self):
+        assert CLOCK_HZ == 2.0e9
+        assert SECONDS_PER_CYCLE == pytest.approx(0.5e-9)
+
+    def test_cmos_reference(self):
+        # ~50,000 FITs ~ one error per 20,000 hours ~ one per two years.
+        assert CMOS_REFERENCE_FIT == 5.0e4
+        hours_per_error = 1e9 / CMOS_REFERENCE_FIT
+        assert hours_per_error == pytest.approx(20_000)
+
+
+class TestPaperWorkedExample:
+    def test_aluss_one_percent(self):
+        """Section 4: 1% of aluss's 5040 nodes ~ 50 faults / 0.5 ns ->
+        3.6e14 errors/hour -> FIT 3.6e23."""
+        assert fit_for_faults_per_cycle(50.0) == pytest.approx(3.6e23)
+
+    def test_aluss_one_percent_via_fraction(self):
+        fit = fit_for_fault_fraction(0.01, 5040)
+        assert fit == pytest.approx(50.4 * 7.2e21, rel=1e-12)
+        assert fit == pytest.approx(3.6e23, rel=0.01)
+
+    def test_three_percent_exceeds_1e24(self):
+        """Section 5: the FIT rate for aluss at 3% injected errors is
+        ~1e24."""
+        assert fit_for_fault_fraction(0.03, 5040) > 1e24
+
+    def test_twenty_orders_of_magnitude(self):
+        ratio = fit_for_fault_fraction(0.03, 5040) / CMOS_REFERENCE_FIT
+        assert 1e19 < ratio < 1e21
+
+
+class TestInverses:
+    @pytest.mark.parametrize("faults", [0.0, 1.0, 50.0, 1234.5])
+    def test_roundtrip(self, faults):
+        assert faults_per_cycle_for_fit(
+            fit_for_faults_per_cycle(faults)
+        ) == pytest.approx(faults)
+
+    def test_linear(self):
+        assert fit_for_faults_per_cycle(100.0) == pytest.approx(
+            2 * fit_for_faults_per_cycle(50.0)
+        )
+
+
+class TestValidation:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fit_for_faults_per_cycle(-1)
+        with pytest.raises(ValueError):
+            faults_per_cycle_for_fit(-1)
+        with pytest.raises(ValueError):
+            fit_for_fault_fraction(-0.1, 100)
+        with pytest.raises(ValueError):
+            fit_for_fault_fraction(1.1, 100)
+        with pytest.raises(ValueError):
+            fit_for_fault_fraction(0.5, -1)

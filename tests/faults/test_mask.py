@@ -1,0 +1,111 @@
+"""Unit tests for fault-mask generation policies."""
+
+import numpy as np
+import pytest
+
+from repro.coding.bits import popcount
+from repro.faults.mask import BernoulliMask, ExactFractionMask, FixedCountMask
+
+
+class TestExactFractionMask:
+    def test_zero_fraction(self, rng):
+        policy = ExactFractionMask(0.0)
+        assert policy.generate(5040, rng) == 0
+        assert policy.expected_faults(5040) == 0
+
+    def test_full_fraction(self, rng):
+        policy = ExactFractionMask(1.0)
+        mask = policy.generate(100, rng)
+        assert popcount(mask) == 100
+
+    def test_integer_count_exact(self, rng):
+        policy = ExactFractionMask(0.10)
+        for _ in range(20):
+            assert popcount(policy.generate(100, rng)) == 10
+
+    def test_fractional_count_stochastic_rounding(self):
+        # 0.5% of 192 sites = 0.96 faults: must average out to ~0.96.
+        policy = ExactFractionMask(0.005)
+        rng = np.random.default_rng(0)
+        counts = [popcount(policy.generate(192, rng)) for _ in range(3000)]
+        assert set(counts) <= {0, 1}
+        assert abs(np.mean(counts) - 0.96) < 0.03
+
+    def test_mask_fits_site_space(self, rng):
+        policy = ExactFractionMask(0.75)
+        for n in (1, 31, 192, 5067):
+            mask = policy.generate(n, rng)
+            assert mask >> n == 0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            ExactFractionMask(-0.1)
+        with pytest.raises(ValueError):
+            ExactFractionMask(1.1)
+
+    def test_distinct_sites(self, rng):
+        # count == popcount proves sampling without replacement.
+        policy = ExactFractionMask(0.5)
+        assert popcount(policy.generate(64, rng)) == 32
+
+    def test_deterministic_per_seed(self):
+        policy = ExactFractionMask(0.2)
+        a = policy.generate(512, np.random.default_rng(9))
+        b = policy.generate(512, np.random.default_rng(9))
+        assert a == b
+
+    def test_ratio_constant_across_implementations(self, rng):
+        """The paper holds injected/total constant across ALUs."""
+        policy = ExactFractionMask(0.03)
+        for n in (192, 512, 5040):
+            assert popcount(policy.generate(n, rng)) == pytest.approx(
+                0.03 * n, abs=1
+            )
+
+
+class TestBernoulliMask:
+    def test_zero_probability(self, rng):
+        assert BernoulliMask(0.0).generate(1000, rng) == 0
+
+    def test_one_probability(self, rng):
+        mask = BernoulliMask(1.0).generate(64, rng)
+        assert mask == (1 << 64) - 1
+
+    def test_mean_count(self):
+        policy = BernoulliMask(0.1)
+        rng = np.random.default_rng(1)
+        counts = [popcount(policy.generate(1000, rng)) for _ in range(300)]
+        assert abs(np.mean(counts) - 100) < 5
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            BernoulliMask(1.5)
+
+    def test_mask_fits(self, rng):
+        mask = BernoulliMask(0.9).generate(77, rng)
+        assert mask >> 77 == 0
+
+
+class TestFixedCountMask:
+    def test_exact_count(self, rng):
+        policy = FixedCountMask(7)
+        for _ in range(10):
+            assert popcount(policy.generate(100, rng)) == 7
+
+    def test_zero(self, rng):
+        assert FixedCountMask(0).generate(10, rng) == 0
+
+    def test_count_exceeds_sites(self, rng):
+        with pytest.raises(ValueError):
+            FixedCountMask(11).generate(10, rng)
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            FixedCountMask(-1)
+
+
+class TestEmptySiteSpaces:
+    def test_all_policies_handle_zero_sites(self, rng):
+        assert ExactFractionMask(0.5).generate(0, rng) == 0
+        assert BernoulliMask(0.5).generate(0, rng) == 0
+        assert FixedCountMask(0).generate(0, rng) == 0

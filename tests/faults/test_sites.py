@@ -1,0 +1,120 @@
+"""Unit tests for fault-site bookkeeping."""
+
+import pytest
+
+from repro.faults.sites import SiteSpace
+
+
+class TestSegments:
+    def test_layout(self):
+        space = SiteSpace("alu")
+        a = space.add("a", 10)
+        b = space.add("b", 22)
+        assert (a.offset, a.size, a.end) == (0, 10, 10)
+        assert (b.offset, b.size, b.end) == (10, 22, 32)
+        assert space.total_sites == 32
+
+    def test_duplicate_name_rejected(self):
+        space = SiteSpace()
+        space.add("x", 1)
+        with pytest.raises(ValueError, match="duplicate segment"):
+            space.add("x", 2)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            SiteSpace().add("x", -1)
+
+    def test_zero_size_allowed(self):
+        space = SiteSpace()
+        seg = space.add("empty", 0)
+        assert seg.size == 0
+        assert space.total_sites == 0
+
+    def test_lookup_by_name(self):
+        space = SiteSpace()
+        seg = space.add("core", 100)
+        assert space.segment("core") == seg
+        with pytest.raises(KeyError):
+            space.segment("nope")
+
+    def test_iteration_and_len(self):
+        space = SiteSpace()
+        space.add("a", 1)
+        space.add("b", 2)
+        assert len(space) == 2
+        assert [s.name for s in space] == ["a", "b"]
+
+
+class TestExtractInject:
+    def test_extract_slices_correctly(self):
+        space = SiteSpace()
+        a = space.add("a", 4)
+        b = space.add("b", 4)
+        mask = 0b1010_0110
+        assert a.extract(mask) == 0b0110
+        assert b.extract(mask) == 0b1010
+
+    def test_inject_lifts_correctly(self):
+        space = SiteSpace()
+        space.add("a", 4)
+        b = space.add("b", 4)
+        assert b.inject(0b1010) == 0b1010_0000
+
+    def test_inject_overflow_rejected(self):
+        space = SiteSpace()
+        a = space.add("a", 4)
+        with pytest.raises(ValueError):
+            a.inject(1 << 4)
+
+    def test_inject_extract_roundtrip(self):
+        space = SiteSpace()
+        space.add("pad", 13)
+        seg = space.add("x", 9)
+        for local in (0, 1, 0b101010101):
+            assert seg.extract(seg.inject(local)) == local
+
+    def test_contains(self):
+        space = SiteSpace()
+        space.add("a", 5)
+        b = space.add("b", 5)
+        assert not b.contains(4)
+        assert b.contains(5)
+        assert b.contains(9)
+        assert not b.contains(10)
+
+
+class TestAttribution:
+    def test_counts_by_segment(self):
+        space = SiteSpace()
+        space.add("a", 8)
+        space.add("b", 8)
+        mask = 0b0000_0111_0000_0001  # 1 fault in a, 3 in b
+        assert space.attribute(mask) == {"a": 1, "b": 3}
+
+    def test_attribute_rejects_oversized_mask(self):
+        space = SiteSpace()
+        space.add("a", 4)
+        with pytest.raises(ValueError):
+            space.attribute(1 << 10)
+
+    def test_owner_of(self):
+        space = SiteSpace()
+        space.add("a", 3)
+        space.add("b", 3)
+        assert space.owner_of(0).name == "a"
+        assert space.owner_of(2).name == "a"
+        assert space.owner_of(3).name == "b"
+        with pytest.raises(IndexError):
+            space.owner_of(6)
+
+
+class TestNesting:
+    def test_add_space_prefixes_names(self):
+        inner = SiteSpace("core")
+        inner.add("lut0", 32)
+        inner.add("lut1", 32)
+        outer = SiteSpace("alu")
+        handles = outer.add_space("copy0", inner)
+        assert set(handles) == {"lut0", "lut1"}
+        assert outer.segment("copy0.lut0").size == 32
+        assert outer.total_sites == 64

@@ -1,0 +1,68 @@
+"""Unit tests for the flit-serialised bus model."""
+
+from repro.grid.bus import Bus
+from repro.grid.packet import InstructionPacket, ResultPacket
+
+
+def instr():
+    return InstructionPacket(
+        dest_row=0, dest_col=0, instruction_id=1,
+        opcode=0, operand1=0, operand2=0,
+    )
+
+
+class TestBus:
+    def test_latency_equals_flit_count(self):
+        bus = Bus("b")
+        packet = instr()
+        assert bus.try_send(packet)
+        deliveries = [bus.tick() for _ in range(packet.flit_count)]
+        assert deliveries[:-1] == [None] * (packet.flit_count - 1)
+        assert deliveries[-1] is packet
+
+    def test_result_packets_faster(self):
+        bus = Bus("b")
+        packet = ResultPacket(1, 2)
+        bus.try_send(packet)
+        deliveries = [bus.tick() for _ in range(4)]
+        assert deliveries[-1] is packet
+
+    def test_busy_rejects_second_send(self):
+        bus = Bus("b")
+        assert bus.try_send(instr())
+        assert not bus.try_send(instr())
+        assert bus.busy
+
+    def test_free_after_delivery(self):
+        bus = Bus("b")
+        packet = instr()
+        bus.try_send(packet)
+        for _ in range(packet.flit_count):
+            bus.tick()
+        assert not bus.busy
+        assert bus.try_send(instr())
+
+    def test_idle_tick_returns_none(self):
+        bus = Bus("b")
+        assert bus.tick() is None
+        assert bus.busy_cycles == 0
+
+    def test_counters(self):
+        bus = Bus("b")
+        packet = ResultPacket(1, 2)
+        bus.try_send(packet)
+        for _ in range(packet.flit_count):
+            bus.tick()
+        assert bus.delivered_count == 1
+        assert bus.busy_cycles == packet.flit_count
+
+    def test_drop_clears_link(self):
+        bus = Bus("b")
+        packet = instr()
+        bus.try_send(packet)
+        assert bus.drop() is packet
+        assert not bus.busy
+        assert bus.delivered_count == 0
+
+    def test_drop_idle_returns_none(self):
+        assert Bus("b").drop() is None

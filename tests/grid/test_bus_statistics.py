@@ -1,0 +1,47 @@
+"""Tests for fabric-link utilisation statistics."""
+
+from repro.grid.grid import NanoBoxGrid
+from repro.grid.simulator import GridSimulator
+from repro.workloads.bitmap import gradient
+from repro.workloads.imaging import reverse_video
+
+
+class TestBusStatistics:
+    def test_fresh_grid_all_zero(self):
+        stats = NanoBoxGrid(2, 2).bus_statistics()
+        assert stats.delivered == 0
+        assert stats.mesh_utilisation == 0.0
+        assert stats.edge_utilisation == 0.0
+
+    def test_idle_cycles_zero_utilisation(self):
+        grid = NanoBoxGrid(2, 2)
+        for _ in range(10):
+            grid.step()
+        stats = grid.bus_statistics()
+        assert stats.mesh_utilisation == 0.0
+        assert stats.peak_utilisation == 0.0
+
+    def test_job_generates_traffic(self):
+        sim = GridSimulator(rows=2, cols=2, seed=0)
+        sim.run_image_job(gradient(8, 8), reverse_video())
+        stats = sim.grid.bus_statistics()
+        assert stats.delivered > 0
+        assert 0.0 < stats.edge_utilisation <= 1.0
+        assert stats.peak_utilisation >= stats.edge_utilisation
+        assert stats.busiest_link
+
+    def test_edge_buses_busier_than_mesh(self):
+        """All traffic funnels through the pin interface, so the edge
+        buses must average at least the mesh utilisation."""
+        sim = GridSimulator(rows=3, cols=3, seed=1)
+        sim.run_image_job(gradient(8, 8), reverse_video())
+        stats = sim.grid.bus_statistics()
+        assert stats.edge_utilisation >= stats.mesh_utilisation
+
+    def test_utilisation_bounded(self):
+        sim = GridSimulator(rows=2, cols=4, seed=2)
+        sim.run_image_job(gradient(8, 8), reverse_video())
+        stats = sim.grid.bus_statistics()
+        for value in (stats.mesh_utilisation, stats.edge_utilisation,
+                      stats.peak_utilisation):
+            assert 0.0 <= value <= 1.0

@@ -1,0 +1,125 @@
+"""Unit tests for the control processor's protocol."""
+
+import pytest
+
+from repro.alu.reference import reference_compute
+from repro.grid.control import ControlProcessor, JobResult, PhaseStats
+from repro.grid.grid import NanoBoxGrid
+from repro.grid.watchdog import Watchdog
+
+
+def job(n=8):
+    instructions = []
+    for iid in range(n):
+        a, b = (iid * 31) & 0xFF, (iid * 17 + 5) & 0xFF
+        instructions.append((iid, 0b111, a, b))
+    return instructions
+
+
+def expected_for(instructions):
+    return {
+        iid: reference_compute(op, a, b).value
+        for iid, op, a, b in instructions
+    }
+
+
+class TestAssignment:
+    def test_round_robin_over_cells(self):
+        grid = NanoBoxGrid(2, 2)
+        cp = ControlProcessor(grid)
+        placement, unassigned = cp.assign(job(8))
+        assert not unassigned
+        # Four cells, eight instructions: two each.
+        from collections import Counter
+
+        counts = Counter(placement.values())
+        assert all(v == 2 for v in counts.values())
+
+    def test_capacity_respected(self):
+        grid = NanoBoxGrid(1, 2, n_words=2)
+        cp = ControlProcessor(grid)
+        placement, unassigned = cp.assign(job(6))
+        assert len(placement) == 4
+        assert len(unassigned) == 2
+
+    def test_dead_cells_excluded(self):
+        grid = NanoBoxGrid(2, 2)
+        grid.kill_cell(1, 0)  # top-row cell: column 0 fully unreachable
+        cp = ControlProcessor(grid)
+        placement, _ = cp.assign(job(8))
+        assert all(coord[1] != 0 for coord in placement.values())
+
+
+class TestRunJob:
+    def test_fault_free_job_complete_and_correct(self):
+        grid = NanoBoxGrid(2, 2)
+        cp = ControlProcessor(grid)
+        instructions = job(8)
+        result = cp.run_job(instructions)
+        assert result.complete
+        assert result.rounds == 1
+        assert result.results == expected_for(instructions)
+        assert result.accuracy_against(expected_for(instructions)) == 1.0
+
+    def test_phase_cycles_accounted(self):
+        grid = NanoBoxGrid(2, 2)
+        cp = ControlProcessor(grid)
+        result = cp.run_job(job(4))
+        assert result.cycles.shift_in > 0
+        assert result.cycles.compute > 0
+        assert result.cycles.shift_out > 0
+        assert result.cycles.total == (
+            result.cycles.shift_in
+            + result.cycles.compute
+            + result.cycles.shift_out
+        )
+
+    def test_duplicate_ids_rejected(self):
+        grid = NanoBoxGrid(2, 2)
+        cp = ControlProcessor(grid)
+        with pytest.raises(ValueError, match="unique"):
+            cp.run_job([(1, 0, 0, 0), (1, 0, 0, 0)])
+
+    def test_retry_recovers_from_precomputed_failure(self):
+        """Kill a cell before the job: round one misses its share, round
+        two reassigns to surviving cells."""
+        grid = NanoBoxGrid(2, 2)
+        watchdog = Watchdog(grid)
+        cp = ControlProcessor(grid, watchdog=watchdog)
+        grid.kill_cell(0, 0)
+        instructions = job(8)
+        result = cp.run_job(instructions, max_rounds=3)
+        assert result.complete
+        assert result.results == expected_for(instructions)
+
+    def test_single_round_budget_leaves_missing(self):
+        grid = NanoBoxGrid(1, 1, n_words=4)
+        cp = ControlProcessor(grid)
+        instructions = job(8)  # only 4 fit
+        result = cp.run_job(instructions, max_rounds=1)
+        assert not result.complete
+        assert len(result.missing) == 4
+
+    def test_multi_round_drains_overflow(self):
+        """Work that exceeds total memory capacity completes over
+        several submission rounds."""
+        grid = NanoBoxGrid(1, 1, n_words=4)
+        cp = ControlProcessor(grid)
+        instructions = job(8)
+        result = cp.run_job(instructions, max_rounds=3)
+        assert result.complete
+        assert result.rounds == 2
+
+
+class TestJobResultHelpers:
+    def test_accuracy_against_empty(self):
+        result = JobResult(
+            results={}, submitted=0, rounds=0, cycles=PhaseStats()
+        )
+        assert result.accuracy_against({}) == 1.0
+
+    def test_accuracy_counts_wrong_values(self):
+        result = JobResult(
+            results={1: 5, 2: 9}, submitted=2, rounds=1, cycles=PhaseStats()
+        )
+        assert result.accuracy_against({1: 5, 2: 10}) == 0.5

@@ -1,0 +1,63 @@
+"""Tests for grid-state ASCII rendering."""
+
+from repro.grid.display import render_grid, render_reachability
+from repro.grid.grid import NanoBoxGrid
+
+
+class TestRenderGrid:
+    def test_healthy_grid(self):
+        grid = NanoBoxGrid(2, 3)
+        text = render_grid(grid)
+        assert text.count("#00.") == 6
+        assert "6/6 alive" in text
+        assert "CP" in text
+
+    def test_dead_cell_marked(self):
+        grid = NanoBoxGrid(2, 2)
+        grid.kill_cell(0, 1)
+        text = render_grid(grid)
+        assert text.count("X00.") == 1
+        assert "3/4 alive" in text
+
+    def test_occupancy_shown(self):
+        grid = NanoBoxGrid(1, 1)
+        grid.cell(0, 0).store_instruction(1, 0, 1, 2)
+        grid.cell(0, 0).store_instruction(2, 0, 1, 2)
+        assert "#02." in render_grid(grid)
+
+    def test_error_pressure_glyphs(self):
+        grid = NanoBoxGrid(1, 1, error_threshold=100)
+        grid.cell(0, 0).heartbeat.record_error(3)
+        assert "#003" in render_grid(grid)
+        grid.cell(0, 0).heartbeat.record_error(20)
+        assert "#00!" in render_grid(grid)
+
+    def test_paper_orientation(self):
+        """Top row (highest row address) renders first; highest column
+        address renders leftmost."""
+        grid = NanoBoxGrid(2, 2)
+        grid.kill_cell(1, 1)  # top row, leftmost in paper coordinates
+        lines = render_grid(grid).splitlines()
+        top_line = lines[1]
+        assert top_line.strip().startswith("X")
+
+
+class TestRenderReachability:
+    def test_all_reachable(self):
+        text = render_reachability(NanoBoxGrid(2, 2))
+        assert text.count("O") >= 4
+        assert "x" not in text.splitlines()[1]
+
+    def test_stranded_cells_marked(self):
+        grid = NanoBoxGrid(3, 3)
+        grid.kill_cell(1, 1)
+        map_rows = render_reachability(grid).splitlines()[1:4]
+        body = "".join(map_rows)
+        assert body.count(".") == 1   # the dead cell
+        assert body.count("x") == 1   # the cell below it
+        assert body.count("O") == 7
+
+    def test_adaptive_flag_shown(self):
+        assert "adaptive routing: on" in render_reachability(
+            NanoBoxGrid(2, 2, adaptive_routing=True)
+        )

@@ -1,0 +1,85 @@
+"""Grid-level integration scenarios beyond the unit tests."""
+
+import pytest
+
+from repro.faults.mask import ExactFractionMask
+from repro.grid.simulator import GridSimulator
+from repro.workloads.bitmap import checkerboard, gradient, random_bitmap
+from repro.workloads.imaging import (
+    brightness_boost,
+    hue_shift,
+    reverse_video,
+    threshold_mask,
+)
+
+
+class TestMultipleWorkloads:
+    @pytest.mark.parametrize(
+        "workload",
+        [reverse_video(), hue_shift(), brightness_boost(), threshold_mask()],
+        ids=lambda w: w.name,
+    )
+    def test_all_workloads_exact_when_fault_free(self, workload):
+        sim = GridSimulator(rows=2, cols=4, seed=0)
+        outcome = sim.run_image_job(gradient(8, 8), workload)
+        assert outcome.pixel_accuracy == 1.0
+
+    @pytest.mark.parametrize(
+        "bitmap",
+        [gradient(8, 8), checkerboard(8, 8), random_bitmap(8, 8, seed=5)],
+        ids=["gradient", "checkerboard", "random"],
+    )
+    def test_all_bitmaps_processed(self, bitmap):
+        sim = GridSimulator(rows=2, cols=2, seed=1)
+        outcome = sim.run_image_job(bitmap, reverse_video())
+        assert outcome.output == reverse_video().apply(bitmap)
+
+
+class TestBackToBackJobs:
+    def test_grid_reusable_across_jobs(self):
+        sim = GridSimulator(rows=2, cols=2, seed=2)
+        first = sim.run_image_job(gradient(8, 8), reverse_video())
+        second = sim.run_image_job(gradient(8, 8), hue_shift())
+        assert first.pixel_accuracy == 1.0
+        assert second.pixel_accuracy == 1.0
+
+    def test_larger_image_than_capacity_multi_round(self):
+        # 2x2 cells x 8 words = 32 slots < 64 pixels: needs two rounds.
+        sim = GridSimulator(rows=2, cols=2, n_words=8, seed=3)
+        outcome = sim.run_image_job(gradient(8, 8), reverse_video())
+        assert outcome.pixel_accuracy == 1.0
+        assert outcome.job.rounds == 2
+
+
+class TestStress:
+    def test_half_the_grid_dies(self):
+        sim = GridSimulator(
+            rows=3,
+            cols=3,
+            seed=4,
+            kill_schedule={40: [(0, 0), (1, 1)], 80: [(0, 2), (2, 1)]},
+        )
+        outcome = sim.run_image_job(gradient(8, 8), hue_shift(), max_rounds=5)
+        # (2,1) is a top-row cell: its whole column goes unreachable, but
+        # retry rounds re-place everything on surviving columns.
+        assert outcome.pixel_accuracy == 1.0
+
+    def test_faulty_alus_with_cell_failures_combined(self):
+        sim = GridSimulator(
+            rows=3,
+            cols=3,
+            alu_scheme="tmr",
+            alu_fault_policy=ExactFractionMask(0.02),
+            kill_schedule={60: [(1, 0)]},
+            seed=5,
+        )
+        outcome = sim.run_image_job(gradient(8, 8), reverse_video())
+        assert outcome.pixel_accuracy >= 0.85
+
+    def test_all_but_one_cell_dead_still_completes(self):
+        kills = [(r, c) for r in range(2) for c in range(2) if (r, c) != (1, 0)]
+        sim = GridSimulator(rows=2, cols=2, seed=6,
+                            kill_schedule={30: kills})
+        outcome = sim.run_image_job(gradient(4, 4), reverse_video(),
+                                    max_rounds=6)
+        assert outcome.pixel_accuracy == 1.0

@@ -1,0 +1,72 @@
+"""Tests for LUT routers embedded in the live fabric."""
+
+import numpy as np
+import pytest
+
+from repro.faults.mask import ExactFractionMask
+from repro.grid.control import ControlProcessor
+from repro.grid.grid import NanoBoxGrid
+from repro.grid.watchdog import Watchdog
+
+
+def make_grid(scheme, fault_fraction=0.0, seed=0, **kwargs):
+    if fault_fraction > 0:
+        policy = ExactFractionMask(fault_fraction)
+
+        def factory(coord):
+            rng = np.random.default_rng(
+                np.random.SeedSequence([seed, coord[0], coord[1], 7])
+            )
+            from repro.cell.lutrouter import LUTRouter
+
+            sites = LUTRouter(scheme).site_count
+            return lambda: policy.generate(sites, rng)
+
+    else:
+        factory = None
+    return NanoBoxGrid(
+        3, 3, lut_router_scheme=scheme,
+        router_mask_source_factory=factory, n_words=8, **kwargs
+    )
+
+
+def run_job(grid, n=12):
+    cp = ControlProcessor(grid, watchdog=Watchdog(grid))
+    instructions = [(i, 0b111, (i * 23) & 0xFF, 9) for i in range(n)]
+    return cp.run_job(instructions, max_rounds=3), instructions
+
+
+class TestFaultFreeLUTRouting:
+    @pytest.mark.parametrize("scheme", ["none", "tmr"])
+    def test_job_completes_exactly(self, scheme):
+        grid = make_grid(scheme)
+        result, instructions = run_job(grid)
+        assert result.complete
+        assert grid.misroutes == 0
+        assert grid.invalid_routes == 0
+        for iid, op, a, b in instructions:
+            assert result.results[iid] == (a + b) & 0xFF
+
+
+class TestFaultyLUTRouting:
+    def test_uncoded_router_misroutes_but_results_stay_correct(self):
+        """Misdelivered packets carry their own operands, so whatever
+        comes back is still arithmetically right -- faults cost
+        placement and retries, not correctness."""
+        grid = make_grid("none", fault_fraction=0.02, seed=3)
+        result, instructions = run_job(grid)
+        assert grid.misroutes > 0
+        for iid, op, a, b in instructions:
+            if iid in result.results:
+                assert result.results[iid] == (a + b) & 0xFF
+
+    def test_tmr_router_outmasks_uncoded(self):
+        grid_n = make_grid("none", fault_fraction=0.02, seed=3)
+        grid_t = make_grid("tmr", fault_fraction=0.02, seed=3)
+        run_job(grid_n)
+        run_job(grid_t)
+        assert grid_t.misroutes <= grid_n.misroutes
+
+    def test_dimension_guard(self):
+        with pytest.raises(ValueError, match="4-bit"):
+            NanoBoxGrid(17, 2, lut_router_scheme="tmr")

@@ -1,0 +1,87 @@
+"""Unit tests for packet formats and flit serialisation."""
+
+import pytest
+
+from repro.grid.packet import (
+    FLITS_PER_INSTRUCTION,
+    FLITS_PER_RESULT,
+    InstructionPacket,
+    ResultPacket,
+    parse_packet,
+)
+
+
+def instr(**overrides):
+    fields = dict(
+        dest_row=3, dest_col=2, instruction_id=0xBEEF,
+        opcode=0b111, operand1=0x12, operand2=0x34,
+    )
+    fields.update(overrides)
+    return InstructionPacket(**fields)
+
+
+class TestInstructionPacket:
+    def test_flit_roundtrip(self):
+        packet = instr()
+        flits = packet.to_flits()
+        assert len(flits) == FLITS_PER_INSTRUCTION == packet.flit_count
+        assert all(0 <= f <= 0xFF for f in flits)
+        assert InstructionPacket.from_flits(flits) == packet
+
+    def test_sixteen_bit_instruction_id(self):
+        packet = instr(instruction_id=0xFFFF)
+        assert InstructionPacket.from_flits(packet.to_flits()) == packet
+
+    def test_field_validation(self):
+        with pytest.raises(ValueError):
+            instr(opcode=8)
+        with pytest.raises(ValueError):
+            instr(operand1=256)
+        with pytest.raises(ValueError):
+            instr(instruction_id=1 << 16)
+        with pytest.raises(ValueError):
+            instr(dest_row=-1)
+
+    def test_bad_marker_rejected(self):
+        flits = instr().to_flits()
+        flits[0] = 0x00
+        with pytest.raises(ValueError, match="SOP"):
+            InstructionPacket.from_flits(flits)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError, match="flits"):
+            InstructionPacket.from_flits([0xA5, 1, 2])
+
+
+class TestResultPacket:
+    def test_flit_roundtrip(self):
+        packet = ResultPacket(instruction_id=0x0102, result=0x7E)
+        flits = packet.to_flits()
+        assert len(flits) == FLITS_PER_RESULT == packet.flit_count
+        assert ResultPacket.from_flits(flits) == packet
+
+    def test_results_shorter_than_instructions(self):
+        # The asymmetric flit cost drives shift-out being faster per hop.
+        assert FLITS_PER_RESULT < FLITS_PER_INSTRUCTION
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResultPacket(instruction_id=-1, result=0)
+        with pytest.raises(ValueError):
+            ResultPacket(instruction_id=0, result=512)
+
+
+class TestParsePacket:
+    def test_dispatch(self):
+        assert isinstance(parse_packet(instr().to_flits()), InstructionPacket)
+        assert isinstance(
+            parse_packet(ResultPacket(1, 2).to_flits()), ResultPacket
+        )
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            parse_packet([])
+
+    def test_unknown_marker(self):
+        with pytest.raises(ValueError, match="unknown SOP"):
+            parse_packet([0x42, 0, 0, 0])

@@ -1,0 +1,103 @@
+"""Property-based tests for the grid layer (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.packet import (
+    InstructionPacket,
+    ResultPacket,
+    parse_packet,
+)
+from repro.grid.routing import (
+    choose_direction,
+    instruction_candidates,
+    result_candidates,
+)
+from repro.cell.router import Direction
+
+instruction_packets = st.builds(
+    InstructionPacket,
+    dest_row=st.integers(min_value=0, max_value=255),
+    dest_col=st.integers(min_value=0, max_value=255),
+    instruction_id=st.integers(min_value=0, max_value=0xFFFF),
+    opcode=st.integers(min_value=0, max_value=7),
+    operand1=st.integers(min_value=0, max_value=255),
+    operand2=st.integers(min_value=0, max_value=255),
+)
+
+result_packets = st.builds(
+    ResultPacket,
+    instruction_id=st.integers(min_value=0, max_value=0xFFFF),
+    result=st.integers(min_value=0, max_value=255),
+)
+
+coords = st.tuples(st.integers(min_value=0, max_value=7),
+                   st.integers(min_value=0, max_value=7))
+
+
+class TestPacketProperties:
+    @given(instruction_packets)
+    def test_instruction_flit_roundtrip(self, packet):
+        flits = packet.to_flits()
+        assert all(0 <= f <= 255 for f in flits)
+        assert parse_packet(flits) == packet
+
+    @given(result_packets)
+    def test_result_flit_roundtrip(self, packet):
+        assert parse_packet(packet.to_flits()) == packet
+
+    @given(instruction_packets, result_packets)
+    def test_markers_disambiguate(self, instr, res):
+        assert instr.to_flits()[0] != res.to_flits()[0]
+
+
+class TestAdaptiveRoutingProperties:
+    @given(coords, coords)
+    def test_instruction_candidates_distinct_and_complete(self, dest, cell):
+        candidates = instruction_candidates(dest[0], dest[1], cell[0], cell[1])
+        if dest == cell:
+            assert candidates == []
+        else:
+            assert len(candidates) == 4
+            assert len(set(candidates)) == 4
+            # The dimension-ordered primary leads.
+            from repro.cell.router import route_packet
+
+            assert candidates[0] is route_packet(
+                dest[0], dest[1], cell[0], cell[1]
+            ).direction
+
+    @given(coords)
+    def test_result_candidates_up_first_down_last(self, cell):
+        candidates = result_candidates(cell[0], cell[1], top_row=7)
+        assert candidates[0] is Direction.UP
+        assert candidates[-1] is Direction.DOWN
+        assert len(set(candidates)) == 4
+
+    @given(coords, st.sets(
+        st.sampled_from([Direction.UP, Direction.DOWN,
+                         Direction.LEFT, Direction.RIGHT]),
+        max_size=4,
+    ))
+    def test_choose_direction_respects_liveness(self, cell, dead):
+        candidates = result_candidates(cell[0], cell[1], top_row=7)
+        picked = choose_direction(
+            candidates, cell, prev=None,
+            neighbour_alive=lambda d: d not in dead,
+        )
+        if len(dead) == 4:
+            assert picked is None
+        else:
+            assert picked is not None
+            assert picked not in dead
+
+    @given(coords, st.sampled_from(list(Direction)))
+    def test_backtrack_only_when_sole_exit(self, cell, came_from):
+        prev = came_from.step(*cell)
+        candidates = result_candidates(cell[0], cell[1], top_row=7)
+        picked = choose_direction(
+            candidates, cell, prev=prev, neighbour_alive=lambda d: True
+        )
+        # With every neighbour alive, we never go straight back.
+        assert picked is not None
+        assert picked.step(*cell) != prev

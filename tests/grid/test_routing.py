@@ -1,0 +1,195 @@
+"""Unit tests for the fault-adaptive routing extension."""
+
+import pytest
+
+from repro.cell.cell import CellMode
+from repro.cell.router import Direction
+from repro.grid.control import ControlProcessor
+from repro.grid.grid import NanoBoxGrid
+from repro.grid.packet import InstructionPacket, ResultPacket
+from repro.grid.routing import (
+    Envelope,
+    choose_direction,
+    default_hop_budget,
+    instruction_candidates,
+    result_candidates,
+)
+from repro.grid.watchdog import Watchdog
+
+
+class TestEnvelope:
+    def test_flit_count_delegates(self):
+        env = Envelope(ResultPacket(1, 2))
+        assert env.flit_count == 4
+
+    def test_forwarded_tracks_hops_and_prev(self):
+        env = Envelope(ResultPacket(1, 2))
+        fwd = env.forwarded((2, 3))
+        assert fwd.hops == 1
+        assert fwd.prev == (2, 3)
+        assert fwd.packet is env.packet
+
+
+class TestCandidateOrders:
+    def test_instruction_primary_first(self):
+        # dest col > cell col -> LEFT primary; dest row below -> DOWN next.
+        candidates = instruction_candidates(0, 5, 2, 3)
+        assert candidates[0] is Direction.LEFT
+        assert candidates[1] is Direction.DOWN
+        assert len(candidates) == 4
+        assert len(set(candidates)) == 4
+
+    def test_instruction_at_destination_empty(self):
+        assert instruction_candidates(2, 3, 2, 3) == []
+
+    def test_result_up_first_down_last(self):
+        for col in (0, 1, 2):
+            candidates = result_candidates(1, col, top_row=3)
+            assert candidates[0] is Direction.UP
+            assert candidates[-1] is Direction.DOWN
+
+    def test_result_lateral_parity_alternates(self):
+        even = result_candidates(1, 2, top_row=3)
+        odd = result_candidates(1, 3, top_row=3)
+        assert even[1] is Direction.LEFT
+        assert odd[1] is Direction.RIGHT
+
+
+class TestChooseDirection:
+    def test_takes_first_alive(self):
+        picked = choose_direction(
+            [Direction.UP, Direction.LEFT],
+            (1, 1),
+            prev=None,
+            neighbour_alive=lambda d: d is Direction.LEFT,
+        )
+        assert picked is Direction.LEFT
+
+    def test_avoids_backtrack(self):
+        # UP leads to (2,1) which is where we came from; LEFT is alive.
+        picked = choose_direction(
+            [Direction.UP, Direction.LEFT],
+            (1, 1),
+            prev=(2, 1),
+            neighbour_alive=lambda d: True,
+        )
+        assert picked is Direction.LEFT
+
+    def test_backtrack_allowed_as_last_resort(self):
+        picked = choose_direction(
+            [Direction.UP],
+            (1, 1),
+            prev=(2, 1),
+            neighbour_alive=lambda d: d is Direction.UP,
+        )
+        assert picked is Direction.UP
+
+    def test_isolated_returns_none(self):
+        assert choose_direction(
+            [Direction.UP, Direction.DOWN],
+            (1, 1),
+            prev=None,
+            neighbour_alive=lambda d: False,
+        ) is None
+
+
+class TestHopBudget:
+    def test_scales_with_grid(self):
+        assert default_hop_budget(4, 4) > default_hop_budget(2, 2)
+        assert default_hop_budget(3, 3) >= 4 * 6
+
+
+class TestAdaptiveDelivery:
+    def test_instruction_detours_around_dead_cell(self):
+        """Destination (0,1) with (1,1) dead: the straight column route
+        is cut, but the packet detours through a neighbouring column."""
+        grid = NanoBoxGrid(3, 3, adaptive_routing=True)
+        grid.kill_cell(1, 1)
+        grid.set_mode(CellMode.SHIFT_IN)
+        grid.cp_send(InstructionPacket(
+            dest_row=0, dest_col=1, instruction_id=9,
+            opcode=0b010, operand1=1, operand2=2,
+        ))
+        for _ in range(200):
+            grid.step()
+        assert grid.cell(0, 1).memory.read(0).instruction_id == 9
+
+    def test_deterministic_fabric_drops_same_packet(self):
+        grid = NanoBoxGrid(3, 3, adaptive_routing=False)
+        grid.kill_cell(1, 1)
+        grid.set_mode(CellMode.SHIFT_IN)
+        grid.cp_send(InstructionPacket(
+            dest_row=0, dest_col=1, instruction_id=9,
+            opcode=0b010, operand1=1, operand2=2,
+        ))
+        for _ in range(200):
+            grid.step()
+        assert grid.cell(0, 1).memory.occupancy() == 0
+        assert grid.dropped_packets
+
+    def test_result_detours_back_to_cp(self):
+        grid = NanoBoxGrid(3, 3, adaptive_routing=True)
+        grid.cell(0, 1).store_instruction(5, 0b111, 20, 30)
+        grid.set_mode(CellMode.COMPUTE)
+        for _ in range(10):
+            grid.step()
+        grid.kill_cell(1, 1)  # cut the return column
+        grid.kill_cell(2, 1)
+        grid.set_mode(CellMode.SHIFT_OUT)
+        for _ in range(300):
+            grid.step()
+        results = {p.instruction_id: p.result for p in grid.cp_inbox}
+        assert results == {5: 50}
+
+    def test_dead_top_row_cell_injection_rerouted(self):
+        grid = NanoBoxGrid(3, 3, adaptive_routing=True)
+        grid.kill_cell(2, 1)  # top-row middle
+        assert grid.injection_column(1) in (0, 2)
+        assert grid.reachable(0, 1)
+
+    def test_no_alive_top_row(self):
+        grid = NanoBoxGrid(2, 2, adaptive_routing=True)
+        grid.kill_cell(1, 0)
+        grid.kill_cell(1, 1)
+        assert grid.injection_column(0) is None
+        with pytest.raises(RuntimeError):
+            grid.cp_send(InstructionPacket(
+                dest_row=0, dest_col=0, instruction_id=1,
+                opcode=0, operand1=0, operand2=0,
+            ))
+
+    def test_reachability_bfs_blocked_pocket(self):
+        """A cell walled off by dead cells is unreachable even adaptively."""
+        grid = NanoBoxGrid(3, 3, adaptive_routing=True)
+        # Isolate the bottom-left corner (0, 2): its neighbours are
+        # (1, 2) and (0, 1) in paper coordinates.
+        grid.kill_cell(1, 2)
+        grid.kill_cell(0, 1)
+        assert not grid.reachable(0, 2)
+        assert grid.reachable(0, 0)
+
+
+class TestAdaptiveEndToEnd:
+    def test_job_completes_around_dead_top_row_cell(self):
+        grid = NanoBoxGrid(3, 3, adaptive_routing=True, n_words=8)
+        grid.kill_cell(2, 1)
+        cp = ControlProcessor(grid, watchdog=Watchdog(grid))
+        instructions = [(i, 0b111, (i * 31) & 0xFF, 5) for i in range(16)]
+        result = cp.run_job(instructions, max_rounds=2)
+        assert result.complete
+        for iid, op, a, b in instructions:
+            assert result.results[iid] == (a + b) & 0xFF
+
+    def test_adaptive_uses_cells_deterministic_cannot(self):
+        """With a dead top-row cell, the adaptive fabric can still place
+        work in that column while the deterministic one cannot."""
+        killed = (2, 1)
+        det = NanoBoxGrid(3, 3, adaptive_routing=False)
+        det.kill_cell(*killed)
+        ada = NanoBoxGrid(3, 3, adaptive_routing=True)
+        ada.kill_cell(*killed)
+        det_reach = sum(det.reachable(r, c) for r in range(3) for c in range(3))
+        ada_reach = sum(ada.reachable(r, c) for r in range(3) for c in range(3))
+        assert ada_reach > det_reach
+        assert ada_reach == 8
+        assert det_reach == 6

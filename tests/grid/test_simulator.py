@@ -1,0 +1,131 @@
+"""Unit tests for the full-system simulator."""
+
+import pytest
+
+from repro.faults.mask import ExactFractionMask
+from repro.grid.simulator import GridSimulator
+from repro.workloads.bitmap import gradient
+from repro.workloads.imaging import hue_shift, reverse_video
+
+
+class TestFaultFreeJobs:
+    def test_reverse_video_exact(self):
+        sim = GridSimulator(rows=3, cols=3, seed=0)
+        outcome = sim.run_image_job(gradient(8, 8), reverse_video())
+        assert outcome.pixel_accuracy == 1.0
+        assert outcome.job.complete
+        assert outcome.output == reverse_video().apply(gradient(8, 8))
+
+    def test_hue_shift_exact(self):
+        sim = GridSimulator(rows=2, cols=4, seed=0)
+        outcome = sim.run_image_job(gradient(8, 8), hue_shift())
+        assert outcome.pixel_accuracy == 1.0
+
+    def test_stats_clean(self):
+        sim = GridSimulator(rows=2, cols=2, seed=0)
+        outcome = sim.run_image_job(gradient(4, 4), reverse_video())
+        assert outcome.stats.failed_cells == ()
+        assert outcome.stats.dropped_packets == 0
+        assert outcome.stats.memory_upsets == 0
+        assert outcome.stats.cycles > 0
+
+
+class TestCellFailures:
+    def test_kill_schedule_triggers_failover(self):
+        sim = GridSimulator(
+            rows=3, cols=3, seed=1, kill_schedule={30: [(1, 1)]}
+        )
+        outcome = sim.run_image_job(gradient(8, 8), reverse_video())
+        assert (1, 1) in outcome.stats.failed_cells
+        assert outcome.pixel_accuracy == 1.0  # salvage + retry recovers
+
+    def test_multiple_kills_still_recover(self):
+        sim = GridSimulator(
+            rows=3, cols=3, seed=2,
+            kill_schedule={25: [(0, 0)], 60: [(1, 2)]},
+        )
+        outcome = sim.run_image_job(gradient(8, 8), hue_shift())
+        assert len(outcome.stats.failed_cells) == 2
+        assert outcome.pixel_accuracy == 1.0
+
+    def test_unsalvageable_memory_recovered_by_retry(self):
+        sim = GridSimulator(
+            rows=3, cols=3, seed=3,
+            kill_schedule={30: [(1, 1)]},
+            memory_salvageable=False,
+        )
+        outcome = sim.run_image_job(gradient(8, 8), reverse_video())
+        # Retry rounds re-submit whatever the dead cell swallowed.
+        assert outcome.pixel_accuracy == 1.0
+
+
+class TestALUFaults:
+    def test_tmr_cells_survive_low_fault_rate(self):
+        sim = GridSimulator(
+            rows=2, cols=2, alu_scheme="tmr",
+            alu_fault_policy=ExactFractionMask(0.01), seed=4,
+        )
+        outcome = sim.run_image_job(gradient(8, 8), reverse_video())
+        assert outcome.pixel_accuracy >= 0.95
+
+    def test_uncoded_cells_degrade_more(self):
+        sim_tmr = GridSimulator(
+            rows=2, cols=2, alu_scheme="tmr",
+            alu_fault_policy=ExactFractionMask(0.05), seed=5,
+        )
+        sim_none = GridSimulator(
+            rows=2, cols=2, alu_scheme="none",
+            alu_fault_policy=ExactFractionMask(0.05), seed=5,
+        )
+        acc_tmr = sim_tmr.run_image_job(gradient(8, 8), hue_shift()).pixel_accuracy
+        acc_none = sim_none.run_image_job(gradient(8, 8), hue_shift()).pixel_accuracy
+        assert acc_tmr > acc_none
+
+
+class TestMemoryUpsets:
+    def test_upsets_injected_and_counted(self):
+        sim = GridSimulator(
+            rows=2, cols=2, seed=6, memory_upset_rate=1e-3
+        )
+        outcome = sim.run_image_job(gradient(8, 8), reverse_video())
+        assert outcome.stats.memory_upsets > 0
+
+    def test_triplicated_fields_ride_out_sparse_upsets(self):
+        sim = GridSimulator(
+            rows=2, cols=2, seed=7, memory_upset_rate=5e-5
+        )
+        outcome = sim.run_image_job(gradient(8, 8), reverse_video())
+        assert outcome.pixel_accuracy >= 0.9
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            GridSimulator(memory_upset_rate=1.5)
+
+
+class TestRawInstructionJobs:
+    def test_run_instructions(self):
+        sim = GridSimulator(rows=2, cols=2, seed=8)
+        result = sim.run_instructions([(1, 0b000, 0xF0, 0xFF), (2, 0b001, 1, 2)])
+        assert result.results == {1: 0xF0, 2: 3}
+
+
+class TestLUTRouterPassthrough:
+    def test_fault_free_lut_routers(self):
+        sim = GridSimulator(rows=2, cols=2, seed=9, lut_router_scheme="tmr")
+        outcome = sim.run_image_job(gradient(4, 4), reverse_video())
+        assert outcome.pixel_accuracy == 1.0
+        assert sim.grid.misroutes == 0
+
+    def test_faulty_lut_routers_counted(self):
+        sim = GridSimulator(
+            rows=2, cols=2, seed=10,
+            lut_router_scheme="none",
+            router_fault_policy=ExactFractionMask(0.03),
+        )
+        outcome = sim.run_image_job(gradient(8, 8), reverse_video(),
+                                    max_rounds=4)
+        assert sim.grid.misroutes + sim.grid.invalid_routes > 0
+        # Returned results remain arithmetically correct regardless.
+        expected = reverse_video().apply(gradient(8, 8))
+        for iid, value in outcome.job.results.items():
+            assert value == expected.pixels[iid]

@@ -1,0 +1,104 @@
+"""Randomised stress tests of the grid under arbitrary failure sets."""
+
+import numpy as np
+import pytest
+
+from repro.grid.control import ControlProcessor
+from repro.grid.grid import NanoBoxGrid
+from repro.grid.watchdog import Watchdog
+
+
+def random_kill_set(rng, rows, cols, count):
+    """A random set of distinct cells to kill."""
+    coords = [(r, c) for r in range(rows) for c in range(cols)]
+    picks = rng.choice(len(coords), size=count, replace=False)
+    return [coords[int(i)] for i in picks]
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_adaptive_jobs_complete_for_every_reachable_cell(seed):
+    """Whatever two cells die, every cell the BFS calls reachable must
+    actually serve instructions and return results."""
+    rng = np.random.default_rng(seed)
+    rows = cols = 3
+    grid = NanoBoxGrid(rows, cols, adaptive_routing=True, n_words=8)
+    for coord in random_kill_set(rng, rows, cols, 2):
+        grid.kill_cell(*coord)
+    cp = ControlProcessor(grid, watchdog=Watchdog(grid))
+
+    reachable = [
+        (r, c)
+        for r in range(rows)
+        for c in range(cols)
+        if grid.reachable(r, c)
+    ]
+    if not reachable:
+        return  # top row fully dead: nothing to test
+
+    instructions = [
+        (i, 0b111, (i * 29) & 0xFF, 3) for i in range(2 * len(reachable))
+    ]
+    result = cp.run_job(instructions, max_rounds=2)
+    assert result.complete, (
+        f"seed {seed}: missing {result.missing} with kills leaving "
+        f"{reachable} reachable"
+    )
+    for iid, op, a, b in instructions:
+        assert result.results[iid] == (a + b) & 0xFF
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_deterministic_fabric_never_wedges(seed):
+    """The non-adaptive fabric may lose work when kills cut columns, but
+    jobs must terminate (no deadlock/timeout) and returned results must
+    be correct."""
+    rng = np.random.default_rng(100 + seed)
+    rows = cols = 3
+    grid = NanoBoxGrid(rows, cols, n_words=8)
+    for coord in random_kill_set(rng, rows, cols, 3):
+        grid.kill_cell(*coord)
+    cp = ControlProcessor(grid, watchdog=Watchdog(grid))
+    instructions = [(i, 0b010, (i * 17) & 0xFF, 0xFF) for i in range(10)]
+    result = cp.run_job(instructions, max_rounds=2)
+    for iid, op, a, b in instructions:
+        if iid in result.results:
+            assert result.results[iid] == a ^ 0xFF
+
+
+def test_no_result_duplication_or_fabrication():
+    """Fabric invariant: every result the CP receives corresponds to a
+    submitted instruction, arrives at most once per round sequence, and
+    phantom IDs never appear -- even under failures and adaptive
+    detours."""
+    rng = np.random.default_rng(7)
+    grid = NanoBoxGrid(3, 3, adaptive_routing=True, n_words=8)
+    cp = ControlProcessor(grid, watchdog=Watchdog(grid))
+    grid.kill_cell(1, 1)
+    instructions = [(i + 100, 0b001, (i * 11) & 0xFF, 0x10) for i in range(12)]
+    submitted_ids = {iid for iid, *_ in instructions}
+    result = cp.run_job(instructions, max_rounds=3)
+    assert set(result.results) <= submitted_ids
+    # The CP inbox was fully drained between rounds; nothing lingers.
+    assert not grid.cp_inbox
+
+
+def test_mass_failure_mid_job_terminates():
+    """Killing a third of the grid *during* the compute phase must not
+    hang any phase, and surviving results must be correct."""
+    from repro.grid.simulator import GridSimulator
+    from repro.workloads.bitmap import gradient
+    from repro.workloads.imaging import reverse_video
+
+    sim = GridSimulator(
+        rows=3,
+        cols=3,
+        seed=9,
+        adaptive_routing=True,
+        kill_schedule={50: [(0, 0), (1, 1)], 150: [(2, 2)]},
+    )
+    outcome = sim.run_image_job(gradient(8, 8), reverse_video(), max_rounds=4)
+    expected = reverse_video().apply(gradient(8, 8))
+    for iid in range(64):
+        if iid in outcome.job.results:
+            assert outcome.job.results[iid] == expected.pixels[iid]
+    assert outcome.pixel_accuracy >= 0.9

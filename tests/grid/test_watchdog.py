@@ -1,0 +1,104 @@
+"""Unit tests for the watchdog and failover (paper Section 2.3)."""
+
+import pytest
+
+from repro.grid.grid import NanoBoxGrid
+from repro.grid.watchdog import Watchdog
+
+
+def grid_with_work():
+    grid = NanoBoxGrid(3, 3, n_words=8)
+    for iid in range(4):
+        grid.cell(1, 1).store_instruction(iid + 1, 0b010, iid, 0xFF)
+    return grid
+
+
+class TestDetection:
+    def test_healthy_grid_no_reports(self):
+        grid = NanoBoxGrid(2, 2)
+        watchdog = Watchdog(grid)
+        assert watchdog.poll() == []
+        assert watchdog.disabled_cells == ()
+
+    def test_silent_cell_detected_once(self):
+        grid = grid_with_work()
+        watchdog = Watchdog(grid)
+        grid.kill_cell(1, 1)
+        reports = watchdog.poll()
+        assert len(reports) == 1
+        assert reports[0].failed_cell == (1, 1)
+        # A second poll must not re-report the same failure.
+        assert watchdog.poll() == []
+        assert watchdog.disabled_cells == ((1, 1),)
+
+    def test_error_threshold_triggers_detection(self):
+        grid = NanoBoxGrid(2, 2, error_threshold=2)
+        watchdog = Watchdog(grid)
+        grid.cell(0, 0).heartbeat.record_error(3)
+        reports = watchdog.poll()
+        assert [r.failed_cell for r in reports] == [(0, 0)]
+
+
+class TestSalvage:
+    def test_pending_words_move_to_neighbours(self):
+        grid = grid_with_work()
+        watchdog = Watchdog(grid)
+        grid.kill_cell(1, 1)
+        report = watchdog.poll()[0]
+        assert report.salvaged_words == 4
+        assert report.lost_words == 0
+        assert report.fully_salvaged
+        assert sum(report.adopted.values()) == 4
+        # The words now sit in alive neighbours' memories, still pending.
+        total_pending = grid.total_pending_instructions()
+        assert total_pending == 4
+
+    def test_adopters_are_neighbours(self):
+        grid = grid_with_work()
+        watchdog = Watchdog(grid)
+        grid.kill_cell(1, 1)
+        report = watchdog.poll()[0]
+        neighbours = set(grid.neighbours(1, 1).values())
+        assert set(report.adopted) <= neighbours
+
+    def test_unsalvageable_memory_loses_words(self):
+        grid = grid_with_work()
+        watchdog = Watchdog(grid, memory_salvageable=False)
+        grid.kill_cell(1, 1)
+        report = watchdog.poll()[0]
+        assert report.salvaged_words == 0
+        assert report.lost_words == 4
+        assert not report.fully_salvaged
+        assert grid.total_pending_instructions() == 0
+
+    def test_overflow_widens_to_any_alive_cell(self):
+        grid = NanoBoxGrid(1, 3, n_words=2)
+        # Fill the only direct neighbour (row 0, col 1 has neighbours
+        # (0,0) and (0,2)); saturate (0,0) so salvage must spill to (0,2).
+        grid.cell(0, 0).store_instruction(1, 0, 0, 0)
+        grid.cell(0, 0).store_instruction(2, 0, 0, 0)
+        grid.cell(0, 1).store_instruction(3, 0b010, 1, 1)
+        grid.cell(0, 1).store_instruction(4, 0b010, 2, 2)
+        watchdog = Watchdog(grid)
+        grid.kill_cell(0, 1)
+        report = watchdog.poll()[0]
+        assert report.lost_words == 0
+        assert report.adopted == {(0, 2): 2}
+
+    def test_everything_full_loses_words(self):
+        grid = NanoBoxGrid(1, 2, n_words=1)
+        grid.cell(0, 0).store_instruction(1, 0, 0, 0)
+        grid.cell(0, 1).store_instruction(2, 0b010, 1, 1)
+        watchdog = Watchdog(grid)
+        grid.kill_cell(0, 1)
+        report = watchdog.poll()[0]
+        assert report.lost_words == 1
+
+    def test_reports_accumulate(self):
+        grid = NanoBoxGrid(2, 2)
+        watchdog = Watchdog(grid)
+        grid.kill_cell(0, 0)
+        watchdog.poll()
+        grid.kill_cell(0, 1)
+        watchdog.poll()
+        assert len(watchdog.reports) == 2

@@ -1,0 +1,121 @@
+"""Unit tests for the netlist builders, including Table 2 node counts."""
+
+import itertools
+
+import pytest
+
+from repro.logic.builders import (
+    CMOS_ALU_NODE_COUNT,
+    CMOS_ALU_NODES_PER_SLICE,
+    CMOS_VOTER_NODE_COUNT,
+    build_cmos_alu,
+    build_cmos_voter,
+    build_full_adder,
+    build_majority3,
+)
+from repro.logic.netlist import Netlist
+
+
+class TestFullAdder:
+    def test_exhaustive(self):
+        net = Netlist()
+        a, b, c = net.input("a"), net.input("b"), net.input("c")
+        total, cout, _ = build_full_adder(net, a, b, c, "fa")
+        net.set_output("s", total)
+        net.set_output("co", cout)
+        for bits in itertools.product((0, 1), repeat=3):
+            out = net.evaluate(dict(zip("abc", bits)))
+            expected = sum(bits)
+            assert out["s"] == expected & 1
+            assert out["co"] == (expected >> 1) & 1
+
+    def test_node_cost(self):
+        net = Netlist()
+        a, b, c = net.input("a"), net.input("b"), net.input("c")
+        build_full_adder(net, a, b, c, "fa")
+        assert net.node_count == 5
+
+
+class TestMajority3:
+    @pytest.mark.parametrize("buffered,expected_nodes", [(True, 9), (False, 5)])
+    def test_truth_table_and_cost(self, buffered, expected_nodes):
+        net = Netlist()
+        x, y, z = net.input("x"), net.input("y"), net.input("z")
+        maj = build_majority3(net, x, y, z, "m", buffered=buffered)
+        net.set_output("m", maj)
+        assert net.node_count == expected_nodes
+        for bits in itertools.product((0, 1), repeat=3):
+            out = net.evaluate(dict(zip("xyz", bits)))
+            assert out["m"] == (1 if sum(bits) >= 2 else 0)
+
+
+class TestCMOSALU:
+    def test_paper_node_count(self):
+        net = build_cmos_alu(8)
+        assert net.node_count == CMOS_ALU_NODE_COUNT == 192
+
+    def test_per_slice_constant(self):
+        assert CMOS_ALU_NODES_PER_SLICE == 24
+        for width in (1, 2, 4, 8):
+            assert build_cmos_alu(width).node_count == width * 24
+
+    def test_functional_and(self):
+        net = build_cmos_alu(8)
+        out = _run(net, 0b000, 0xCC, 0xAA)
+        assert out["out"] == 0xCC & 0xAA
+        assert out["carry"] == 0
+
+    def test_functional_or(self):
+        net = build_cmos_alu(8)
+        assert _run(net, 0b001, 0xCC, 0xAA)["out"] == 0xCC | 0xAA
+
+    def test_functional_xor(self):
+        net = build_cmos_alu(8)
+        assert _run(net, 0b010, 0xCC, 0xAA)["out"] == 0xCC ^ 0xAA
+
+    def test_functional_add_with_carry(self):
+        net = build_cmos_alu(8)
+        out = _run(net, 0b111, 200, 100)
+        assert out["out"] == (200 + 100) & 0xFF
+        assert out["carry"] == 1
+
+    def test_add_no_carry(self):
+        net = build_cmos_alu(8)
+        out = _run(net, 0b111, 10, 20)
+        assert out["out"] == 30
+        assert out["carry"] == 0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            build_cmos_alu(0)
+
+
+class TestCMOSVoter:
+    def test_paper_node_count(self):
+        net = build_cmos_voter(9)
+        assert net.node_count == CMOS_VOTER_NODE_COUNT == 81
+
+    def test_votes_bitwise(self):
+        net = build_cmos_voter(4)
+        inputs = {}
+        x, y, z = 0b1100, 0b1010, 0b1001
+        for i in range(4):
+            inputs[f"x{i}"] = (x >> i) & 1
+            inputs[f"y{i}"] = (y >> i) & 1
+            inputs[f"z{i}"] = (z >> i) & 1
+        out = net.evaluate_bus(inputs, ("v",))
+        assert out["v"] == 0b1000
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            build_cmos_voter(-1)
+
+
+def _run(net, op, a, b):
+    inputs = {}
+    for i in range(8):
+        inputs[f"a{i}"] = (a >> i) & 1
+        inputs[f"b{i}"] = (b >> i) & 1
+    for j in range(3):
+        inputs[f"op{j}"] = (op >> j) & 1
+    return net.evaluate_bus(inputs, ("out",))

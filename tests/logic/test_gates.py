@@ -1,0 +1,54 @@
+"""Unit tests for gate primitives."""
+
+import pytest
+
+from repro.logic.gates import Gate, GateType, Signal, SignalKind, evaluate_gate
+
+
+def sig(n):
+    return Signal(SignalKind.INPUT, n, f"in{n}")
+
+
+class TestEvaluateGate:
+    @pytest.mark.parametrize(
+        "gate_type,bits,expected",
+        [
+            (GateType.AND, (1, 1), 1),
+            (GateType.AND, (1, 0), 0),
+            (GateType.AND, (1, 1, 1), 1),
+            (GateType.AND, (1, 1, 0), 0),
+            (GateType.OR, (0, 0), 0),
+            (GateType.OR, (0, 1), 1),
+            (GateType.OR, (0, 0, 0), 0),
+            (GateType.XOR, (1, 1), 0),
+            (GateType.XOR, (1, 0), 1),
+            (GateType.XOR, (1, 1, 1), 1),
+            (GateType.NAND, (1, 1), 0),
+            (GateType.NAND, (0, 1), 1),
+            (GateType.NOR, (0, 0), 1),
+            (GateType.NOR, (1, 0), 0),
+            (GateType.NOT, (0,), 1),
+            (GateType.NOT, (1,), 0),
+            (GateType.BUF, (1,), 1),
+            (GateType.BUF, (0,), 0),
+        ],
+    )
+    def test_truth_tables(self, gate_type, bits, expected):
+        assert evaluate_gate(gate_type, bits) == expected
+
+
+class TestGateValidation:
+    def test_unary_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Gate(GateType.NOT, (sig(0), sig(1)), 0)
+        with pytest.raises(ValueError):
+            Gate(GateType.BUF, (), 0)
+
+    def test_symmetric_gates_need_two_inputs(self):
+        with pytest.raises(ValueError):
+            Gate(GateType.AND, (sig(0),), 0)
+
+    def test_valid_construction(self):
+        gate = Gate(GateType.AND, (sig(0), sig(1)), 7, "g")
+        assert gate.index == 7
+        assert gate.name == "g"

@@ -1,0 +1,137 @@
+"""Unit tests for the combinational netlist simulator."""
+
+import pytest
+
+from repro.logic.gates import GateType
+from repro.logic.netlist import Netlist
+
+
+def build_xor_from_nands():
+    """Classic 4-NAND XOR used as a known-good circuit."""
+    net = Netlist("xor4nand")
+    a = net.input("a")
+    b = net.input("b")
+    n1 = net.add(GateType.NAND, a, b)
+    n2 = net.add(GateType.NAND, a, n1)
+    n3 = net.add(GateType.NAND, b, n1)
+    out = net.add(GateType.NAND, n2, n3)
+    net.set_output("y", out)
+    return net
+
+
+class TestBuild:
+    def test_duplicate_input_rejected(self):
+        net = Netlist()
+        net.input("a")
+        with pytest.raises(ValueError, match="duplicate input"):
+            net.input("a")
+
+    def test_duplicate_output_rejected(self):
+        net = Netlist()
+        a = net.input("a")
+        net.set_output("y", a)
+        with pytest.raises(ValueError, match="duplicate output"):
+            net.set_output("y", a)
+
+    def test_forward_reference_rejected(self):
+        from repro.logic.gates import Signal, SignalKind
+
+        net = Netlist()
+        a = net.input("a")
+        ghost = Signal(SignalKind.GATE, 5, "ghost")
+        with pytest.raises(ValueError, match="not yet defined"):
+            net.add(GateType.AND, a, ghost)
+
+    def test_const_validation(self):
+        net = Netlist()
+        with pytest.raises(ValueError):
+            net.const(2)
+
+    def test_node_count(self):
+        net = build_xor_from_nands()
+        assert net.node_count == 4
+
+    def test_gate_histogram(self):
+        net = build_xor_from_nands()
+        assert net.gate_histogram() == {"nand": 4}
+
+
+class TestEvaluate:
+    def test_xor_truth_table(self):
+        net = build_xor_from_nands()
+        for a in (0, 1):
+            for b in (0, 1):
+                assert net.evaluate({"a": a, "b": b})["y"] == a ^ b
+
+    def test_missing_input(self):
+        net = build_xor_from_nands()
+        with pytest.raises(KeyError):
+            net.evaluate({"a": 1})
+
+    def test_non_binary_input(self):
+        net = build_xor_from_nands()
+        with pytest.raises(ValueError):
+            net.evaluate({"a": 2, "b": 0})
+
+    def test_const_signals(self):
+        net = Netlist()
+        a = net.input("a")
+        out = net.add(GateType.AND, a, net.const(1))
+        net.set_output("y", out)
+        assert net.evaluate({"a": 1})["y"] == 1
+        net2 = Netlist()
+        a2 = net2.input("a")
+        out2 = net2.add(GateType.OR, a2, net2.const(0))
+        net2.set_output("y", out2)
+        assert net2.evaluate({"a": 0})["y"] == 0
+
+
+class TestFaultInjection:
+    def test_single_node_flip_propagates(self):
+        net = build_xor_from_nands()
+        clean = net.evaluate({"a": 1, "b": 0})["y"]
+        # Flipping the output NAND (node 3) must invert the result.
+        faulty = net.evaluate({"a": 1, "b": 0}, fault_mask=1 << 3)["y"]
+        assert faulty == clean ^ 1
+
+    def test_internal_node_flip_changes_output(self):
+        net = build_xor_from_nands()
+        # With a=1, b=1: n1=0, n2=1, n3=1, y=0.  Flipping n1 makes
+        # n2=nand(1,1)=0, n3=0, y=1.
+        assert net.evaluate({"a": 1, "b": 1}, fault_mask=1 << 0)["y"] == 1
+
+    def test_mask_beyond_nodes_ignored_gracefully(self):
+        net = build_xor_from_nands()
+        # Bits above node_count simply have no effect.
+        clean = net.evaluate({"a": 0, "b": 1})["y"]
+        assert net.evaluate({"a": 0, "b": 1}, fault_mask=1 << 40)["y"] == clean
+
+    def test_double_flip_cancels_on_same_path(self):
+        net = Netlist()
+        a = net.input("a")
+        b1 = net.add(GateType.BUF, a)
+        b2 = net.add(GateType.BUF, b1)
+        net.set_output("y", b2)
+        # Flipping both buffers restores the value.
+        assert net.evaluate({"a": 1}, fault_mask=0b11)["y"] == 1
+        assert net.evaluate({"a": 1}, fault_mask=0b01)["y"] == 0
+
+
+class TestEvaluateBus:
+    def test_packs_bus_outputs(self):
+        net = Netlist()
+        a = net.input("a")
+        n = net.add(GateType.NOT, a)
+        net.set_output("v0", a)
+        net.set_output("v1", n)
+        net.set_output("flag", n)
+        out = net.evaluate_bus({"a": 1}, ("v",))
+        assert out["v"] == 0b01
+        assert out["flag"] == 0
+
+    def test_unknown_prefix(self):
+        net = Netlist()
+        a = net.input("a")
+        net.set_output("y", a)
+        with pytest.raises(KeyError):
+            net.evaluate_bus({"a": 0}, ("v",))

@@ -1,0 +1,211 @@
+"""Unit tests for error-coded lookup tables."""
+
+import pytest
+
+from repro.coding.base import DecodeOutcome
+from repro.lut.coded import CodedLUT
+from repro.lut.table import TruthTable
+
+
+def xor5_table():
+    """5-input parity: the 32-entry shape of the NanoBox slice LUTs."""
+    return TruthTable.from_function(5, lambda *bits: sum(bits) % 2)
+
+
+class TestGeometry:
+    def test_none_sites(self):
+        assert CodedLUT(xor5_table(), "none").total_bits == 32
+
+    def test_hamming_sites(self):
+        # Two 16-bit blocks with 5 check bits each: 42 total.
+        assert CodedLUT(xor5_table(), "hamming").total_bits == 42
+
+    def test_tmr_sites(self):
+        assert CodedLUT(xor5_table(), "tmr").total_bits == 96
+
+    def test_parity_sites(self):
+        assert CodedLUT(xor5_table(), "parity").total_bits == 34
+
+    def test_5mr_sites(self):
+        assert CodedLUT(xor5_table(), "5mr").total_bits == 160
+
+    def test_block_count(self):
+        assert CodedLUT(xor5_table(), "hamming").block_count == 2
+        assert CodedLUT(xor5_table(), "none").block_count == 1
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="unknown LUT coding scheme"):
+            CodedLUT(xor5_table(), "bch")
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            CodedLUT(xor5_table(), "hamming", block_size=0)
+
+
+@pytest.mark.parametrize(
+    "scheme", ["none", "hamming", "hamming-sec", "hamming-fp", "tmr", "parity"]
+)
+class TestFaultFreeReads:
+    def test_matches_truth_table(self, scheme):
+        table = xor5_table()
+        lut = CodedLUT(table, scheme)
+        for address in range(32):
+            assert lut.read(address) == table.lookup(address)
+
+    def test_traced_reads_clean(self, scheme):
+        lut = CodedLUT(xor5_table(), scheme)
+        for address in (0, 13, 31):
+            trace = lut.read_traced(address)
+            assert not trace.observable_error
+            assert trace.value == trace.correct_value
+
+
+class TestAddressValidation:
+    def test_read_out_of_range(self):
+        lut = CodedLUT(xor5_table(), "none")
+        with pytest.raises(IndexError):
+            lut.read(32)
+        with pytest.raises(IndexError):
+            lut.read_traced(-1)
+
+
+class TestNoCodeSemantics:
+    def test_only_addressed_bit_matters(self):
+        table = xor5_table()
+        lut = CodedLUT(table, "none")
+        for address in (0, 7, 31):
+            # Flip every bit EXCEPT the addressed one: read unaffected.
+            mask = ((1 << 32) - 1) ^ (1 << address)
+            assert lut.read(address, mask) == table.lookup(address)
+            # Flip only the addressed bit: read inverted.
+            assert lut.read(address, 1 << address) == table.lookup(address) ^ 1
+
+
+class TestTMRSemantics:
+    def test_single_copy_fault_masked(self):
+        table = xor5_table()
+        lut = CodedLUT(table, "tmr")
+        for address in (0, 13, 31):
+            for copy in range(3):
+                mask = 1 << (copy * 32 + address)
+                assert lut.read(address, mask) == table.lookup(address)
+
+    def test_two_copy_fault_not_masked(self):
+        table = xor5_table()
+        lut = CodedLUT(table, "tmr")
+        address = 9
+        mask = (1 << address) | (1 << (32 + address))
+        assert lut.read(address, mask) == table.lookup(address) ^ 1
+
+    def test_faults_on_other_addresses_invisible(self):
+        table = xor5_table()
+        lut = CodedLUT(table, "tmr")
+        # Corrupt all three copies of every *other* address.
+        address = 5
+        mask = 0
+        for copy in range(3):
+            for other in range(32):
+                if other != address:
+                    mask |= 1 << (copy * 32 + other)
+        assert lut.read(address, mask) == table.lookup(address)
+
+
+class TestPaperHammingSemantics:
+    """The paper-calibrated output-corrector decoder (scheme 'hamming')."""
+
+    def test_addressed_bit_fault_corrected(self):
+        table = xor5_table()
+        lut = CodedLUT(table, "hamming")
+        from repro.coding.hamming import HammingCode
+
+        code = HammingCode(16)
+        for address in (0, 15, 16, 31):
+            block = address // 16
+            stored_bit = 42 * 0 + block * 21 + code.data_positions[address % 16]
+            # One fault exactly on the addressed stored bit: corrected.
+            assert lut.read(address, 1 << stored_bit) == table.lookup(address)
+
+    def test_check_bit_fault_false_positive(self):
+        """A single fault on a check bit flips the output: the paper's
+        'false positives caused by errors in bits which are not
+        addressed'."""
+        table = xor5_table()
+        lut = CodedLUT(table, "hamming")
+        from repro.coding.hamming import HammingCode
+
+        code = HammingCode(16)
+        address = 3  # block 0
+        check_idx = code.check_positions[0]
+        assert (
+            lut.read(address, 1 << check_idx)
+            == table.lookup(address) ^ 1
+        )
+
+    def test_other_data_bit_fault_harmless(self):
+        """A single fault on a different data bit of the block is
+        corrected in place and leaves the output alone."""
+        table = xor5_table()
+        lut = CodedLUT(table, "hamming")
+        from repro.coding.hamming import HammingCode
+
+        code = HammingCode(16)
+        address = 3
+        other_idx = code.data_positions[7]  # same block, different payload bit
+        assert lut.read(address, 1 << other_idx) == table.lookup(address)
+
+    def test_other_block_fault_invisible(self):
+        table = xor5_table()
+        lut = CodedLUT(table, "hamming")
+        address = 3  # block 0; corrupt bits only in block 1's stored range
+        mask = ((1 << 21) - 1) << 21
+        assert lut.read(address, mask) == table.lookup(address)
+
+
+class TestTextbookHammingSemantics:
+    """Scheme 'hamming-sec': clean positional correction, no false
+    positives."""
+
+    def test_any_single_fault_harmless(self):
+        table = xor5_table()
+        lut = CodedLUT(table, "hamming-sec")
+        for address in (0, 17):
+            for site in range(42):
+                assert lut.read(address, 1 << site) == table.lookup(address), (
+                    f"site {site} corrupted address {address}"
+                )
+
+
+class TestPessimisticHammingSemantics:
+    """Scheme 'hamming-fp': any nonzero syndrome flips the output."""
+
+    def test_any_single_block_fault_flips_unless_addressed(self):
+        table = xor5_table()
+        lut = CodedLUT(table, "hamming-fp")
+        from repro.coding.hamming import HammingCode
+
+        code = HammingCode(16)
+        address = 3
+        addressed_idx = code.data_positions[3]
+        for site in range(21):  # block 0 stored bits
+            got = lut.read(address, 1 << site)
+            if site == addressed_idx:
+                assert got == table.lookup(address)  # flip corrects it
+            else:
+                assert got == table.lookup(address) ^ 1
+
+
+class TestTracedReads:
+    def test_trace_records_correction(self):
+        lut = CodedLUT(xor5_table(), "hamming")
+        from repro.coding.hamming import HammingCode
+
+        code = HammingCode(16)
+        trace = lut.read_traced(3, 1 << code.check_positions[1])
+        assert trace.outcome is DecodeOutcome.CORRECTED
+        assert trace.observable_error
+
+    def test_trace_tmr(self):
+        lut = CodedLUT(xor5_table(), "tmr")
+        trace = lut.read_traced(3, 1 << 3)
+        assert trace.outcome is DecodeOutcome.CORRECTED
+        assert not trace.observable_error

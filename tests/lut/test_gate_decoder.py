@@ -1,0 +1,145 @@
+"""Tests for the gate-level fault-prone Hamming decoder."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.alu.base import Opcode
+from repro.alu.nanobox import NanoBoxALU
+from repro.alu.reference import reference_compute
+from repro.coding.hamming import HammingCode
+from repro.logic.hamming_checker import build_hamming_checker
+from repro.lut.coded import CodedLUT
+from repro.lut.gate_decoder import GateDecodedHammingLUT, make_lut
+from repro.lut.table import TruthTable
+
+
+def xor5_table():
+    return TruthTable.from_function(5, lambda *bits: sum(bits) % 2)
+
+
+class TestCheckerNetlist:
+    @pytest.fixture(scope="class")
+    def checker(self):
+        return build_hamming_checker(16)
+
+    def test_syndrome_matches_code(self, checker):
+        code = HammingCode(16)
+        rng = np.random.default_rng(0)
+        for _ in range(40):
+            data = int(rng.integers(1 << 16))
+            noise = 0
+            for __ in range(int(rng.integers(3))):
+                noise ^= 1 << int(rng.integers(21))
+            block = code.encode(data) ^ noise
+            inputs = {f"s{i}": (block >> i) & 1 for i in range(21)}
+            inputs.update({f"p{j}": 0 for j in range(5)})
+            inputs["raw"] = 0
+            out = checker.evaluate(inputs)
+            syn = sum(out[f"syn{j}"] << j for j in range(5))
+            assert syn == code.syndrome(block)
+
+    def test_flip_semantics_match_coded_lut(self, checker):
+        """Exhaustive single-error check: the netlist's flip decision
+        matches the paper-calibrated software decoder."""
+        code = HammingCode(16)
+        data = 0xB3C5
+        stored = code.encode(data)
+        payload_index = 6
+        pos_code = code.data_positions[payload_index] + 1
+        for error_site in range(-1, 21):
+            block = stored if error_site < 0 else stored ^ (1 << error_site)
+            inputs = {f"s{i}": (block >> i) & 1 for i in range(21)}
+            inputs.update({f"p{j}": (pos_code >> j) & 1 for j in range(5)})
+            raw = (block >> code.data_positions[payload_index]) & 1
+            inputs["raw"] = raw
+            out = checker.evaluate(inputs)
+            syn = code.syndrome(block)
+            if syn == 0:
+                expected_flip = 0
+            elif syn - 1 == code.data_positions[payload_index]:
+                expected_flip = 1
+            elif syn > 21 or (syn & (syn - 1)) == 0:
+                expected_flip = 1
+            else:
+                expected_flip = 0
+            assert out["flip"] == expected_flip, f"error at {error_site}"
+            assert out["out"] == raw ^ expected_flip
+
+
+class TestGateDecodedLUT:
+    def test_geometry(self):
+        lut = GateDecodedHammingLUT(xor5_table())
+        assert lut.storage_bits == 42
+        assert lut.decoder_gate_bits > 0
+        assert lut.total_bits == 42 + lut.decoder_gate_bits
+
+    def test_fault_free_matches_table(self):
+        table = xor5_table()
+        lut = GateDecodedHammingLUT(table)
+        for address in range(32):
+            assert lut.read(address) == table.lookup(address)
+
+    def test_storage_faults_match_coded_lut(self):
+        """With faults only on storage bits, the gate-level decoder is
+        bit-for-bit equivalent to the idealised CodedLUT."""
+        table = xor5_table()
+        gate_lut = GateDecodedHammingLUT(table)
+        soft_lut = CodedLUT(table, "hamming")
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            address = int(rng.integers(32))
+            mask = 0
+            for __ in range(int(rng.integers(4))):
+                mask ^= 1 << int(rng.integers(42))
+            assert gate_lut.read(address, mask) == soft_lut.read(address, mask)
+
+    def test_gate_fault_can_corrupt_clean_storage(self):
+        """A fault on the decoder's own logic corrupts the read even
+        when every stored bit is pristine -- the channel the paper's
+        idealisation hides."""
+        table = xor5_table()
+        lut = GateDecodedHammingLUT(table)
+        # Flip the final output XOR gate.
+        out_gate = next(
+            g for g in lut._checker.gates if g.name == "out"
+        )
+        mask = 1 << (lut.storage_bits + out_gate.index)
+        for address in (0, 13, 31):
+            assert lut.read(address, mask) == table.lookup(address) ^ 1
+
+    def test_block_size_must_divide(self):
+        with pytest.raises(ValueError):
+            GateDecodedHammingLUT(TruthTable(3, 0), block_size=16)
+
+    def test_address_bounds(self):
+        with pytest.raises(IndexError):
+            GateDecodedHammingLUT(xor5_table()).read(32)
+
+
+class TestMakeLut:
+    def test_dispatch(self):
+        table = xor5_table()
+        assert isinstance(make_lut(table, "hamming-gate"), GateDecodedHammingLUT)
+        assert isinstance(make_lut(table, "tmr"), CodedLUT)
+
+
+class TestGateDecodedALU:
+    def test_alu_scheme_integrates(self):
+        alu = NanoBoxALU(scheme="hamming-gate")
+        # 16 LUTs x (42 storage + gate nodes).
+        per_lut = alu.site_count // 16
+        assert per_lut > 42
+        for op in Opcode:
+            for a, b in ((0x00, 0x00), (0xAA, 0x55), (0xC8, 0x64)):
+                got = alu.compute(int(op), a, b)
+                want = reference_compute(int(op), a, b)
+                assert (got.value, got.carry) == (want.value, want.carry)
+
+    def test_static_mask_excludes_gates(self):
+        alu = NanoBoxALU(scheme="hamming-gate")
+        static = alu.static_site_mask()
+        seg = alu.site_space.segment("slice0.result_lut")
+        local = seg.extract(static)
+        assert local == (1 << 42) - 1  # storage static, gates dynamic

@@ -1,0 +1,71 @@
+"""Property-based tests for coded LUTs (hypothesis)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lut.coded import CodedLUT
+from repro.lut.table import TruthTable
+
+table_bits = st.integers(min_value=0, max_value=(1 << 32) - 1)
+addresses = st.integers(min_value=0, max_value=31)
+
+
+class TestCodedLUTProperties:
+    @given(table_bits, addresses,
+           st.sampled_from(["none", "hamming", "hamming-sec", "tmr", "parity"]))
+    def test_fault_free_reads_always_match(self, bits, address, scheme):
+        table = TruthTable(5, bits)
+        lut = CodedLUT(table, scheme)
+        assert lut.read(address) == table.lookup(address)
+
+    @given(table_bits, addresses,
+           st.integers(min_value=0, max_value=(1 << 96) - 1))
+    def test_tmr_read_is_majority_of_addressed_copies(self, bits, address, mask):
+        table = TruthTable(5, bits)
+        lut = CodedLUT(table, "tmr")
+        votes = sum(
+            ((table.bits ^ mask >> (copy * 32)) >> address) & 1
+            for copy in range(3)
+        )
+        # Recompute carefully: each copy's bit is (bits ^ mask_copy)[address].
+        votes = 0
+        for copy in range(3):
+            copy_bits = table.bits ^ ((mask >> (copy * 32)) & ((1 << 32) - 1))
+            votes += (copy_bits >> address) & 1
+        expected = 1 if votes >= 2 else 0
+        assert lut.read(address, mask) == expected
+
+    @given(table_bits, addresses,
+           st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_none_read_is_raw_bit(self, bits, address, mask):
+        table = TruthTable(5, bits)
+        lut = CodedLUT(table, "none")
+        assert lut.read(address, mask) == ((bits ^ mask) >> address) & 1
+
+    @given(table_bits, addresses,
+           st.integers(min_value=0, max_value=(1 << 42) - 1),
+           st.sampled_from(["hamming", "hamming-sec", "hamming-fp"]))
+    def test_hamming_variants_agree_when_clean_or_single_addressed(
+        self, bits, address, mask, scheme
+    ):
+        """All three Hamming semantics deliver the correct bit when the
+        addressed block is clean."""
+        block = address // 16
+        block_mask = ((1 << 21) - 1) << (21 * block)
+        if mask & block_mask:
+            return  # only test the clean-addressed-block case
+        table = TruthTable(5, bits)
+        lut = CodedLUT(table, scheme)
+        assert lut.read(address, mask) == table.lookup(address)
+
+    @given(table_bits, addresses)
+    def test_traced_matches_plain_read(self, bits, address):
+        table = TruthTable(5, bits)
+        for scheme in ("none", "hamming", "tmr"):
+            lut = CodedLUT(table, scheme)
+            assert lut.read_traced(address).value == lut.read(address)
+
+    @given(table_bits, st.sampled_from(["none", "hamming", "tmr", "parity"]))
+    def test_storage_fits_declared_sites(self, bits, scheme):
+        lut = CodedLUT(TruthTable(5, bits), scheme)
+        assert lut.storage >> lut.total_bits == 0

@@ -1,0 +1,50 @@
+"""Unit tests for truth-table synthesis and the Figure 1 example."""
+
+import itertools
+
+import pytest
+
+from repro.lut.synth import (
+    figure1_carry_table,
+    figure1_sum_table,
+    synthesize,
+    synthesize_word,
+)
+
+
+class TestSynthesize:
+    def test_simple_predicate(self):
+        table = synthesize(3, lambda a, b, c: a & (b | c))
+        for bits in itertools.product((0, 1), repeat=3):
+            assert table(*bits) == bits[0] & (bits[1] | bits[2])
+
+
+class TestSynthesizeWord:
+    def test_two_bit_adder(self):
+        tables = synthesize_word(2, lambda a, b: a + b, 2)
+        assert len(tables) == 2
+        for a, b in itertools.product((0, 1), repeat=2):
+            value = tables[0](a, b) | (tables[1](a, b) << 1)
+            assert value == a + b
+
+    def test_invalid_outputs(self):
+        with pytest.raises(ValueError):
+            synthesize_word(2, lambda a, b: a, 0)
+
+
+class TestFigure1:
+    def test_sum_is_odd_parity(self):
+        table = figure1_sum_table()
+        assert table.n_inputs == 4
+        for bits in itertools.product((0, 1), repeat=4):
+            assert table(*bits) == sum(bits) % 2
+
+    def test_carry_is_second_bit(self):
+        table = figure1_carry_table()
+        for bits in itertools.product((0, 1), repeat=4):
+            assert table(*bits) == (sum(bits) >> 1) & 1
+
+    def test_sum_carry_reconstruct_count_mod4(self):
+        s, c = figure1_sum_table(), figure1_carry_table()
+        for bits in itertools.product((0, 1), repeat=4):
+            assert s(*bits) + 2 * c(*bits) == sum(bits) % 4

@@ -1,0 +1,91 @@
+"""Unit tests for truth tables."""
+
+import pytest
+
+from repro.lut.table import TruthTable
+
+
+class TestConstruction:
+    def test_from_bits(self):
+        table = TruthTable(2, 0b0110)  # XOR
+        assert table.n_inputs == 2
+        assert table.size == 4
+        assert table.bits == 0b0110
+
+    def test_bits_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable(2, 1 << 4)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable(-1, 0)
+
+    def test_from_function(self):
+        table = TruthTable.from_function(2, lambda a, b: a & b)
+        assert table.bits == 0b1000
+
+    def test_from_function_bad_output(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_function(1, lambda a: 2)
+
+    def test_from_outputs(self):
+        table = TruthTable.from_outputs([0, 1, 1, 0])
+        assert table == TruthTable(2, 0b0110)
+
+    def test_from_outputs_bad_length(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_outputs([0, 1, 1])
+
+    def test_from_outputs_bad_value(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_outputs([0, 5, 1, 0])
+
+    def test_zero_input_table(self):
+        const1 = TruthTable(0, 1)
+        assert const1.size == 1
+        assert const1.lookup(0) == 1
+
+
+class TestLookup:
+    def test_lookup_matches_function(self):
+        fn = lambda a, b, c: (a | b) & c
+        table = TruthTable.from_function(3, fn)
+        for address in range(8):
+            bits = [(address >> i) & 1 for i in range(3)]
+            assert table.lookup(address) == fn(*bits)
+
+    def test_lookup_out_of_range(self):
+        table = TruthTable(2, 0)
+        with pytest.raises(IndexError):
+            table.lookup(4)
+        with pytest.raises(IndexError):
+            table.lookup(-1)
+
+    def test_call_interface(self):
+        xor = TruthTable(2, 0b0110)
+        assert xor(0, 1) == 1
+        assert xor(1, 1) == 0
+
+    def test_call_arity_check(self):
+        xor = TruthTable(2, 0b0110)
+        with pytest.raises(ValueError):
+            xor(1)
+
+    def test_call_bit_check(self):
+        xor = TruthTable(2, 0b0110)
+        with pytest.raises(ValueError):
+            xor(1, 2)
+
+
+class TestEquality:
+    def test_equal_and_hash(self):
+        a = TruthTable(2, 0b0110)
+        b = TruthTable.from_outputs([0, 1, 1, 0])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_inputs(self):
+        assert TruthTable(2, 0) != TruthTable(3, 0)
+
+    def test_not_equal_other_types(self):
+        assert TruthTable(1, 0) != 0

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, _parse_kill
+
+
+class TestStaticCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "XOR" in out and "010" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "aluss" in out and "5040" in out
+        assert "MISMATCH" not in out
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        assert "9.84x" in capsys.readouterr().out
+
+    def test_fit(self, capsys):
+        assert main(["fit", "--variant", "aluss"]) == 0
+        assert "5040 sites" in capsys.readouterr().out
+
+    def test_describe(self, capsys):
+        assert main(["describe", "aluts"]) == 0
+        out = capsys.readouterr().out
+        assert "time-redundancy" in out
+        assert "5067" in out
+
+    def test_describe_unknown_variant(self):
+        with pytest.raises(KeyError):
+            main(["describe", "nonsense"])
+
+
+class TestSweep:
+    def test_quick_figure7(self, capsys):
+        assert main(["sweep", "--figure", "7", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "No Module-Level Fault Tolerance" in out
+        assert "aluns" in out
+
+    def test_bad_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--figure", "10"])
+
+
+class TestGrid:
+    def test_fault_free_run(self, capsys):
+        code = main([
+            "grid", "--rows", "2", "--cols", "2",
+            "--workload", "hue_shift", "--image-size", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pixel accuracy    : 100.0%" in out
+
+    def test_kill_spec_parsing(self):
+        assert _parse_kill("1,2@40") == (40, (1, 2))
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_kill("garbage")
+
+    def test_run_with_kill_and_adaptive(self, capsys):
+        code = main([
+            "grid", "--rows", "3", "--cols", "3",
+            "--kill", "1,1@30", "--adaptive", "--image-size", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "failed cells      : [(1, 1)]" in out
+
+
+class TestYield:
+    def test_yield_table(self, capsys):
+        code = main([
+            "yield", "--variants", "alunn", "--density", "0.001",
+            "--parts", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "perfect yield" in out
+
+
+class TestAnalyze:
+    def test_budgets_and_horizons(self, capsys):
+        assert main(["analyze", "--target", "98", "--fault-percent", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "FIT budget" in out
+        assert "tmr" in out
+        assert "survival horizon" in out
+
+
+class TestReport:
+    def test_quick_report_to_file(self, capsys, tmp_path):
+        out_file = tmp_path / "report.txt"
+        code = main(["report", "--quick", "--out", str(out_file)])
+        assert code == 0
+        text = out_file.read_text()
+        assert "== Table 2 ==" in text
+        assert "== Figure 9 ==" in text
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,60 @@
+"""Smoke tests: every shipped example must run clean end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "aluss" in out
+        assert "Paper headline" in out
+
+    def test_fault_sweep_quick(self):
+        out = run_example("fault_sweep.py", "figure7", "--quick")
+        assert "No Module-Level Fault Tolerance" in out
+        assert "aluns" in out
+
+    def test_image_pipeline(self):
+        out = run_example("image_pipeline_grid.py")
+        assert "100.0% pixels correct" in out
+
+    def test_failover_demo(self):
+        out = run_example("failover_demo.py")
+        assert "cells failed" in out
+        assert "pixel accuracy" in out
+
+    def test_manufacturing_yield(self):
+        out = run_example("manufacturing_yield.py")
+        assert "perfect yield" in out
+
+    def test_dataflow_on_grid(self):
+        out = run_example("dataflow_on_grid.py")
+        assert "match = True" in out
+        assert "100.0%" in out
+
+    def test_design_explorer(self):
+        out = run_example("design_explorer.py")
+        assert "Cheapest viable technique: tmr" in out
+
+    def test_design_explorer_hard_target(self):
+        out = run_example("design_explorer.py", "99", "1e24")
+        assert "Cheapest viable technique: 7mr" in out

@@ -1,0 +1,72 @@
+"""Public-API surface and end-to-end integration tests."""
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_snippet(self):
+        """The docstring example must work verbatim."""
+        from repro import ExactFractionMask, FaultCampaign, build_alu
+        from repro.workloads import gradient, paper_workloads
+
+        alu = build_alu("aluss")
+        campaign = FaultCampaign(alu, ExactFractionMask(0.03), seed=0)
+        result = campaign.run_workload_suite(paper_workloads(gradient()), 5)
+        assert 90.0 <= result.percent_correct <= 100.0
+
+
+class TestEndToEndSingleCell:
+    """The paper's core experiment, through the public API."""
+
+    def test_paper_evaluation_pipeline(self):
+        from repro import ExactFractionMask, FaultCampaign, build_alu
+        from repro.workloads import gradient, paper_workloads
+
+        streams = paper_workloads(gradient(8, 8))
+        scores = {}
+        for variant in ("aluncmos", "alunh", "alunn", "aluns"):
+            campaign = FaultCampaign(
+                build_alu(variant), ExactFractionMask(0.03), seed=77
+            )
+            scores[variant] = campaign.run_workload_suite(
+                streams, trials_per_workload=5
+            ).percent_correct
+        # Figure 7's ranking at 3% injected faults.
+        assert scores["aluns"] > scores["alunn"] > scores["alunh"] \
+            > scores["aluncmos"]
+
+
+class TestEndToEndGrid:
+    """Full-system integration: image in, image out, with failures."""
+
+    def test_image_pipeline_under_duress(self):
+        from repro import ExactFractionMask, GridSimulator
+        from repro.workloads import gradient, reverse_video
+
+        sim = GridSimulator(
+            rows=3,
+            cols=3,
+            alu_scheme="tmr",
+            alu_fault_policy=ExactFractionMask(0.01),
+            kill_schedule={50: [(1, 1)]},
+            seed=123,
+        )
+        outcome = sim.run_image_job(gradient(8, 8), reverse_video())
+        assert (1, 1) in outcome.stats.failed_cells
+        assert outcome.pixel_accuracy >= 0.9
+
+    def test_hierarchy_description_of_grid_cell_alu(self):
+        from repro import NanoBoxALU, describe_unit, render_tree
+
+        box = describe_unit(NanoBoxALU(scheme="tmr"))
+        assert box.sites == 1536
+        assert "tmr" in render_tree(box)

@@ -1,0 +1,121 @@
+"""Unit tests for the bitmap container and generators."""
+
+import pytest
+
+from repro.workloads.bitmap import Bitmap, checkerboard, gradient, random_bitmap
+
+
+class TestConstruction:
+    def test_shape_and_pixels(self):
+        bmp = Bitmap(2, 3, [1, 2, 3, 4, 5, 6])
+        assert (bmp.width, bmp.height, bmp.pixel_count) == (2, 3, 6)
+        assert bmp.pixels == [1, 2, 3, 4, 5, 6]
+        assert len(bmp) == 6
+
+    def test_wrong_length(self):
+        with pytest.raises(ValueError, match="expected 6 pixels"):
+            Bitmap(2, 3, [1, 2, 3])
+
+    def test_pixel_range(self):
+        with pytest.raises(ValueError):
+            Bitmap(1, 1, [256])
+        with pytest.raises(ValueError):
+            Bitmap(1, 1, [-1])
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            Bitmap(0, 3, [])
+
+    def test_get_row_major(self):
+        bmp = Bitmap(3, 2, [0, 1, 2, 3, 4, 5])
+        assert bmp.get(0, 0) == 0
+        assert bmp.get(2, 0) == 2
+        assert bmp.get(0, 1) == 3
+
+    def test_get_bounds(self):
+        bmp = Bitmap(2, 2, [0] * 4)
+        with pytest.raises(IndexError):
+            bmp.get(2, 0)
+
+    def test_pixels_returns_copy(self):
+        bmp = Bitmap(2, 1, [1, 2])
+        bmp.pixels.append(99)
+        assert bmp.pixels == [1, 2]
+
+
+class TestTransforms:
+    def test_map_pixels(self):
+        bmp = Bitmap(2, 1, [1, 2])
+        assert bmp.map_pixels(lambda p: p + 1).pixels == [2, 3]
+
+    def test_map_pixels_wraps(self):
+        bmp = Bitmap(1, 1, [255])
+        assert bmp.map_pixels(lambda p: p + 1).pixels == [0]
+
+    def test_with_pixels(self):
+        bmp = Bitmap(2, 1, [1, 2])
+        assert bmp.with_pixels([9, 8]).pixels == [9, 8]
+
+    def test_difference_count(self):
+        a = Bitmap(2, 2, [1, 2, 3, 4])
+        b = Bitmap(2, 2, [1, 9, 3, 9])
+        assert a.difference_count(b) == 2
+        assert a.difference_count(a) == 0
+
+    def test_difference_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Bitmap(1, 1, [0]).difference_count(Bitmap(1, 2, [0, 0]))
+
+
+class TestPGM:
+    def test_roundtrip(self):
+        bmp = gradient(4, 3)
+        assert Bitmap.from_pgm(bmp.to_pgm()) == bmp
+
+    def test_comments_ignored(self):
+        text = "P2\n# a comment\n2 1\n255\n10 20\n"
+        assert Bitmap.from_pgm(text).pixels == [10, 20]
+
+    def test_maxval_rescaled(self):
+        text = "P2\n2 1\n15\n15 0\n"
+        assert Bitmap.from_pgm(text).pixels == [255, 0]
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="P2"):
+            Bitmap.from_pgm("P5\n1 1\n255\n0\n")
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            Bitmap.from_pgm("P2\n2 1\n")
+
+
+class TestGenerators:
+    def test_gradient_default_is_paper_size(self):
+        bmp = gradient()
+        assert bmp.pixel_count == 64
+
+    def test_gradient_monotone_on_diagonal(self):
+        bmp = gradient(8, 8)
+        diag = [bmp.get(i, i) for i in range(8)]
+        assert diag == sorted(diag)
+
+    def test_checkerboard_alternates(self):
+        bmp = checkerboard(4, 4, low=0, high=255)
+        assert bmp.get(0, 0) == 0
+        assert bmp.get(1, 0) == 255
+        assert bmp.get(0, 1) == 255
+
+    def test_checkerboard_range_check(self):
+        with pytest.raises(ValueError):
+            checkerboard(2, 2, low=-1)
+
+    def test_random_deterministic(self):
+        assert random_bitmap(seed=3) == random_bitmap(seed=3)
+        assert random_bitmap(seed=3) != random_bitmap(seed=4)
+
+    def test_equality_and_hash(self):
+        a = gradient(4, 4)
+        b = gradient(4, 4)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != checkerboard(4, 4)

@@ -1,0 +1,164 @@
+"""Tests for non-streaming (dataflow) workloads."""
+
+import pytest
+
+from repro.alu.base import Opcode
+from repro.grid.simulator import GridSimulator
+from repro.workloads.dataflow import (
+    DataflowProgram,
+    GridDataflowExecutor,
+    Ref,
+    checksum_tree_program,
+    fir_filter_program,
+)
+
+
+class TestProgramBuilding:
+    def test_add_returns_refs_in_order(self):
+        program = DataflowProgram()
+        r0 = program.add(Opcode.ADD, 1, 2)
+        r1 = program.add(Opcode.XOR, r0, 4)
+        assert (r0.node, r1.node) == (0, 1)
+        assert len(program) == 2
+
+    def test_forward_reference_rejected(self):
+        program = DataflowProgram()
+        with pytest.raises(ValueError, match="undefined node"):
+            program.add(Opcode.ADD, Ref(3), 1)
+
+    def test_literal_range_checked(self):
+        program = DataflowProgram()
+        with pytest.raises(ValueError):
+            program.add(Opcode.ADD, 256, 0)
+
+
+class TestWaves:
+    def test_independent_nodes_share_wave(self):
+        program = DataflowProgram()
+        program.add(Opcode.ADD, 1, 2)
+        program.add(Opcode.ADD, 3, 4)
+        assert program.waves() == [[0, 1]]
+        assert program.depth == 1
+
+    def test_chain_depth(self):
+        program = DataflowProgram()
+        r = program.add(Opcode.ADD, 1, 1)
+        for _ in range(4):
+            r = program.add(Opcode.ADD, r, 1)
+        assert program.depth == 5
+
+    def test_diamond(self):
+        program = DataflowProgram()
+        top = program.add(Opcode.ADD, 1, 2)
+        left = program.add(Opcode.XOR, top, 0x0F)
+        right = program.add(Opcode.AND, top, 0xF0)
+        program.add(Opcode.OR, left, right)
+        assert program.waves() == [[0], [1, 2], [3]]
+
+
+class TestReferenceResults:
+    def test_chain_semantics(self):
+        program = DataflowProgram()
+        r0 = program.add(Opcode.ADD, 10, 20)       # 30
+        r1 = program.add(Opcode.XOR, r0, 0xFF)     # 225
+        program.add(Opcode.AND, r1, 0x0F)          # 1
+        assert program.reference_results() == {0: 30, 1: 225, 2: 1}
+
+    def test_wraparound(self):
+        program = DataflowProgram()
+        program.add(Opcode.ADD, 200, 100)
+        assert program.reference_results()[0] == (300) & 0xFF
+
+
+class TestBuiltPrograms:
+    def test_checksum_tree_matches_xor_fold(self):
+        data = [0x12, 0x34, 0x56, 0x78, 0x9A]
+        program = checksum_tree_program(data)
+        expected = 0
+        for byte in data:
+            expected ^= byte
+        results = program.reference_results()
+        final = results[len(program) - 1]
+        assert final == expected
+
+    def test_checksum_tree_log_depth(self):
+        program = checksum_tree_program(list(range(16)))
+        assert program.depth == 4
+
+    def test_checksum_tree_single_byte(self):
+        program = checksum_tree_program([0x5A])
+        assert program.reference_results()[0] == 0x5A
+
+    def test_checksum_tree_empty_rejected(self):
+        with pytest.raises(ValueError):
+            checksum_tree_program([])
+
+    def test_fir_depth_equals_taps(self):
+        program = fir_filter_program([1, 2, 3, 4, 5], taps=(1, 2, 3))
+        # Chain: AND, (ADD, AND), (ADD, AND): depth 3 per output window.
+        assert program.depth == 3
+        assert len(program) == 3 * 5  # 3 windows x (3 AND + 2 ADD)
+
+
+class TestGridExecution:
+    def test_chain_executes_correctly(self):
+        sim = GridSimulator(rows=2, cols=2, seed=0)
+        executor = GridDataflowExecutor(sim)
+        program = DataflowProgram()
+        r0 = program.add(Opcode.ADD, 100, 50)
+        r1 = program.add(Opcode.ADD, r0, 10)
+        program.add(Opcode.XOR, r1, 0xFF)
+        outcome = executor.run(program)
+        assert outcome.complete
+        assert outcome.results == program.reference_results()
+        assert outcome.waves_executed == 3
+
+    def test_checksum_tree_on_grid(self):
+        sim = GridSimulator(rows=2, cols=2, seed=1)
+        executor = GridDataflowExecutor(sim)
+        data = [(i * 41 + 3) & 0xFF for i in range(12)]
+        program = checksum_tree_program(data)
+        outcome = executor.run(program)
+        assert outcome.complete
+        assert outcome.accuracy_against(program.reference_results()) == 1.0
+
+    def test_execution_survives_cell_failure(self):
+        sim = GridSimulator(
+            rows=3, cols=3, seed=2, kill_schedule={60: [(1, 1)]}
+        )
+        executor = GridDataflowExecutor(sim)
+        program = fir_filter_program([5, 9, 13, 17, 21, 25])
+        outcome = executor.run(program, max_rounds=3)
+        assert outcome.complete
+        assert outcome.accuracy_against(program.reference_results()) == 1.0
+
+    def test_missing_dependency_propagates(self):
+        """If a wave's result is unrecoverable, dependents are skipped
+        and reported rather than computed with garbage."""
+
+        class LossySimulator:
+            def run_instructions(self, instructions, max_rounds=3):
+                from repro.grid.control import JobResult, PhaseStats
+
+                results = {
+                    iid: ((a + b) & 0xFF)
+                    for iid, op, a, b in instructions
+                    if iid != 0  # node 0 never returns
+                }
+                return JobResult(
+                    results=results,
+                    submitted=len(instructions),
+                    rounds=1,
+                    cycles=PhaseStats(),
+                )
+
+        executor = GridDataflowExecutor(LossySimulator())
+        program = DataflowProgram()
+        r0 = program.add(Opcode.ADD, 1, 1)       # lost
+        r1 = program.add(Opcode.ADD, 2, 2)       # fine
+        program.add(Opcode.ADD, r0, 1)           # depends on the lost node
+        program.add(Opcode.ADD, r1, 1)           # unaffected
+        outcome = executor.run(program)
+        assert not outcome.complete
+        assert set(outcome.missing) == {0, 2}
+        assert outcome.results[3] == 5

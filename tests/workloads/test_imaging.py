@@ -1,0 +1,96 @@
+"""Unit tests for the image-workload compilers."""
+
+import pytest
+
+from repro.alu.base import Opcode
+from repro.workloads.bitmap import Bitmap, gradient
+from repro.workloads.imaging import (
+    HUE_SHIFT_CONSTANT,
+    REVERSE_VIDEO_MASK,
+    ImageWorkload,
+    brightness_boost,
+    highlight_overlay,
+    hue_shift,
+    paper_workloads,
+    reverse_video,
+    threshold_mask,
+)
+
+
+class TestPaperConstants:
+    def test_reverse_video_mask(self):
+        assert REVERSE_VIDEO_MASK == 0b11111111
+
+    def test_hue_shift_constant(self):
+        assert HUE_SHIFT_CONSTANT == 0b00001100
+
+
+class TestCompile:
+    def test_one_instruction_per_pixel(self, paper_bitmap):
+        instructions = reverse_video().compile(paper_bitmap)
+        assert len(instructions) == 64
+
+    def test_reverse_video_semantics(self, paper_bitmap):
+        for op, a, b, expected in reverse_video().compile(paper_bitmap):
+            assert op == int(Opcode.XOR)
+            assert b == 0xFF
+            assert expected == a ^ 0xFF
+
+    def test_hue_shift_semantics(self, paper_bitmap):
+        for op, a, b, expected in hue_shift().compile(paper_bitmap):
+            assert op == int(Opcode.ADD)
+            assert b == 0x0C
+            assert expected == (a + 0x0C) & 0xFF
+
+    def test_hue_shift_wraps(self):
+        bmp = Bitmap(1, 1, [250])
+        (_, _, _, expected), = hue_shift().compile(bmp)
+        assert expected == (250 + 12) & 0xFF
+
+    def test_instruction_order_is_pixel_order(self, paper_bitmap):
+        instructions = reverse_video().compile(paper_bitmap)
+        assert [a for _, a, _, _ in instructions] == paper_bitmap.pixels
+
+
+class TestApply:
+    def test_reverse_twice_is_identity(self, paper_bitmap):
+        wl = reverse_video()
+        assert wl.apply(wl.apply(paper_bitmap)) == paper_bitmap
+
+    def test_apply_matches_compile_expectations(self, paper_bitmap):
+        wl = hue_shift()
+        out = wl.apply(paper_bitmap)
+        expected = [e for _, _, _, e in wl.compile(paper_bitmap)]
+        assert out.pixels == expected
+
+
+class TestExtensionWorkloads:
+    def test_brightness(self):
+        bmp = Bitmap(1, 1, [0x10])
+        assert brightness_boost(0x20).apply(bmp).pixels == [0x30]
+
+    def test_threshold(self):
+        bmp = Bitmap(1, 2, [0x81, 0x7F])
+        assert threshold_mask(0x80).apply(bmp).pixels == [0x80, 0x00]
+
+    def test_highlight(self):
+        bmp = Bitmap(1, 1, [0x40])
+        assert highlight_overlay(0x0F).apply(bmp).pixels == [0x4F]
+
+    def test_operand_validation(self):
+        with pytest.raises(ValueError):
+            ImageWorkload("bad", Opcode.ADD, 256)
+
+
+class TestPaperWorkloads:
+    def test_both_streams_present(self, paper_bitmap):
+        streams = paper_workloads(paper_bitmap)
+        assert set(streams) == {"reverse_video", "hue_shift"}
+        assert all(len(s) == 64 for s in streams.values())
+
+    def test_expected_values_are_reference_results(self, paper_bitmap):
+        from repro.alu.reference import reference_compute
+
+        for stream in paper_workloads(paper_bitmap).values():
+            for op, a, b, expected in stream:
+                assert reference_compute(op, a, b).value == expected

@@ -1,0 +1,63 @@
+"""Unit tests for the non-image streaming workloads."""
+
+import pytest
+
+from repro.alu.base import Opcode
+from repro.alu.reference import reference_compute
+from repro.workloads.streams import (
+    checksum_stream,
+    random_alu_stream,
+    sliding_xor_stream,
+)
+
+
+class TestRandomStream:
+    def test_length(self):
+        assert len(random_alu_stream(40)) == 40
+
+    def test_only_isa_opcodes(self):
+        stream = random_alu_stream(100, seed=1)
+        valid = {int(op) for op in Opcode}
+        assert all(op in valid for op, *_ in stream.instructions)
+
+    def test_expected_values_correct(self):
+        for op, a, b, expected in random_alu_stream(50, seed=2).instructions:
+            assert reference_compute(op, a, b).value == expected
+
+    def test_deterministic(self):
+        assert random_alu_stream(10, seed=5).instructions == \
+            random_alu_stream(10, seed=5).instructions
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            random_alu_stream(0)
+
+
+class TestChecksumStream:
+    def test_running_accumulator(self):
+        data = bytes([10, 20, 30])
+        stream = checksum_stream(data)
+        assert stream.instructions[0][:3] == (int(Opcode.ADD), 0, 10)
+        assert stream.instructions[1][:3] == (int(Opcode.ADD), 10, 20)
+        assert stream.instructions[2][:3] == (int(Opcode.ADD), 30, 30)
+
+    def test_final_expected_is_checksum(self):
+        data = bytes([100, 200, 56])
+        stream = checksum_stream(data)
+        assert stream.instructions[-1][3] == sum(data) & 0xFF
+
+    def test_default_length(self):
+        assert len(checksum_stream()) == 64
+
+
+class TestSlidingXorStream:
+    def test_pairs_neighbours(self):
+        data = bytes([1, 2, 4])
+        stream = sliding_xor_stream(data)
+        assert [i[:3] for i in stream.instructions] == [
+            (int(Opcode.XOR), 1, 2),
+            (int(Opcode.XOR), 2, 4),
+        ]
+
+    def test_default_length(self):
+        assert len(sliding_xor_stream(length=64)) == 64
