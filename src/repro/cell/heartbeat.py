@@ -49,7 +49,11 @@ class Heartbeat:
 
     @property
     def healthy(self) -> bool:
-        """True while the cell is under its error threshold and not killed."""
+        """True while the error tally is at or below threshold, not killed.
+
+        The threshold is inclusive: a cell *at* its threshold still
+        beats; only exceeding it silences the heartbeat.
+        """
         return not self._forced_silent and self._errors <= self._threshold
 
     def record_error(self, count: int = 1) -> None:

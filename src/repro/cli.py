@@ -11,6 +11,7 @@ Everything the library can regenerate, from a shell::
     nanobox-repro grid --rows 4 --cols 4 --workload hue_shift \
         --kill 1,1@40 --fault-percent 1   # full-system run
     nanobox-repro yield --density 1e-3    # manufacturing-yield table
+    nanobox-repro chaos --rates 0 0.003   # link-fault transport sweep
     nanobox-repro report --quick          # the whole EXPERIMENTS report
 
 Also available as ``python -m repro.cli``.
@@ -222,6 +223,28 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.chaos_fabric import chaos_sweep, chaos_table_text
+
+    points = chaos_sweep(
+        link_rates=tuple(args.rates),
+        retry_budgets=tuple(args.rounds),
+        drop_rate=args.drop_rate,
+        stall_rate=args.stall_rate,
+        rows=args.rows,
+        cols=args.cols,
+        n_instructions=args.instructions,
+        seed=args.seed,
+    )
+    print(
+        f"Link-fault chaos sweep ({args.rows}x{args.cols} grid, "
+        f"{args.instructions} instructions, drop {args.drop_rate:g}, "
+        f"stall {args.stall_rate:g})"
+    )
+    print(chaos_table_text(points))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.run_all import build_report
 
@@ -308,6 +331,24 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--threshold", type=int, default=8,
                          help="watchdog error threshold")
     analyze.set_defaults(fn=_cmd_analyze)
+
+    chaos = sub.add_parser(
+        "chaos", help="link-fault chaos sweep of the transport fabric"
+    )
+    chaos.add_argument("--rates", type=float, nargs="+",
+                       default=[0.0, 0.001, 0.003, 0.01],
+                       help="link bit-flip rates to sweep")
+    chaos.add_argument("--rounds", type=int, nargs="+", default=[1, 3],
+                       help="retransmit budgets (submission rounds) to sweep")
+    chaos.add_argument("--drop-rate", type=float, default=0.0,
+                       help="whole-packet drop probability per link")
+    chaos.add_argument("--stall-rate", type=float, default=0.0,
+                       help="per-cycle link stall probability")
+    chaos.add_argument("--rows", type=int, default=3)
+    chaos.add_argument("--cols", type=int, default=3)
+    chaos.add_argument("--instructions", type=int, default=48)
+    chaos.add_argument("--seed", type=int, default=2004)
+    chaos.set_defaults(fn=_cmd_chaos)
 
     report = sub.add_parser("report", help="full EXPERIMENTS report")
     report.add_argument("--quick", action="store_true")

@@ -9,6 +9,8 @@
 * :mod:`repro.experiments.area` -- the ~9x area-overhead claim;
 * :mod:`repro.experiments.ablations` -- design-choice studies beyond the
   paper (decoder semantics, redundancy order, voter coding, mask policy);
+* :mod:`repro.experiments.chaos_fabric` -- link-fault chaos sweeps of the
+  CRC + retransmit transport (the fabric analogue of Figures 7-9);
 * :mod:`repro.experiments.run_all` -- regenerate everything and emit the
   EXPERIMENTS.md comparison tables.
 """
@@ -42,14 +44,23 @@ from repro.experiments.scaling import (
     pipeline_scaling,
     pipeline_table_text,
 )
+from repro.experiments.chaos_fabric import (
+    ChaosPoint,
+    chaos_sweep,
+    chaos_table_text,
+    run_chaos_point,
+)
 
 __all__ = [
     "PAPER_FAULT_PERCENTAGES",
+    "ChaosPoint",
     "FigureResult",
     "SeriesPoint",
     "area_rows",
     "area_table_text",
     "ascii_chart",
+    "chaos_sweep",
+    "chaos_table_text",
     "detection_latency",
     "detection_table_text",
     "figure_chart",

@@ -20,19 +20,25 @@ from repro.grid.packet import (
     ResultPacket,
 )
 from repro.grid.bus import Bus
-from repro.grid.grid import NanoBoxGrid
+from repro.grid.linkfault import FaultEvent, FaultyBus, LinkFaultConfig
+from repro.grid.grid import LinkFaultStatistics, NanoBoxGrid
 from repro.grid.watchdog import SalvageReport, Watchdog
-from repro.grid.control import ControlProcessor, JobResult
+from repro.grid.control import ControlProcessor, DeliveryStats, JobResult
 from repro.grid.simulator import GridSimulator, SimulationStats
 
 __all__ = [
     "Bus",
     "ControlProcessor",
+    "DeliveryStats",
+    "FaultEvent",
+    "FaultyBus",
     "FLITS_PER_INSTRUCTION",
     "FLITS_PER_RESULT",
     "GridSimulator",
     "InstructionPacket",
     "JobResult",
+    "LinkFaultConfig",
+    "LinkFaultStatistics",
     "NanoBoxGrid",
     "Packet",
     "ResultPacket",

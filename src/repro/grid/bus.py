@@ -16,10 +16,20 @@ from repro.grid.packet import Packet
 
 
 class Bus:
-    """Single-packet-in-flight directed link with flit-serialised latency."""
+    """Single-packet-in-flight directed link with flit-serialised latency.
 
-    def __init__(self, name: str) -> None:
+    Args:
+        name: human-readable link label (used in statistics).
+        flit_overhead: extra cycles each packet occupies the link beyond
+            its payload flits -- 1 when CRC framing appends a checksum
+            flit (:mod:`repro.grid.packet`), 0 for the bare fabric.
+    """
+
+    def __init__(self, name: str, flit_overhead: int = 0) -> None:
+        if flit_overhead < 0:
+            raise ValueError(f"flit_overhead must be non-negative, got {flit_overhead}")
         self.name = name
+        self._flit_overhead = flit_overhead
         self._packet: Optional[Packet] = None
         self._remaining = 0
         self._delivered_count = 0
@@ -50,7 +60,7 @@ class Bus:
         if self._packet is not None:
             return False
         self._packet = packet
-        self._remaining = packet.flit_count
+        self._remaining = packet.flit_count + self._flit_overhead
         return True
 
     def tick(self) -> Optional[Packet]:

@@ -8,15 +8,31 @@ reassemble results arriving in any order (Section 3.2.3).
 
 The retry protocol implemented here answers the paper's future-work
 question of "how the control microprocessor should reroute data assigned
-to a failed processor cell": after shift-out, any instruction whose result
-never arrived is resubmitted to the still-reachable cells.
+to a failed processor cell", extended into a reliable transport over the
+fault-prone fabric of :mod:`repro.grid.linkfault`:
+
+* per-instruction delivery tracking: only packets actually injected onto
+  an edge bus count toward the expected shift-out total;
+* cycle-budget timeouts: every phase is bounded, and a phase that blows
+  its budget is *recorded* (``DeliveryStats.aborted_phases``) rather than
+  raised, so ``run_job`` always returns a :class:`JobResult`;
+* bounded retransmit with backoff: instructions whose results never
+  arrived are resubmitted on later rounds, with the shift-out patience
+  window widened geometrically per round (stalled links, long detours);
+* duplicate-result suppression: the first result per instruction ID
+  wins; later copies (late arrivals of retransmitted work) are counted
+  and discarded, as are results whose ID matches no submitted
+  instruction (silent link corruption with CRC framing off);
+* graceful degradation: a partial job reports per-cause accounting --
+  corrupt-rejected, link-dropped, timed-out, retransmitted, unassigned
+  -- instead of raising.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cell.cell import CellMode
 from repro.grid.grid import Coord, NanoBoxGrid
@@ -41,8 +57,48 @@ class PhaseStats:
 
 
 @dataclass
+class DeliveryStats:
+    """Per-cause transport accounting for one job.
+
+    Attributes:
+        enqueued: instruction packets actually injected onto an edge bus
+            (the denominator for per-round timeout tracking).
+        undeliverable: packets never injected -- no alive top-row entry
+            point existed (or appeared to die mid-phase).
+        retransmissions: injections beyond an instruction's first (the
+            retry protocol's overhead in packets).
+        duplicates: result packets discarded because a result for that
+            instruction ID had already been accepted.
+        spurious_results: result packets whose instruction ID matched no
+            submitted instruction (silent ID corruption without CRC).
+        timed_out: per-round events where an injected instruction
+            produced no result within the round's delivery window.
+        corrupt_rejected: packets the fabric detected as corrupt (CRC or
+            framing) and rejected during this job.
+        link_dropped: packets lost in flight on faulty links during this
+            job (invisible to receivers; recovered only by retransmit).
+        aborted_phases: phases cut short by the per-phase cycle budget.
+    """
+
+    enqueued: int = 0
+    undeliverable: int = 0
+    retransmissions: int = 0
+    duplicates: int = 0
+    spurious_results: int = 0
+    timed_out: int = 0
+    corrupt_rejected: int = 0
+    link_dropped: int = 0
+    aborted_phases: int = 0
+
+
+@dataclass
 class JobResult:
-    """Everything the control processor knows after a job completes."""
+    """Everything the control processor knows after a job completes.
+
+    ``unassigned`` lists IDs that went unplaced (no reachable capacity)
+    in *any* submission round and never later completed; ``missing`` is
+    every submitted ID without a result, whatever the cause.
+    """
 
     results: Dict[int, int]
     submitted: int
@@ -50,6 +106,7 @@ class JobResult:
     cycles: PhaseStats
     unassigned: List[int] = field(default_factory=list)
     missing: List[int] = field(default_factory=list)
+    delivery: DeliveryStats = field(default_factory=DeliveryStats)
 
     @property
     def complete(self) -> bool:
@@ -67,7 +124,12 @@ class JobResult:
 
 
 class JobTimeout(RuntimeError):
-    """A phase exceeded its cycle budget."""
+    """A phase exceeded its cycle budget.
+
+    Retained for API compatibility: ``run_job`` no longer raises it --
+    budget-exhausted phases are reported via
+    ``JobResult.delivery.aborted_phases`` instead.
+    """
 
 
 class ControlProcessor:
@@ -80,7 +142,14 @@ class ControlProcessor:
             steps -- the simulator uses these for scheduled cell kills and
             memory upsets.
         max_phase_cycles: per-phase safety budget.
+        retry_backoff: geometric growth factor (>= 1) for the shift-out
+            idle-patience window across retry rounds.
     """
+
+    #: Idle cycles in a row that end a first-round shift-out phase.
+    BASE_IDLE_STREAK = 3
+    #: Upper bound on the backed-off idle-patience window.
+    MAX_IDLE_STREAK = 48
 
     def __init__(
         self,
@@ -88,11 +157,15 @@ class ControlProcessor:
         watchdog: Optional[Watchdog] = None,
         tick_hooks: Sequence[Callable[[], None]] = (),
         max_phase_cycles: int = 100_000,
+        retry_backoff: float = 2.0,
     ) -> None:
+        if retry_backoff < 1.0:
+            raise ValueError(f"retry_backoff must be >= 1, got {retry_backoff}")
         self._grid = grid
         self._watchdog = watchdog
         self._hooks = tuple(tick_hooks)
         self._max_phase_cycles = max_phase_cycles
+        self._retry_backoff = retry_backoff
 
     @property
     def grid(self) -> NanoBoxGrid:
@@ -148,13 +221,18 @@ class ControlProcessor:
 
     # -------------------------------------------------------------- phases
 
-    def _run_shift_in(
+    def _build_shift_in_queues(
         self,
         instructions: Sequence[JobInstruction],
         placement: Dict[int, Coord],
-    ) -> int:
-        self._grid.set_mode(CellMode.SHIFT_IN)
-        queues: Dict[int, deque] = {}
+    ) -> Tuple[Dict[int, Deque[InstructionPacket]], List[int]]:
+        """Packetise placed instructions into per-column injection queues.
+
+        Returns the queues and the IDs skipped because no alive top-row
+        entry point exists for them (undeliverable this round).
+        """
+        queues: Dict[int, Deque[InstructionPacket]] = {}
+        skipped: List[int] = []
         for iid, op, a, b in instructions:
             if iid not in placement:
                 continue
@@ -169,23 +247,47 @@ class ControlProcessor:
             )
             injection = self._grid.injection_column(col)
             if injection is None:
-                continue  # no alive top-row entry: unrecoverable this round
+                skipped.append(iid)  # no alive top-row entry this round
+                continue
             queues.setdefault(injection, deque()).append(packet)
+        return queues, skipped
 
+    def _run_shift_in(
+        self, queues: Dict[int, Deque[InstructionPacket]]
+    ) -> Tuple[int, List[int], int, bool]:
+        """Pump queued packets onto the edge buses until the fabric drains.
+
+        Returns ``(cycles, sent_ids, undeliverable, aborted)``:
+        ``sent_ids`` are the instructions actually injected (the only
+        ones shift-out may wait for); ``undeliverable`` counts packets
+        whose entry point died mid-phase; ``aborted`` flags a blown
+        cycle budget.
+        """
+        self._grid.set_mode(CellMode.SHIFT_IN)
         cycles = 0
+        sent: List[int] = []
+        undeliverable = 0
         while True:
             for col, queue in queues.items():
                 if queue and not self._grid.cp_bus_busy(col):
-                    if self._grid.cp_send(queue[0]):
+                    packet = queue[0]
+                    try:
+                        if self._grid.cp_send(packet):
+                            queue.popleft()
+                            sent.append(packet.instruction_id)
+                    except RuntimeError:
+                        # No alive top-row cell remains to inject through.
                         queue.popleft()
+                        undeliverable += 1
             self._tick()
             cycles += 1
             if cycles > self._max_phase_cycles:
-                raise JobTimeout(f"shift-in exceeded {self._max_phase_cycles} cycles")
+                undeliverable += sum(len(q) for q in queues.values())
+                return cycles, sent, undeliverable, True
             if all(not q for q in queues.values()) and self._grid.idle():
-                return cycles
+                return cycles, sent, undeliverable, False
 
-    def _run_compute(self) -> int:
+    def _run_compute(self) -> Tuple[int, bool]:
         self._grid.set_mode(CellMode.COMPUTE)
         cycles = 0
         idle_margin = 0
@@ -193,18 +295,20 @@ class ControlProcessor:
             self._tick()
             cycles += 1
             if cycles > self._max_phase_cycles:
-                raise JobTimeout(f"compute exceeded {self._max_phase_cycles} cycles")
+                return cycles, True
             if self._grid.total_pending_instructions() == 0:
                 # One extra memory sweep of margin, mirroring the paper's
                 # "control processor then waits for a specified number of
                 # cycles" discipline.
                 idle_margin += 1
                 if idle_margin >= 2:
-                    return cycles
+                    return cycles, False
             else:
                 idle_margin = 0
 
-    def _run_shift_out(self, expected_count: int) -> int:
+    def _run_shift_out(
+        self, expected_count: int, idle_streak_limit: int = BASE_IDLE_STREAK
+    ) -> Tuple[int, bool]:
         self._grid.set_mode(CellMode.SHIFT_OUT)
         cycles = 0
         idle_streak = 0
@@ -212,23 +316,49 @@ class ControlProcessor:
             self._tick()
             cycles += 1
             if cycles > self._max_phase_cycles:
-                raise JobTimeout(f"shift-out exceeded {self._max_phase_cycles} cycles")
+                return cycles, True
             if len(self._grid.cp_inbox) >= expected_count:
-                return cycles
+                return cycles, False
             # An idle fabric can only restart if a cell pops a completed
-            # word on the very next cycle; three idle cycles in a row
-            # means every reachable result has drained.  (Words that
+            # word on the very next cycle; several idle cycles in a row
+            # mean every reachable result has drained.  (Words that
             # memory upsets mark "completed" *behind* a cell's shift-out
             # pointer are unreachable until the next round, so waiting on
-            # a zero completed-count would hang.)
+            # a zero completed-count would hang.)  Retry rounds widen
+            # the streak limit so straggling results on stalled or
+            # detouring links still make it home.
             if self._grid.idle():
                 idle_streak += 1
-                if idle_streak >= 3:
-                    return cycles
+                if idle_streak >= idle_streak_limit:
+                    return cycles, False
             else:
                 idle_streak = 0
 
     # ----------------------------------------------------------------- jobs
+
+    def _drain_inbox(
+        self,
+        results: Dict[int, int],
+        delivery: DeliveryStats,
+        known_ids: Set[int],
+    ) -> None:
+        """Accept results, suppressing duplicates and unknown IDs.
+
+        Duplicates collapse last-writer-wins: under memory corruption a
+        word can pop with a forged instruction ID, and a later genuine
+        recomputation of that instruction must be able to overwrite the
+        forgery.  Results whose ID matches no submitted instruction are
+        rejected outright.
+        """
+        while self._grid.cp_inbox:
+            packet = self._grid.cp_inbox.popleft()
+            iid = packet.instruction_id
+            if iid not in known_ids:
+                delivery.spurious_results += 1
+                continue
+            if iid in results:
+                delivery.duplicates += 1
+            results[iid] = packet.result
 
     def run_job(
         self,
@@ -236,6 +366,10 @@ class ControlProcessor:
         max_rounds: int = 3,
     ) -> JobResult:
         """Execute a job, retrying missing instructions on later rounds.
+
+        Never raises for fabric-induced failures (dead cells, dropped or
+        corrupted packets, blown phase budgets): the returned
+        :class:`JobResult` carries per-cause accounting in ``delivery``.
 
         Args:
             instructions: ``(instruction_id, opcode, operand1, operand2)``
@@ -245,43 +379,71 @@ class ControlProcessor:
         ids = [iid for iid, *_ in instructions]
         if len(set(ids)) != len(ids):
             raise ValueError("instruction IDs must be unique within a job")
+        known_ids = set(ids)
 
         stats = PhaseStats()
+        delivery = DeliveryStats()
         results: Dict[int, int] = {}
         remaining: List[JobInstruction] = list(instructions)
-        unassigned_final: List[int] = []
+        attempts: Dict[int, int] = {}
+        unassigned_ever: Set[int] = set()
         rounds = 0
+        corrupt_base = getattr(self._grid, "corrupt_rejects", 0)
+        dropped_base = getattr(self._grid, "link_dropped", 0)
+        idle_limit = float(self.BASE_IDLE_STREAK)
 
         while remaining and rounds < max_rounds:
             rounds += 1
-            placement, unassigned = self._run_round(remaining, stats, results)
-            unassigned_final = unassigned
+            placement, unassigned = self.assign(remaining)
+            unassigned_ever.update(unassigned)
+
+            queues, skipped = self._build_shift_in_queues(remaining, placement)
+            delivery.undeliverable += len(skipped)
+
+            cycles, sent, undeliverable, aborted = self._run_shift_in(queues)
+            stats.shift_in += cycles
+            delivery.enqueued += len(sent)
+            delivery.undeliverable += undeliverable
+            delivery.aborted_phases += int(aborted)
+            for iid in sent:
+                prior = attempts.get(iid, 0)
+                delivery.retransmissions += int(prior > 0)
+                attempts[iid] = prior + 1
+
+            cycles, aborted = self._run_compute()
+            stats.compute += cycles
+            delivery.aborted_phases += int(aborted)
+
+            cycles, aborted = self._run_shift_out(
+                expected_count=len(sent),
+                idle_streak_limit=int(min(idle_limit, self.MAX_IDLE_STREAK)),
+            )
+            stats.shift_out += cycles
+            delivery.aborted_phases += int(aborted)
+
+            self._drain_inbox(results, delivery, known_ids)
+            delivery.timed_out += sum(1 for iid in sent if iid not in results)
             remaining = [
                 instr for instr in remaining if instr[0] not in results
             ]
+            idle_limit *= self._retry_backoff
 
+        delivery.corrupt_rejected = (
+            getattr(self._grid, "corrupt_rejects", 0) - corrupt_base
+        )
+        delivery.link_dropped = (
+            getattr(self._grid, "link_dropped", 0) - dropped_base
+        )
         return JobResult(
             results=results,
             submitted=len(instructions),
             rounds=rounds,
             cycles=stats,
-            unassigned=unassigned_final,
+            unassigned=sorted(
+                iid for iid in unassigned_ever if iid not in results
+            ),
             missing=sorted(
                 iid for iid, *_ in instructions if iid not in results
             ),
+            delivery=delivery,
         )
-
-    def _run_round(
-        self,
-        instructions: Sequence[JobInstruction],
-        stats: PhaseStats,
-        results: Dict[int, int],
-    ) -> Tuple[Dict[int, Coord], List[int]]:
-        placement, unassigned = self.assign(instructions)
-        stats.shift_in += self._run_shift_in(instructions, placement)
-        stats.compute += self._run_compute()
-        stats.shift_out += self._run_shift_out(expected_count=len(placement))
-        while self._grid.cp_inbox:
-            packet = self._grid.cp_inbox.popleft()
-            results[packet.instruction_id] = packet.result
-        return placement, unassigned

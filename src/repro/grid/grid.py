@@ -12,7 +12,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.alu.base import FaultableUnit
 from repro.alu.nanobox import NanoBoxALU
@@ -20,7 +22,8 @@ from repro.cell.aluctrl import MaskSource, _no_faults
 from repro.cell.cell import CellFullError, CellMode, ProcessorCell
 from repro.cell.router import Direction, route_packet
 from repro.grid.bus import Bus
-from repro.grid.packet import InstructionPacket, Packet, ResultPacket
+from repro.grid.linkfault import FaultEvent, FaultyBus, LinkFaultConfig
+from repro.grid.packet import CRC_FLITS, InstructionPacket, Packet, ResultPacket
 from repro.grid.routing import (
     Envelope,
     choose_direction,
@@ -52,6 +55,36 @@ class BusStatistics:
     busiest_link: str
 
 
+@dataclass(frozen=True)
+class LinkFaultStatistics:
+    """Aggregate link-fault counters (see ``NanoBoxGrid.link_fault_statistics``).
+
+    ``crc_rejects`` and ``framing_rejects`` are *detected* corruptions
+    (the receiver rejected the packet); ``silent_corruptions`` slipped
+    through and were delivered with flipped bits; ``dropped`` packets
+    vanished in flight and are only observable as timeouts.
+    """
+
+    bit_flips: int = 0
+    dropped: int = 0
+    stalled_cycles: int = 0
+    crc_rejects: int = 0
+    framing_rejects: int = 0
+    silent_corruptions: int = 0
+
+    @property
+    def detected_corruptions(self) -> int:
+        """Corrupt packets the fabric rejected rather than delivered."""
+        return self.crc_rejects + self.framing_rejects
+
+#: Per-link fault configuration: one config for every link, or a callable
+#: mapping ``(src, dst)`` endpoints (cell coords or the CP sentinel) to a
+#: config (return None for a perfect link).
+LinkFaultPolicy = Union[
+    LinkFaultConfig, Callable[[object, object], Optional[LinkFaultConfig]]
+]
+
+
 class NanoBoxGrid:
     """Grid of processor cells, buses, and the control-processor edge bus.
 
@@ -76,6 +109,18 @@ class NanoBoxGrid:
             paper §7's router-in-LUTs future work, live in the fabric.
         router_mask_source_factory: per-cell fault-mask supplier for the
             LUT routers (one draw per routing decision).
+        link_fault_config: link-level fault injection
+            (:mod:`repro.grid.linkfault`): either one
+            :class:`LinkFaultConfig` applied to every link (mesh and
+            control-processor edge buses alike) or a callable
+            ``(src, dst) -> Optional[LinkFaultConfig]`` for per-link
+            rates.  None (default) keeps the fabric's links perfect.
+        crc_enabled: frame every packet with a CRC-8 flit so corrupted
+            packets are detected and rejected at the receiving router or
+            CP inbox (each rejection also counts against the receiving
+            cell's heartbeat, closing the loop to the watchdog).  Costs
+            one extra cycle per packet per hop.
+        link_fault_seed: base seed for the per-link fault PRNG streams.
     """
 
     def __init__(
@@ -89,6 +134,9 @@ class NanoBoxGrid:
         adaptive_routing: bool = False,
         lut_router_scheme: Optional[str] = None,
         router_mask_source_factory: Optional[Callable[[Coord], MaskSource]] = None,
+        link_fault_config: Optional[LinkFaultPolicy] = None,
+        crc_enabled: bool = False,
+        link_fault_seed: int = 0,
     ) -> None:
         if rows <= 0 or cols <= 0:
             raise ValueError(f"grid must be at least 1x1, got {rows}x{cols}")
@@ -132,6 +180,15 @@ class NanoBoxGrid:
                 )
 
         # Directed buses between neighbours plus per-column edge buses.
+        # When link fault injection or CRC framing is configured, links
+        # are built as FaultyBus / overhead-carrying Bus instances.
+        self.crc_enabled = crc_enabled
+        self._link_fault_config = link_fault_config
+        self._link_fault_seed = link_fault_seed
+        self._link_index = 0
+        self.corrupt_rejects = 0
+        self.cp_corrupt_rejects = 0
+        self.link_dropped = 0
         self._buses: Dict[Tuple[Coord, Coord], Bus] = {}
         for r in range(rows):
             for c in range(cols):
@@ -141,11 +198,12 @@ class NanoBoxGrid:
                     if 0 <= nr < rows and 0 <= nc < cols:
                         key = ((r, c), (nr, nc))
                         if key not in self._buses:
-                            self._buses[key] = Bus(f"{(r, c)}->{(nr, nc)}")
+                            self._buses[key] = self._make_bus(*key)
         top = rows - 1
         for c in range(cols):
-            self._buses[(CONTROL_PROCESSOR, (top, c))] = Bus(f"CP->{(top, c)}")
-            self._buses[((top, c), CONTROL_PROCESSOR)] = Bus(f"{(top, c)}->CP")
+            for key in ((CONTROL_PROCESSOR, (top, c)),
+                        ((top, c), CONTROL_PROCESSOR)):
+                self._buses[key] = self._make_bus(*key)
 
         # Per-cell per-direction outbound queues of in-flight envelopes;
         # forwarded traffic is queued ahead of locally generated traffic
@@ -165,6 +223,34 @@ class NanoBoxGrid:
         self.dropped_packets: List[Packet] = []
         self._mode = CellMode.SHIFT_IN
         self._cycle = 0
+
+    # ---------------------------------------------------------------- links
+
+    def _make_bus(self, src, dst) -> Bus:
+        """Build one directed link, faulty when its config says so."""
+
+        def label(endpoint) -> str:
+            return "CP" if endpoint == CONTROL_PROCESSOR else str(endpoint)
+
+        name = f"{label(src)}->{label(dst)}"
+        overhead = CRC_FLITS if self.crc_enabled else 0
+        config = self._link_fault_config
+        if callable(config):
+            config = config(src, dst)
+        index = self._link_index
+        self._link_index += 1
+        if config is None or not config.any_faults:
+            return Bus(name, flit_overhead=overhead)
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self._link_fault_seed, 0x1B05, index])
+        )
+        return FaultyBus(
+            name,
+            config,
+            rng,
+            crc_enabled=self.crc_enabled,
+            flit_overhead=overhead,
+        )
 
     # ------------------------------------------------------------- topology
 
@@ -312,6 +398,23 @@ class NanoBoxGrid:
         for (_, dst), bus in self._buses.items():
             delivered = bus.tick()
             if delivered is None:
+                continue
+            if isinstance(delivered, FaultEvent):
+                self.dropped_packets.append(delivered.envelope.packet)
+                if not delivered.detected:
+                    # Lost in flight: invisible to the receiver, only the
+                    # control processor's delivery timeout recovers it.
+                    self.link_dropped += 1
+                    continue
+                # Detected corruption (CRC or framing reject).  The
+                # receiver discards the packet; a cell receiver also
+                # charges its heartbeat, so a persistently noisy link
+                # eventually trips the watchdog (paper Section 2.3).
+                self.corrupt_rejects += 1
+                if dst == CONTROL_PROCESSOR:
+                    self.cp_corrupt_rejects += 1
+                elif self._cells[dst].alive:
+                    self._cells[dst].heartbeat.record_error()
                 continue
             if dst == CONTROL_PROCESSOR:
                 if isinstance(delivered.packet, ResultPacket):
@@ -565,6 +668,21 @@ class NanoBoxGrid:
             edge_utilisation=sum(edge_util) / len(edge_util) if edge_util else 0.0,
             peak_utilisation=max(busiest_util, 0.0),
             busiest_link=busiest_name,
+        )
+
+    def link_fault_statistics(self) -> LinkFaultStatistics:
+        """Aggregate link-fault counters over every faulty link."""
+        totals = LinkFaultStatistics()
+        faulty = [b for b in self._buses.values() if isinstance(b, FaultyBus)]
+        if not faulty:
+            return totals
+        return LinkFaultStatistics(
+            bit_flips=sum(b.bit_flips for b in faulty),
+            dropped=sum(b.dropped_in_flight for b in faulty),
+            stalled_cycles=sum(b.stalled_cycles for b in faulty),
+            crc_rejects=sum(b.crc_rejects for b in faulty),
+            framing_rejects=sum(b.framing_rejects for b in faulty),
+            silent_corruptions=sum(b.silent_corruptions for b in faulty),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

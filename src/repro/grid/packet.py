@@ -6,6 +6,11 @@ Instruction packets (paper Section 3.2.1) carry "a unique instruction ID,
 an ALU instruction, two operands, and the ID of the processor cell where
 the instruction will be computed"; result packets (Section 3.2.3) carry
 the instruction ID and the majority-voted result.
+
+When the fabric is built with CRC framing enabled, every packet gains one
+trailing CRC-8 flit over its payload flits, so routers and the
+control-processor inbox can *detect* link corruption instead of silently
+executing or recording a flipped packet (see :mod:`repro.grid.linkfault`).
 """
 
 from __future__ import annotations
@@ -22,7 +27,49 @@ SOP_RESULT = 0x5A
 FLITS_PER_INSTRUCTION = 8
 FLITS_PER_RESULT = 4
 
+#: Extra flits appended to every packet when CRC framing is on.
+CRC_FLITS = 1
+
+#: CRC-8 generator polynomial (x^8 + x^2 + x + 1, the CCITT/ATM HEC poly).
+CRC8_POLYNOMIAL = 0x07
+
 _BYTE = 0xFF
+
+
+def _build_crc8_table(poly: int) -> List[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = ((crc << 1) ^ poly) & _BYTE if crc & 0x80 else (crc << 1) & _BYTE
+        table.append(crc)
+    return table
+
+
+_CRC8_TABLE = _build_crc8_table(CRC8_POLYNOMIAL)
+
+
+def crc8(flits: Sequence[int]) -> int:
+    """CRC-8 (poly 0x07, init 0) over a sequence of byte-wide flits."""
+    crc = 0
+    for flit in flits:
+        crc = _CRC8_TABLE[(crc ^ (flit & _BYTE))]
+    return crc
+
+
+def frame_flits(packet: "Packet", with_crc: bool = False) -> List[int]:
+    """A packet's wire image: payload flits, plus a CRC flit when framed."""
+    flits = packet.to_flits()
+    if with_crc:
+        flits.append(crc8(flits))
+    return flits
+
+
+def crc_valid(flits: Sequence[int]) -> bool:
+    """Check a CRC-framed wire image (payload + trailing CRC flit)."""
+    if len(flits) < 2:
+        return False
+    return crc8(flits[:-1]) == (flits[-1] & _BYTE)
 
 
 @dataclass(frozen=True)

@@ -18,7 +18,7 @@ from repro.alu.base import FaultableUnit
 from repro.alu.nanobox import NanoBoxALU
 from repro.faults.mask import MaskPolicy
 from repro.grid.control import ControlProcessor, JobInstruction, JobResult
-from repro.grid.grid import Coord, NanoBoxGrid
+from repro.grid.grid import Coord, LinkFaultPolicy, NanoBoxGrid
 from repro.grid.watchdog import Watchdog
 from repro.workloads.bitmap import Bitmap
 from repro.workloads.imaging import ImageWorkload
@@ -34,6 +34,11 @@ class SimulationStats:
     salvaged_words: int
     lost_words: int
     memory_upsets: int
+    corrupt_rejected: int = 0
+    link_dropped: int = 0
+    link_stalled_cycles: int = 0
+    link_bit_flips: int = 0
+    silent_corruptions: int = 0
 
 
 @dataclass(frozen=True)
@@ -77,6 +82,12 @@ class GridSimulator:
             error-coded lookup tables with this scheme (paper §7).
         router_fault_policy: per-decision fault policy for the LUT
             routers (requires ``lut_router_scheme``).
+        link_fault_config: link-level fault injection for the fabric's
+            buses (:mod:`repro.grid.linkfault`); a single config for
+            every link or a per-link ``(src, dst) -> config`` callable.
+        crc_enabled: CRC-frame every packet so corrupted packets are
+            detected and rejected instead of silently delivered (one
+            extra cycle per packet per hop).
         seed: base PRNG seed for all injection streams.
     """
 
@@ -95,6 +106,8 @@ class GridSimulator:
         scrub_interval: int = 0,
         lut_router_scheme: Optional[str] = None,
         router_fault_policy: Optional[MaskPolicy] = None,
+        link_fault_config: Optional[LinkFaultPolicy] = None,
+        crc_enabled: bool = False,
         seed: int = 0,
     ) -> None:
         if memory_upset_rate < 0 or memory_upset_rate >= 1:
@@ -160,6 +173,9 @@ class GridSimulator:
             adaptive_routing=adaptive_routing,
             lut_router_scheme=lut_router_scheme,
             router_mask_source_factory=router_mask_source_factory,
+            link_fault_config=link_fault_config,
+            crc_enabled=crc_enabled,
+            link_fault_seed=seed,
         )
         self.watchdog = Watchdog(self.grid, memory_salvageable=memory_salvageable)
         self.control = ControlProcessor(
@@ -256,6 +272,7 @@ class GridSimulator:
         """Snapshot fabric counters."""
         salvaged = sum(r.salvaged_words for r in self.watchdog.reports)
         lost = sum(r.lost_words for r in self.watchdog.reports)
+        link = self.grid.link_fault_statistics()
         return SimulationStats(
             cycles=self.grid.cycle,
             dropped_packets=len(self.grid.dropped_packets),
@@ -263,4 +280,9 @@ class GridSimulator:
             salvaged_words=salvaged,
             lost_words=lost,
             memory_upsets=self._memory_upsets,
+            corrupt_rejected=self.grid.corrupt_rejects,
+            link_dropped=self.grid.link_dropped,
+            link_stalled_cycles=link.stalled_cycles,
+            link_bit_flips=link.bit_flips,
+            silent_corruptions=link.silent_corruptions,
         )

@@ -38,6 +38,24 @@ class TestHeartbeat:
         hb.record_error()
         assert not hb.beat()
 
+    def test_boundary_at_exact_threshold_still_healthy(self):
+        """The threshold is inclusive: errors == threshold still beats."""
+        hb = Heartbeat(error_threshold=8)
+        hb.record_error(8)
+        assert hb.error_count == hb.error_threshold
+        assert hb.healthy
+        assert hb.beat()
+
+    def test_boundary_one_past_threshold_goes_silent(self):
+        """Exactly threshold + 1 errors is the first silent state."""
+        hb = Heartbeat(error_threshold=8)
+        hb.record_error(8)
+        assert hb.healthy
+        hb.record_error()
+        assert hb.error_count == hb.error_threshold + 1
+        assert not hb.healthy
+        assert not hb.beat()
+
     def test_forced_silence(self):
         hb = Heartbeat(error_threshold=100)
         hb.silence()

@@ -1,5 +1,7 @@
 """Unit tests for the flit-serialised bus model."""
 
+import pytest
+
 from repro.grid.bus import Bus
 from repro.grid.packet import InstructionPacket, ResultPacket
 
@@ -66,3 +68,46 @@ class TestBus:
 
     def test_drop_idle_returns_none(self):
         assert Bus("b").drop() is None
+
+    def test_drop_mid_flight_frees_link_immediately(self):
+        """A partially-serialised packet is aborted, not delivered."""
+        bus = Bus("b")
+        packet = instr()
+        bus.try_send(packet)
+        ticks_before_drop = 3
+        for _ in range(ticks_before_drop):
+            assert bus.tick() is None
+        assert bus.drop() is packet
+        # The link is free right away and never delivers the victim.
+        assert not bus.busy
+        assert bus.in_flight is None
+        assert bus.tick() is None
+        assert bus.delivered_count == 0
+        # Cycles already spent serialising still count as occupancy.
+        assert bus.busy_cycles == ticks_before_drop
+
+    def test_drop_mid_flight_then_resend_full_latency(self):
+        """A new packet after a drop pays its full flit latency."""
+        bus = Bus("b")
+        bus.try_send(instr())
+        bus.tick()
+        bus.drop()
+        replacement = ResultPacket(7, 9)
+        assert bus.try_send(replacement)
+        deliveries = [bus.tick() for _ in range(replacement.flit_count)]
+        assert deliveries[:-1] == [None] * (replacement.flit_count - 1)
+        assert deliveries[-1] is replacement
+        assert bus.delivered_count == 1
+
+    def test_flit_overhead_extends_occupancy(self):
+        """CRC framing costs exactly flit_overhead extra cycles."""
+        bus = Bus("b", flit_overhead=1)
+        packet = ResultPacket(1, 2)
+        bus.try_send(packet)
+        deliveries = [bus.tick() for _ in range(packet.flit_count + 1)]
+        assert deliveries[:-1] == [None] * packet.flit_count
+        assert deliveries[-1] is packet
+
+    def test_negative_flit_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            Bus("b", flit_overhead=-1)

@@ -3,8 +3,16 @@
 import pytest
 
 from repro.alu.reference import reference_compute
-from repro.grid.control import ControlProcessor, JobResult, PhaseStats
+from repro.cell.cell import CellMode
+from repro.grid.control import (
+    ControlProcessor,
+    DeliveryStats,
+    JobResult,
+    PhaseStats,
+)
 from repro.grid.grid import NanoBoxGrid
+from repro.grid.linkfault import LinkFaultConfig
+from repro.grid.packet import ResultPacket
 from repro.grid.watchdog import Watchdog
 
 
@@ -109,6 +117,128 @@ class TestRunJob:
         result = cp.run_job(instructions, max_rounds=3)
         assert result.complete
         assert result.rounds == 2
+
+
+class TestReliableTransport:
+    def test_retry_backoff_below_one_rejected(self):
+        with pytest.raises(ValueError, match="retry_backoff"):
+            ControlProcessor(NanoBoxGrid(1, 1), retry_backoff=0.5)
+
+    def test_duplicate_results_collapse_last_writer_wins(self):
+        """Duplicates are counted and the latest copy kept (a genuine
+        recomputation must overwrite a memory-corruption forgery)."""
+        grid = NanoBoxGrid(1, 1)
+        cp = ControlProcessor(grid)
+        grid.cp_inbox.extend(
+            [ResultPacket(1, 5), ResultPacket(1, 9), ResultPacket(2, 4)]
+        )
+        results, delivery = {}, DeliveryStats()
+        cp._drain_inbox(results, delivery, known_ids={1, 2})
+        assert results == {1: 9, 2: 4}
+        assert delivery.duplicates == 1
+        assert delivery.spurious_results == 0
+
+    def test_spurious_instruction_ids_rejected(self):
+        """A result whose ID matches no submitted instruction (silent
+        link corruption) must not pollute the job's results."""
+        grid = NanoBoxGrid(1, 1)
+        cp = ControlProcessor(grid)
+        grid.cp_inbox.extend([ResultPacket(7, 1), ResultPacket(1, 2)])
+        results, delivery = {}, DeliveryStats()
+        cp._drain_inbox(results, delivery, known_ids={1})
+        assert results == {1: 2}
+        assert delivery.spurious_results == 1
+
+    def test_unassigned_accumulates_across_rounds(self):
+        """IDs unplaced in round one stay reported even when a later
+        round assigns them but they never complete."""
+        grid = NanoBoxGrid(1, 2, n_words=2)  # capacity 4 of 6
+        state = {"prev": None, "rounds": 0, "killed": False}
+
+        def killer():
+            mode = grid.mode
+            if mode is CellMode.SHIFT_IN and state["prev"] is not mode:
+                state["rounds"] += 1
+                if state["rounds"] == 2 and not state["killed"]:
+                    state["killed"] = True
+                    grid.kill_cell(0, 0)
+                    grid.kill_cell(0, 1)
+            state["prev"] = mode
+
+        cp = ControlProcessor(grid, tick_hooks=(killer,))
+        result = cp.run_job(job(6), max_rounds=2)
+        assert sorted(result.results) == [0, 1, 2, 3]
+        # IDs 4 and 5 had no capacity in round one; round two reassigned
+        # them to cells that died before computing.  They must still be
+        # reported as unassigned, not silently forgotten.
+        assert result.unassigned == [4, 5]
+        assert result.missing == [4, 5]
+
+    def test_completed_ids_leave_unassigned(self):
+        """An ID unplaced in one round but completed later is no longer
+        unassigned in the final result."""
+        grid = NanoBoxGrid(1, 1, n_words=4)
+        cp = ControlProcessor(grid)
+        result = cp.run_job(job(8), max_rounds=3)  # two rounds of 4
+        assert result.complete
+        assert result.unassigned == []
+
+    def test_undeliverable_when_no_injection_point(self):
+        """Packets for placements with no alive top-row entry are counted
+        undeliverable, and expected counts only track injected packets."""
+        grid = NanoBoxGrid(2, 2, adaptive_routing=True)
+        cp = ControlProcessor(grid)
+        grid.kill_cell(grid.top_row, 0)
+        grid.kill_cell(grid.top_row, 1)
+        instructions = job(2)
+        queues, skipped = cp._build_shift_in_queues(
+            instructions, {0: (0, 0), 1: (0, 1)}
+        )
+        assert queues == {}
+        assert sorted(skipped) == [0, 1]
+        result = cp.run_job(instructions, max_rounds=2)
+        assert result.results == {}
+        assert result.delivery.enqueued == 0
+        assert result.delivery.timed_out == 0  # nothing was ever sent
+
+    def test_all_drop_fabric_degrades_gracefully(self):
+        """run_job returns (never raises, never hangs) on a fabric that
+        drops every packet, with per-cause accounting."""
+        grid = NanoBoxGrid(
+            2, 2, link_fault_config=LinkFaultConfig(drop_rate=1.0)
+        )
+        cp = ControlProcessor(grid)
+        instructions = job(4)
+        result = cp.run_job(instructions, max_rounds=2)
+        assert result.results == {}
+        assert not result.complete
+        assert result.rounds == 2
+        assert result.delivery.link_dropped > 0
+        assert result.delivery.timed_out > 0
+        assert result.delivery.retransmissions > 0  # round two resent
+        assert result.missing == [0, 1, 2, 3]
+
+    def test_corrupt_rejected_accounted_per_job(self):
+        """CRC rejects during the job land in DeliveryStats, scoped to
+        this job (not lifetime grid counters)."""
+        grid = NanoBoxGrid(
+            2, 2,
+            link_fault_config=LinkFaultConfig(bit_flip_rate=1.0),
+            crc_enabled=True,
+        )
+        cp = ControlProcessor(grid)
+        result = cp.run_job(job(4), max_rounds=1)
+        assert result.results == {}
+        assert result.delivery.corrupt_rejected > 0
+        assert result.delivery.corrupt_rejected == grid.corrupt_rejects
+
+    def test_retransmissions_counted_not_first_sends(self):
+        grid = NanoBoxGrid(1, 1, n_words=4)
+        cp = ControlProcessor(grid)
+        result = cp.run_job(job(8), max_rounds=3)
+        # Two rounds of four first-time sends each: no retransmissions.
+        assert result.delivery.enqueued == 8
+        assert result.delivery.retransmissions == 0
 
 
 class TestJobResultHelpers:

@@ -85,6 +85,23 @@ class TestSalvage:
         assert report.lost_words == 0
         assert report.adopted == {(0, 2): 2}
 
+    def test_dead_neighbourhood_widens_to_non_neighbours(self):
+        """With every direct neighbour dead, salvage reaches the corners."""
+        grid = grid_with_work()
+        watchdog = Watchdog(grid)
+        neighbours = set(grid.neighbours(1, 1).values())
+        for coord in neighbours:
+            grid.kill_cell(*coord)
+        grid.kill_cell(1, 1)
+        reports = {r.failed_cell: r for r in watchdog.poll()}
+        report = reports[(1, 1)]
+        assert report.salvaged_words == 4
+        assert report.lost_words == 0
+        # Every adopter is a live *non-neighbour* (a corner of the 3x3).
+        assert report.adopted
+        assert not set(report.adopted) & neighbours
+        assert all(grid.cell(*c).alive for c in report.adopted)
+
     def test_everything_full_loses_words(self):
         grid = NanoBoxGrid(1, 2, n_words=1)
         grid.cell(0, 0).store_instruction(1, 0, 0, 0)
