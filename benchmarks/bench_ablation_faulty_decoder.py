@@ -10,7 +10,7 @@ proportional share of the hits.
 
 from repro.alu.nanobox import NanoBoxALU
 from repro.alu.redundancy import SimplexALU
-from repro.experiments.ablations import _sweep
+from repro.experiments.ablations import sweep_unit
 from benchmarks.conftest import print_series
 
 PERCENTS = (0, 0.5, 1, 2, 3, 5)
@@ -21,7 +21,7 @@ def run_comparison():
     for scheme, label in (("hamming", "ideal decoder"),
                           ("hamming-gate", "fault-prone decoder")):
         alu = SimplexALU(NanoBoxALU(scheme=scheme), name=f"decoder[{label}]")
-        series[label] = _sweep(alu, PERCENTS, trials_per_workload=4, seed=23)
+        series[label] = sweep_unit(alu, PERCENTS, trials_per_workload=4, seed=23)
     return series
 
 

@@ -11,7 +11,7 @@ the uncoded and triplicated tables at matched fault fractions.
 
 from repro.alu.nanobox import NanoBoxALU
 from repro.alu.redundancy import SimplexALU
-from repro.experiments.ablations import _sweep
+from repro.experiments.ablations import sweep_unit
 from benchmarks.conftest import print_series
 
 PERCENTS = (0, 0.5, 1, 2, 3, 5, 9)
@@ -21,7 +21,7 @@ def run_comparison():
     series = {}
     for scheme in ("none", "hamming", "hsiao", "tmr"):
         alu = SimplexALU(NanoBoxALU(scheme=scheme), name=f"hsiao-ablate[{scheme}]")
-        series[scheme] = _sweep(alu, PERCENTS, trials_per_workload=4, seed=21)
+        series[scheme] = sweep_unit(alu, PERCENTS, trials_per_workload=4, seed=21)
     return series
 
 

@@ -12,7 +12,7 @@ from repro.grid.simulator import GridSimulator
 from repro.workloads.bitmap import gradient
 from repro.workloads.imaging import reverse_video
 
-FAULT_PERCENTS = (0.0, 1.0, 3.0)
+FAULT_PERCENTS = (0.0, 1.0, 3.0, 5.0)
 
 
 def run_sweep(scheme: str):

@@ -1,0 +1,114 @@
+"""Throughput of the vectorized fault-injection engine (PR 2 tentpole).
+
+Measures the three execution tiers of a fault campaign -- scalar
+per-instruction, batched NumPy, and the parallel executor -- and asserts
+the tentpole's two contracts on a full Figure 7 regeneration:
+
+* batched + ``jobs=4`` is at least 5x faster than the scalar serial path;
+* the report text is byte-identical between the tiers.
+
+Set ``REPRO_BENCH_SMOKE=1`` (the CI smoke job) to shrink the sweep and
+skip the wall-clock floor while keeping the identity assertion.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.figures import figure7
+from repro.experiments.report import format_series
+from repro.faults.campaign import FaultCampaign
+from repro.faults.mask import ExactFractionMask
+from repro.alu.variants import build_alu
+from repro.perf import ALUSpec, CampaignWorkItem, PolicySpec, run_campaign_items
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Figure 7 sweep used for the speedup measurement.
+SPEEDUP_PERCENTS = (0, 1, 3, 9) if SMOKE else (0, 0.5, 1, 2, 3, 5, 9, 20, 50, 75)
+SPEEDUP_TRIALS = 1 if SMOKE else 5
+
+
+def _figure7_text(batched, jobs):
+    result = figure7(
+        fault_percents=SPEEDUP_PERCENTS,
+        trials_per_workload=SPEEDUP_TRIALS,
+        seed=2004,
+        jobs=jobs,
+        batched=batched,
+    )
+    return format_series(
+        "fault%", list(SPEEDUP_PERCENTS), result.series()
+    )
+
+
+def test_bench_suite_scalar(benchmark, bench_streams):
+    campaign = FaultCampaign(build_alu("alunn"), ExactFractionMask(0.03), seed=1)
+    result = benchmark.pedantic(
+        lambda: campaign.run_workload_suite(bench_streams, 1, batched=False),
+        rounds=1 if SMOKE else 3,
+        iterations=1,
+    )
+    assert 0.0 <= result.percent_correct <= 100.0
+
+
+def test_bench_suite_batched(benchmark, bench_streams):
+    campaign = FaultCampaign(build_alu("alunn"), ExactFractionMask(0.03), seed=1)
+    result = benchmark.pedantic(
+        lambda: campaign.run_workload_suite(bench_streams, 1, batched=True),
+        rounds=1 if SMOKE else 3,
+        iterations=1,
+    )
+    assert 0.0 <= result.percent_correct <= 100.0
+
+
+def test_bench_executor_parallel(benchmark):
+    items = [
+        CampaignWorkItem(
+            alu=ALUSpec.variant(v),
+            policy=PolicySpec.exact(0.03),
+            trials_per_workload=1,
+            seed=1,
+        )
+        for v in ("alunn", "alunh")
+    ]
+    results = benchmark.pedantic(
+        lambda: run_campaign_items(items, jobs=2), rounds=1, iterations=1
+    )
+    assert len(results) == 2
+
+
+def _timed(fn, rounds):
+    """Best-of-``rounds`` wall time (standard noise suppression)."""
+    best = None
+    result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def test_figure7_speedup_and_identity(benchmark):
+    """The tentpole acceptance check: >=5x on Figure 7, identical text."""
+    rounds = 1 if SMOKE else 2
+    scalar_text, t_scalar = _timed(
+        lambda: _figure7_text(batched=False, jobs=1), rounds=1
+    )
+
+    def fast():
+        return _figure7_text(batched=True, jobs=4)
+
+    fast_text, t_fast = _timed(fast, rounds=rounds)
+    benchmark.pedantic(fast, rounds=1, iterations=1)
+
+    assert fast_text == scalar_text, "batched/parallel output diverged"
+    speedup = t_scalar / t_fast
+    print(
+        f"\nFigure 7 regeneration: scalar {t_scalar:.2f}s, "
+        f"batched+jobs=4 {t_fast:.2f}s, speedup {speedup:.2f}x"
+    )
+    if not SMOKE:
+        assert speedup >= 5.0, f"speedup {speedup:.2f}x below the 5x target"

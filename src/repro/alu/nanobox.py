@@ -14,6 +14,7 @@ this ALU family).
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List
 
 from repro.alu.base import (
@@ -52,13 +53,20 @@ def _carry_function(a: int, b: int, c: int, op_lo: int, op_hi: int) -> int:
     return (a & b) | (b & c) | (a & c)  # full-adder carry
 
 
+@lru_cache(maxsize=1)
 def result_truth_table() -> TruthTable:
-    """The 32-entry result-LUT truth table shared by all eight slices."""
+    """The 32-entry result-LUT truth table shared by all eight slices.
+
+    Cached: every :class:`NanoBoxALU` construction needs it, and the
+    parallel campaign executor constructs ALUs in every worker for every
+    work item.  :class:`TruthTable` is immutable, so sharing is safe.
+    """
     return TruthTable.from_function(SLICE_LUT_INPUTS, _result_function)
 
 
+@lru_cache(maxsize=1)
 def carry_truth_table() -> TruthTable:
-    """The 32-entry carry-LUT truth table shared by all eight slices."""
+    """The 32-entry carry-LUT truth table shared by all eight slices (cached)."""
     return TruthTable.from_function(SLICE_LUT_INPUTS, _carry_function)
 
 
@@ -121,6 +129,16 @@ class NanoBoxALU(FaultableUnit):
         """Number of lookup tables (two per slice)."""
         return 2 * self._width
 
+    @property
+    def result_lut(self):
+        """The coded result LUT shared by the slices (batched-engine hook)."""
+        return self._result_lut
+
+    @property
+    def carry_lut(self):
+        """The coded carry LUT shared by the slices (batched-engine hook)."""
+        return self._carry_lut
+
     def storage_image(self) -> int:
         """Fault-free stored bits across the whole site space.
 
@@ -172,7 +190,9 @@ class NanoBoxALU(FaultableUnit):
             )
             r_fault = self._result_segments[i].extract(fault_mask)
             c_fault = self._carry_segments[i].extract(fault_mask)
-            bit = result_lut.read(address, r_fault)
-            carry = carry_lut.read(address, c_fault)
+            # Addresses assembled from single bits are in range by
+            # construction; use the pre-validated read.
+            bit = result_lut.read_unchecked(address, r_fault)
+            carry = carry_lut.read_unchecked(address, c_fault)
             value |= bit << i
         return ALUResult(value=value, carry=carry)

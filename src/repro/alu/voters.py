@@ -82,6 +82,16 @@ class LUTVoter(Voter):
         return self._scheme
 
     @property
+    def width(self) -> int:
+        """Number of voted bundle bits."""
+        return self._width
+
+    @property
+    def lut(self) -> CodedLUT:
+        """The coded table shared by the voter bits (batched-engine hook)."""
+        return self._lut
+
+    @property
     def site_space(self) -> SiteSpace:
         return self._space
 
@@ -112,7 +122,8 @@ class LUTVoter(Voter):
                 | (1 << 3)  # enable tied high during compute mode
             )
             fault_word = self._segments[i].extract(fault_mask)
-            out |= self._lut.read(address, fault_word) << i
+            # In-range by construction: use the pre-validated read.
+            out |= self._lut.read_unchecked(address, fault_word) << i
         return out
 
 
@@ -131,6 +142,11 @@ class CMOSVoter(Voter):
     def netlist(self):
         """The underlying gate netlist."""
         return self._netlist
+
+    @property
+    def width(self) -> int:
+        """Number of voted bundle bits."""
+        return self._width
 
     @property
     def site_space(self) -> SiteSpace:

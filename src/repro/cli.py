@@ -80,6 +80,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         fault_percents=percents,
         trials_per_workload=trials,
         seed=args.seed,
+        jobs=args.jobs,
     )
     if args.chart:
         from repro.experiments.ascii_chart import figure_chart
@@ -248,7 +249,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.run_all import build_report
 
-    report = build_report(quick=args.quick, seed=args.seed)
+    report = build_report(quick=args.quick, seed=args.seed, jobs=args.jobs)
     print(report, end="")
     if args.out:
         with open(args.out, "w") as f:
@@ -291,6 +292,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", default=None,
                        help="also write a JSON export to this path")
     sweep.add_argument("--seed", type=int, default=2004)
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="campaign worker processes (1 = serial; "
+                            "any value gives identical output)")
     sweep.set_defaults(fn=_cmd_sweep)
 
     grid = sub.add_parser("grid", help="run a full-system image job")
@@ -353,6 +357,9 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="full EXPERIMENTS report")
     report.add_argument("--quick", action="store_true")
     report.add_argument("--seed", type=int, default=2004)
+    report.add_argument("--jobs", type=int, default=1,
+                        help="campaign worker processes (1 = serial; "
+                             "any value gives identical output)")
     report.add_argument("--out", default=None)
     report.set_defaults(fn=_cmd_report)
 

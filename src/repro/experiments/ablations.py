@@ -16,54 +16,96 @@ questions its Section 5 discussion raises:
   independent Bernoulli flips.
 * **Hamming block size** -- 16-bit blocks match Table 2's 672 sites; how
   does protection scale with block granularity?
+
+Every ablation accepts ``jobs`` (process-pool width; 1 = inline) and
+``batched`` (vectorized evaluation, bit-identical to scalar); each
+series cell becomes one :class:`~repro.perf.CampaignWorkItem`, so a
+single ablation's cells parallelise across its whole grid.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-from repro.alu.base import FaultableUnit
-from repro.alu.nanobox import NanoBoxALU
-from repro.alu.redundancy import SimplexALU, SpaceRedundantALU
-from repro.alu.voters import make_voter
-from repro.faults.campaign import FaultCampaign
-from repro.faults.mask import BernoulliMask, ExactFractionMask
-from repro.workloads.bitmap import gradient
-from repro.workloads.imaging import paper_workloads
+from repro.perf import ALUSpec, CampaignWorkItem, PolicySpec, run_campaign_items
 
 #: Default fault percentages for the ablation sweeps (a dense low-end).
 ABLATION_PERCENTS: Tuple[float, ...] = (0, 0.5, 1, 2, 3, 5, 9)
 
 
-def _score(
-    alu: FaultableUnit,
-    percent: float,
-    trials_per_workload: int,
-    seed: int,
-    policy_factory=ExactFractionMask,
-) -> float:
+def sweep_unit(
+    alu,
+    percents: Sequence[float],
+    trials_per_workload: int = 5,
+    seed: int = 0,
+    batched: bool = True,
+) -> List[float]:
+    """Sweep one already-built unit over fault percentages, in process.
+
+    For ad-hoc studies on units with no :class:`~repro.perf.ALUSpec`
+    recipe (custom decoders, experimental wrappers): runs serially since
+    a live unit cannot cross a process boundary.  Campaign semantics
+    match :func:`_run_series` exactly.
+    """
+    from repro.faults.campaign import FaultCampaign
+    from repro.faults.mask import ExactFractionMask
+    from repro.workloads.bitmap import gradient
+    from repro.workloads.imaging import paper_workloads
+
     workloads = paper_workloads(gradient(8, 8))
-    campaign = FaultCampaign(alu, policy_factory(percent / 100.0), seed=seed)
-    return campaign.run_workload_suite(workloads, trials_per_workload).percent_correct
+    scores = []
+    for percent in percents:
+        campaign = FaultCampaign(
+            alu, ExactFractionMask(percent / 100.0), seed=seed
+        )
+        result = campaign.run_workload_suite(
+            workloads, trials_per_workload, batched=batched
+        )
+        scores.append(result.percent_correct)
+    return scores
+
+#: One ablation series: (legend key, unit recipe, policy kind).
+_SeriesEntry = Tuple[str, ALUSpec, str]
 
 
-def _sweep(
-    alu: FaultableUnit,
+def _run_series(
+    entries: Sequence[_SeriesEntry],
     percents: Sequence[float],
     trials_per_workload: int,
     seed: int,
-    policy_factory=ExactFractionMask,
-) -> List[float]:
-    return [
-        _score(alu, pct, trials_per_workload, seed, policy_factory)
-        for pct in percents
+    jobs: int,
+    batched: bool,
+) -> Dict[str, List[float]]:
+    """Run the full (series, percent) grid through the campaign executor."""
+    items = [
+        CampaignWorkItem(
+            alu=spec,
+            policy=PolicySpec(kind=policy_kind, value=percent / 100.0),
+            trials_per_workload=trials_per_workload,
+            seed=seed,
+            batched=batched,
+        )
+        for _, spec, policy_kind in entries
+        for percent in percents
     ]
+    results = run_campaign_items(items, jobs=jobs)
+    series: Dict[str, List[float]] = {}
+    index = 0
+    for key, _, _ in entries:
+        series[key] = [
+            results[index + offset].percent_correct
+            for offset in range(len(percents))
+        ]
+        index += len(percents)
+    return series
 
 
 def hamming_semantics_ablation(
     percents: Sequence[float] = ABLATION_PERCENTS,
     trials_per_workload: int = 5,
     seed: int = 11,
+    jobs: int = 1,
+    batched: bool = True,
 ) -> Dict[str, List[float]]:
     """Compare information-code decoder semantics against no code.
 
@@ -73,54 +115,66 @@ def hamming_semantics_ablation(
     ``none`` everywhere; the pessimistic ``hamming-fp`` collapses
     fastest.
     """
-    series: Dict[str, List[float]] = {}
-    for scheme in ("none", "hamming", "hamming-sec", "hamming-fp", "hsiao"):
-        alu = SimplexALU(NanoBoxALU(scheme=scheme), name=f"ablate[{scheme}]")
-        series[scheme] = _sweep(alu, percents, trials_per_workload, seed)
-    return series
+    entries = [
+        (scheme, ALUSpec.simplex(scheme, label=f"ablate[{scheme}]"), "exact")
+        for scheme in ("none", "hamming", "hamming-sec", "hamming-fp", "hsiao")
+    ]
+    return _run_series(
+        entries, percents, trials_per_workload, seed, jobs, batched
+    )
 
 
 def redundancy_order_ablation(
     percents: Sequence[float] = ABLATION_PERCENTS,
     trials_per_workload: int = 5,
     seed: int = 12,
+    jobs: int = 1,
+    batched: bool = True,
 ) -> Dict[str, List[float]]:
     """Sweep bit-level replication order: 1x (none), 3x, 5x, 7x strings."""
-    series: Dict[str, List[float]] = {}
-    for scheme, label in (
-        ("none", "1x"),
-        ("tmr", "3x"),
-        ("5mr", "5x"),
-        ("7mr", "7x"),
-    ):
-        alu = SimplexALU(NanoBoxALU(scheme=scheme), name=f"ablate[{label}]")
-        series[label] = _sweep(alu, percents, trials_per_workload, seed)
-    return series
+    entries = [
+        (label, ALUSpec.simplex(scheme, label=f"ablate[{label}]"), "exact")
+        for scheme, label in (
+            ("none", "1x"),
+            ("tmr", "3x"),
+            ("5mr", "5x"),
+            ("7mr", "7x"),
+        )
+    ]
+    return _run_series(
+        entries, percents, trials_per_workload, seed, jobs, batched
+    )
 
 
 def voter_coding_ablation(
     percents: Sequence[float] = ABLATION_PERCENTS,
     trials_per_workload: int = 5,
     seed: int = 13,
+    jobs: int = 1,
+    batched: bool = True,
 ) -> Dict[str, List[float]]:
     """Space-redundant TMR-LUT cores with differently built voters."""
-    series: Dict[str, List[float]] = {}
-    for voter_kind in ("tmr", "none", "hamming", "cmos"):
-        alu = SpaceRedundantALU(
-            lambda: NanoBoxALU(scheme="tmr"),
-            make_voter(voter_kind),
-            name=f"ablate[voter:{voter_kind}]",
+    entries = [
+        (
+            f"voter:{voter_kind}",
+            ALUSpec.space(
+                "tmr", voter_kind, label=f"ablate[voter:{voter_kind}]"
+            ),
+            "exact",
         )
-        series[f"voter:{voter_kind}"] = _sweep(
-            alu, percents, trials_per_workload, seed
-        )
-    return series
+        for voter_kind in ("tmr", "none", "hamming", "cmos")
+    ]
+    return _run_series(
+        entries, percents, trials_per_workload, seed, jobs, batched
+    )
 
 
 def mask_policy_ablation(
     percents: Sequence[float] = ABLATION_PERCENTS,
     trials_per_workload: int = 5,
     seed: int = 14,
+    jobs: int = 1,
+    batched: bool = True,
 ) -> Dict[str, List[float]]:
     """Exact-fraction versus Bernoulli injection on the TMR ALU.
 
@@ -128,19 +182,19 @@ def mask_policy_ablation(
     version of the Bernoulli draw -- validating that the paper's injection
     semantics is not doing hidden work.
     """
-    alu = SimplexALU(NanoBoxALU(scheme="tmr"), name="ablate[policy]")
-    return {
-        "exact": _sweep(alu, percents, trials_per_workload, seed,
-                        ExactFractionMask),
-        "bernoulli": _sweep(alu, percents, trials_per_workload, seed,
-                            BernoulliMask),
-    }
+    spec = ALUSpec.simplex("tmr", label="ablate[policy]")
+    entries = [("exact", spec, "exact"), ("bernoulli", spec, "bernoulli")]
+    return _run_series(
+        entries, percents, trials_per_workload, seed, jobs, batched
+    )
 
 
 def hamming_block_size_ablation(
     percents: Sequence[float] = ABLATION_PERCENTS,
     trials_per_workload: int = 5,
     seed: int = 15,
+    jobs: int = 1,
+    batched: bool = True,
 ) -> Dict[str, List[float]]:
     """Hamming protection granularity: 8-, 16-, and 32-bit blocks.
 
@@ -148,11 +202,16 @@ def hamming_block_size_ablation(
     false positives, at higher check-bit cost (the 16-bit block is what
     reproduces Table 2's 672 sites).
     """
-    series: Dict[str, List[float]] = {}
-    for block in (8, 16, 32):
-        alu = SimplexALU(
-            NanoBoxALU(scheme="hamming", block_size=block),
-            name=f"ablate[block{block}]",
+    entries = [
+        (
+            f"block{block}",
+            ALUSpec.simplex(
+                "hamming", block_size=block, label=f"ablate[block{block}]"
+            ),
+            "exact",
         )
-        series[f"block{block}"] = _sweep(alu, percents, trials_per_workload, seed)
-    return series
+        for block in (8, 16, 32)
+    ]
+    return _run_series(
+        entries, percents, trials_per_workload, seed, jobs, batched
+    )

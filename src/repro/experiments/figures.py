@@ -18,12 +18,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.alu.variants import build_alu
 from repro.experiments.report import format_series
-from repro.faults.campaign import FaultCampaign
 from repro.faults.fit import fit_for_fault_fraction
-from repro.faults.mask import ExactFractionMask
 from repro.faults.stats import SampleStats
+from repro.perf import ALUSpec, CampaignWorkItem, PolicySpec, run_campaign_items
 from repro.workloads.bitmap import Bitmap, gradient
-from repro.workloads.imaging import paper_workloads
 
 #: The eighteen injected fault percentages of Section 4.
 PAPER_FAULT_PERCENTAGES: Tuple[float, ...] = (
@@ -91,38 +89,76 @@ class FigureResult:
         return f"{self.title}\n{body}"
 
 
+def _sweep_points(
+    variants: Sequence[str],
+    fault_percents: Sequence[float],
+    bitmap: Optional[Bitmap],
+    trials_per_workload: int,
+    seed: int,
+    jobs: int,
+    batched: bool,
+) -> List[SeriesPoint]:
+    """Run every (variant, percent) cell and assemble the series points.
+
+    The whole cross product goes to the executor as one flat item list
+    so a parallel run keeps all workers busy across variants; results
+    come back in input order, so the points are identical to a nested
+    serial loop's.
+    """
+    if trials_per_workload <= 0:
+        raise ValueError(
+            f"trials_per_workload must be positive, got {trials_per_workload}"
+        )
+    bmp = bitmap if bitmap is not None else gradient(8, 8)
+    items = [
+        CampaignWorkItem(
+            alu=ALUSpec.variant(variant),
+            policy=PolicySpec.exact(percent / 100.0),
+            trials_per_workload=trials_per_workload,
+            seed=seed,
+            bitmap=bmp,
+            batched=batched,
+        )
+        for variant in variants
+        for percent in fault_percents
+    ]
+    results = run_campaign_items(items, jobs=jobs)
+    site_counts = {v: build_alu(v).site_count for v in set(variants)}
+    points: List[SeriesPoint] = []
+    index = 0
+    for variant in variants:
+        for percent in fault_percents:
+            stats: SampleStats = results[index].stats
+            index += 1
+            points.append(
+                SeriesPoint(
+                    variant=variant,
+                    fault_percent=percent,
+                    percent_correct=stats.mean,
+                    stddev=stats.stddev,
+                    samples=stats.n,
+                    fit_rate=fit_for_fault_fraction(
+                        percent / 100.0, site_counts[variant]
+                    ),
+                )
+            )
+    return points
+
+
 def sweep_variant(
     variant: str,
     fault_percents: Sequence[float] = PAPER_FAULT_PERCENTAGES,
     bitmap: Optional[Bitmap] = None,
     trials_per_workload: int = 5,
     seed: int = 2004,
+    jobs: int = 1,
+    batched: bool = True,
 ) -> List[SeriesPoint]:
     """Sweep one ALU variant over the injected fault percentages."""
-    if trials_per_workload <= 0:
-        raise ValueError(
-            f"trials_per_workload must be positive, got {trials_per_workload}"
-        )
-    bmp = bitmap if bitmap is not None else gradient(8, 8)
-    workloads = paper_workloads(bmp)
-    alu = build_alu(variant)
-    points: List[SeriesPoint] = []
-    for percent in fault_percents:
-        fraction = percent / 100.0
-        campaign = FaultCampaign(alu, ExactFractionMask(fraction), seed=seed)
-        result = campaign.run_workload_suite(workloads, trials_per_workload)
-        stats: SampleStats = result.stats
-        points.append(
-            SeriesPoint(
-                variant=variant,
-                fault_percent=percent,
-                percent_correct=stats.mean,
-                stddev=stats.stddev,
-                samples=stats.n,
-                fit_rate=fit_for_fault_fraction(fraction, alu.site_count),
-            )
-        )
-    return points
+    return _sweep_points(
+        (variant,), fault_percents, bitmap, trials_per_workload, seed,
+        jobs, batched,
+    )
 
 
 def run_figure(
@@ -131,6 +167,8 @@ def run_figure(
     bitmap: Optional[Bitmap] = None,
     trials_per_workload: int = 5,
     seed: int = 2004,
+    jobs: int = 1,
+    batched: bool = True,
 ) -> FigureResult:
     """Regenerate one of Figures 7, 8, 9 by name."""
     try:
@@ -139,17 +177,10 @@ def run_figure(
         raise KeyError(
             f"unknown figure {name!r}; have {sorted(FIGURE_VARIANTS)}"
         ) from None
-    points: List[SeriesPoint] = []
-    for variant in variants:
-        points.extend(
-            sweep_variant(
-                variant,
-                fault_percents=fault_percents,
-                bitmap=bitmap,
-                trials_per_workload=trials_per_workload,
-                seed=seed,
-            )
-        )
+    points = _sweep_points(
+        variants, fault_percents, bitmap, trials_per_workload, seed,
+        jobs, batched,
+    )
     return FigureResult(
         name=name,
         title=FIGURE_TITLES[name],

@@ -28,6 +28,13 @@ from repro.faults.fit import (
     fit_for_fault_fraction,
     fit_for_faults_per_cycle,
 )
+from repro.faults.packing import (
+    int_to_words,
+    pack_flags,
+    unpack_flags,
+    words_for_sites,
+    words_to_int,
+)
 from repro.faults.campaign import CampaignResult, FaultCampaign, TrialResult
 from repro.faults.stats import SampleStats, summarize
 
@@ -51,6 +58,11 @@ __all__ = [
     "faults_per_cycle_for_fit",
     "fit_for_fault_fraction",
     "fit_for_faults_per_cycle",
+    "int_to_words",
+    "pack_flags",
     "sample_defect_map",
     "summarize",
+    "unpack_flags",
+    "words_for_sites",
+    "words_to_int",
 ]

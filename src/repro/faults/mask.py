@@ -12,8 +12,11 @@ convenient and used by the cross-validation property tests.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Tuple
 
 import numpy as np
+
+from repro.faults.packing import int_to_words, pack_flags, words_for_sites
 
 
 def _pack_sites(flags: np.ndarray) -> int:
@@ -35,6 +38,25 @@ class MaskPolicy(ABC):
     def expected_faults(self, n_sites: int) -> float:
         """Expected number of flipped sites per draw."""
 
+    def generate_batch(
+        self, n_sites: int, n_draws: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw ``n_draws`` masks as a packed ``(n_draws, n_words)`` array.
+
+        The determinism contract of the batched campaign engine: this must
+        consume ``rng`` exactly as ``n_draws`` successive :meth:`generate`
+        calls would, so that scalar and batched campaigns see identical
+        mask streams for the same seed.  The base implementation guarantees
+        that by delegating to :meth:`generate`; subclasses may override
+        with a vectorized draw only when it is stream-identical.
+        """
+        if n_draws < 0:
+            raise ValueError(f"n_draws must be non-negative, got {n_draws}")
+        words = np.zeros((n_draws, words_for_sites(n_sites)), dtype="<u8")
+        for d in range(n_draws):
+            words[d] = int_to_words(self.generate(n_sites, rng), n_sites)
+        return words
+
 
 class ExactFractionMask(MaskPolicy):
     """Flip ``round(fraction * n_sites)`` distinct sites, chosen uniformly.
@@ -43,6 +65,15 @@ class ExactFractionMask(MaskPolicy):
     0.5 % over 192 sites flips one site with probability 0.96, zero sites
     otherwise, keeping the expected ratio exact.  This is the paper's
     default injection semantics.
+
+    The without-replacement sample is drawn by *order statistics*: one
+    uniform per site (plus one for the stochastic rounding), flipping the
+    sites holding the ``count`` smallest values.  The ranks of i.i.d.
+    uniforms are a uniform random permutation, so those positions are an
+    exact uniform ``count``-subset -- and each draw consumes a fixed,
+    rectangular block of the stream, which is what lets
+    :meth:`generate_batch` pull a whole trial's masks in a single RNG
+    call with bit-identical results to per-draw :meth:`generate` calls.
     """
 
     def __init__(self, fraction: float) -> None:
@@ -58,19 +89,72 @@ class ExactFractionMask(MaskPolicy):
     def expected_faults(self, n_sites: int) -> float:
         return self._fraction * n_sites
 
+    def _split_count(self, n_sites: int) -> Tuple[int, float]:
+        """The guaranteed flip count and the stochastic remainder."""
+        exact = self._fraction * n_sites
+        base = int(exact)
+        return base, exact - base
+
     def generate(self, n_sites: int, rng: np.random.Generator) -> int:
         if n_sites < 0:
             raise ValueError(f"n_sites must be non-negative, got {n_sites}")
-        exact = self._fraction * n_sites
-        count = int(exact)
-        remainder = exact - count
-        if remainder > 0.0 and rng.random() < remainder:
+        if n_sites == 0 or self._fraction == 0.0:
+            return 0
+        base, remainder = self._split_count(n_sites)
+        # One uniform per site, plus a trailing rounding uniform when the
+        # count has a fractional part -- the same consumption layout as
+        # one row of generate_batch's block draw.
+        vec = rng.random(n_sites + 1 if remainder > 0.0 else n_sites)
+        count = base
+        if remainder > 0.0 and vec[n_sites] < remainder:
             count += 1
         if count == 0:
             return 0
         flags = np.zeros(n_sites, dtype=np.uint8)
-        flags[rng.choice(n_sites, size=count, replace=False)] = 1
+        if count >= n_sites:
+            flags[:] = 1
+        else:
+            flags[np.argpartition(vec[:n_sites], count - 1)[:count]] = 1
         return _pack_sites(flags)
+
+    def generate_batch(
+        self, n_sites: int, n_draws: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Whole-trial draw from one rectangular block of uniforms.
+
+        ``Generator.random`` fills row-major, so the ``(n_draws, cols)``
+        block holds exactly the uniforms ``n_draws`` successive
+        :meth:`generate` calls would consume -- stream- and
+        result-identical to the scalar path (asserted by the equivalence
+        tests), with the per-draw site selection vectorized into one
+        ``argpartition``.
+        """
+        if n_sites < 0:
+            raise ValueError(f"n_sites must be non-negative, got {n_sites}")
+        if n_draws < 0:
+            raise ValueError(f"n_draws must be non-negative, got {n_draws}")
+        if n_sites == 0 or self._fraction == 0.0 or n_draws == 0:
+            return np.zeros((n_draws, words_for_sites(n_sites)), dtype="<u8")
+        base, remainder = self._split_count(n_sites)
+        cols = n_sites + 1 if remainder > 0.0 else n_sites
+        block = rng.random((n_draws, cols))
+        counts = np.full(n_draws, base)
+        if remainder > 0.0:
+            counts += block[:, n_sites] < remainder
+        flags = np.zeros((n_draws, n_sites), dtype=np.uint8)
+        if base >= n_sites:
+            flags[:] = 1  # fraction == 1.0: every site flips, every draw
+        else:
+            # Indices [:base] of the partition are each row's base
+            # smallest uniforms; index base is the (base+1)-th, used only
+            # by rows whose stochastic rounding added a site.
+            part = np.argpartition(block[:, :n_sites], base, axis=1)
+            rows = np.arange(n_draws)
+            if base > 0:
+                flags[rows[:, None], part[:, :base]] = 1
+            extra = rows[counts > base]
+            flags[extra, part[extra, base]] = 1
+        return pack_flags(flags)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ExactFractionMask({self._fraction!r})"
@@ -105,6 +189,28 @@ class BernoulliMask(MaskPolicy):
             return 0
         flags = (rng.random(n_sites) < self._probability).astype(np.uint8)
         return _pack_sites(flags)
+
+    def generate_batch(
+        self, n_sites: int, n_draws: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Fully vectorized draw: one RNG call for the whole batch.
+
+        ``Generator.random`` fills row-major from the underlying bit
+        stream, so one ``(n_draws, n_sites)`` draw yields the same uniform
+        variates as ``n_draws`` successive ``random(n_sites)`` calls --
+        stream-identical to the scalar path by construction (asserted by
+        the equivalence tests).
+        """
+        if n_sites < 0:
+            raise ValueError(f"n_sites must be non-negative, got {n_sites}")
+        if n_draws < 0:
+            raise ValueError(f"n_draws must be non-negative, got {n_draws}")
+        if n_sites == 0 or self._probability == 0.0:
+            return np.zeros((n_draws, words_for_sites(n_sites)), dtype="<u8")
+        flags = (
+            rng.random((n_draws, n_sites)) < self._probability
+        ).astype(np.uint8)
+        return pack_flags(flags)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"BernoulliMask({self._probability!r})"

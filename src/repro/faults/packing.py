@@ -1,0 +1,72 @@
+"""Packed fault-mask batches.
+
+The scalar campaign path represents a fault mask as one arbitrary-precision
+Python integer (bit ``i`` = site ``i``).  The batched engine instead carries
+a whole trial's masks as a ``(n_draws, n_words)`` array of little-endian
+``uint64`` words -- site ``i`` of draw ``d`` lives at word ``i // 64``, bit
+``i % 64`` of row ``d``.  This module is the single place the two
+representations meet; everything round-trips bit-exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Bits per packed mask word.
+WORD_BITS = 64
+
+#: Canonical packed dtype: little-endian uint64, independent of host order.
+WORD_DTYPE = np.dtype("<u8")
+
+
+def words_for_sites(n_sites: int) -> int:
+    """Number of uint64 words needed to hold ``n_sites`` mask bits."""
+    if n_sites < 0:
+        raise ValueError(f"n_sites must be non-negative, got {n_sites}")
+    return (n_sites + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_flags(flags: np.ndarray) -> np.ndarray:
+    """Pack a ``(n_draws, n_sites)`` 0/1 array into packed mask words."""
+    if flags.ndim != 2:
+        raise ValueError(f"flags must be 2-D, got shape {flags.shape}")
+    n_draws, n_sites = flags.shape
+    n_words = words_for_sites(n_sites)
+    if n_sites == 0:
+        return np.zeros((n_draws, 0), dtype=WORD_DTYPE)
+    packed = np.packbits(flags, axis=1, bitorder="little")
+    pad = n_words * (WORD_BITS // 8) - packed.shape[1]
+    if pad:
+        packed = np.pad(packed, ((0, 0), (0, pad)))
+    return np.ascontiguousarray(packed).view(WORD_DTYPE)
+
+
+def unpack_flags(words: np.ndarray, n_sites: int) -> np.ndarray:
+    """Expand packed mask words back to a ``(n_draws, n_sites)`` 0/1 array."""
+    if words.ndim != 2:
+        raise ValueError(f"words must be 2-D, got shape {words.shape}")
+    n_draws = words.shape[0]
+    if n_sites == 0:
+        return np.zeros((n_draws, 0), dtype=np.uint8)
+    raw = np.ascontiguousarray(words.astype(WORD_DTYPE, copy=False))
+    bits = np.unpackbits(raw.view(np.uint8), axis=1, bitorder="little")
+    return np.ascontiguousarray(bits[:, :n_sites])
+
+
+def words_to_int(row: np.ndarray) -> int:
+    """Convert one packed mask row to the scalar-path integer mask."""
+    if row.size == 0:
+        return 0
+    raw = np.ascontiguousarray(row.astype(WORD_DTYPE, copy=False))
+    return int.from_bytes(raw.tobytes(), "little")
+
+
+def int_to_words(mask: int, n_sites: int) -> np.ndarray:
+    """Convert a scalar-path integer mask to one packed mask row."""
+    n_words = words_for_sites(n_sites)
+    if mask < 0 or mask >> (n_words * WORD_BITS):
+        raise ValueError(
+            f"mask {mask:#x} does not fit {n_sites} sites"
+        )
+    data = mask.to_bytes(n_words * (WORD_BITS // 8), "little")
+    return np.frombuffer(data, dtype=WORD_DTYPE).copy()

@@ -1,0 +1,140 @@
+"""Vectorized netlist evaluation over batches of fault words.
+
+The scalar :meth:`~repro.logic.netlist.Netlist.evaluate` walks the gate
+list once per instruction, resolving Python ints through dicts; a fault
+campaign calls it tens of thousands of times.  :class:`BatchedNetlist`
+compiles the same topologically ordered gate list into a flat evaluation
+plan, then executes it once per *trial*: every node value is an ``(n,)``
+uint8 array over the batch, and the per-node fault overlay is a single
+column XOR.  Gate count stays the loop bound, so the Python overhead is
+per-gate-per-trial instead of per-gate-per-instruction.
+
+Bit-identical to the scalar evaluator by construction: the gate
+functions are the same boolean algebra, applied elementwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.logic.gates import GateType, SignalKind
+from repro.logic.netlist import Netlist
+
+#: Source operand kinds in the compiled plan.
+_SRC_GATE = 0
+_SRC_INPUT = 1
+_SRC_CONST = 2
+
+
+class BatchedNetlist:
+    """A compiled, batch-evaluating view of one :class:`Netlist`.
+
+    ``evaluate(inputs, fault_bits)`` takes ``(n,)`` uint8 arrays for each
+    primary input and the ``(n, node_count)`` 0/1 fault flags (the
+    netlist's slice of each draw's mask) and returns ``(n,)`` uint8
+    arrays per named output.
+    """
+
+    def __init__(self, netlist: Netlist) -> None:
+        self._input_names = netlist.input_names
+        self._input_index = {name: i for i, name in enumerate(self._input_names)}
+        self._node_count = netlist.node_count
+        plan: List[Tuple[GateType, Tuple[Tuple[int, int], ...]]] = []
+        for gate in netlist.gates:
+            sources = tuple(self._compile_signal(sig) for sig in gate.inputs)
+            plan.append((gate.gate_type, sources))
+        self._plan = plan
+        self._outputs = [
+            (name, self._compile_signal(sig)) for name, sig in netlist.outputs
+        ]
+
+    def _compile_signal(self, sig) -> Tuple[int, int]:
+        if sig.kind is SignalKind.GATE:
+            return (_SRC_GATE, sig.index)
+        if sig.kind is SignalKind.INPUT:
+            return (_SRC_INPUT, sig.index)
+        return (_SRC_CONST, sig.index)
+
+    @property
+    def node_count(self) -> int:
+        return self._node_count
+
+    @property
+    def input_names(self) -> Tuple[str, ...]:
+        return self._input_names
+
+    def evaluate(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        fault_bits: np.ndarray,
+    ) -> Dict[str, np.ndarray]:
+        """Evaluate the whole batch; returns ``{output name: (n,) bits}``."""
+        in_values: List[np.ndarray] = [None] * len(self._input_names)  # type: ignore[list-item]
+        for name, index in self._input_index.items():
+            in_values[index] = inputs[name]
+        n = fault_bits.shape[0]
+        ones = np.ones(n, dtype=np.uint8)
+
+        nodes: List[np.ndarray] = [None] * self._node_count  # type: ignore[list-item]
+
+        def resolve(source: Tuple[int, int]) -> np.ndarray:
+            kind, index = source
+            if kind == _SRC_GATE:
+                return nodes[index]
+            if kind == _SRC_INPUT:
+                return in_values[index]
+            return ones * index if index else np.zeros(n, dtype=np.uint8)
+
+        for node_index, (gate_type, sources) in enumerate(self._plan):
+            first = resolve(sources[0])
+            if gate_type is GateType.NOT:
+                value = first ^ 1
+            elif gate_type is GateType.BUF:
+                # The trailing fault XOR below always allocates, so the
+                # buffered value can alias its source safely.
+                value = first
+            else:
+                value = first
+                if gate_type in (GateType.AND, GateType.NAND):
+                    for source in sources[1:]:
+                        value = value & resolve(source)
+                elif gate_type in (GateType.OR, GateType.NOR):
+                    for source in sources[1:]:
+                        value = value | resolve(source)
+                else:  # XOR
+                    for source in sources[1:]:
+                        value = value ^ resolve(source)
+                if gate_type in (GateType.NAND, GateType.NOR):
+                    value = value ^ 1
+            nodes[node_index] = value ^ fault_bits[:, node_index]
+
+        return {name: resolve(source) for name, source in self._outputs}
+
+    def evaluate_bus(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        bus_prefixes: Sequence[str],
+        fault_bits: np.ndarray,
+    ) -> Dict[str, np.ndarray]:
+        """Batched mirror of :meth:`Netlist.evaluate_bus`: pack ``<p><i>``
+        output bits into int64 value arrays, pass the rest through."""
+        flat = self.evaluate(inputs, fault_bits)
+        packed: Dict[str, np.ndarray] = {}
+        consumed = set()
+        for prefix in bus_prefixes:
+            value = None
+            i = 0
+            while f"{prefix}{i}" in flat:
+                bit = flat[f"{prefix}{i}"].astype(np.int64) << i
+                value = bit if value is None else value | bit
+                consumed.add(f"{prefix}{i}")
+                i += 1
+            if value is None:
+                raise KeyError(f"no outputs named {prefix!r}0..")
+            packed[prefix] = value
+        for name, bits in flat.items():
+            if name not in consumed:
+                packed[name] = bits.astype(np.int64)
+        return packed

@@ -84,6 +84,11 @@ class Netlist:
         return tuple(name for name, _ in self._outputs)
 
     @property
+    def outputs(self) -> Tuple[Tuple[str, Signal], ...]:
+        """Named outputs as ``(name, signal)`` pairs, in declaration order."""
+        return tuple(self._outputs)
+
+    @property
     def gates(self) -> Tuple[Gate, ...]:
         return tuple(self._gates)
 

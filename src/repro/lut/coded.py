@@ -42,6 +42,7 @@ stored bits take hits.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional, Tuple
 
 from repro.coding import (
@@ -95,6 +96,71 @@ class LUTReadTrace:
         return self.value != self.correct_value
 
 
+@dataclass(frozen=True)
+class _CodedLayout:
+    """Shared, immutable encoding of one ``(truth, scheme, block_size)``.
+
+    Building the layout runs the block encoders over the whole truth
+    table; the campaign executor constructs the same ALUs in every worker
+    process, so identical layouts are built once per process and shared
+    (:func:`_coded_layout` is ``lru_cache``-memoised -- safe because both
+    the layout and its block codes are immutable).
+    """
+
+    blocks: Tuple[Tuple[BlockCode, int, int], ...]  # (code, stored off, data off)
+    storage: int
+    total_bits: int
+
+
+@lru_cache(maxsize=None)
+def _coded_layout(
+    truth: TruthTable, scheme: str, block_size: int
+) -> _CodedLayout:
+    """Build (or fetch the cached) stored layout for a coded table."""
+    if scheme == "none":
+        code: BlockCode = IdentityCode(truth.size)
+        return _CodedLayout(
+            blocks=((code, 0, 0),),
+            storage=code.encode(truth.bits),
+            total_bits=code.total_bits,
+        )
+    if scheme in _REPLICATED_LAYOUTS:
+        copies, layout = _REPLICATED_LAYOUTS[scheme]
+        code = RepetitionCode(truth.size, copies=copies, layout=layout)
+        return _CodedLayout(
+            blocks=((code, 0, 0),),
+            storage=code.encode(truth.bits),
+            total_bits=code.total_bits,
+        )
+    if scheme in _BLOCKED_SCHEMES:
+        size = truth.size
+        data_offset = 0
+        stored_offset = 0
+        storage = 0
+        blocks: List[Tuple[BlockCode, int, int]] = []
+        while data_offset < size:
+            chunk = min(block_size, size - data_offset)
+            if scheme in _HAMMING_SCHEMES:
+                code = HammingCode(chunk)
+            elif scheme == "hsiao":
+                code = HsiaoCode(chunk)
+            else:
+                code = ParityCode(chunk)
+            data = (truth.bits >> data_offset) & bit_length_mask(chunk)
+            storage |= code.encode(data) << stored_offset
+            blocks.append((code, stored_offset, data_offset))
+            stored_offset += code.total_bits
+            data_offset += chunk
+        return _CodedLayout(
+            blocks=tuple(blocks), storage=storage, total_bits=stored_offset
+        )
+    raise ValueError(
+        f"unknown LUT coding scheme {scheme!r}; expected one of "
+        f"none, hamming, hamming-sec, hamming-fp, hsiao, parity, "
+        f"tmr, tmr-interleaved, 5mr, 7mr"
+    )
+
+
 class CodedLUT:
     """A truth table stored under a bit-level error-coding scheme."""
 
@@ -109,51 +175,10 @@ class CodedLUT:
         self._truth = truth
         self._scheme = scheme
         self._block_size = block_size
-        self._blocks: List[Tuple[BlockCode, int, int]] = []  # (code, stored offset, data offset)
-        self._storage = 0
-        self._total_bits = 0
-
-        if scheme == "none":
-            code: BlockCode = IdentityCode(truth.size)
-            self._install_whole_string(code)
-        elif scheme in _REPLICATED_LAYOUTS:
-            copies, layout = _REPLICATED_LAYOUTS[scheme]
-            code = RepetitionCode(truth.size, copies=copies, layout=layout)
-            self._install_whole_string(code)
-        elif scheme in _BLOCKED_SCHEMES:
-            self._install_blocked(scheme)
-        else:
-            raise ValueError(
-                f"unknown LUT coding scheme {scheme!r}; expected one of "
-                f"none, hamming, hamming-sec, hamming-fp, hsiao, parity, "
-                f"tmr, tmr-interleaved, 5mr, 7mr"
-            )
-
-    def _install_whole_string(self, code: BlockCode) -> None:
-        self._blocks = [(code, 0, 0)]
-        self._storage = code.encode(self._truth.bits)
-        self._total_bits = code.total_bits
-
-    def _install_blocked(self, scheme: str) -> None:
-        size = self._truth.size
-        data_offset = 0
-        stored_offset = 0
-        storage = 0
-        while data_offset < size:
-            chunk = min(self._block_size, size - data_offset)
-            if scheme in _HAMMING_SCHEMES:
-                code: BlockCode = HammingCode(chunk)
-            elif scheme == "hsiao":
-                code = HsiaoCode(chunk)
-            else:
-                code = ParityCode(chunk)
-            data = (self._truth.bits >> data_offset) & bit_length_mask(chunk)
-            storage |= code.encode(data) << stored_offset
-            self._blocks.append((code, stored_offset, data_offset))
-            stored_offset += code.total_bits
-            data_offset += chunk
-        self._storage = storage
-        self._total_bits = stored_offset
+        layout = _coded_layout(truth, scheme, block_size)
+        self._blocks = layout.blocks
+        self._storage = layout.storage
+        self._total_bits = layout.total_bits
 
     # ------------------------------------------------------------ properties
 
@@ -187,6 +212,20 @@ class CodedLUT:
         """Number of independently protected blocks."""
         return len(self._blocks)
 
+    @property
+    def block_size(self) -> int:
+        """Data bits per protected block (whole-string schemes ignore it)."""
+        return self._block_size
+
+    @property
+    def blocks(self) -> Tuple[Tuple[BlockCode, int, int], ...]:
+        """Block layout as ``(code, stored offset, data offset)`` triples.
+
+        Public so the batched evaluation engine can mirror the decode
+        geometry without re-deriving it.
+        """
+        return tuple(self._blocks)
+
     # ----------------------------------------------------------------- reads
 
     def _block_for(self, address: int) -> Tuple[BlockCode, int, int]:
@@ -207,6 +246,16 @@ class CodedLUT:
             raise IndexError(
                 f"address {address} out of range 0..{self._truth.size - 1}"
             )
+        return self.read_unchecked(address, fault_word)
+
+    def read_unchecked(self, address: int, fault_word: int = 0) -> int:
+        """:meth:`read` without the bounds check.
+
+        The ALU slices and voters assemble addresses from individual 0/1
+        bits, so they are in range by construction; this fast path skips
+        the per-read validation they would otherwise pay 16+ times per
+        instruction.
+        """
         stored = self._storage ^ fault_word
         code, stored_offset, data_offset = self._block_for(address)
         if isinstance(code, IdentityCode):
@@ -257,7 +306,7 @@ class CodedLUT:
             )
         stored = self._storage ^ fault_word
         code, stored_offset, data_offset = self._block_for(address)
-        correct = self._truth.lookup(address)
+        correct = self._truth.lookup_unchecked(address)  # validated above
         block_index = 0 if len(self._blocks) == 1 else address // self._block_size
         if isinstance(code, IdentityCode):
             value = (stored >> address) & 1

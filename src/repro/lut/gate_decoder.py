@@ -87,6 +87,10 @@ class GateDecodedHammingLUT:
             raise IndexError(
                 f"address {address} out of range 0..{self.truth.size - 1}"
             )
+        return self.read_unchecked(address, fault_word)
+
+    def read_unchecked(self, address: int, fault_word: int = 0) -> int:
+        """:meth:`read` without the bounds check (ALU-slice fast path)."""
         storage_fault = fault_word & bit_length_mask(self._storage_bits)
         gate_fault = fault_word >> self._storage_bits
 

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
+
+import numpy as np
 
 from repro.coding.bits import bit_length_mask, bits_from_int
 
@@ -14,7 +16,7 @@ class TruthTable:
     ``i``, where address bit ``j`` is the value of input ``j``.
     """
 
-    __slots__ = ("_n_inputs", "_bits")
+    __slots__ = ("_n_inputs", "_bits", "_outputs")
 
     def __init__(self, n_inputs: int, bits: int) -> None:
         if n_inputs < 0:
@@ -27,6 +29,7 @@ class TruthTable:
             )
         self._n_inputs = n_inputs
         self._bits = bits
+        self._outputs: Optional[np.ndarray] = None  # lazy output column
 
     @classmethod
     def from_function(cls, n_inputs: int, fn: Callable[..., int]) -> "TruthTable":
@@ -78,6 +81,29 @@ class TruthTable:
             raise IndexError(f"address {address} out of range 0..{self.size - 1}")
         return (self._bits >> address) & 1
 
+    def lookup_unchecked(self, address: int) -> int:
+        """Pre-validated fast path of :meth:`lookup`.
+
+        Callers whose addresses are in-range *by construction* (assembled
+        from individual 0/1 bits, as the ALU slices and decoders do) skip
+        the per-read bounds check of :meth:`lookup`.
+        """
+        return (self._bits >> address) & 1
+
+    def outputs_array(self) -> np.ndarray:
+        """The output column as a read-only uint8 array, cached.
+
+        This is the batched engine's form of the table: fault-free values
+        for a vector of addresses are one fancy-indexing gather.
+        """
+        if self._outputs is None:
+            column = np.empty(self.size, dtype=np.uint8)
+            for address in range(self.size):
+                column[address] = (self._bits >> address) & 1
+            column.setflags(write=False)
+            self._outputs = column
+        return self._outputs
+
     def __call__(self, *input_bits: int) -> int:
         """Evaluate the table on individual input bits."""
         if len(input_bits) != self._n_inputs:
@@ -89,7 +115,8 @@ class TruthTable:
             if bit not in (0, 1):
                 raise ValueError(f"input {j} is {bit!r}, expected 0 or 1")
             address |= bit << j
-        return self.lookup(address)
+        # The assembled address is in range by construction.
+        return self.lookup_unchecked(address)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, TruthTable):

@@ -1,0 +1,24 @@
+"""Parallel campaign execution.
+
+Fault-injection campaigns are embarrassingly parallel across (variant,
+fault percentage) cells: each cell is an independent Monte Carlo suite
+with its own seed-derived streams.  This package turns a sweep into a
+list of picklable :class:`~repro.perf.executor.CampaignWorkItem`\\ s and
+fans them out over a process pool with a deterministic merge order, so a
+parallel run's report is byte-identical to a serial one.
+"""
+
+from repro.perf.executor import (
+    CampaignExecutor,
+    CampaignWorkItem,
+    run_campaign_items,
+)
+from repro.perf.spec import ALUSpec, PolicySpec
+
+__all__ = [
+    "ALUSpec",
+    "CampaignExecutor",
+    "CampaignWorkItem",
+    "PolicySpec",
+    "run_campaign_items",
+]

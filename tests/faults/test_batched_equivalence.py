@@ -1,0 +1,112 @@
+"""Scalar/batched equivalence: the batched engine's defining contract.
+
+``FaultCampaign.run_workload_batched`` must return a ``TrialResult`` equal
+field-for-field to ``run_workload`` for the same ``(seed, trial, workload)``
+-- for every registered Table 2 ALU variant, both mask policies, and
+fault fractions spanning none / sparse / heavy / saturated.  The mask
+policies themselves must be *stream*-identical: ``generate_batch`` consumes
+the RNG exactly as successive ``generate`` calls would.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alu.variants import build_alu, variant_names
+from repro.faults.campaign import FaultCampaign
+from repro.faults.mask import BernoulliMask, ExactFractionMask
+from repro.faults.packing import unpack_flags, words_to_int
+from repro.workloads.bitmap import gradient
+from repro.workloads.imaging import paper_workloads
+
+FRACTIONS = (0.0, 0.005, 0.3, 1.0)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return paper_workloads(gradient(4, 4))
+
+
+class TestCampaignEquivalence:
+    """Satellite (c): TrialResult identity over the full variant grid."""
+
+    @pytest.mark.parametrize("variant", variant_names())
+    @pytest.mark.parametrize("policy_cls", [ExactFractionMask, BernoulliMask])
+    @pytest.mark.parametrize("fraction", FRACTIONS)
+    def test_scalar_batched_identical(
+        self, workloads, variant, policy_cls, fraction
+    ):
+        campaign = FaultCampaign(
+            build_alu(variant), policy_cls(fraction), seed=2004
+        )
+        scalar = campaign.run_workload_suite(workloads, 1, batched=False)
+        batched = campaign.run_workload_suite(workloads, 1, batched=True)
+        assert scalar.trials == batched.trials
+
+
+class TestMaskStreamEquivalence:
+    """generate_batch must consume the RNG exactly like generate."""
+
+    @given(
+        fraction=st.floats(min_value=0.0, max_value=1.0),
+        n_sites=st.integers(min_value=0, max_value=300),
+        n_draws=st.integers(min_value=0, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_exact_fraction(self, fraction, n_sites, n_draws, seed):
+        self._check(ExactFractionMask(fraction), n_sites, n_draws, seed)
+
+    @given(
+        probability=st.floats(min_value=0.0, max_value=1.0),
+        n_sites=st.integers(min_value=0, max_value=300),
+        n_draws=st.integers(min_value=0, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_bernoulli(self, probability, n_sites, n_draws, seed):
+        self._check(BernoulliMask(probability), n_sites, n_draws, seed)
+
+    @staticmethod
+    def _check(policy, n_sites, n_draws, seed):
+        rng_scalar = np.random.default_rng(seed)
+        rng_batch = np.random.default_rng(seed)
+        scalar = [policy.generate(n_sites, rng_scalar) for _ in range(n_draws)]
+        words = policy.generate_batch(n_sites, n_draws, rng_batch)
+        batch = [words_to_int(words[d]) for d in range(n_draws)]
+        assert scalar == batch
+        # Both paths must leave the RNG in the same state, or trials after
+        # the first would diverge.
+        tail_a, tail_b = rng_scalar.random(4), rng_batch.random(4)
+        np.testing.assert_array_equal(tail_a, tail_b)
+
+    def test_exact_count_is_exact(self):
+        """Every batched draw flips base or base+1 distinct sites."""
+        policy = ExactFractionMask(0.03)
+        words = policy.generate_batch(192, 500, np.random.default_rng(3))
+        counts = unpack_flags(words, 192).sum(axis=1)
+        base = int(0.03 * 192)
+        assert set(np.unique(counts)) <= {base, base + 1}
+
+
+class TestSuiteSeedNamespacing:
+    """Satellite (f): trial streams keyed by workload name, not position."""
+
+    def test_adding_a_workload_leaves_others_untouched(self, workloads):
+        campaign = FaultCampaign(build_alu("alunn"), ExactFractionMask(0.1), seed=9)
+        alone = campaign.run_workload_suite(
+            {"hue_shift": workloads["hue_shift"]}, 3
+        )
+        extended = dict(workloads)
+        together = campaign.run_workload_suite(extended, 3)
+        # Suites iterate name-sorted; hue_shift precedes reverse_video.
+        assert together.trials[:3] == alone.trials
+
+    def test_workload_names_get_distinct_streams(self):
+        campaign = FaultCampaign(build_alu("alunn"), ExactFractionMask(0.1), seed=9)
+        draws = {
+            name: campaign._rng_for_trial(0, name).random()
+            for name in ("hue_shift", "reverse_video", None)
+        }
+        assert len(set(draws.values())) == 3

@@ -1,0 +1,58 @@
+"""Round-trip tests for the packed uint64 mask representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.packing import (
+    int_to_words,
+    pack_flags,
+    unpack_flags,
+    words_for_sites,
+    words_to_int,
+)
+
+
+class TestWordsForSites:
+    @pytest.mark.parametrize(
+        "n_sites,expected",
+        [(0, 0), (1, 1), (63, 1), (64, 1), (65, 2), (128, 2), (129, 3), (5040, 79)],
+    )
+    def test_word_counts(self, n_sites, expected):
+        assert words_for_sites(n_sites) == expected
+
+
+class TestRoundTrips:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=200),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_flags_words_flags(self, bits, n_rows):
+        flags = np.tile(np.array(bits, dtype=np.uint8), (n_rows, 1))
+        words = pack_flags(flags)
+        assert words.dtype == np.dtype("<u8")
+        assert words.shape == (n_rows, words_for_sites(len(bits)))
+        np.testing.assert_array_equal(unpack_flags(words, len(bits)), flags)
+
+    @given(st.integers(min_value=0, max_value=2**200 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_int_words_int(self, mask):
+        n_sites = max(mask.bit_length(), 1)
+        row = int_to_words(mask, n_sites)
+        assert words_to_int(row) == mask
+
+    def test_packed_row_matches_scalar_int(self):
+        rng = np.random.default_rng(7)
+        flags = (rng.random((4, 130)) < 0.3).astype(np.uint8)
+        words = pack_flags(flags)
+        for row in range(4):
+            mask = words_to_int(words[row])
+            for site in range(130):
+                assert (mask >> site) & 1 == flags[row, site]
+
+    def test_empty_batch(self):
+        words = pack_flags(np.zeros((0, 10), dtype=np.uint8))
+        assert words.shape == (0, 1)
+        assert unpack_flags(words, 10).shape == (0, 10)

@@ -1,0 +1,111 @@
+"""Tests for the parallel campaign executor and its picklable work specs."""
+
+import pytest
+
+from repro.alu.nanobox import NanoBoxALU
+from repro.alu.redundancy import SimplexALU, SpaceRedundantALU
+from repro.faults.mask import BernoulliMask, BurstMask, ExactFractionMask
+from repro.perf import (
+    ALUSpec,
+    CampaignExecutor,
+    CampaignWorkItem,
+    PolicySpec,
+    run_campaign_items,
+)
+
+
+class TestALUSpec:
+    def test_variant_builds_named_alu(self):
+        alu = ALUSpec.variant("alunn").build()
+        assert alu.site_count == 512
+
+    def test_variant_requires_name(self):
+        with pytest.raises(ValueError):
+            ALUSpec(kind="variant")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ALUSpec(kind="quantum", name="x")
+
+    def test_simplex_builds_wrapped_nanobox(self):
+        alu = ALUSpec.simplex("hamming", label="lab").build()
+        assert isinstance(alu, SimplexALU)
+        assert isinstance(alu.core, NanoBoxALU)
+        assert alu.site_space.name == "lab"
+
+    def test_space_builds_redundant_alu(self):
+        alu = ALUSpec.space("tmr", "cmos", label="sp").build()
+        assert isinstance(alu, SpaceRedundantALU)
+
+    def test_specs_are_hashable(self):
+        assert len({ALUSpec.variant("alunn"), ALUSpec.variant("alunn")}) == 1
+
+
+class TestPolicySpec:
+    def test_exact(self):
+        policy = PolicySpec.exact(0.25).build()
+        assert isinstance(policy, ExactFractionMask)
+        assert policy.fraction == 0.25
+
+    def test_bernoulli(self):
+        policy = PolicySpec.bernoulli(0.1).build()
+        assert isinstance(policy, BernoulliMask)
+        assert policy.probability == 0.1
+
+    def test_burst(self):
+        policy = PolicySpec(kind="burst", value=0.1, burst_length=3).build()
+        assert isinstance(policy, BurstMask)
+        assert policy.burst_length == 3
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            PolicySpec(kind="gaussian", value=0.1)
+
+
+def _items():
+    return [
+        CampaignWorkItem(
+            alu=ALUSpec.variant(variant),
+            policy=PolicySpec.exact(fraction),
+            trials_per_workload=2,
+            seed=77,
+        )
+        for variant in ("alunn", "alunh")
+        for fraction in (0.0, 0.02)
+    ]
+
+
+class TestCampaignExecutor:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CampaignExecutor(jobs=0)
+
+    def test_serial_results_ordered(self):
+        results = CampaignExecutor(jobs=1).run(_items())
+        assert len(results) == 4
+        # fraction 0.0 items (indices 0 and 2) are always fully correct
+        assert results[0].percent_correct == 100.0
+        assert results[2].percent_correct == 100.0
+
+    def test_parallel_matches_serial(self):
+        items = _items()
+        serial = CampaignExecutor(jobs=1).run(items)
+        parallel = CampaignExecutor(jobs=2).run(items)
+        assert serial == parallel
+
+    def test_explicit_chunk_size(self):
+        items = _items()
+        chunked = CampaignExecutor(jobs=2, chunk_size=3).run(items)
+        assert chunked == CampaignExecutor(jobs=1).run(items)
+
+    def test_chunksize_heuristic(self):
+        executor = CampaignExecutor(jobs=4)
+        assert executor._chunksize_for(100) == 100 // 16
+        assert executor._chunksize_for(3) == 1
+
+    def test_run_campaign_items_helper(self):
+        items = _items()[:2]
+        assert run_campaign_items(items) == CampaignExecutor(jobs=1).run(items)
+
+    def test_empty_item_list(self):
+        assert CampaignExecutor(jobs=2).run([]) == []
