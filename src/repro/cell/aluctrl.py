@@ -183,6 +183,17 @@ class ALUControl:
             self._disagreements += 1
         return report
 
+    def probe(self, opcode: int, operand1: int, operand2: int) -> int:
+        """Execute one canary instruction directly on the ALU.
+
+        Used by the watchdog's quarantine probe protocol: the computation
+        bypasses cell memory but draws a genuine fault mask, so a cell
+        whose ALU is still glitching fails its known-answer checks.
+        """
+        return self._alu.compute(
+            opcode, operand1, operand2, fault_mask=self._mask_source()
+        ).value
+
     def sweep(self) -> int:
         """Run one full pass over the memory; returns instructions computed."""
         start_computed = self._computed_total

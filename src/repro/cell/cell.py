@@ -47,6 +47,8 @@ class ProcessorCell:
         mask_source: per-execution transient-fault mask supplier.
         n_words: memory size (32 in the paper).
         error_threshold: heartbeat error budget before the cell silences.
+        heartbeat_decay: leaky-bucket decay per heartbeat cycle (0 keeps
+            the legacy monotone error tally).
     """
 
     def __init__(
@@ -57,6 +59,7 @@ class ProcessorCell:
         mask_source: MaskSource = _no_faults,
         n_words: int = CELL_MEMORY_WORDS,
         error_threshold: int = 8,
+        heartbeat_decay: float = 0.0,
     ) -> None:
         if row < 0 or col < 0:
             raise ValueError(f"cell ID ({row}, {col}) must be non-negative")
@@ -64,7 +67,7 @@ class ProcessorCell:
         self._col = col
         self.memory = CellMemory(n_words)
         self.aluctrl = ALUControl(self.memory, alu, mask_source)
-        self.heartbeat = Heartbeat(error_threshold)
+        self.heartbeat = Heartbeat(error_threshold, decay=heartbeat_decay)
         self._mode = CellMode.SHIFT_IN
         self._shift_out_pointer = 0
         self._rejected_packets = 0
@@ -188,6 +191,24 @@ class ProcessorCell:
                 self.memory.erase(index)
                 return (iid, voted)
         return None
+
+    # --------------------------------------------------------------- probing
+
+    def probe(self, canaries) -> bool:
+        """Run known-answer canary instructions through the cell's ALU.
+
+        Each canary is ``(opcode, operand1, operand2, expected)``.  A cell
+        whose heartbeat was force-silenced by a hard failure cannot
+        respond at all; otherwise every canary must compute to its
+        expected value (through a genuine per-execution fault mask) for
+        the probe to pass.
+        """
+        if self.heartbeat.forced_silent:
+            return False
+        return all(
+            self.aluctrl.probe(op, a, b) == expected
+            for op, a, b, expected in canaries
+        )
 
     # -------------------------------------------------------------- salvage
 

@@ -12,6 +12,7 @@ Everything the library can regenerate, from a shell::
         --kill 1,1@40 --fault-percent 1   # full-system run
     nanobox-repro yield --density 1e-3    # manufacturing-yield table
     nanobox-repro chaos --rates 0 0.003   # link-fault transport sweep
+    nanobox-repro lifecycle --jobs 6      # self-healing policy sweep
     nanobox-repro report --quick          # the whole EXPERIMENTS report
 
 Also available as ``python -m repro.cli``.
@@ -163,10 +164,16 @@ def _cmd_grid(args: argparse.Namespace) -> int:
           f"{buses.peak_utilisation * 100:.1f}% ({buses.busiest_link})")
     print(f"pixel accuracy    : {outcome.pixel_accuracy * 100:.1f}%")
     if args.show_grid:
-        from repro.grid.display import render_grid, render_reachability
+        from repro.grid.display import (
+            render_grid,
+            render_lifecycle,
+            render_reachability,
+        )
 
         print()
         print(render_grid(sim.grid))
+        print()
+        print(render_lifecycle(sim.watchdog))
         print()
         print(render_reachability(sim.grid))
     return 0 if outcome.job.complete else 1
@@ -243,6 +250,51 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         f"stall {args.stall_rate:g})"
     )
     print(chaos_table_text(points))
+    return 0
+
+
+def _cmd_lifecycle(args: argparse.Namespace) -> int:
+    from repro.experiments.lifecycle import (
+        default_processes,
+        lifecycle_sweep,
+        lifecycle_table_text,
+        permanent_policy,
+        self_healing_policy,
+    )
+    from repro.faults.temporal import TemporalFaultProcess
+
+    process_factories = {
+        "transient": lambda: TemporalFaultProcess.transient(
+            rate=args.rate, errors_per_cycle=2
+        ),
+        "intermittent": lambda: TemporalFaultProcess.intermittent(
+            rate=args.rate, burst_length=args.burst_length, errors_per_cycle=3
+        ),
+        "permanent": lambda: TemporalFaultProcess.stuck_at(rate=args.rate / 10),
+    }
+    if args.processes:
+        processes = [process_factories[name]() for name in args.processes]
+    else:
+        processes = list(default_processes())
+    policies = (
+        permanent_policy(),
+        self_healing_policy(heartbeat_decay=args.decay),
+    )
+    points = lifecycle_sweep(
+        processes,
+        policies,
+        jobs=args.jobs,
+        n_instructions=args.instructions,
+        rows=args.rows,
+        cols=args.cols,
+        seed=args.seed,
+    )
+    print(
+        f"Cell health lifecycle sweep ({args.rows}x{args.cols} grid, "
+        f"{args.jobs} jobs x {args.instructions} instructions, "
+        f"seed {args.seed})"
+    )
+    print(lifecycle_table_text(points))
     return 0
 
 
@@ -353,6 +405,30 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--instructions", type=int, default=48)
     chaos.add_argument("--seed", type=int, default=2004)
     chaos.set_defaults(fn=_cmd_chaos)
+
+    lifecycle = sub.add_parser(
+        "lifecycle",
+        help="self-healing sweep: fault processes x lifecycle policies",
+    )
+    lifecycle.add_argument("--processes", nargs="+", default=None,
+                           choices=("transient", "intermittent", "permanent"),
+                           help="temporal fault processes to sweep "
+                                "(default: one of each class)")
+    lifecycle.add_argument("--rate", type=float, default=0.0015,
+                           help="per-cell per-cycle fault onset rate "
+                                "(stuck-at uses rate/10)")
+    lifecycle.add_argument("--burst-length", type=int, default=5,
+                           help="cycles per intermittent burst")
+    lifecycle.add_argument("--decay", type=float, default=0.1,
+                           help="self-healing heartbeat score decay per cycle")
+    lifecycle.add_argument("--jobs", type=int, default=6,
+                           help="jobs run back-to-back per point")
+    lifecycle.add_argument("--instructions", type=int, default=96,
+                           help="instructions per job")
+    lifecycle.add_argument("--rows", type=int, default=4)
+    lifecycle.add_argument("--cols", type=int, default=4)
+    lifecycle.add_argument("--seed", type=int, default=2004)
+    lifecycle.set_defaults(fn=_cmd_lifecycle)
 
     report = sub.add_parser("report", help="full EXPERIMENTS report")
     report.add_argument("--quick", action="store_true")

@@ -11,6 +11,9 @@
   paper (decoder semantics, redundancy order, voter coding, mask policy);
 * :mod:`repro.experiments.chaos_fabric` -- link-fault chaos sweeps of the
   CRC + retransmit transport (the fabric analogue of Figures 7-9);
+* :mod:`repro.experiments.lifecycle` -- self-healing study: temporal
+  fault processes x cell-health lifecycle policies, goodput and
+  availability of quarantine + re-admission versus permanent disable;
 * :mod:`repro.experiments.run_all` -- regenerate everything and emit the
   EXPERIMENTS.md comparison tables.
 """
@@ -50,11 +53,22 @@ from repro.experiments.chaos_fabric import (
     chaos_table_text,
     run_chaos_point,
 )
+from repro.experiments.lifecycle import (
+    LifecyclePoint,
+    PolicyConfig,
+    lifecycle_sweep,
+    lifecycle_table_text,
+    permanent_policy,
+    run_lifecycle_point,
+    self_healing_policy,
+)
 
 __all__ = [
     "PAPER_FAULT_PERCENTAGES",
     "ChaosPoint",
     "FigureResult",
+    "LifecyclePoint",
+    "PolicyConfig",
     "SeriesPoint",
     "area_rows",
     "area_table_text",
@@ -65,6 +79,11 @@ __all__ = [
     "detection_table_text",
     "figure_chart",
     "figure_from_json",
+    "lifecycle_sweep",
+    "lifecycle_table_text",
+    "permanent_policy",
+    "run_lifecycle_point",
+    "self_healing_policy",
     "figure_to_csv",
     "figure_to_json",
     "figure7",

@@ -37,6 +37,12 @@ from repro.faults.packing import (
 )
 from repro.faults.campaign import CampaignResult, FaultCampaign, TrialResult
 from repro.faults.stats import SampleStats, summarize
+from repro.faults.temporal import (
+    CellFaultEvent,
+    CellFaultStream,
+    FaultKind,
+    TemporalFaultProcess,
+)
 
 __all__ = [
     "BernoulliMask",
@@ -44,12 +50,16 @@ __all__ = [
     "CLOCK_HZ",
     "CMOS_REFERENCE_FIT",
     "CampaignResult",
+    "CellFaultEvent",
+    "CellFaultStream",
     "DefectMap",
     "DefectiveUnit",
     "ExactFractionMask",
     "FaultCampaign",
+    "FaultKind",
     "FixedCountMask",
     "MaskPolicy",
+    "TemporalFaultProcess",
     "SECONDS_PER_CYCLE",
     "SampleStats",
     "Segment",

@@ -1,0 +1,174 @@
+"""Temporal fault taxonomy for grid-level injection.
+
+The mask policies in :mod:`repro.faults.mask` model *where* faults land
+inside one computation; this module models *when* faults strike a cell
+over a simulation's lifetime.  The classic taxonomy distinguishes:
+
+* **transient** faults -- isolated single-cycle glitches (particle
+  strikes): an affected cycle charges the cell's heartbeat once and the
+  cell is fine the next cycle;
+* **intermittent** faults -- bursts: once a burst starts, the cell keeps
+  detecting errors every cycle for the burst's duration (marginal
+  devices, local supply noise), then recovers completely;
+* **permanent** faults -- stuck-at cell failures: from a random onset
+  cycle the cell is dead for good (its heartbeat is force-silenced, so
+  no probe can ever bring it back).
+
+These are exactly the processes that make the one-shot watchdog
+pessimal: under transient and intermittent processes the hardware is
+healthy again moments after the heartbeat goes silent, so a lifecycle
+with quarantine and re-admission recovers the capacity the paper's
+permanent disable throws away -- while under a permanent process both
+behave identically.  ``repro.experiments.lifecycle`` measures this.
+
+Every per-cell event stream is seeded from ``(seed, salt, row, col)``,
+so simulations are deterministic and cells are independent regardless of
+how many other cells fault.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+#: Domain-separation salt for temporal-fault PRNG streams.
+_TEMPORAL_SALT = 0x7E3A
+
+
+class FaultKind(enum.Enum):
+    """Temporal class of a cell-level fault process."""
+
+    TRANSIENT = "transient"
+    INTERMITTENT = "intermittent"
+    PERMANENT = "permanent"
+
+
+@dataclass(frozen=True)
+class CellFaultEvent:
+    """What a fault process does to one cell in one cycle."""
+
+    #: Detected errors to charge against the cell's heartbeat.
+    errors: int = 0
+    #: Hard-fail the cell (stuck-at: heartbeat force-silenced forever).
+    kill: bool = False
+
+    @property
+    def quiet(self) -> bool:
+        """True when nothing happened this cycle."""
+        return self.errors == 0 and not self.kill
+
+
+@dataclass(frozen=True)
+class TemporalFaultProcess:
+    """A per-cell, per-cycle stochastic fault process.
+
+    Args:
+        kind: temporal class (transient / intermittent / permanent).
+        rate: per-cell per-cycle event probability -- a glitch for
+            transient, a burst onset for intermittent, the stuck-at
+            onset for permanent.
+        burst_length: cycles per burst (intermittent only).
+        errors_per_cycle: heartbeat charges per affected cycle.
+    """
+
+    kind: FaultKind
+    rate: float
+    burst_length: int = 1
+    errors_per_cycle: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.rate < 1:
+            raise ValueError(f"rate must be in [0, 1), got {self.rate}")
+        if self.burst_length < 1:
+            raise ValueError(
+                f"burst_length must be positive, got {self.burst_length}"
+            )
+        if self.errors_per_cycle < 1:
+            raise ValueError(
+                f"errors_per_cycle must be positive, got {self.errors_per_cycle}"
+            )
+
+    # ------------------------------------------------------------- factories
+
+    @classmethod
+    def transient(
+        cls, rate: float, errors_per_cycle: int = 1
+    ) -> "TemporalFaultProcess":
+        """Isolated single-cycle glitches at ``rate`` per cell per cycle."""
+        return cls(FaultKind.TRANSIENT, rate, errors_per_cycle=errors_per_cycle)
+
+    @classmethod
+    def intermittent(
+        cls, rate: float, burst_length: int, errors_per_cycle: int = 1
+    ) -> "TemporalFaultProcess":
+        """Error bursts: onset at ``rate``, then ``burst_length`` bad cycles."""
+        return cls(
+            FaultKind.INTERMITTENT,
+            rate,
+            burst_length=burst_length,
+            errors_per_cycle=errors_per_cycle,
+        )
+
+    @classmethod
+    def stuck_at(cls, rate: float) -> "TemporalFaultProcess":
+        """Permanent cell death with onset probability ``rate`` per cycle."""
+        return cls(FaultKind.PERMANENT, rate)
+
+    # -------------------------------------------------------------- sampling
+
+    def attach(self, coord: Tuple[int, int], seed: int) -> "CellFaultStream":
+        """Build this process's private event stream for one cell."""
+        rng = np.random.default_rng(
+            np.random.SeedSequence([seed, _TEMPORAL_SALT, coord[0], coord[1]])
+        )
+        return CellFaultStream(self, rng)
+
+    def describe(self) -> str:
+        """Short human-readable label for tables."""
+        if self.kind is FaultKind.INTERMITTENT:
+            return (
+                f"intermittent(rate={self.rate:g}, "
+                f"burst={self.burst_length}x{self.errors_per_cycle})"
+            )
+        if self.kind is FaultKind.TRANSIENT:
+            return f"transient(rate={self.rate:g})"
+        return f"permanent(rate={self.rate:g})"
+
+
+class CellFaultStream:
+    """Stateful per-cell sampler of a :class:`TemporalFaultProcess`."""
+
+    _QUIET = CellFaultEvent()
+
+    def __init__(
+        self, process: TemporalFaultProcess, rng: np.random.Generator
+    ) -> None:
+        self._process = process
+        self._rng = rng
+        self._burst_remaining = 0
+        self._dead = False
+
+    @property
+    def dead(self) -> bool:
+        """True once a permanent onset fired (no further draws happen)."""
+        return self._dead
+
+    def sample(self) -> CellFaultEvent:
+        """Draw one cycle's event for this cell."""
+        if self._dead:
+            return self._QUIET
+        process = self._process
+        if self._burst_remaining > 0:
+            self._burst_remaining -= 1
+            return CellFaultEvent(errors=process.errors_per_cycle)
+        if self._rng.random() >= process.rate:
+            return self._QUIET
+        if process.kind is FaultKind.PERMANENT:
+            self._dead = True
+            return CellFaultEvent(kill=True)
+        if process.kind is FaultKind.INTERMITTENT:
+            self._burst_remaining = process.burst_length - 1
+        return CellFaultEvent(errors=process.errors_per_cycle)

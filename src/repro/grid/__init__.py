@@ -22,12 +22,19 @@ from repro.grid.packet import (
 from repro.grid.bus import Bus
 from repro.grid.linkfault import FaultEvent, FaultyBus, LinkFaultConfig
 from repro.grid.grid import LinkFaultStatistics, NanoBoxGrid
-from repro.grid.watchdog import SalvageReport, Watchdog
+from repro.grid.watchdog import (
+    CellState,
+    LifecyclePolicy,
+    ProbeReport,
+    SalvageReport,
+    Watchdog,
+)
 from repro.grid.control import ControlProcessor, DeliveryStats, JobResult
 from repro.grid.simulator import GridSimulator, SimulationStats
 
 __all__ = [
     "Bus",
+    "CellState",
     "ControlProcessor",
     "DeliveryStats",
     "FaultEvent",
@@ -37,10 +44,12 @@ __all__ = [
     "GridSimulator",
     "InstructionPacket",
     "JobResult",
+    "LifecyclePolicy",
     "LinkFaultConfig",
     "LinkFaultStatistics",
     "NanoBoxGrid",
     "Packet",
+    "ProbeReport",
     "ResultPacket",
     "SalvageReport",
     "SimulationStats",

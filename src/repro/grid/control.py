@@ -78,6 +78,10 @@ class DeliveryStats:
         link_dropped: packets lost in flight on faulty links during this
             job (invisible to receivers; recovered only by retransmit).
         aborted_phases: phases cut short by the per-phase cycle budget.
+        shed: per-round instruction deferrals under load shedding --
+            instructions held back because the surviving capacity could
+            not seat them that round (they stay eligible for later
+            rounds; only ``run_job(shed_to_capacity=True)`` sheds).
     """
 
     enqueued: int = 0
@@ -89,6 +93,7 @@ class DeliveryStats:
     corrupt_rejected: int = 0
     link_dropped: int = 0
     aborted_phases: int = 0
+    shed: int = 0
 
 
 @dataclass
@@ -171,6 +176,10 @@ class ControlProcessor:
     def grid(self) -> NanoBoxGrid:
         return self._grid
 
+    def add_tick_hook(self, hook: Callable[[], None]) -> None:
+        """Register an extra per-cycle hook (e.g. availability sampling)."""
+        self._hooks = self._hooks + (hook,)
+
     # ----------------------------------------------------------- low level
 
     def _tick(self) -> None:
@@ -181,6 +190,20 @@ class ControlProcessor:
             self._watchdog.poll()
 
     # ----------------------------------------------------------- assignment
+
+    def capacity(self) -> int:
+        """Free memory words across reachable, in-service cells.
+
+        The load-shedding bound: the most instructions one round can
+        seat.  Quarantined, suspect, and retired cells contribute
+        nothing (their heartbeats are silent, so they are not alive).
+        """
+        return sum(
+            self._grid.cell(*coord).memory.n_words
+            - self._grid.cell(*coord).memory.occupancy()
+            for coord in self._grid.alive_cells()
+            if self._grid.reachable(*coord)
+        )
 
     def assign(
         self, instructions: Sequence[JobInstruction]
@@ -364,6 +387,7 @@ class ControlProcessor:
         self,
         instructions: Sequence[JobInstruction],
         max_rounds: int = 3,
+        shed_to_capacity: bool = False,
     ) -> JobResult:
         """Execute a job, retrying missing instructions on later rounds.
 
@@ -371,10 +395,19 @@ class ControlProcessor:
         corrupted packets, blown phase budgets): the returned
         :class:`JobResult` carries per-cause accounting in ``delivery``.
 
+        Between rounds the watchdog's quarantine probe protocol runs (a
+        no-op unless its lifecycle policy enables probing), so cells
+        re-admitted mid-job rejoin the next round's assignment.
+
         Args:
             instructions: ``(instruction_id, opcode, operand1, operand2)``
                 tuples with unique IDs.
             max_rounds: total submission rounds (1 = no retries).
+            shed_to_capacity: cap each round's submission at the
+                surviving fabric capacity instead of letting the
+                overflow churn as unassigned; held-back instructions
+                stay eligible for later rounds and are counted in
+                ``delivery.shed``.
         """
         ids = [iid for iid, *_ in instructions]
         if len(set(ids)) != len(ids):
@@ -394,10 +427,16 @@ class ControlProcessor:
 
         while remaining and rounds < max_rounds:
             rounds += 1
-            placement, unassigned = self.assign(remaining)
+            submission = remaining
+            if shed_to_capacity:
+                cap = self.capacity()
+                if cap < len(remaining):
+                    submission = remaining[:cap]
+                    delivery.shed += len(remaining) - cap
+            placement, unassigned = self.assign(submission)
             unassigned_ever.update(unassigned)
 
-            queues, skipped = self._build_shift_in_queues(remaining, placement)
+            queues, skipped = self._build_shift_in_queues(submission, placement)
             delivery.undeliverable += len(skipped)
 
             cycles, sent, undeliverable, aborted = self._run_shift_in(queues)
@@ -427,6 +466,11 @@ class ControlProcessor:
                 instr for instr in remaining if instr[0] not in results
             ]
             idle_limit *= self._retry_backoff
+            if self._watchdog is not None:
+                # Canary-probe quarantined cells between rounds; cells
+                # that pass their budget rejoin the next assignment.
+                # No-op (and zero RNG draws) when probing is disabled.
+                self._watchdog.probe_quarantined()
 
         delivery.corrupt_rejected = (
             getattr(self._grid, "corrupt_rejects", 0) - corrupt_base

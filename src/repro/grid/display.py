@@ -11,6 +11,15 @@ from __future__ import annotations
 from typing import List
 
 from repro.grid.grid import NanoBoxGrid
+from repro.grid.watchdog import CellState, Watchdog
+
+#: One-character glyph per lifecycle state (``render_lifecycle``).
+_STATE_GLYPHS = {
+    CellState.ACTIVE: "#",
+    CellState.SUSPECT: "?",
+    CellState.QUARANTINED: "Q",
+    CellState.RETIRED: "X",
+}
 
 
 def _cell_glyph(cell) -> str:
@@ -55,6 +64,47 @@ def render_grid(grid: NanoBoxGrid) -> str:
     lines.append(
         " legend: '#nn?' = alive, nn words used, ? = error pressure "
         "(. none, 1-9, ! >9); 'Xnn?' = disabled"
+    )
+    return "\n".join(lines)
+
+
+def render_lifecycle(watchdog: Watchdog) -> str:
+    """Render the watchdog's per-cell health lifecycle as cell glyphs.
+
+    Same layout as :func:`render_grid` but the first character encodes
+    the lifecycle state (``#`` active, ``?`` suspect, ``Q`` quarantined,
+    ``X`` retired), so a chaos run's quarantine and re-admission churn
+    is debuggable at a glance.
+    """
+    grid = watchdog.grid
+    lines: List[str] = []
+    width = grid.cols * 5 + 1
+    lines.append(" CP ".center(width, "="))
+    for row in reversed(range(grid.rows)):
+        glyphs = []
+        for col in reversed(range(grid.cols)):
+            cell = grid.cell(row, col)
+            state = _STATE_GLYPHS[watchdog.state((row, col))]
+            occupancy = min(cell.memory.occupancy(), 0xFF)
+            errors = cell.heartbeat.error_count
+            if errors == 0:
+                pressure = "."
+            elif errors <= 9:
+                pressure = str(errors)
+            else:
+                pressure = "!"
+            glyphs.append(f"{state}{occupancy:02d}{pressure}")
+        lines.append(" " + " ".join(glyphs))
+    lines.append("-" * width)
+    counts = watchdog.lifecycle_counts()
+    lines.append(
+        f" active {counts['active']} | suspect {counts['suspect']} | "
+        f"quarantined {counts['quarantined']} | retired {counts['retired']} | "
+        f"readmitted {watchdog.readmissions}x | cycle {grid.cycle}"
+    )
+    lines.append(
+        " legend: first char = lifecycle state (# active, ? suspect, "
+        "Q quarantined, X retired), then words used + error pressure"
     )
     return "\n".join(lines)
 

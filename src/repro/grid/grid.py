@@ -97,6 +97,9 @@ class NanoBoxGrid:
             per-execution fault-mask supplier (default: fault-free).
         n_words: memory words per cell (paper: 32).
         error_threshold: heartbeat error budget per cell.
+        heartbeat_decay: leaky-bucket decay of each cell's heartbeat
+            error score per cycle (0 keeps the legacy monotone tally;
+            see :class:`repro.cell.heartbeat.Heartbeat`).
         adaptive_routing: when True, packets detour around dead cells
             (the future-work rerouting protocol; see
             :mod:`repro.grid.routing`); when False, the paper's
@@ -131,6 +134,7 @@ class NanoBoxGrid:
         mask_source_factory: Optional[Callable[[Coord], MaskSource]] = None,
         n_words: int = 32,
         error_threshold: int = 8,
+        heartbeat_decay: float = 0.0,
         adaptive_routing: bool = False,
         lut_router_scheme: Optional[str] = None,
         router_mask_source_factory: Optional[Callable[[Coord], MaskSource]] = None,
@@ -177,6 +181,7 @@ class NanoBoxGrid:
                     mask_source=source,
                     n_words=n_words,
                     error_threshold=error_threshold,
+                    heartbeat_decay=heartbeat_decay,
                 )
 
         # Directed buses between neighbours plus per-column edge buses.

@@ -17,9 +17,10 @@ import numpy as np
 from repro.alu.base import FaultableUnit
 from repro.alu.nanobox import NanoBoxALU
 from repro.faults.mask import MaskPolicy
+from repro.faults.temporal import TemporalFaultProcess
 from repro.grid.control import ControlProcessor, JobInstruction, JobResult
 from repro.grid.grid import Coord, LinkFaultPolicy, NanoBoxGrid
-from repro.grid.watchdog import Watchdog
+from repro.grid.watchdog import CellState, LifecyclePolicy, Watchdog
 from repro.workloads.bitmap import Bitmap
 from repro.workloads.imaging import ImageWorkload
 
@@ -39,6 +40,11 @@ class SimulationStats:
     link_stalled_cycles: int = 0
     link_bit_flips: int = 0
     silent_corruptions: int = 0
+    quarantines: int = 0
+    readmissions: int = 0
+    retired_cells: Tuple[Coord, ...] = ()
+    probes: int = 0
+    temporal_fault_events: int = 0
 
 
 @dataclass(frozen=True)
@@ -72,6 +78,14 @@ class GridSimulator:
         kill_schedule: ``{cycle: [cell coordinates]}`` hard failures.
         memory_salvageable: passed through to the watchdog.
         error_threshold: per-cell heartbeat error budget.
+        heartbeat_decay: leaky-bucket decay of each cell's heartbeat
+            error score per cycle (0 keeps the legacy monotone tally).
+        lifecycle_policy: the watchdog's health lifecycle knobs
+            (quarantine grace, canary probing, re-admission budgets);
+            None keeps the paper's permanent-disable semantics.
+        temporal_fault_process: a per-cell transient / intermittent /
+            permanent fault process (:mod:`repro.faults.temporal`)
+            applied every cycle to alive cells.
         adaptive_routing: route packets around dead cells (see
             :mod:`repro.grid.routing`).
         scrub_interval: cycles between memory-scrub passes (0 disables).
@@ -101,6 +115,9 @@ class GridSimulator:
         kill_schedule: Optional[Dict[int, Sequence[Coord]]] = None,
         memory_salvageable: bool = True,
         error_threshold: int = 8,
+        heartbeat_decay: float = 0.0,
+        lifecycle_policy: Optional[LifecyclePolicy] = None,
+        temporal_fault_process: Optional[TemporalFaultProcess] = None,
         n_words: int = 32,
         adaptive_routing: bool = False,
         scrub_interval: int = 0,
@@ -170,6 +187,7 @@ class GridSimulator:
             mask_source_factory=mask_source_factory,
             n_words=n_words,
             error_threshold=error_threshold,
+            heartbeat_decay=heartbeat_decay,
             adaptive_routing=adaptive_routing,
             lut_router_scheme=lut_router_scheme,
             router_mask_source_factory=router_mask_source_factory,
@@ -177,12 +195,25 @@ class GridSimulator:
             crc_enabled=crc_enabled,
             link_fault_seed=seed,
         )
-        self.watchdog = Watchdog(self.grid, memory_salvageable=memory_salvageable)
+        self.watchdog = Watchdog(
+            self.grid,
+            memory_salvageable=memory_salvageable,
+            policy=lifecycle_policy or LifecyclePolicy(),
+        )
+        self._temporal_process = temporal_fault_process
+        self._temporal_streams = {}
+        self._temporal_events = 0
+        if temporal_fault_process is not None:
+            self._temporal_streams = {
+                cell.cell_id: temporal_fault_process.attach(cell.cell_id, seed)
+                for cell in self.grid.cells()
+            }
         self.control = ControlProcessor(
             self.grid,
             watchdog=self.watchdog,
             tick_hooks=(
                 self._apply_schedule,
+                self._apply_temporal_faults,
                 self._apply_memory_upsets,
                 self._apply_scrub,
             ),
@@ -195,6 +226,21 @@ class GridSimulator:
         if coords:
             for coord in coords:
                 self.grid.kill_cell(*coord)
+
+    def _apply_temporal_faults(self) -> None:
+        if not self._temporal_streams:
+            return
+        for cell in self.grid.cells():
+            if not cell.alive:
+                continue
+            event = self._temporal_streams[cell.cell_id].sample()
+            if event.quiet:
+                continue
+            self._temporal_events += 1
+            if event.kill:
+                self.grid.kill_cell(*cell.cell_id)
+            elif event.errors:
+                cell.heartbeat.record_error(event.errors)
 
     def _apply_memory_upsets(self) -> None:
         if self._memory_upset_rate <= 0:
@@ -232,10 +278,17 @@ class GridSimulator:
     # ----------------------------------------------------------------- jobs
 
     def run_instructions(
-        self, instructions: Sequence[JobInstruction], max_rounds: int = 3
+        self,
+        instructions: Sequence[JobInstruction],
+        max_rounds: int = 3,
+        shed_to_capacity: bool = False,
     ) -> JobResult:
         """Run raw instructions through the control processor."""
-        return self.control.run_job(instructions, max_rounds=max_rounds)
+        return self.control.run_job(
+            instructions,
+            max_rounds=max_rounds,
+            shed_to_capacity=shed_to_capacity,
+        )
 
     def run_image_job(
         self,
@@ -285,4 +338,9 @@ class GridSimulator:
             link_stalled_cycles=link.stalled_cycles,
             link_bit_flips=link.bit_flips,
             silent_corruptions=link.silent_corruptions,
+            quarantines=self.watchdog.quarantines,
+            readmissions=self.watchdog.readmissions,
+            retired_cells=self.watchdog.cells_in_state(CellState.RETIRED),
+            probes=len(self.watchdog.probe_reports),
+            temporal_fault_events=self._temporal_events,
         )

@@ -9,16 +9,20 @@ parallel run's report is byte-identical to a serial one.
 """
 
 from repro.perf.executor import (
+    CampaignExecutionError,
     CampaignExecutor,
     CampaignWorkItem,
+    ExecutorStats,
     run_campaign_items,
 )
 from repro.perf.spec import ALUSpec, PolicySpec
 
 __all__ = [
     "ALUSpec",
+    "CampaignExecutionError",
     "CampaignExecutor",
     "CampaignWorkItem",
+    "ExecutorStats",
     "PolicySpec",
     "run_campaign_items",
 ]

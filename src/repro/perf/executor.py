@@ -8,17 +8,29 @@ order, so the executor may run them in any arrangement and the merged
 results are identical to a serial sweep.
 
 Determinism contract: :meth:`CampaignExecutor.run` returns results in
-*input order* (``ProcessPoolExecutor.map`` preserves it), and workers
-hold no mutable shared state, so a report assembled from a parallel run
-is byte-for-byte identical to a serial one.  CI asserts this.
+*input order*, and workers hold no mutable shared state, so a report
+assembled from a parallel run is byte-for-byte identical to a serial
+one -- even when a worker process dies mid-campaign.  CI asserts this.
+
+Fault tolerance: long campaigns should survive a worker being OOM-killed
+or segfaulting.  Work is submitted in indexed chunks; when the pool
+breaks (:class:`BrokenProcessPool`) or a chunk exceeds its timeout, the
+executor rebuilds the pool and resubmits only the unfinished chunks,
+bounded by ``max_retries`` attempts per chunk.  Because items are pure
+functions of their specs, a re-run chunk yields the same results, so
+recovery never perturbs the output.  Genuine exceptions raised *by* an
+item (a bad spec, say) are deterministic and propagate immediately
+rather than burning retries.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import sys
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.faults.campaign import CampaignResult, FaultCampaign
 from repro.perf.spec import ALUSpec, PolicySpec
@@ -48,6 +60,27 @@ class CampaignWorkItem:
     batched: bool = True
 
 
+@dataclass
+class ExecutorStats:
+    """Accounting for one :meth:`CampaignExecutor.run_with_stats` call.
+
+    Attributes:
+        chunks: pool tasks submitted on the first attempt (0 when the
+            run was serial).
+        retries: chunk resubmissions after a broken pool or timeout.
+        pool_rebuilds: times the process pool was torn down and
+            recreated during recovery.
+    """
+
+    chunks: int = 0
+    retries: int = 0
+    pool_rebuilds: int = 0
+
+
+class CampaignExecutionError(RuntimeError):
+    """A chunk kept failing after exhausting its retry budget."""
+
+
 def _execute_item(item: CampaignWorkItem) -> CampaignResult:
     """Worker entry point: rebuild the cell from its specs and run it.
 
@@ -66,6 +99,30 @@ def _execute_item(item: CampaignWorkItem) -> CampaignResult:
     )
 
 
+def _execute_chunk(
+    items: Sequence[CampaignWorkItem],
+) -> List[CampaignResult]:
+    """Worker entry point for one indexed chunk of items."""
+    return [_execute_item(item) for item in items]
+
+
+def _discard_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting on its workers.
+
+    A worker that timed out may be wedged (deadlocked, swapping);
+    ``shutdown`` alone would leave it alive and block interpreter exit,
+    so any survivors are terminated outright.
+    """
+    # Snapshot first: shutdown() drops the executor's process table.
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        try:
+            proc.terminate()
+        except (AttributeError, OSError):  # already reaped
+            pass
+
+
 def default_jobs() -> int:
     """A sensible ``--jobs`` value for this machine (its CPU count)."""
     return os.cpu_count() or 1
@@ -81,43 +138,136 @@ class CampaignExecutor:
         chunk_size: items per pool task; defaults to spreading the list
             over roughly four waves per worker, which amortises pickling
             without starving the pool on heterogeneous item costs.
+        max_retries: resubmission budget per chunk when the pool breaks
+            under it or its timeout elapses.
+        chunk_timeout: seconds to wait for one chunk before declaring
+            its worker hung and recycling the pool; ``None`` waits
+            forever.
     """
 
-    def __init__(self, jobs: int = 1, chunk_size: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        chunk_size: Optional[int] = None,
+        max_retries: int = 2,
+        chunk_timeout: Optional[float] = None,
+    ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise ValueError(
+                f"chunk_timeout must be positive, got {chunk_timeout}"
+            )
         self._jobs = jobs
         self._chunk_size = chunk_size
+        self._max_retries = max_retries
+        self._chunk_timeout = chunk_timeout
+        self._chunk_fn: Callable[
+            [Sequence[CampaignWorkItem]], List[CampaignResult]
+        ] = _execute_chunk
+        self._last_stats = ExecutorStats()
 
     @property
     def jobs(self) -> int:
         return self._jobs
+
+    @property
+    def last_stats(self) -> ExecutorStats:
+        """Accounting for the most recent :meth:`run` call."""
+        return self._last_stats
 
     def _chunksize_for(self, n_items: int) -> int:
         if self._chunk_size is not None:
             return self._chunk_size
         return max(1, n_items // (self._jobs * 4))
 
+    def _chunked(
+        self, items: List[CampaignWorkItem]
+    ) -> List[List[CampaignWorkItem]]:
+        size = self._chunksize_for(len(items))
+        return [items[i : i + size] for i in range(0, len(items), size)]
+
     def run(self, items: Sequence[CampaignWorkItem]) -> List[CampaignResult]:
         """Execute every item; results are in input order, always."""
+        results, _ = self.run_with_stats(items)
+        return results
+
+    def run_with_stats(
+        self, items: Sequence[CampaignWorkItem]
+    ) -> Tuple[List[CampaignResult], ExecutorStats]:
+        """Execute every item and report retry/rebuild accounting."""
         items = list(items)
+        stats = ExecutorStats()
+        self._last_stats = stats
         if self._jobs == 1 or len(items) <= 1:
-            return [_execute_item(item) for item in items]
-        workers = min(self._jobs, len(items))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(
-                pool.map(
-                    _execute_item,
-                    items,
-                    chunksize=self._chunksize_for(len(items)),
-                )
-            )
+            return [_execute_item(item) for item in items], stats
+        chunks = self._chunked(items)
+        stats.chunks = len(chunks)
+        workers = min(self._jobs, len(chunks))
+        completed: Dict[int, List[CampaignResult]] = {}
+        attempts: Dict[int, int] = {idx: 0 for idx in range(len(chunks))}
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            while len(completed) < len(chunks):
+                pending = {
+                    pool.submit(self._chunk_fn, chunks[idx]): idx
+                    for idx in range(len(chunks))
+                    if idx not in completed
+                }
+                pool_dirty = False
+                for future, idx in pending.items():
+                    if pool_dirty:
+                        # A broken pool fails every sibling future too;
+                        # collect what finished, resubmit the rest.
+                        if future.done() and future.exception() is None:
+                            completed[idx] = future.result()
+                        continue
+                    try:
+                        completed[idx] = future.result(
+                            timeout=self._chunk_timeout
+                        )
+                    except (BrokenProcessPool, FutureTimeout) as exc:
+                        attempts[idx] += 1
+                        stats.retries += 1
+                        if attempts[idx] > self._max_retries:
+                            raise CampaignExecutionError(
+                                f"chunk {idx} failed "
+                                f"{attempts[idx]} times: {exc!r}"
+                            ) from exc
+                        pool_dirty = True
+                if pool_dirty:
+                    # Recycle the pool: a broken one is unusable and a
+                    # timed-out worker may still be wedged inside it.
+                    _discard_pool(pool)
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                    stats.pool_rebuilds += 1
+        finally:
+            _discard_pool(pool)
+        results: List[CampaignResult] = []
+        for idx in range(len(chunks)):
+            results.extend(completed[idx])
+        return results, stats
 
 
 def run_campaign_items(
     items: Sequence[CampaignWorkItem], jobs: int = 1
 ) -> List[CampaignResult]:
-    """Convenience wrapper: one-shot executor run."""
-    return CampaignExecutor(jobs=jobs).run(items)
+    """Convenience wrapper: one-shot executor run.
+
+    Recovery is silent in the results (they are identical either way),
+    so any worker-death retries are noted on stderr for the CLI user.
+    """
+    executor = CampaignExecutor(jobs=jobs)
+    results, stats = executor.run_with_stats(items)
+    if stats.retries:
+        print(
+            f"campaign executor: recovered from {stats.retries} failed "
+            f"chunk attempt(s) across {stats.pool_rebuilds} pool "
+            f"rebuild(s); results are unaffected",
+            file=sys.stderr,
+        )
+    return results

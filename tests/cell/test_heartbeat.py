@@ -76,3 +76,68 @@ class TestHeartbeat:
         hb.silence()
         hb.beat()
         assert hb.beats_emitted == 1
+
+
+class TestLeakyBucket:
+    def test_negative_decay_rejected(self):
+        with pytest.raises(ValueError):
+            Heartbeat(decay=-0.1)
+
+    def test_score_tracks_count_at_zero_decay(self):
+        hb = Heartbeat(error_threshold=5, decay=0.0)
+        hb.record_error(3)
+        for _ in range(10):
+            hb.beat()
+        assert hb.error_score == hb.error_count == 3
+
+    def test_decay_leaks_score_each_beat(self):
+        hb = Heartbeat(error_threshold=5, decay=1.0)
+        hb.record_error(3)
+        hb.beat()
+        assert hb.error_score == 2.0
+        hb.beat()
+        hb.beat()
+        hb.beat()
+        assert hb.error_score == 0.0
+        # The lifetime tally is untouched by the leak.
+        assert hb.error_count == 3
+
+    def test_silent_cell_recovers_through_decay(self):
+        hb = Heartbeat(error_threshold=2, decay=1.0)
+        hb.record_error(5)
+        assert not hb.beat()  # score 4 > 2
+        assert not hb.beat()  # score 3 > 2
+        assert hb.beat()      # score 2 <= 2: beating again
+        assert hb.healthy
+
+    def test_errors_faster_than_leak_still_silence(self):
+        hb = Heartbeat(error_threshold=2, decay=0.5)
+        for _ in range(4):
+            hb.record_error(2)
+            hb.beat()
+        assert not hb.healthy
+
+    def test_revive_clears_forced_silence_and_score(self):
+        hb = Heartbeat(error_threshold=2)
+        hb.record_error(5)
+        hb.silence()
+        assert not hb.healthy
+        hb.revive()
+        assert not hb.forced_silent
+        assert hb.error_score == 0.0
+        assert hb.error_count == 5  # lifetime tally preserved
+        assert hb.healthy
+        assert hb.beat()
+
+    def test_decay_never_goes_negative(self):
+        hb = Heartbeat(error_threshold=2, decay=3.0)
+        hb.record_error(1)
+        hb.beat()
+        assert hb.error_score == 0.0
+
+    def test_forced_silence_immune_to_decay(self):
+        hb = Heartbeat(error_threshold=2, decay=5.0)
+        hb.silence()
+        for _ in range(10):
+            assert not hb.beat()
+        assert not hb.healthy

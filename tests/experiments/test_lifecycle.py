@@ -1,0 +1,85 @@
+"""Tests for the self-healing lifecycle experiment."""
+
+from repro.experiments.lifecycle import (
+    LifecyclePoint,
+    default_processes,
+    lifecycle_sweep,
+    lifecycle_table_text,
+    lifecycle_workload,
+    permanent_policy,
+    run_lifecycle_point,
+    self_healing_policy,
+)
+from repro.faults.temporal import FaultKind, TemporalFaultProcess
+
+
+class TestPolicies:
+    def test_permanent_is_legacy_configuration(self):
+        config = permanent_policy()
+        assert config.heartbeat_decay == 0.0
+        assert not config.policy.probing
+        assert config.policy.suspect_polls == 0
+
+    def test_self_healing_enables_probing(self):
+        config = self_healing_policy()
+        assert config.heartbeat_decay > 0
+        assert config.policy.probing
+
+    def test_default_processes_cover_taxonomy(self):
+        kinds = {p.kind for p in default_processes()}
+        assert kinds == {
+            FaultKind.TRANSIENT,
+            FaultKind.INTERMITTENT,
+            FaultKind.PERMANENT,
+        }
+
+
+class TestWorkload:
+    def test_deterministic_and_offsettable(self):
+        first = lifecycle_workload(8)
+        again = lifecycle_workload(8)
+        assert first == again
+        shifted = lifecycle_workload(8, start_iid=8)
+        assert [iid for iid, *_ in shifted] == list(range(8, 16))
+
+    def test_all_opcodes_exercised(self):
+        opcodes = {op for _, op, _, _ in lifecycle_workload(8)}
+        assert opcodes == {0b000, 0b001, 0b010, 0b111}
+
+
+class TestRunPoint:
+    def test_point_shape_and_determinism(self):
+        process = TemporalFaultProcess.intermittent(
+            rate=0.002, burst_length=4, errors_per_cycle=3
+        )
+        kwargs = dict(jobs=2, n_instructions=32, seed=7)
+        point = run_lifecycle_point(process, self_healing_policy(), **kwargs)
+        assert isinstance(point, LifecyclePoint)
+        assert point.submitted > 0
+        assert 0.0 <= point.availability <= 1.0
+        assert point.goodput >= 0.0
+        again = run_lifecycle_point(process, self_healing_policy(), **kwargs)
+        assert point == again
+
+    def test_fault_free_process_is_fully_correct(self):
+        quiet = TemporalFaultProcess.transient(rate=0.0)
+        point = run_lifecycle_point(
+            quiet, permanent_policy(), jobs=2, n_instructions=32, seed=7
+        )
+        assert point.correct_fraction == 1.0
+        assert point.availability == 1.0
+        assert point.quarantines == 0
+
+
+class TestSweep:
+    def test_sweep_covers_grid_of_configs(self):
+        points = lifecycle_sweep(jobs=1, n_instructions=16, seed=7)
+        assert len(points) == 6  # 3 processes x 2 policies
+        assert {p.policy for p in points} == {"permanent", "self-healing"}
+
+    def test_table_renders_all_points(self):
+        points = lifecycle_sweep(jobs=1, n_instructions=16, seed=7)
+        text = lifecycle_table_text(points)
+        assert "goodput/kcyc" in text
+        for point in points:
+            assert point.policy in text

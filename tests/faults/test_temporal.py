@@ -1,0 +1,107 @@
+"""Unit tests for the temporal fault taxonomy."""
+
+import pytest
+
+from repro.faults import (
+    CellFaultEvent,
+    CellFaultStream,
+    FaultKind,
+    TemporalFaultProcess,
+)
+
+
+class TestProcessValidation:
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            TemporalFaultProcess(FaultKind.TRANSIENT, rate=1.0)
+        with pytest.raises(ValueError):
+            TemporalFaultProcess(FaultKind.TRANSIENT, rate=-0.1)
+
+    def test_burst_length_positive(self):
+        with pytest.raises(ValueError):
+            TemporalFaultProcess(
+                FaultKind.INTERMITTENT, rate=0.1, burst_length=0
+            )
+
+    def test_errors_per_cycle_positive(self):
+        with pytest.raises(ValueError):
+            TemporalFaultProcess(
+                FaultKind.TRANSIENT, rate=0.1, errors_per_cycle=0
+            )
+
+    def test_describe_labels_each_kind(self):
+        assert "transient" in TemporalFaultProcess.transient(0.1).describe()
+        assert "burst=3x2" in TemporalFaultProcess.intermittent(
+            0.1, 3, errors_per_cycle=2
+        ).describe()
+        assert "permanent" in TemporalFaultProcess.stuck_at(0.1).describe()
+
+
+class TestEvent:
+    def test_quiet_event(self):
+        assert CellFaultEvent().quiet
+        assert not CellFaultEvent(errors=1).quiet
+        assert not CellFaultEvent(kill=True).quiet
+
+
+class TestStreams:
+    def test_attach_is_deterministic_per_cell(self):
+        process = TemporalFaultProcess.transient(0.5)
+        a = process.attach((1, 2), seed=7)
+        b = process.attach((1, 2), seed=7)
+        assert [a.sample() for _ in range(50)] == [
+            b.sample() for _ in range(50)
+        ]
+
+    def test_distinct_cells_get_distinct_streams(self):
+        process = TemporalFaultProcess.transient(0.5)
+        a = process.attach((0, 0), seed=7)
+        b = process.attach((0, 1), seed=7)
+        assert [a.sample() for _ in range(50)] != [
+            b.sample() for _ in range(50)
+        ]
+
+    def test_zero_rate_is_always_quiet(self):
+        stream = TemporalFaultProcess.transient(0.0).attach((0, 0), seed=7)
+        assert all(stream.sample().quiet for _ in range(100))
+
+    def test_transient_glitches_are_isolated(self):
+        stream = TemporalFaultProcess.transient(0.3, errors_per_cycle=2).attach(
+            (0, 0), seed=7
+        )
+        events = [stream.sample() for _ in range(200)]
+        assert any(e.errors == 2 for e in events)
+        assert all(not e.kill for e in events)
+
+    def test_intermittent_bursts_run_full_length(self):
+        process = TemporalFaultProcess.intermittent(0.05, burst_length=4)
+        stream = process.attach((0, 0), seed=7)
+        events = [stream.sample() for _ in range(500)]
+        # Find a burst onset and check the following cycles stay bad.
+        runs = []
+        run = 0
+        for e in events:
+            if e.errors:
+                run += 1
+            elif run:
+                runs.append(run)
+                run = 0
+        assert runs
+        # Every complete run is a multiple-of-burst-length streak (two
+        # onsets can chain back to back).
+        assert all(r >= 4 for r in runs)
+
+    def test_permanent_kills_once_then_stays_quiet(self):
+        stream = TemporalFaultProcess.stuck_at(0.2).attach((0, 0), seed=7)
+        events = [stream.sample() for _ in range(200)]
+        kills = [e for e in events if e.kill]
+        assert len(kills) == 1
+        assert stream.dead
+        after = events[events.index(kills[0]) + 1 :]
+        assert all(e.quiet for e in after)
+
+
+class TestStreamType:
+    def test_attach_returns_stream(self):
+        process = TemporalFaultProcess.transient(0.1)
+        assert isinstance(process.attach((0, 0), seed=1), CellFaultStream)

@@ -1,7 +1,12 @@
 """Tests for grid-state ASCII rendering."""
 
-from repro.grid.display import render_grid, render_reachability
+from repro.grid.display import (
+    render_grid,
+    render_lifecycle,
+    render_reachability,
+)
 from repro.grid.grid import NanoBoxGrid
+from repro.grid.watchdog import LifecyclePolicy, Watchdog
 
 
 class TestRenderGrid:
@@ -60,4 +65,58 @@ class TestRenderReachability:
     def test_adaptive_flag_shown(self):
         assert "adaptive routing: on" in render_reachability(
             NanoBoxGrid(2, 2, adaptive_routing=True)
+        )
+
+
+class TestRenderLifecycle:
+    def test_all_active(self):
+        grid = NanoBoxGrid(2, 3)
+        watchdog = Watchdog(grid)
+        text = render_lifecycle(watchdog)
+        assert text.count("#00.") == 6
+        assert "active 6" in text
+        assert "retired 0" in text
+        assert "readmitted 0x" in text
+
+    def test_retired_cell_marked(self):
+        """Probing off: the first silent poll retires the cell."""
+        grid = NanoBoxGrid(2, 2)
+        watchdog = Watchdog(grid)
+        grid.kill_cell(0, 1)
+        watchdog.poll()
+        text = render_lifecycle(watchdog)
+        assert text.count("X00.") == 1
+        assert "retired 1" in text
+
+    def test_quarantined_and_suspect_glyphs(self):
+        grid = NanoBoxGrid(2, 2, error_threshold=2)
+        policy = LifecyclePolicy(suspect_polls=2, probing=True)
+        watchdog = Watchdog(grid, policy=policy)
+        grid.cell(0, 0).heartbeat.record_error(3)
+        watchdog.poll()  # first silent poll: SUSPECT
+        text = render_lifecycle(watchdog)
+        assert "?003" in text
+        assert "suspect 1" in text
+        watchdog.poll()
+        watchdog.poll()  # grace exhausted: QUARANTINED
+        text = render_lifecycle(watchdog)
+        assert "Q003" in text
+        assert "quarantined 1" in text
+
+    def test_readmission_count_shown(self):
+        grid = NanoBoxGrid(2, 2, error_threshold=2, heartbeat_decay=1.0)
+        policy = LifecyclePolicy(probing=True, readmit_clean_probes=1)
+        watchdog = Watchdog(grid, policy=policy)
+        grid.cell(0, 0).heartbeat.record_error(6)
+        watchdog.poll()
+        watchdog.probe_quarantined()
+        text = render_lifecycle(watchdog)
+        assert "readmitted 1x" in text
+        assert "active 4" in text
+
+    def test_same_layout_as_render_grid(self):
+        grid = NanoBoxGrid(3, 2)
+        watchdog = Watchdog(grid)
+        assert len(render_lifecycle(watchdog).splitlines()) == len(
+            render_grid(grid).splitlines()
         )

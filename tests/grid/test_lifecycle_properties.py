@@ -1,0 +1,174 @@
+"""Property tests pinning the lifecycle's legacy-equivalence contract.
+
+The self-healing lifecycle (leaky-bucket heartbeat scoring, quarantine,
+canary probing) must collapse *exactly* to the paper's semantics when
+switched off: ``decay=0`` reproduces the monotone error tally with its
+inclusive threshold, and ``LifecyclePolicy()`` (probing disabled)
+reproduces one-shot permanent disable.  These tests drive randomized
+event schedules through both the real objects and tiny independent
+oracle models of the pre-lifecycle behaviour.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cell.heartbeat import Heartbeat
+from repro.grid.grid import NanoBoxGrid
+from repro.grid.watchdog import CellState, LifecyclePolicy, Watchdog
+
+#: One heartbeat op: ("error", n), ("beat", None), or ("silence", None).
+heartbeat_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("error"), st.integers(min_value=1, max_value=4)),
+        st.tuples(st.just("beat"), st.none()),
+        st.tuples(st.just("silence"), st.none()),
+    ),
+    max_size=40,
+)
+
+
+class LegacyHeartbeatOracle:
+    """The pre-lifecycle heartbeat: monotone tally, inclusive threshold."""
+
+    def __init__(self, threshold):
+        self.threshold = threshold
+        self.errors = 0
+        self.silent = False
+
+    @property
+    def healthy(self):
+        return not self.silent and self.errors <= self.threshold
+
+    def apply(self, op, arg):
+        if op == "error":
+            self.errors += arg
+        elif op == "silence":
+            self.silent = True
+        return self.healthy
+
+
+class TestHeartbeatLegacyEquivalence:
+    @given(st.integers(min_value=0, max_value=10), heartbeat_ops)
+    def test_decay_zero_matches_monotone_tally(self, threshold, ops):
+        hb = Heartbeat(error_threshold=threshold, decay=0.0)
+        oracle = LegacyHeartbeatOracle(threshold)
+        for op, arg in ops:
+            if op == "error":
+                hb.record_error(arg)
+            elif op == "silence":
+                hb.silence()
+            expected = oracle.apply(op, arg)
+            assert hb.healthy == expected
+            assert hb.beat() == expected
+            # With no decay the score IS the lifetime tally.
+            assert hb.error_score == hb.error_count == oracle.errors
+
+    @given(st.integers(min_value=0, max_value=10), heartbeat_ops)
+    def test_decay_zero_unhealthy_is_absorbing(self, threshold, ops):
+        hb = Heartbeat(error_threshold=threshold, decay=0.0)
+        went_unhealthy = False
+        for op, arg in ops:
+            if op == "error":
+                hb.record_error(arg)
+            elif op == "silence":
+                hb.silence()
+            hb.beat()
+            went_unhealthy = went_unhealthy or not hb.healthy
+            if went_unhealthy:
+                assert not hb.healthy
+
+    @given(
+        st.integers(min_value=0, max_value=10),
+        st.floats(min_value=0.01, max_value=4.0),
+        heartbeat_ops,
+    )
+    def test_decay_bounds_score_by_tally(self, threshold, decay, ops):
+        """The leaky bucket never exceeds the monotone tally, never < 0."""
+        hb = Heartbeat(error_threshold=threshold, decay=decay)
+        for op, arg in ops:
+            if op == "error":
+                hb.record_error(arg)
+            elif op == "silence":
+                hb.silence()
+            hb.beat()
+            assert 0.0 <= hb.error_score <= hb.error_count
+
+    @given(st.integers(min_value=0, max_value=10), heartbeat_ops)
+    def test_decay_recovers_unless_silenced(self, threshold, ops):
+        """With decay on, enough quiet beats restore health -- unless a
+        hard silence() happened, which no amount of decay undoes."""
+        hb = Heartbeat(error_threshold=threshold, decay=1.0)
+        silenced = False
+        for op, arg in ops:
+            if op == "error":
+                hb.record_error(arg)
+            elif op == "silence":
+                hb.silence()
+                silenced = True
+            hb.beat()
+        for _ in range(200):
+            hb.beat()
+        assert hb.healthy == (not silenced)
+
+
+#: A schedule of error injections: poll index -> [(coord, errors)].
+def _injection_schedules(rows=2, cols=2, polls=6):
+    coord = st.tuples(
+        st.integers(min_value=0, max_value=rows - 1),
+        st.integers(min_value=0, max_value=cols - 1),
+    )
+    event = st.tuples(coord, st.integers(min_value=1, max_value=5))
+    return st.lists(
+        st.lists(event, max_size=4), min_size=polls, max_size=polls
+    )
+
+
+class TestWatchdogLegacyEquivalence:
+    @settings(deadline=None)
+    @given(_injection_schedules(), st.integers(min_value=1, max_value=6))
+    def test_default_policy_matches_oneshot_oracle(self, schedule, threshold):
+        """Default policy + decay 0 == one-shot disable at first breach."""
+        grid = NanoBoxGrid(2, 2, error_threshold=threshold)
+        watchdog = Watchdog(grid, policy=LifecyclePolicy())
+
+        oracle_errors = {}
+        oracle_disabled = set()
+        for events in schedule:
+            for coord, errors in events:
+                if coord not in oracle_disabled:
+                    grid.cell(*coord).heartbeat.record_error(errors)
+                    oracle_errors[coord] = (
+                        oracle_errors.get(coord, 0) + errors
+                    )
+            watchdog.poll()
+            for coord, total in oracle_errors.items():
+                if total > threshold:
+                    oracle_disabled.add(coord)
+            assert set(watchdog.disabled_cells) == oracle_disabled
+            # Probing off: the maintenance pass is a strict no-op.
+            assert watchdog.probe_quarantined() == []
+            assert set(watchdog.disabled_cells) == oracle_disabled
+            # One-shot semantics: every disabled cell is RETIRED, never
+            # QUARANTINED, and there is no SUSPECT grace.
+            for coord in oracle_disabled:
+                assert watchdog.state(coord) is CellState.RETIRED
+            assert watchdog.cells_in_state(CellState.SUSPECT) == ()
+            assert watchdog.cells_in_state(CellState.QUARANTINED) == ()
+
+    @settings(deadline=None)
+    @given(_injection_schedules(), st.integers(min_value=1, max_value=6))
+    def test_disabled_set_monotone_without_probing(self, schedule, threshold):
+        """Without probing, disabled cells never return -- even with a
+        decaying heartbeat score (quarantine freezes the cell)."""
+        grid = NanoBoxGrid(
+            2, 2, error_threshold=threshold, heartbeat_decay=0.5
+        )
+        watchdog = Watchdog(grid, policy=LifecyclePolicy(suspect_polls=1))
+        seen = set()
+        for events in schedule:
+            for coord, errors in events:
+                grid.cell(*coord).heartbeat.record_error(errors)
+            watchdog.poll()
+            current = set(watchdog.disabled_cells)
+            assert seen <= current
+            seen = current

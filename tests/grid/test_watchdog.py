@@ -119,3 +119,73 @@ class TestSalvage:
         grid.kill_cell(0, 1)
         watchdog.poll()
         assert len(watchdog.reports) == 2
+
+
+def _pending_iids(grid):
+    """Instruction IDs of every pending word, mapped to their cell."""
+    homes = {}
+    for cell in grid.cells():
+        for index in cell.memory.pending_words():
+            homes[cell.memory.read(index).instruction_id] = cell.cell_id
+    return homes
+
+
+class TestChainedFailover:
+    """Words salvaged into a neighbour survive that neighbour failing too."""
+
+    def test_adopted_words_resalvaged(self):
+        grid = grid_with_work()
+        watchdog = Watchdog(grid)
+        grid.kill_cell(1, 1)
+        first = watchdog.poll()[0]
+        assert first.fully_salvaged
+
+        # Pick the adopter holding the most of (1, 1)'s words and kill it.
+        adopter = max(first.adopted, key=first.adopted.get)
+        adopted_here = {
+            iid
+            for iid, home in _pending_iids(grid).items()
+            if home == adopter
+        }
+        assert adopted_here
+        grid.kill_cell(*adopter)
+        second = watchdog.poll()[0]
+        assert second.failed_cell == adopter
+        assert second.fully_salvaged
+        assert second.salvaged_words >= len(adopted_here)
+
+        # Every original instruction is still pending somewhere alive --
+        # nothing was stranded in the dead adopter.
+        homes = _pending_iids(grid)
+        assert set(homes) == {1, 2, 3, 4}
+        for iid, home in homes.items():
+            assert home not in (adopter, (1, 1))
+            assert grid.cell(*home).alive
+
+    def test_chain_never_resalvages_into_disabled_cells(self):
+        grid = grid_with_work()
+        watchdog = Watchdog(grid)
+        grid.kill_cell(1, 1)
+        first = watchdog.poll()[0]
+        adopter = max(first.adopted, key=first.adopted.get)
+        grid.kill_cell(*adopter)
+        second = watchdog.poll()[0]
+        # The first victim is disabled; it must never re-adopt its own
+        # words even though its memory still has free slots.
+        assert (1, 1) not in second.adopted
+        assert not set(second.adopted) & set(watchdog.disabled_cells)
+
+    def test_three_link_chain_preserves_all_words(self):
+        grid = grid_with_work()
+        watchdog = Watchdog(grid)
+        chain = [(1, 1)]
+        for _ in range(3):
+            grid.kill_cell(*chain[-1])
+            reports = watchdog.poll()
+            report = next(r for r in reports if r.failed_cell == chain[-1])
+            assert report.fully_salvaged
+            adopter = max(report.adopted, key=report.adopted.get)
+            chain.append(adopter)
+        homes = _pending_iids(grid)
+        assert set(homes) == {1, 2, 3, 4}
+        assert all(grid.cell(*home).alive for home in homes.values())

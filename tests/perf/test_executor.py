@@ -1,5 +1,9 @@
 """Tests for the parallel campaign executor and its picklable work specs."""
 
+import multiprocessing
+import os
+import time
+
 import pytest
 
 from repro.alu.nanobox import NanoBoxALU
@@ -7,11 +11,48 @@ from repro.alu.redundancy import SimplexALU, SpaceRedundantALU
 from repro.faults.mask import BernoulliMask, BurstMask, ExactFractionMask
 from repro.perf import (
     ALUSpec,
+    CampaignExecutionError,
     CampaignExecutor,
     CampaignWorkItem,
+    ExecutorStats,
     PolicySpec,
     run_campaign_items,
 )
+from repro.perf.executor import _execute_chunk
+
+#: Sentinel path used by the crashing worker; set per-test, inherited by
+#: forked pool workers.
+_CRASH_SENTINEL = None
+
+
+def _crash_once_then_run(items):
+    """Worker fn that hard-kills its process the first time it runs.
+
+    The sentinel file is created atomically, so exactly one worker dies
+    (taking the whole pool with it); every later attempt -- including
+    the executor's resubmission after the pool rebuild -- runs the chunk
+    normally.  ``os._exit`` bypasses all cleanup, faithfully mimicking
+    an OOM kill or segfault.
+    """
+    try:
+        open(_CRASH_SENTINEL, "x").close()
+    except FileExistsError:
+        return _execute_chunk(items)
+    os._exit(1)
+
+
+def _crash_always(items):
+    """Worker fn that always dies -- exhausts any retry budget."""
+    os._exit(1)
+
+
+def _hang_once_then_run(items):
+    """Worker fn that wedges on the first attempt, then runs normally."""
+    try:
+        open(_CRASH_SENTINEL, "x").close()
+    except FileExistsError:
+        return _execute_chunk(items)
+    time.sleep(300)
 
 
 class TestALUSpec:
@@ -109,3 +150,66 @@ class TestCampaignExecutor:
 
     def test_empty_item_list(self):
         assert CampaignExecutor(jobs=2).run([]) == []
+
+    def test_run_with_stats_serial(self):
+        results, stats = CampaignExecutor(jobs=1).run_with_stats(_items())
+        assert len(results) == 4
+        assert stats == ExecutorStats(chunks=0, retries=0, pool_rebuilds=0)
+
+    def test_run_with_stats_parallel_clean(self):
+        executor = CampaignExecutor(jobs=2, chunk_size=1)
+        results, stats = executor.run_with_stats(_items())
+        assert results == CampaignExecutor(jobs=1).run(_items())
+        assert stats.chunks == 4
+        assert stats.retries == 0
+        assert stats.pool_rebuilds == 0
+        assert executor.last_stats is stats
+
+    def test_invalid_retry_and_timeout_args(self):
+        with pytest.raises(ValueError):
+            CampaignExecutor(jobs=2, max_retries=-1)
+        with pytest.raises(ValueError):
+            CampaignExecutor(jobs=2, chunk_timeout=0)
+
+
+@pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="crash injection relies on fork inheriting the sentinel path",
+)
+class TestWorkerDeathRecovery:
+    """The executor must survive a worker process dying mid-campaign."""
+
+    def _crashing_executor(self, tmp_path, worker_fn, **kwargs):
+        global _CRASH_SENTINEL
+        _CRASH_SENTINEL = str(tmp_path / "crashed")
+        executor = CampaignExecutor(jobs=2, chunk_size=2, **kwargs)
+        executor._chunk_fn = worker_fn
+        return executor
+
+    def test_recovers_from_worker_crash(self, tmp_path):
+        items = _items()
+        serial = CampaignExecutor(jobs=1).run(items)
+        executor = self._crashing_executor(tmp_path, _crash_once_then_run)
+        results, stats = executor.run_with_stats(items)
+        # Output identical to serial despite the dead worker.
+        assert results == serial
+        assert stats.retries >= 1
+        assert stats.pool_rebuilds >= 1
+
+    def test_retry_budget_exhausts(self, tmp_path):
+        executor = self._crashing_executor(
+            tmp_path, _crash_always, max_retries=1
+        )
+        with pytest.raises(CampaignExecutionError):
+            executor.run(_items())
+        assert executor.last_stats.retries >= 2
+
+    def test_recovers_from_hung_worker(self, tmp_path):
+        items = _items()[:2]
+        serial = CampaignExecutor(jobs=1).run(items)
+        executor = self._crashing_executor(
+            tmp_path, _hang_once_then_run, chunk_timeout=10
+        )
+        results, stats = executor.run_with_stats(items)
+        assert results == serial
+        assert stats.retries >= 1

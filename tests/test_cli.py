@@ -74,6 +74,40 @@ class TestGrid:
         out = capsys.readouterr().out
         assert "failed cells      : [(1, 1)]" in out
 
+    def test_show_grid_includes_lifecycle_view(self, capsys):
+        code = main([
+            "grid", "--rows", "3", "--cols", "3",
+            "--kill", "1,1@30", "--image-size", "4", "--show-grid",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lifecycle state" in out
+        assert "retired 1" in out
+
+
+class TestLifecycle:
+    def test_lifecycle_sweep_runs(self, capsys):
+        code = main([
+            "lifecycle", "--processes", "intermittent",
+            "--jobs", "2", "--instructions", "32",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Cell health lifecycle sweep" in out
+        assert "goodput/kcyc" in out
+        assert "self-healing" in out
+        assert "permanent" in out
+
+    def test_lifecycle_deterministic_output(self, capsys):
+        argv = [
+            "lifecycle", "--processes", "transient",
+            "--jobs", "2", "--instructions", "32", "--seed", "5",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
 
 class TestYield:
     def test_yield_table(self, capsys):
