@@ -49,6 +49,7 @@ from repro.faults import (
 )
 from repro.grid import ControlProcessor, GridSimulator, NanoBoxGrid, Watchdog
 from repro.lut import CodedLUT, TruthTable
+from repro.obs import Observer, get_observer, observing, report_metrics
 from repro.workloads import Bitmap, hue_shift, paper_workloads, reverse_video
 
 __version__ = "1.0.0"
@@ -70,6 +71,7 @@ __all__ = [
     "IdentityCode",
     "NanoBoxALU",
     "NanoBoxGrid",
+    "Observer",
     "Opcode",
     "ParityCode",
     "ReferenceALU",
@@ -85,10 +87,13 @@ __all__ = [
     "describe_unit",
     "fit_for_fault_fraction",
     "fit_for_faults_per_cycle",
+    "get_observer",
     "hue_shift",
+    "observing",
     "paper_workloads",
     "reference_compute",
     "render_tree",
+    "report_metrics",
     "reverse_video",
     "variant_names",
     "variant_spec",

@@ -15,6 +15,16 @@ Everything the library can regenerate, from a shell::
     nanobox-repro lifecycle --jobs 6      # self-healing policy sweep
     nanobox-repro report --quick          # the whole EXPERIMENTS report
 
+The experiment-running subcommands (``sweep``, ``grid``, ``chaos``,
+``lifecycle``, ``report``) also take observability flags::
+
+    nanobox-repro lifecycle --metrics out.json --trace out.jsonl --obs-report
+
+which install a :mod:`repro.obs` observer for the run, write the metrics
+registry as JSON and the trace event log as JSON Lines, and print the
+ASCII observability summary.  Observability never changes results: the
+command's primary output is bit-identical with or without these flags.
+
 Also available as ``python -m repro.cli``.
 """
 
@@ -23,6 +33,48 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def _add_observability_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--metrics/--trace/--obs-report`` flags."""
+    group = parser.add_argument_group("observability")
+    group.add_argument("--metrics", default=None, metavar="PATH",
+                       help="write the run's metrics registry as JSON")
+    group.add_argument("--trace", default=None, metavar="PATH",
+                       help="write the run's trace events as JSON Lines")
+    group.add_argument("--obs-report", action="store_true",
+                       help="print the ASCII observability summary "
+                            "(top timers, counters, lifecycle timeline)")
+
+
+def _run_with_observability(args: argparse.Namespace) -> int:
+    """Run the selected subcommand, observed if any obs flag was given.
+
+    With no observability flags the command runs against the null
+    observer -- the exact same code path and output as before the flags
+    existed.  With flags, an observer is installed for the run and its
+    registry/trace are exported afterwards; the command's own stdout is
+    unchanged either way (observability never perturbs results).
+    """
+    if not (args.metrics or args.trace or args.obs_report):
+        return args.fn(args)
+    from repro.obs import Observer, observing, report_metrics
+
+    obs = Observer()
+    with observing(obs):
+        status = args.fn(args)
+    if args.metrics:
+        with open(args.metrics, "w") as f:
+            f.write(obs.metrics.to_json())
+            f.write("\n")
+        print(f"wrote metrics JSON to {args.metrics}")
+    if args.trace:
+        written = obs.trace.to_jsonl(args.trace)
+        print(f"wrote {written} trace event(s) to {args.trace}")
+    if args.obs_report:
+        print()
+        print(report_metrics(obs), end="")
+    return status
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -347,6 +399,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--jobs", type=int, default=1,
                        help="campaign worker processes (1 = serial; "
                             "any value gives identical output)")
+    _add_observability_args(sweep)
     sweep.set_defaults(fn=_cmd_sweep)
 
     grid = sub.add_parser("grid", help="run a full-system image job")
@@ -367,6 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--seed", type=int, default=0)
     grid.add_argument("--show-grid", action="store_true",
                       help="render the final fabric state")
+    _add_observability_args(grid)
     grid.set_defaults(fn=_cmd_grid)
 
     yld = sub.add_parser("yield", help="manufacturing-yield table")
@@ -404,6 +458,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--cols", type=int, default=3)
     chaos.add_argument("--instructions", type=int, default=48)
     chaos.add_argument("--seed", type=int, default=2004)
+    _add_observability_args(chaos)
     chaos.set_defaults(fn=_cmd_chaos)
 
     lifecycle = sub.add_parser(
@@ -428,6 +483,7 @@ def build_parser() -> argparse.ArgumentParser:
     lifecycle.add_argument("--rows", type=int, default=4)
     lifecycle.add_argument("--cols", type=int, default=4)
     lifecycle.add_argument("--seed", type=int, default=2004)
+    _add_observability_args(lifecycle)
     lifecycle.set_defaults(fn=_cmd_lifecycle)
 
     report = sub.add_parser("report", help="full EXPERIMENTS report")
@@ -437,6 +493,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="campaign worker processes (1 = serial; "
                              "any value gives identical output)")
     report.add_argument("--out", default=None)
+    _add_observability_args(report)
     report.set_defaults(fn=_cmd_report)
 
     return parser
@@ -445,6 +502,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if hasattr(args, "obs_report"):
+        return _run_with_observability(args)
     return args.fn(args)
 
 

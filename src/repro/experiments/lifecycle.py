@@ -22,6 +22,7 @@ from repro.faults.temporal import TemporalFaultProcess
 from repro.grid.control import JobInstruction
 from repro.grid.simulator import GridSimulator
 from repro.grid.watchdog import LifecyclePolicy
+from repro.obs import get_observer
 
 #: The ISA's four opcodes (Table 1): AND, OR, XOR, ADD.
 _OPCODES = (0b000, 0b001, 0b010, 0b111)
@@ -141,6 +142,17 @@ def run_lifecycle_point(
     every policy, so two configurations face an identical fault history
     and differ only in how the watchdog responds to it.
     """
+    obs = get_observer()
+    source = f"lifecycle/{config.name}"
+    if obs.enabled:
+        obs.trace.emit(
+            "lifecycle_point_start",
+            source=source,
+            process=process.describe(),
+            policy=config.name,
+            jobs=jobs,
+            seed=seed,
+        )
     sim = GridSimulator(
         rows=rows,
         cols=cols,
@@ -165,28 +177,51 @@ def run_lifecycle_point(
     unanswered = 0
     shed = 0
     next_iid = 0
-    for _ in range(jobs):
-        instructions = lifecycle_workload(n_instructions, start_iid=next_iid)
-        next_iid += n_instructions
-        expected: Dict[int, int] = {
-            iid: reference_compute(op, a, b).value
-            for iid, op, a, b in instructions
-        }
-        job = sim.run_instructions(
-            instructions, max_rounds=max_rounds, shed_to_capacity=True
-        )
-        submitted += job.submitted
-        delivered_correct += sum(
-            1 for iid, value in job.results.items() if expected[iid] == value
-        )
-        unanswered += len(job.missing)
-        shed += job.delivery.shed
+    with obs.metrics.time("lifecycle.point"):
+        for _ in range(jobs):
+            instructions = lifecycle_workload(
+                n_instructions, start_iid=next_iid
+            )
+            next_iid += n_instructions
+            expected: Dict[int, int] = {
+                iid: reference_compute(op, a, b).value
+                for iid, op, a, b in instructions
+            }
+            job = sim.run_instructions(
+                instructions, max_rounds=max_rounds, shed_to_capacity=True
+            )
+            submitted += job.submitted
+            delivered_correct += sum(
+                1
+                for iid, value in job.results.items()
+                if expected[iid] == value
+            )
+            unanswered += len(job.missing)
+            shed += job.delivery.shed
     stats = sim.stats()
     availability = (
         alive_cell_cycles[0] / alive_cell_cycles[1]
         if alive_cell_cycles[1]
         else 1.0
     )
+    metrics = obs.metrics
+    metrics.counter("lifecycle.points").inc()
+    metrics.counter("lifecycle.jobs").inc(jobs)
+    metrics.counter("lifecycle.submitted").inc(submitted)
+    metrics.counter("lifecycle.delivered_correct").inc(delivered_correct)
+    metrics.counter("lifecycle.unanswered").inc(unanswered)
+    metrics.counter("lifecycle.fault_events").inc(stats.temporal_fault_events)
+    if obs.enabled:
+        obs.trace.emit(
+            "lifecycle_point_end",
+            source=source,
+            process=process.describe(),
+            policy=config.name,
+            submitted=submitted,
+            delivered_correct=delivered_correct,
+            cycles=stats.cycles,
+            availability=availability,
+        )
     return LifecyclePoint(
         process=process.describe(),
         policy=config.name,

@@ -20,6 +20,7 @@ from repro.coding.bits import popcount
 from repro.faults.mask import MaskPolicy
 from repro.faults.packing import unpack_flags, words_to_int
 from repro.faults.stats import SampleStats, summarize
+from repro.obs import get_observer
 
 #: One workload instruction: (opcode, operand1, operand2, expected result).
 Instruction = Tuple[int, int, int, int]
@@ -117,19 +118,54 @@ class FaultCampaign:
         workload: Optional[str] = None,
     ) -> TrialResult:
         """Run one trial: fresh mask per instruction, score 8-bit results."""
+        obs = get_observer()
+        source = f"campaign/{workload}" if workload else "campaign"
+        if obs.enabled:
+            obs.trace.emit(
+                "trial_start",
+                source=source,
+                trial=trial,
+                instructions=len(instructions),
+                batched=False,
+            )
         rng = self._rng_for_trial(trial, workload)
         n_sites = self._alu.site_count
         correct = 0
         injected = 0
-        for op, a, b, expected in instructions:
-            mask = self._policy.generate(n_sites, rng)
-            injected += popcount(mask)
-            result = self._alu.compute(op, a, b, fault_mask=mask)
-            if result.value == expected:
-                correct += 1
+        with obs.metrics.time("campaign.trial"):
+            for op, a, b, expected in instructions:
+                mask = self._policy.generate(n_sites, rng)
+                injected += popcount(mask)
+                result = self._alu.compute(op, a, b, fault_mask=mask)
+                if result.value == expected:
+                    correct += 1
+        self._record_trial(obs, source, trial, len(instructions), correct, injected)
         return TrialResult(
             total=len(instructions), correct=correct, injected_faults=injected
         )
+
+    @staticmethod
+    def _record_trial(
+        obs, source: str, trial: int, total: int, correct: int, injected: int
+    ) -> None:
+        """Post one trial's tallies to the active observer (no-op by default)."""
+        metrics = obs.metrics
+        metrics.counter("campaign.trials").inc()
+        metrics.counter("campaign.instructions").inc(total)
+        metrics.counter("campaign.faults_injected").inc(injected)
+        metrics.counter("campaign.incorrect").inc(total - correct)
+        if obs.enabled:
+            obs.trace.emit(
+                "fault_injected", source=source, trial=trial, count=injected
+            )
+            obs.trace.emit(
+                "trial_end",
+                source=source,
+                trial=trial,
+                total=total,
+                correct=correct,
+                injected=injected,
+            )
 
     def run_workload_batched(
         self,
@@ -147,28 +183,40 @@ class FaultCampaign:
         masks, so the result is identical to :meth:`run_workload` for the
         same ``(seed, trial, workload)`` in every case.
         """
+        obs = get_observer()
+        source = f"campaign/{workload}" if workload else "campaign"
+        if obs.enabled:
+            obs.trace.emit(
+                "trial_start",
+                source=source,
+                trial=trial,
+                instructions=len(instructions),
+                batched=True,
+            )
         rng = self._rng_for_trial(trial, workload)
         n_sites = self._alu.site_count
         n = len(instructions)
-        words = self._policy.generate_batch(n_sites, n, rng)
-        flags = unpack_flags(words, n_sites)
-        injected = int(flags.sum())
-        engine = self._engine()
-        if engine is None:
-            correct = 0
-            for row, (op, a, b, expected) in enumerate(instructions):
-                mask = words_to_int(words[row])
-                if self._alu.compute(op, a, b, fault_mask=mask).value == expected:
-                    correct += 1
-        else:
-            ops = np.fromiter((i[0] for i in instructions), np.int64, count=n)
-            a_ops = np.fromiter((i[1] for i in instructions), np.int64, count=n)
-            b_ops = np.fromiter((i[2] for i in instructions), np.int64, count=n)
-            expected = np.fromiter(
-                (i[3] for i in instructions), np.int64, count=n
-            )
-            values = engine.values(ops, a_ops, b_ops, flags)
-            correct = int(np.count_nonzero(values == expected))
+        with obs.metrics.time("campaign.trial_batched"):
+            words = self._policy.generate_batch(n_sites, n, rng)
+            flags = unpack_flags(words, n_sites)
+            injected = int(flags.sum())
+            engine = self._engine()
+            if engine is None:
+                correct = 0
+                for row, (op, a, b, expected) in enumerate(instructions):
+                    mask = words_to_int(words[row])
+                    if self._alu.compute(op, a, b, fault_mask=mask).value == expected:
+                        correct += 1
+            else:
+                ops = np.fromiter((i[0] for i in instructions), np.int64, count=n)
+                a_ops = np.fromiter((i[1] for i in instructions), np.int64, count=n)
+                b_ops = np.fromiter((i[2] for i in instructions), np.int64, count=n)
+                expected = np.fromiter(
+                    (i[3] for i in instructions), np.int64, count=n
+                )
+                values = engine.values(ops, a_ops, b_ops, flags)
+                correct = int(np.count_nonzero(values == expected))
+        self._record_trial(obs, source, trial, n, correct, injected)
         return TrialResult(total=n, correct=correct, injected_faults=injected)
 
     def run_trials(
@@ -205,7 +253,8 @@ class FaultCampaign:
         """
         run = self.run_workload_batched if batched else self.run_workload
         all_trials: List[TrialResult] = []
-        for name, instructions in sorted(workloads.items()):
-            for t in range(trials_per_workload):
-                all_trials.append(run(instructions, trial=t, workload=name))
+        with get_observer().metrics.time("campaign.suite"):
+            for name, instructions in sorted(workloads.items()):
+                for t in range(trials_per_workload):
+                    all_trials.append(run(instructions, trial=t, workload=name))
         return CampaignResult(trials=tuple(all_trials))

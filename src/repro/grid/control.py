@@ -38,6 +38,7 @@ from repro.cell.cell import CellMode
 from repro.grid.grid import Coord, NanoBoxGrid
 from repro.grid.packet import InstructionPacket
 from repro.grid.watchdog import Watchdog
+from repro.obs import get_observer
 
 #: One job instruction: (instruction_id, opcode, operand1, operand2).
 JobInstruction = Tuple[int, int, int, int]
@@ -383,6 +384,53 @@ class ControlProcessor:
                 delivery.duplicates += 1
             results[iid] = packet.result
 
+    @staticmethod
+    def _record_job(
+        obs,
+        stats: PhaseStats,
+        delivery: DeliveryStats,
+        rounds: int,
+        delivered: int,
+    ) -> None:
+        """Post one job's transport tallies to the active observer.
+
+        Every ``DeliveryStats`` counter field has a ``control.*`` metrics
+        twin, so campaign-scale runs aggregate transport behaviour across
+        jobs without hand-summing per-job dataclasses.  No-op (shared
+        null instruments) when no observer is installed.
+        """
+        metrics = obs.metrics
+        metrics.counter("control.jobs").inc()
+        metrics.counter("control.rounds").inc(rounds)
+        metrics.counter("control.delivered").inc(delivered)
+        metrics.counter("control.cycles.shift_in").inc(stats.shift_in)
+        metrics.counter("control.cycles.compute").inc(stats.compute)
+        metrics.counter("control.cycles.shift_out").inc(stats.shift_out)
+        metrics.counter("control.enqueued").inc(delivery.enqueued)
+        metrics.counter("control.undeliverable").inc(delivery.undeliverable)
+        metrics.counter("control.retransmissions").inc(
+            delivery.retransmissions
+        )
+        metrics.counter("control.duplicates").inc(delivery.duplicates)
+        metrics.counter("control.spurious_results").inc(
+            delivery.spurious_results
+        )
+        metrics.counter("control.timed_out").inc(delivery.timed_out)
+        metrics.counter("control.corrupt_rejected").inc(
+            delivery.corrupt_rejected
+        )
+        metrics.counter("control.link_dropped").inc(delivery.link_dropped)
+        metrics.counter("control.aborted_phases").inc(delivery.aborted_phases)
+        metrics.counter("control.shed").inc(delivery.shed)
+        if obs.enabled:
+            obs.trace.emit(
+                "job_end",
+                source="control",
+                rounds=rounds,
+                delivered=delivered,
+                cycles=stats.total,
+            )
+
     def run_job(
         self,
         instructions: Sequence[JobInstruction],
@@ -414,6 +462,15 @@ class ControlProcessor:
             raise ValueError("instruction IDs must be unique within a job")
         known_ids = set(ids)
 
+        obs = get_observer()
+        if obs.enabled:
+            obs.trace.emit(
+                "job_start",
+                source="control",
+                submitted=len(instructions),
+                max_rounds=max_rounds,
+                shed_to_capacity=shed_to_capacity,
+            )
         stats = PhaseStats()
         delivery = DeliveryStats()
         results: Dict[int, int] = {}
@@ -439,7 +496,8 @@ class ControlProcessor:
             queues, skipped = self._build_shift_in_queues(submission, placement)
             delivery.undeliverable += len(skipped)
 
-            cycles, sent, undeliverable, aborted = self._run_shift_in(queues)
+            with obs.metrics.time("control.phase.shift_in"):
+                cycles, sent, undeliverable, aborted = self._run_shift_in(queues)
             stats.shift_in += cycles
             delivery.enqueued += len(sent)
             delivery.undeliverable += undeliverable
@@ -448,15 +506,25 @@ class ControlProcessor:
                 prior = attempts.get(iid, 0)
                 delivery.retransmissions += int(prior > 0)
                 attempts[iid] = prior + 1
+                if prior > 0 and obs.enabled:
+                    obs.trace.emit(
+                        "packet_retransmit",
+                        source="control",
+                        instruction_id=iid,
+                        round=rounds,
+                        attempt=prior + 1,
+                    )
 
-            cycles, aborted = self._run_compute()
+            with obs.metrics.time("control.phase.compute"):
+                cycles, aborted = self._run_compute()
             stats.compute += cycles
             delivery.aborted_phases += int(aborted)
 
-            cycles, aborted = self._run_shift_out(
-                expected_count=len(sent),
-                idle_streak_limit=int(min(idle_limit, self.MAX_IDLE_STREAK)),
-            )
+            with obs.metrics.time("control.phase.shift_out"):
+                cycles, aborted = self._run_shift_out(
+                    expected_count=len(sent),
+                    idle_streak_limit=int(min(idle_limit, self.MAX_IDLE_STREAK)),
+                )
             stats.shift_out += cycles
             delivery.aborted_phases += int(aborted)
 
@@ -478,6 +546,7 @@ class ControlProcessor:
         delivery.link_dropped = (
             getattr(self._grid, "link_dropped", 0) - dropped_base
         )
+        self._record_job(obs, stats, delivery, rounds, len(results))
         return JobResult(
             results=results,
             submitted=len(instructions),

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.alu.reference import reference_compute
 from repro.cell.cell import CellFullError
 from repro.grid.grid import Coord, NanoBoxGrid
+from repro.obs import get_observer
 
 
 class CellState(enum.Enum):
@@ -260,6 +261,14 @@ class Watchdog:
             streak = self._silent_streak.get(coord, 0) + 1
             self._silent_streak[coord] = streak
             if streak <= self._policy.suspect_polls:
+                obs = get_observer()
+                if obs.enabled and self.state(coord) is not CellState.SUSPECT:
+                    obs.trace.emit(
+                        "cell_suspect",
+                        source="watchdog",
+                        cell=coord,
+                        cycle=self._grid.cycle,
+                    )
                 self._states[coord] = CellState.SUSPECT
                 continue
             self._quarantine(coord)
@@ -282,6 +291,25 @@ class Watchdog:
         else:
             # The paper's one-shot semantics: disabled means forever.
             self._states[coord] = CellState.RETIRED
+        obs = get_observer()
+        obs.metrics.counter("watchdog.quarantines").inc()
+        if self._states[coord] is CellState.RETIRED:
+            obs.metrics.counter("watchdog.retirements").inc()
+        if obs.enabled:
+            obs.trace.emit(
+                "cell_quarantined",
+                source="watchdog",
+                cell=coord,
+                cycle=self._grid.cycle,
+                outcome=self._states[coord].value,
+            )
+            if self._states[coord] is CellState.RETIRED:
+                obs.trace.emit(
+                    "cell_retired",
+                    source="watchdog",
+                    cell=coord,
+                    cycle=self._grid.cycle,
+                )
 
     # ---------------------------------------------------------------- probing
 
@@ -300,6 +328,7 @@ class Watchdog:
         """
         if not self._policy.probing:
             return []
+        obs = get_observer()
         reports: List[ProbeReport] = []
         canaries = [
             (op, a, b, reference_compute(op, a, b).value)
@@ -317,6 +346,28 @@ class Watchdog:
                 self._failed_rounds[coord] = self._failed_rounds.get(coord, 0) + 1
                 if self._failed_rounds[coord] >= self._policy.retire_failed_rounds:
                     self._states[coord] = CellState.RETIRED
+                    obs.metrics.counter("watchdog.retirements").inc()
+                    if obs.enabled:
+                        obs.trace.emit(
+                            "cell_retired",
+                            source="watchdog",
+                            cell=coord,
+                            cycle=self._grid.cycle,
+                        )
+            obs.metrics.counter("watchdog.probes").inc()
+            if not passed:
+                obs.metrics.counter("watchdog.probe_failures").inc()
+            if obs.enabled:
+                obs.trace.emit(
+                    "probe_result",
+                    source="watchdog",
+                    cell=coord,
+                    cycle=self._grid.cycle,
+                    passed=passed,
+                    clean_streak=self._clean_probes[coord],
+                    failed_rounds=self._failed_rounds[coord],
+                    outcome=self.state(coord).value,
+                )
             reports.append(
                 ProbeReport(
                     cell=coord,
@@ -338,6 +389,15 @@ class Watchdog:
         self._readmission_counts[coord] = (
             self._readmission_counts.get(coord, 0) + 1
         )
+        obs = get_observer()
+        obs.metrics.counter("watchdog.readmissions").inc()
+        if obs.enabled:
+            obs.trace.emit(
+                "cell_readmitted",
+                source="watchdog",
+                cell=coord,
+                cycle=self._grid.cycle,
+            )
 
     # --------------------------------------------------------------- failover
 

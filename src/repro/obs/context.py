@@ -1,0 +1,92 @@
+"""The observer: one handle bundling metrics + trace, installed per run.
+
+Instrumented code (campaign, executor, grid control, watchdog, lifecycle
+experiments) never takes an observability parameter; it calls
+:func:`get_observer` -- one module-global read -- and talks to whatever
+is installed.  By default that is :data:`NULL_OBSERVER`, whose metrics
+registry and trace log are shared no-op singletons, so the uninstrumented
+cost is a global lookup plus a no-op method call.
+
+A run opts in with::
+
+    from repro.obs import Observer, observing
+
+    obs = Observer()
+    with observing(obs):
+        campaign.run_workload_suite(...)
+    print(obs.metrics.to_json())
+
+The never-perturb contract: installing an observer MUST NOT change any
+experiment outcome.  Observability code never draws from a NumPy
+``Generator`` or :mod:`random`, never mutates simulation state, and only
+reads counts plus its own injected clock.  A differential test pins
+this: ``run_workload_suite`` and the lifecycle sweep produce *equal*
+results with observability on and off.
+
+The current observer is process-global (not thread-local): the code base
+parallelises with process pools, and each worker process starts at
+:data:`NULL_OBSERVER` unless the executor installs one for the chunk.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
+from repro.obs.trace import NullTraceLog, TraceLog
+
+__all__ = ["Observer", "NULL_OBSERVER", "get_observer", "observing"]
+
+
+class Observer:
+    """Bundle of one run's metrics registry and trace log.
+
+    Args:
+        metrics: registry to record into; default builds a fresh one.
+        trace: event log to emit into; default builds a fresh one.
+        clock: convenience -- when given (and ``metrics``/``trace`` are
+            defaulted), both are built over this clock, which is how
+            tests make timer and event timestamps deterministic.
+    """
+
+    __slots__ = ("metrics", "trace", "enabled")
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceLog] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if metrics is None:
+            metrics = (
+                MetricsRegistry(clock=clock) if clock else MetricsRegistry()
+            )
+        if trace is None:
+            trace = TraceLog(clock=clock) if clock else TraceLog()
+        self.metrics = metrics
+        self.trace = trace
+        self.enabled = metrics.enabled or trace.enabled
+
+
+#: The default, disabled observer: everything it touches is a no-op.
+NULL_OBSERVER = Observer(metrics=NullMetricsRegistry(), trace=NullTraceLog())
+
+_current: Observer = NULL_OBSERVER
+
+
+def get_observer() -> Observer:
+    """The currently installed observer (:data:`NULL_OBSERVER` by default)."""
+    return _current
+
+
+@contextmanager
+def observing(observer: Observer) -> Iterator[Observer]:
+    """Install ``observer`` for the dynamic extent of the ``with`` block."""
+    global _current
+    previous = _current
+    _current = observer
+    try:
+        yield observer
+    finally:
+        _current = previous

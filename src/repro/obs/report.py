@@ -1,0 +1,149 @@
+"""ASCII rendering of one run's metrics and trace.
+
+``report_metrics`` turns an :class:`~repro.obs.context.Observer` (or a
+bare registry + log) into the fixed-width summary the CLI prints under
+``--obs-report``: top timers by total time, the counter table, gauges,
+and a per-cell lifecycle timeline reconstructed from watchdog trace
+events (quarantine / probe / re-admission / retirement, in cycle order).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.context import Observer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceEvent, TraceLog
+
+__all__ = ["report_metrics", "lifecycle_timeline"]
+
+#: Trace event kinds that describe one cell's health lifecycle.
+_LIFECYCLE_KINDS = (
+    "cell_suspect",
+    "cell_quarantined",
+    "probe_result",
+    "cell_readmitted",
+    "cell_retired",
+)
+
+
+def _format_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.3f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def _timer_table(metrics: MetricsRegistry, top: int) -> str:
+    from repro.experiments.report import format_table
+
+    histograms = sorted(
+        metrics.histograms(), key=lambda h: h.total, reverse=True
+    )[:top]
+    if not histograms:
+        return "(no timers recorded)"
+    rows = [
+        (
+            h.name,
+            h.count,
+            _format_seconds(h.total),
+            _format_seconds(h.mean),
+            _format_seconds(h.quantile(0.5)),
+            _format_seconds(h.quantile(0.95)),
+            _format_seconds(h.max or 0.0),
+        )
+        for h in histograms
+        if h.count
+    ]
+    if not rows:
+        return "(no timers recorded)"
+    return format_table(
+        ("timer", "count", "total", "mean", "p50", "p95", "max"), rows
+    )
+
+
+def _counter_table(metrics: MetricsRegistry) -> str:
+    from repro.experiments.report import format_table
+
+    rows = [(c.name, c.value) for c in metrics.counters()]
+    if not rows:
+        return "(no counters recorded)"
+    return format_table(("counter", "value"), rows)
+
+
+def _gauge_table(metrics: MetricsRegistry) -> Optional[str]:
+    from repro.experiments.report import format_table
+
+    rows = [(g.name, f"{g.value:g}") for g in metrics.gauges() if g.assigned]
+    if not rows:
+        return None
+    return format_table(("gauge", "value"), rows)
+
+
+def _describe_lifecycle_event(event: TraceEvent) -> str:
+    cycle = event.fields.get("cycle", "?")
+    if event.kind == "probe_result":
+        verdict = "pass" if event.fields.get("passed") else "fail"
+        outcome = event.fields.get("outcome", "")
+        return f"probe {verdict}->{outcome}@{cycle}"
+    label = {
+        "cell_suspect": "suspect",
+        "cell_quarantined": "quarantined",
+        "cell_readmitted": "readmitted",
+        "cell_retired": "retired",
+    }.get(event.kind, event.kind)
+    return f"{label}@{cycle}"
+
+
+def lifecycle_timeline(trace: TraceLog) -> str:
+    """Per-cell health history, one line per cell, events in trace order.
+
+    Cells that never left ACTIVE (no lifecycle events) are omitted.
+    """
+    by_cell: Dict[Tuple[int, ...], List[TraceEvent]] = {}
+    for event in trace.events:
+        if event.kind not in _LIFECYCLE_KINDS:
+            continue
+        cell = event.fields.get("cell")
+        if cell is None:
+            continue
+        by_cell.setdefault(tuple(cell), []).append(event)  # type: ignore[arg-type]
+    if not by_cell:
+        return "(no lifecycle events traced)"
+    lines = []
+    for cell in sorted(by_cell):
+        steps = " -> ".join(
+            _describe_lifecycle_event(e) for e in by_cell[cell]
+        )
+        lines.append(f"cell {cell}: {steps}")
+    return "\n".join(lines)
+
+
+def report_metrics(
+    observer: Observer,
+    top_timers: int = 10,
+    title: str = "Observability report",
+) -> str:
+    """Render one observer's metrics + trace as an ASCII summary."""
+    sections: List[str] = [title, "=" * len(title)]
+    sections.append("")
+    sections.append(f"Top timers (by total time, top {top_timers})")
+    sections.append(_timer_table(observer.metrics, top_timers))
+    sections.append("")
+    sections.append("Counters")
+    sections.append(_counter_table(observer.metrics))
+    gauges = _gauge_table(observer.metrics)
+    if gauges is not None:
+        sections.append("")
+        sections.append("Gauges")
+        sections.append(gauges)
+    sections.append("")
+    sections.append("Cell lifecycle timeline")
+    sections.append(lifecycle_timeline(observer.trace))
+    dropped = observer.trace.dropped
+    sections.append("")
+    sections.append(
+        f"Trace: {len(observer.trace)} event(s) retained, {dropped} evicted"
+    )
+    return "\n".join(sections) + "\n"

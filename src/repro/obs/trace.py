@@ -1,0 +1,222 @@
+"""Structured event tracing with ring-buffer retention and JSONL export.
+
+Where :mod:`repro.obs.metrics` answers "how many, how long",
+:class:`TraceLog` answers "what happened, in what order": a typed event
+bus that the campaign, executor, grid, and lifecycle layers emit into --
+``trial_start``/``trial_end``, ``fault_injected``, ``packet_retransmit``,
+``cell_quarantined``, ``probe_result``, ``chunk_retried``, and friends.
+
+Events live in a bounded ring buffer (old events are evicted, never
+errors), carry a per-log monotone sequence number (so events from one
+source are totally ordered -- property-tested), and export as JSON Lines
+for offline analysis.
+
+The disabled form (:class:`NullTraceLog`) makes ``emit`` an immediate
+return.  Hot paths additionally guard emission with ``if obs.enabled:``
+so the keyword-argument dict for a suppressed event is never even built
+-- the zero-allocation no-op mode the instrumentation relies on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    IO,
+    Iterable,
+    Mapping,
+    Tuple,
+    Union,
+)
+
+__all__ = ["TraceEvent", "TraceLog", "NullTraceLog"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured event.
+
+    Attributes:
+        seq: per-log monotone sequence number; later events always have
+            larger ``seq``, so events sharing a ``source`` are totally
+            ordered by it.
+        t: clock reading at emission (the log's injected clock).
+        kind: event type tag, e.g. ``"cell_quarantined"``.
+        source: emitting component, e.g. ``"campaign/gradient"`` or
+            ``"watchdog"``.
+        fields: free-form JSON-safe payload.
+    """
+
+    seq: int
+    t: float
+    kind: str
+    source: str
+    fields: Mapping[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A flat JSON-safe dict (the JSONL record shape)."""
+        record: Dict[str, object] = {
+            "seq": self.seq,
+            "t": self.t,
+            "kind": self.kind,
+            "source": self.source,
+        }
+        record.update(self.fields)
+        return record
+
+
+class TraceLog:
+    """Bounded, ordered event log.
+
+    Args:
+        capacity: ring-buffer size; once full, the oldest events are
+            evicted (counted in :attr:`dropped`).
+        clock: time source stamped onto each event.  Injected for
+            deterministic tests; defaults to :func:`time.perf_counter`.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = 65_536,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._clock = clock
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._seq = 0
+        self._dropped = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring buffer so far."""
+        return self._dropped
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next emitted event will carry."""
+        return self._seq
+
+    @property
+    def events(self) -> Tuple[TraceEvent, ...]:
+        """Retained events, oldest first."""
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def emit(self, kind: str, source: str = "", **fields: object) -> TraceEvent:
+        """Append one event; returns it (instrumentation ignores this)."""
+        event = TraceEvent(
+            seq=self._seq,
+            t=self._clock(),
+            kind=kind,
+            source=source,
+            fields=fields,
+        )
+        self._seq += 1
+        if len(self._events) == self._capacity:
+            self._dropped += 1
+        self._events.append(event)
+        return event
+
+    def events_from(self, source: str) -> Tuple[TraceEvent, ...]:
+        """Retained events emitted by ``source``, in sequence order."""
+        return tuple(e for e in self._events if e.source == source)
+
+    def events_of(self, kind: str) -> Tuple[TraceEvent, ...]:
+        """Retained events of one kind, in sequence order."""
+        return tuple(e for e in self._events if e.kind == kind)
+
+    # ----------------------------------------------------------------- merge
+
+    def extend(
+        self,
+        records: Iterable[Mapping[str, object]],
+        source_prefix: str = "",
+    ) -> int:
+        """Append foreign event records (e.g. from a worker process).
+
+        Each record is re-stamped with this log's next sequence numbers
+        (preserving the incoming relative order, so the per-source total
+        order survives the merge) and, optionally, a ``source_prefix``
+        namespacing the emitting worker.  Returns the number of events
+        appended.
+        """
+        appended = 0
+        for record in records:
+            payload = dict(record)
+            payload.pop("seq", None)
+            t = float(payload.pop("t", 0.0))
+            kind = str(payload.pop("kind", ""))
+            source = str(payload.pop("source", ""))
+            if source_prefix:
+                source = (
+                    f"{source_prefix}/{source}" if source else source_prefix
+                )
+            event = TraceEvent(
+                seq=self._seq, t=t, kind=kind, source=source, fields=payload
+            )
+            self._seq += 1
+            if len(self._events) == self._capacity:
+                self._dropped += 1
+            self._events.append(event)
+            appended += 1
+        return appended
+
+    # ------------------------------------------------------------------- IO
+
+    def to_records(self) -> Tuple[Dict[str, object], ...]:
+        """Every retained event as a JSON-safe dict."""
+        return tuple(e.to_dict() for e in self._events)
+
+    def to_jsonl(self, destination: Union[str, IO[str]]) -> int:
+        """Write retained events as JSON Lines; returns the line count.
+
+        Args:
+            destination: a path or an open text file object.
+        """
+        if isinstance(destination, str):
+            with open(destination, "w") as handle:
+                return self.to_jsonl(handle)
+        count = 0
+        for event in self._events:
+            destination.write(json.dumps(event.to_dict(), sort_keys=True))
+            destination.write("\n")
+            count += 1
+        return count
+
+
+class NullTraceLog(TraceLog):
+    """The disabled log: ``emit`` is an immediate no-op.
+
+    Instrumented code additionally guards emission behind
+    ``if obs.enabled:`` so suppressed events allocate nothing at all.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1, clock=lambda: 0.0)
+
+    def emit(self, kind: str, source: str = "", **fields: object) -> None:  # type: ignore[override]
+        return None
+
+    def extend(
+        self,
+        records: Iterable[Mapping[str, object]],
+        source_prefix: str = "",
+    ) -> int:
+        return 0

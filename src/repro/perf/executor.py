@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.faults.campaign import CampaignResult, FaultCampaign
+from repro.obs import Observer, get_observer, observing
 from repro.perf.spec import ALUSpec, PolicySpec
 from repro.workloads.bitmap import Bitmap, gradient
 
@@ -104,6 +105,28 @@ def _execute_chunk(
 ) -> List[CampaignResult]:
     """Worker entry point for one indexed chunk of items."""
     return [_execute_item(item) for item in items]
+
+
+def _execute_chunk_observed(
+    items: Sequence[CampaignWorkItem],
+) -> Tuple[List[CampaignResult], Dict[str, object], Tuple[Dict[str, object], ...]]:
+    """Observed worker entry point: results + the worker's observability.
+
+    Used instead of :func:`_execute_chunk` when the parent process has an
+    observer installed.  The worker records into its own fresh observer
+    (worker processes start at the null observer) and ships the metrics
+    snapshot and trace records home with the results; the parent merges
+    them.  The campaign results themselves are identical either way --
+    observability never perturbs them.
+    """
+    worker_obs = Observer()
+    with observing(worker_obs):
+        results = _execute_chunk(items)
+    return (
+        results,
+        worker_obs.metrics.snapshot(),
+        worker_obs.trace.to_records(),
+    )
 
 
 def _discard_pool(pool: ProcessPoolExecutor) -> None:
@@ -200,21 +223,49 @@ class CampaignExecutor:
         self, items: Sequence[CampaignWorkItem]
     ) -> Tuple[List[CampaignResult], ExecutorStats]:
         """Execute every item and report retry/rebuild accounting."""
+        obs = get_observer()
+        with obs.metrics.time("executor.run"):
+            results, stats = self._run_with_stats(items, obs)
+        obs.metrics.counter("executor.items").inc(len(results))
+        obs.metrics.counter("executor.chunks").inc(stats.chunks)
+        obs.metrics.counter("executor.retries").inc(stats.retries)
+        obs.metrics.counter("executor.pool_rebuilds").inc(stats.pool_rebuilds)
+        return results, stats
+
+    def _run_with_stats(
+        self, items: Sequence[CampaignWorkItem], obs: Observer
+    ) -> Tuple[List[CampaignResult], ExecutorStats]:
         items = list(items)
         stats = ExecutorStats()
         self._last_stats = stats
         if self._jobs == 1 or len(items) <= 1:
+            # Inline: items run under the caller's observer directly.
             return [_execute_item(item) for item in items], stats
+        # Only the stock chunk fn has an observed twin; a monkeypatched
+        # chunk fn (the crash-injection tests) runs unobserved.
+        observed = obs.enabled and self._chunk_fn is _execute_chunk
+        chunk_fn = _execute_chunk_observed if observed else self._chunk_fn
         chunks = self._chunked(items)
         stats.chunks = len(chunks)
         workers = min(self._jobs, len(chunks))
         completed: Dict[int, List[CampaignResult]] = {}
         attempts: Dict[int, int] = {idx: 0 for idx in range(len(chunks))}
+
+        def absorb(idx: int, payload) -> None:
+            """Record one finished chunk, folding in worker observability."""
+            if observed:
+                results, metrics_snapshot, trace_records = payload
+                obs.metrics.merge_snapshot(metrics_snapshot)
+                obs.trace.extend(trace_records, source_prefix=f"chunk{idx}")
+                completed[idx] = results
+            else:
+                completed[idx] = payload
+
         pool = ProcessPoolExecutor(max_workers=workers)
         try:
             while len(completed) < len(chunks):
                 pending = {
-                    pool.submit(self._chunk_fn, chunks[idx]): idx
+                    pool.submit(chunk_fn, chunks[idx]): idx
                     for idx in range(len(chunks))
                     if idx not in completed
                 }
@@ -224,15 +275,21 @@ class CampaignExecutor:
                         # A broken pool fails every sibling future too;
                         # collect what finished, resubmit the rest.
                         if future.done() and future.exception() is None:
-                            completed[idx] = future.result()
+                            absorb(idx, future.result())
                         continue
                     try:
-                        completed[idx] = future.result(
-                            timeout=self._chunk_timeout
-                        )
+                        absorb(idx, future.result(timeout=self._chunk_timeout))
                     except (BrokenProcessPool, FutureTimeout) as exc:
                         attempts[idx] += 1
                         stats.retries += 1
+                        if obs.enabled:
+                            obs.trace.emit(
+                                "chunk_retried",
+                                source="executor",
+                                chunk=idx,
+                                attempt=attempts[idx],
+                                error=repr(exc),
+                            )
                         if attempts[idx] > self._max_retries:
                             raise CampaignExecutionError(
                                 f"chunk {idx} failed "

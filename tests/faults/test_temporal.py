@@ -105,3 +105,108 @@ class TestStreamType:
     def test_attach_returns_stream(self):
         process = TemporalFaultProcess.transient(0.1)
         assert isinstance(process.attach((0, 0), seed=1), CellFaultStream)
+
+
+class ScriptedRng:
+    """Stands in for a Generator: replays a fixed uniform-draw script."""
+
+    def __init__(self, draws):
+        self._draws = iter(draws)
+
+    def random(self):
+        return next(self._draws)
+
+
+class TestZeroRateStreams:
+    """rate=0 must be a true no-op for every temporal kind."""
+
+    def test_intermittent_zero_rate_never_bursts(self):
+        process = TemporalFaultProcess.intermittent(0.0, burst_length=5)
+        stream = process.attach((0, 0), seed=7)
+        assert all(stream.sample().quiet for _ in range(200))
+
+    def test_stuck_at_zero_rate_never_kills(self):
+        stream = TemporalFaultProcess.stuck_at(0.0).attach((0, 0), seed=7)
+        assert all(stream.sample().quiet for _ in range(200))
+        assert not stream.dead
+
+
+class TestBurstHorizonEdges:
+    def test_burst_straddles_sampling_horizon(self):
+        # Onset on the very last cycle of a 10-cycle horizon: the burst's
+        # remaining cycles are not lost -- they continue when sampling
+        # resumes, because burst state lives in the stream, not the loop.
+        process = TemporalFaultProcess.intermittent(0.5, burst_length=4)
+        rng = ScriptedRng([1.0] * 9 + [0.0])  # quiet x9, onset at cycle 10
+        stream = CellFaultStream(process, rng)
+        horizon = [stream.sample() for _ in range(10)]
+        assert all(e.quiet for e in horizon[:9])
+        assert horizon[9].errors == 1
+        # The remaining 3 burst cycles drain without touching the RNG.
+        tail = [stream.sample() for _ in range(3)]
+        assert all(e.errors == 1 for e in tail)
+
+    def test_burst_length_one_is_transient_shaped(self):
+        process = TemporalFaultProcess.intermittent(
+            0.5, burst_length=1, errors_per_cycle=2
+        )
+        rng = ScriptedRng([0.0, 1.0, 1.0])  # onset, then two quiet draws
+        stream = CellFaultStream(process, rng)
+        assert stream.sample() == CellFaultEvent(errors=2)
+        # No residual burst cycles: the next samples consult the RNG and
+        # come back quiet, exactly like an isolated transient glitch.
+        assert stream.sample().quiet
+        assert stream.sample().quiet
+
+
+class TestStuckAtAfterRevive:
+    """A stuck-at cell stays stuck even if its heartbeat is revived.
+
+    The permanent stream goes dead at onset, and the killed cell's
+    force-silenced heartbeat makes every canary probe fail -- so the
+    watchdog's re-admission path can never resurrect genuinely dead
+    hardware by accident.
+    """
+
+    def _killed_stream(self):
+        stream = CellFaultStream(
+            TemporalFaultProcess.stuck_at(0.5), ScriptedRng([0.0])
+        )
+        assert stream.sample().kill
+        return stream
+
+    def test_stream_stays_dead_no_recurrence(self):
+        stream = self._killed_stream()
+        assert stream.dead
+        # No second kill event, ever -- and no further RNG draws (the
+        # scripted RNG would raise StopIteration if one were attempted).
+        assert all(stream.sample().quiet for _ in range(100))
+
+    def test_heartbeat_revive_does_not_resurrect_stream(self):
+        from repro.cell.heartbeat import Heartbeat
+
+        stream = self._killed_stream()
+        heartbeat = Heartbeat(error_threshold=4)
+        heartbeat.silence()  # what the kill event does to the cell
+        heartbeat.revive()  # watchdog re-admission path
+        assert heartbeat.healthy
+        # The fault process itself remains permanently dead.
+        assert stream.dead
+        assert all(stream.sample().quiet for _ in range(50))
+
+    def test_killed_cell_fails_probe_despite_clean_alu(self):
+        from repro.alu.nanobox import NanoBoxALU
+        from repro.alu.reference import reference_compute
+        from repro.cell.cell import ProcessorCell
+        from repro.grid.watchdog import PROBE_CANARIES
+
+        cell = ProcessorCell(0, 0, NanoBoxALU())
+        canaries = [
+            (op, a, b, reference_compute(op, a, b).value)
+            for op, a, b in PROBE_CANARIES
+        ]
+        assert cell.probe(canaries)
+        cell.heartbeat.silence()
+        # Force-silenced hardware cannot answer a probe at all, so the
+        # quarantine protocol can never re-admit a stuck-at cell.
+        assert not cell.probe(canaries)

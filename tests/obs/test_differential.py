@@ -1,0 +1,106 @@
+"""The never-perturb guarantee, pinned.
+
+Observability must be a pure read-out: installing an observer must not
+change any experiment result -- not one RNG draw, not one packet.  These
+differential tests run the same experiment bare and observed and assert
+the outputs are *equal* (the result objects are frozen value types over
+ints, so dataclass equality is byte-level identity of the outcome).
+CI runs this module explicitly as the observability determinism gate.
+"""
+
+from repro.alu.variants import build_alu
+from repro.experiments.lifecycle import (
+    lifecycle_table_text,
+    run_lifecycle_point,
+    self_healing_policy,
+)
+from repro.faults.campaign import FaultCampaign
+from repro.faults.mask import ExactFractionMask
+from repro.faults.temporal import TemporalFaultProcess
+from repro.obs import Observer, observing
+from repro.workloads.bitmap import gradient
+from repro.workloads.imaging import paper_workloads
+
+
+def _observed(fn):
+    """Run ``fn`` under a fresh observer; return (result, observer)."""
+    obs = Observer()
+    with observing(obs):
+        result = fn()
+    return result, obs
+
+
+class TestCampaignUnperturbed:
+    def _suite(self, batched):
+        campaign = FaultCampaign(
+            build_alu("alunn"), ExactFractionMask(0.03), seed=11
+        )
+        return campaign.run_workload_suite(
+            paper_workloads(gradient(8, 8)), 2, batched=batched
+        )
+
+    def test_scalar_suite_identical(self):
+        bare = self._suite(batched=False)
+        observed, obs = _observed(lambda: self._suite(batched=False))
+        assert observed == bare
+        assert obs.metrics.counter("campaign.trials").value == 4
+
+    def test_batched_suite_identical(self):
+        bare = self._suite(batched=True)
+        observed, obs = _observed(lambda: self._suite(batched=True))
+        assert observed == bare
+        # Scalar and batched also agree with each other, observed or not.
+        assert observed == self._suite(batched=False)
+        assert obs.trace.events_of("trial_end")
+
+
+class TestExecutorUnperturbed:
+    def _items(self):
+        from repro.perf import ALUSpec, CampaignWorkItem, PolicySpec
+
+        return [
+            CampaignWorkItem(
+                alu=ALUSpec.variant("alunn"),
+                policy=PolicySpec.exact(0.03),
+                trials_per_workload=1,
+                seed=3,
+            )
+            for _ in range(4)
+        ]
+
+    def test_parallel_run_identical_and_metrics_merged(self):
+        from repro.perf import CampaignExecutor
+
+        bare = CampaignExecutor(jobs=2, chunk_size=1).run(self._items())
+        observed, obs = _observed(
+            lambda: CampaignExecutor(jobs=2, chunk_size=1).run(self._items())
+        )
+        assert observed == bare
+        # Worker-side campaign counters came home through the fold.
+        assert obs.metrics.counter("campaign.trials").value == 8
+        assert obs.metrics.counter("executor.chunks").value == 4
+        # Worker trace shards were merged under per-chunk sources.
+        sources = {e.source for e in obs.trace.events}
+        assert any(s.startswith("chunk") for s in sources)
+
+
+class TestLifecycleUnperturbed:
+    def _point(self):
+        return run_lifecycle_point(
+            TemporalFaultProcess.intermittent(
+                rate=0.0015, burst_length=5, errors_per_cycle=3
+            ),
+            self_healing_policy(),
+            jobs=2,
+            n_instructions=24,
+            seed=2004,
+        )
+
+    def test_lifecycle_point_identical(self):
+        bare = self._point()
+        observed, obs = _observed(self._point)
+        assert observed == bare
+        assert lifecycle_table_text([observed]) == lifecycle_table_text([bare])
+        # The watchdog and control layers reported through the observer.
+        assert obs.metrics.counter("control.jobs").value == 2
+        assert obs.trace.events_of("job_start")

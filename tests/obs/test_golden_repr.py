@@ -1,0 +1,83 @@
+"""Golden reprs for the result/stats dataclasses, and their docs.
+
+The per-layer counter dataclasses (``TrialResult``, ``DeliveryStats``,
+``JobResult``, ``ExecutorStats``) are part of the observable API: their
+reprs land in logs and their fields are documented in
+``docs/ARCHITECTURE.md``'s Observability section.  Pinning the exact
+repr makes field additions deliberate -- adding one must update this
+golden, and the docs-coverage check below forces the new field to be
+documented in the same commit.
+"""
+
+import dataclasses
+import os
+
+from repro.faults.campaign import TrialResult
+from repro.grid.control import DeliveryStats, JobResult, PhaseStats
+from repro.perf.executor import ExecutorStats
+
+DOCS_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "..", "docs", "ARCHITECTURE.md"
+)
+
+
+class TestGoldenReprs:
+    def test_trial_result(self):
+        assert repr(TrialResult(total=64, correct=60, injected_faults=7)) == (
+            "TrialResult(total=64, correct=60, injected_faults=7)"
+        )
+
+    def test_phase_stats(self):
+        assert repr(PhaseStats()) == (
+            "PhaseStats(shift_in=0, compute=0, shift_out=0)"
+        )
+
+    def test_delivery_stats(self):
+        assert repr(DeliveryStats()) == (
+            "DeliveryStats(enqueued=0, undeliverable=0, retransmissions=0, "
+            "duplicates=0, spurious_results=0, timed_out=0, "
+            "corrupt_rejected=0, link_dropped=0, aborted_phases=0, shed=0)"
+        )
+
+    def test_executor_stats(self):
+        assert repr(ExecutorStats()) == (
+            "ExecutorStats(chunks=0, retries=0, pool_rebuilds=0)"
+        )
+
+    def test_job_result(self):
+        result = JobResult(
+            results={}, submitted=0, rounds=0, cycles=PhaseStats()
+        )
+        assert repr(result) == (
+            "JobResult(results={}, submitted=0, rounds=0, "
+            "cycles=PhaseStats(shift_in=0, compute=0, shift_out=0), "
+            "unassigned=[], missing=[], "
+            "delivery=DeliveryStats(enqueued=0, undeliverable=0, "
+            "retransmissions=0, duplicates=0, spurious_results=0, "
+            "timed_out=0, corrupt_rejected=0, link_dropped=0, "
+            "aborted_phases=0, shed=0))"
+        )
+
+
+class TestFieldsAreDocumented:
+    """Every counter field must appear in the Observability docs section."""
+
+    def _observability_section(self):
+        with open(DOCS_PATH) as handle:
+            text = handle.read()
+        assert "## Observability" in text, (
+            "docs/ARCHITECTURE.md must keep its Observability section"
+        )
+        section = text.split("## Observability", 1)[1]
+        # Stop at the next same-level heading, if any.
+        return section.split("\n## ", 1)[0]
+
+    def test_every_field_documented(self):
+        section = self._observability_section()
+        for cls in (TrialResult, PhaseStats, DeliveryStats, JobResult,
+                    ExecutorStats):
+            for field in dataclasses.fields(cls):
+                assert f"`{field.name}`" in section, (
+                    f"{cls.__name__}.{field.name} is undocumented in "
+                    "docs/ARCHITECTURE.md's Observability section"
+                )

@@ -1,0 +1,167 @@
+"""Unit tests for the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, NullMetricsRegistry
+
+
+class FakeClock:
+    """Deterministic monotonic clock for timer tests."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+        self.calls = 0
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        self.calls += 1
+        return value
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc(4)
+        assert registry.counter("a").value == 5
+
+    def test_same_name_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("a").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        assert not gauge.assigned
+        gauge.set(2.0)
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+        assert gauge.assigned
+
+
+class TestHistogram:
+    def test_accounting(self):
+        histogram = MetricsRegistry().histogram("h")
+        for v in (3.0, 1.0, 2.0):
+            histogram.observe(v)
+        assert histogram.count == 3
+        assert histogram.total == 6.0
+        assert histogram.min == 1.0
+        assert histogram.max == 3.0
+        assert histogram.mean == 2.0
+        assert histogram.samples == (1.0, 2.0, 3.0)
+
+    def test_quantile_bounds_and_errors(self):
+        histogram = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError):
+            histogram.quantile(0.5)  # empty
+        histogram.observe(1.0)
+        histogram.observe(9.0)
+        assert histogram.quantile(0.0) == 1.0
+        assert histogram.quantile(1.0) == 9.0
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_thinning_keeps_exact_totals(self):
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("h", max_samples=8)
+        for v in range(100):
+            histogram.observe(float(v))
+        assert histogram.count == 100
+        assert histogram.total == sum(range(100))
+        assert histogram.min == 0.0
+        assert histogram.max == 99.0
+        assert len(histogram.samples) <= 8
+
+
+class TestTimers:
+    def test_timer_uses_injected_clock(self):
+        clock = FakeClock(step=2.5)
+        registry = MetricsRegistry(clock=clock)
+        with registry.time("t"):
+            pass
+        assert registry.histogram("t").samples == (2.5,)
+        assert clock.calls == 2
+
+    def test_timer_records_on_exception(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with registry.time("t"):
+                raise RuntimeError("boom")
+        assert registry.histogram("t").count == 1
+
+
+class TestSnapshotMerge:
+    def test_snapshot_round_trips_through_json(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        with registry.time("t"):
+            pass
+        parsed = json.loads(registry.to_json())
+        assert parsed["counters"] == {"c": 3}
+        assert parsed["gauges"] == {"g": 1.5}
+        assert parsed["histograms"]["t"]["count"] == 1
+
+    def test_merge_adds_counters_and_concats_histograms(self):
+        a = MetricsRegistry(clock=FakeClock())
+        b = MetricsRegistry(clock=FakeClock(step=3.0))
+        a.counter("c").inc(2)
+        b.counter("c").inc(5)
+        b.counter("only_b").inc(1)
+        with a.time("t"):
+            pass
+        with b.time("t"):
+            pass
+        a.merge(b)
+        assert a.counter("c").value == 7
+        assert a.counter("only_b").value == 1
+        assert a.histogram("t").count == 2
+        assert a.histogram("t").samples == (1.0, 3.0)
+        assert a.histogram("t").min == 1.0
+        assert a.histogram("t").max == 3.0
+
+    def test_merge_gauge_last_write_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(9.0)
+        a.merge(b)
+        assert a.gauge("g").value == 9.0
+
+    def test_unassigned_gauges_not_exported(self):
+        registry = MetricsRegistry()
+        registry.gauge("g")  # never set
+        assert registry.snapshot()["gauges"] == {}
+
+
+class TestNullRegistry:
+    def test_everything_is_a_shared_noop(self):
+        null = NullMetricsRegistry()
+        assert not null.enabled
+        null.counter("a").inc(10)
+        null.gauge("g").set(1.0)
+        null.histogram("h").observe(2.0)
+        with null.time("t"):
+            pass
+        assert len(null) == 0
+        assert null.counter("a") is null.counter("b")
+        assert null.time("x") is null.time("y")
+
+    def test_clock_never_called(self):
+        null = NullMetricsRegistry()
+        # The null timer must not read the (booby-trapped) clock.
+        with null.time("t"):
+            pass
+        with pytest.raises(AssertionError):
+            null.clock()

@@ -1,0 +1,104 @@
+"""Tests for the ASCII observability report and observer context."""
+
+from repro.obs import (
+    NULL_OBSERVER,
+    Observer,
+    get_observer,
+    lifecycle_timeline,
+    observing,
+    report_metrics,
+)
+
+
+class SteppingClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+class TestObserverContext:
+    def test_default_is_null(self):
+        assert get_observer() is NULL_OBSERVER
+        assert not NULL_OBSERVER.enabled
+
+    def test_observing_installs_and_restores(self):
+        obs = Observer()
+        assert obs.enabled
+        with observing(obs):
+            assert get_observer() is obs
+        assert get_observer() is NULL_OBSERVER
+
+    def test_observing_restores_on_exception(self):
+        obs = Observer()
+        try:
+            with observing(obs):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert get_observer() is NULL_OBSERVER
+
+    def test_nested_observers(self):
+        outer, inner = Observer(), Observer()
+        with observing(outer):
+            with observing(inner):
+                assert get_observer() is inner
+            assert get_observer() is outer
+
+    def test_shared_clock_constructor(self):
+        clock = SteppingClock()
+        obs = Observer(clock=clock)
+        with obs.metrics.time("t"):
+            pass
+        obs.trace.emit("e")
+        assert obs.metrics.histogram("t").count == 1
+        assert obs.trace.events[0].t == 3.0  # two timer reads, then emit
+
+
+class TestReportMetrics:
+    def _observer_with_data(self):
+        obs = Observer(clock=SteppingClock())
+        obs.metrics.counter("control.jobs").inc(3)
+        obs.metrics.gauge("grid.availability").set(0.75)
+        with obs.metrics.time("campaign.trial"):
+            pass
+        obs.trace.emit(
+            "cell_quarantined", source="watchdog", cell=(1, 2), cycle=40
+        )
+        obs.trace.emit(
+            "probe_result",
+            source="watchdog",
+            cell=(1, 2),
+            cycle=55,
+            passed=True,
+            outcome="active",
+        )
+        obs.trace.emit(
+            "cell_readmitted", source="watchdog", cell=(1, 2), cycle=55
+        )
+        return obs
+
+    def test_report_sections(self):
+        text = report_metrics(self._observer_with_data())
+        assert "Top timers" in text
+        assert "campaign.trial" in text
+        assert "control.jobs" in text
+        assert "grid.availability" in text
+        assert "Cell lifecycle timeline" in text
+        assert "3 event(s) retained" in text
+
+    def test_timeline_orders_cell_events(self):
+        timeline = lifecycle_timeline(self._observer_with_data().trace)
+        assert timeline == (
+            "cell (1, 2): quarantined@40 -> probe pass->active@55 "
+            "-> readmitted@55"
+        )
+
+    def test_empty_observer_renders_placeholders(self):
+        text = report_metrics(Observer())
+        assert "(no timers recorded)" in text
+        assert "(no counters recorded)" in text
+        assert "(no lifecycle events traced)" in text
+        assert "Gauges" not in text

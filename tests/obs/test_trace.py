@@ -1,0 +1,115 @@
+"""Unit tests for the trace event log."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import NullTraceLog, TraceLog
+
+
+def fixed_clock():
+    return 42.0
+
+
+class TestEmission:
+    def test_events_carry_seq_time_kind_source_fields(self):
+        log = TraceLog(clock=fixed_clock)
+        event = log.emit("trial_start", source="campaign", trial=3)
+        assert event.seq == 0
+        assert event.t == 42.0
+        assert event.kind == "trial_start"
+        assert event.source == "campaign"
+        assert event.fields == {"trial": 3}
+
+    def test_seq_is_monotone(self):
+        log = TraceLog(clock=fixed_clock)
+        seqs = [log.emit("e").seq for _ in range(5)]
+        assert seqs == [0, 1, 2, 3, 4]
+        assert log.next_seq == 5
+
+    def test_filters(self):
+        log = TraceLog(clock=fixed_clock)
+        log.emit("a", source="x")
+        log.emit("b", source="y")
+        log.emit("a", source="y")
+        assert [e.kind for e in log.events_from("y")] == ["b", "a"]
+        assert [e.source for e in log.events_of("a")] == ["x", "y"]
+
+
+class TestRingBuffer:
+    def test_capacity_evicts_oldest(self):
+        log = TraceLog(capacity=3, clock=fixed_clock)
+        for i in range(5):
+            log.emit("e", index=i)
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert [e.fields["index"] for e in log.events] == [2, 3, 4]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TraceLog(capacity=0)
+
+
+class TestJsonl:
+    def test_export_shape(self):
+        log = TraceLog(clock=fixed_clock)
+        log.emit("probe_result", source="watchdog", cell=(1, 2), passed=True)
+        buffer = io.StringIO()
+        assert log.to_jsonl(buffer) == 1
+        record = json.loads(buffer.getvalue())
+        assert record == {
+            "seq": 0,
+            "t": 42.0,
+            "kind": "probe_result",
+            "source": "watchdog",
+            "cell": [1, 2],
+            "passed": True,
+        }
+
+    def test_export_to_path(self, tmp_path):
+        log = TraceLog(clock=fixed_clock)
+        log.emit("a")
+        log.emit("b")
+        path = str(tmp_path / "trace.jsonl")
+        assert log.to_jsonl(path) == 2
+        lines = open(path).read().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["kind"] == "b"
+
+
+class TestExtend:
+    def test_extend_restamps_seq_and_prefixes_source(self):
+        worker = TraceLog(clock=fixed_clock)
+        worker.emit("trial_start", source="campaign", trial=0)
+        worker.emit("trial_end", source="campaign", trial=0)
+        parent = TraceLog(clock=fixed_clock)
+        parent.emit("job_start", source="executor")
+        appended = parent.extend(worker.to_records(), source_prefix="chunk3")
+        assert appended == 2
+        kinds = [(e.seq, e.kind, e.source) for e in parent.events]
+        assert kinds == [
+            (0, "job_start", "executor"),
+            (1, "trial_start", "chunk3/campaign"),
+            (2, "trial_end", "chunk3/campaign"),
+        ]
+        # Payload fields survive the merge.
+        assert parent.events[1].fields == {"trial": 0}
+
+    def test_extend_without_prefix(self):
+        parent = TraceLog(clock=fixed_clock)
+        parent.extend([{"kind": "x", "source": "s", "t": 1.0, "seq": 99}])
+        assert parent.events[0].seq == 0
+        assert parent.events[0].source == "s"
+
+
+class TestNullTraceLog:
+    def test_emit_is_noop(self):
+        log = NullTraceLog()
+        assert not log.enabled
+        assert log.emit("anything", source="x", heavy="payload") is None
+        assert log.extend([{"kind": "x"}]) == 0
+        assert len(log) == 0
+        buffer = io.StringIO()
+        assert log.to_jsonl(buffer) == 0
+        assert buffer.getvalue() == ""

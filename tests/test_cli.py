@@ -109,6 +109,49 @@ class TestLifecycle:
         assert capsys.readouterr().out == first
 
 
+class TestObservabilityFlags:
+    ARGV = [
+        "lifecycle", "--processes", "transient",
+        "--jobs", "2", "--instructions", "32", "--seed", "5",
+    ]
+
+    def test_metrics_and_trace_exports(self, capsys, tmp_path):
+        import json
+
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(self.ARGV + [
+            "--metrics", str(metrics_path),
+            "--trace", str(trace_path),
+            "--obs-report",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Observability report" in out
+        snapshot = json.loads(metrics_path.read_text())
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        assert snapshot["counters"]["control.jobs"] > 0
+        records = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        assert records
+        assert all("kind" in r and "seq" in r for r in records)
+
+    def test_observed_table_matches_bare(self, capsys, tmp_path):
+        assert main(self.ARGV) == 0
+        bare = capsys.readouterr().out
+        assert main(self.ARGV + [
+            "--metrics", str(tmp_path / "m.json")
+        ]) == 0
+        observed = capsys.readouterr().out
+        # The experiment output is byte-identical; the flag only appends
+        # its export confirmation afterwards.
+        assert observed.startswith(bare)
+        extra = observed[len(bare):].splitlines()
+        assert all(line.startswith("wrote ") for line in extra)
+
+
 class TestYield:
     def test_yield_table(self, capsys):
         code = main([
