@@ -6,20 +6,21 @@
 -- at a higher check-bit cost per stored bit.
 """
 
-from benchmarks.conftest import print_series
+from benchmarks.conftest import SMOKE, print_series, scaled
 from repro.experiments.ablations import ABLATION_PERCENTS, hamming_block_size_ablation
 
 
 def run_ablation():
-    return hamming_block_size_ablation(trials_per_workload=3)
+    return hamming_block_size_ablation(trials_per_workload=scaled(3, 1))
 
 
 def test_bench_hamming_block_size(benchmark):
     series = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
     print_series("Hamming block size (paper uses 16)", ABLATION_PERCENTS,
                  series)
-    knee = list(ABLATION_PERCENTS).index(1)
-    assert series["block8"][knee] >= series["block16"][knee] - 3.0
-    assert series["block16"][knee] >= series["block32"][knee] - 3.0
+    if not SMOKE:
+        knee = list(ABLATION_PERCENTS).index(1)
+        assert series["block8"][knee] >= series["block16"][knee] - 3.0
+        assert series["block16"][knee] >= series["block32"][knee] - 3.0
     for name, values in series.items():
         assert values[0] == 100.0, name

@@ -11,7 +11,7 @@ proportional share of the hits.
 from repro.alu.nanobox import NanoBoxALU
 from repro.alu.redundancy import SimplexALU
 from repro.experiments.ablations import sweep_unit
-from benchmarks.conftest import print_series
+from benchmarks.conftest import SMOKE, print_series, scaled
 
 PERCENTS = (0, 0.5, 1, 2, 3, 5)
 
@@ -21,7 +21,8 @@ def run_comparison():
     for scheme, label in (("hamming", "ideal decoder"),
                           ("hamming-gate", "fault-prone decoder")):
         alu = SimplexALU(NanoBoxALU(scheme=scheme), name=f"decoder[{label}]")
-        series[label] = sweep_unit(alu, PERCENTS, trials_per_workload=4, seed=23)
+        series[label] = sweep_unit(alu, PERCENTS, trials_per_workload=scaled(4, 1),
+                                   seed=23)
     return series
 
 
@@ -39,6 +40,7 @@ def test_bench_faulty_decoder(benchmark):
     # though per-site exposure differs because the fraction is fixed).
     assert series["ideal decoder"][0] == 100.0
     assert series["fault-prone decoder"][0] == 100.0
-    knee = PERCENTS.index(2)
-    assert series["fault-prone decoder"][knee] <= \
-        series["ideal decoder"][knee] + 10.0
+    if not SMOKE:
+        knee = PERCENTS.index(2)
+        assert series["fault-prone decoder"][knee] <= \
+            series["ideal decoder"][knee] + 10.0

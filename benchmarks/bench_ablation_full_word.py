@@ -10,6 +10,8 @@ everything.
 
 import numpy as np
 
+from benchmarks.conftest import SMOKE, scaled
+
 from repro.cell.memword import MEMORY_WORD_BITS, MemoryWord
 from repro.cell.memword_full import (
     FULL_WORD_BITS,
@@ -18,7 +20,7 @@ from repro.cell.memword_full import (
 )
 
 UPSET_PROBS = (0.002, 0.01, 0.03)
-TRIALS = 1200
+TRIALS = scaled(1200, 150)
 
 
 def _noise(rng, width, p):
@@ -66,6 +68,8 @@ def test_bench_full_word_tmr(benchmark):
     print(f"  storage: {MEMORY_WORD_BITS} vs {FULL_WORD_BITS} bits "
           f"({storage_overhead():.2f}x)")
 
+    if SMOKE:
+        return
     # Full TMR must dominate at every swept probability.
     for p, paper, full in rows:
         assert full < paper, p

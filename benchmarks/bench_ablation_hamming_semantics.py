@@ -11,17 +11,19 @@ the architecture:
 * ``hamming-fp``   -- flip-output-on-any-syndrome (fully pessimistic).
 """
 
-from benchmarks.conftest import print_series
+from benchmarks.conftest import SMOKE, print_series, scaled
 from repro.experiments.ablations import ABLATION_PERCENTS, hamming_semantics_ablation
 
 
 def run_ablation():
-    return hamming_semantics_ablation(trials_per_workload=3)
+    return hamming_semantics_ablation(trials_per_workload=scaled(3, 1))
 
 
 def test_bench_hamming_semantics(benchmark):
     series = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
     print_series("Hamming decoder semantics", ABLATION_PERCENTS, series)
+    if SMOKE:
+        return
     knee = list(ABLATION_PERCENTS).index(2)
     # The architecture, not the code, loses: a textbook decoder would
     # have beaten the uncoded table at the knee...

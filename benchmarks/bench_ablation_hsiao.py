@@ -12,7 +12,7 @@ the uncoded and triplicated tables at matched fault fractions.
 from repro.alu.nanobox import NanoBoxALU
 from repro.alu.redundancy import SimplexALU
 from repro.experiments.ablations import sweep_unit
-from benchmarks.conftest import print_series
+from benchmarks.conftest import SMOKE, print_series, scaled
 
 PERCENTS = (0, 0.5, 1, 2, 3, 5, 9)
 
@@ -21,7 +21,8 @@ def run_comparison():
     series = {}
     for scheme in ("none", "hamming", "hsiao", "tmr"):
         alu = SimplexALU(NanoBoxALU(scheme=scheme), name=f"hsiao-ablate[{scheme}]")
-        series[scheme] = sweep_unit(alu, PERCENTS, trials_per_workload=4, seed=21)
+        series[scheme] = sweep_unit(alu, PERCENTS,
+                                    trials_per_workload=scaled(4, 1), seed=21)
     return series
 
 
@@ -29,12 +30,13 @@ def test_bench_hsiao_information_code(benchmark):
     series = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
     print_series("Information codes: Hsiao SEC-DED vs paper Hamming",
                  PERCENTS, series)
-    knee = PERCENTS.index(2)
-    # Hsiao must beat both the paper's Hamming decoder and no code...
-    assert series["hsiao"][knee] > series["hamming"][knee]
-    assert series["hsiao"][knee] >= series["none"][knee]
-    # ...while triplicated strings stay the overall winner.
-    assert series["tmr"][knee] >= series["hsiao"][knee]
+    if not SMOKE:
+        knee = PERCENTS.index(2)
+        # Hsiao must beat both the paper's Hamming decoder and no code...
+        assert series["hsiao"][knee] > series["hamming"][knee]
+        assert series["hsiao"][knee] >= series["none"][knee]
+        # ...while triplicated strings stay the overall winner.
+        assert series["tmr"][knee] >= series["hsiao"][knee]
     # Site cost context: hsiao = 16 x 44 = 704 sites, between alunh's
     # 672 and aluns' 1536.
     assert SimplexALU(NanoBoxALU(scheme="hsiao")).site_count == 704

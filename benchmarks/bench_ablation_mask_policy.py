@@ -6,17 +6,18 @@ closely, confirming the injection semantics carries no hidden effect --
 and licensing the analytical cross-checks in ``repro.analysis``.
 """
 
-from benchmarks.conftest import print_series
+from benchmarks.conftest import SMOKE, print_series, scaled
 from repro.experiments.ablations import ABLATION_PERCENTS, mask_policy_ablation
 
 
 def run_ablation():
-    return mask_policy_ablation(trials_per_workload=4)
+    return mask_policy_ablation(trials_per_workload=scaled(4, 1))
 
 
 def test_bench_mask_policy(benchmark):
     series = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
     print_series("Mask policy (TMR ALU)", ABLATION_PERCENTS, series)
+    tolerance = 25.0 if SMOKE else 10.0
     for i, pct in enumerate(ABLATION_PERCENTS):
         delta = abs(series["exact"][i] - series["bernoulli"][i])
-        assert delta < 10.0, f"policies diverge at {pct}%: {delta}"
+        assert delta < tolerance, f"policies diverge at {pct}%: {delta}"

@@ -8,11 +8,12 @@ clock: upsets must now coincide within one scrub interval.  This bench
 sweeps the upset rate with scrubbing off and on.
 """
 
+from benchmarks.conftest import scaled
 from repro.grid.simulator import GridSimulator
 from repro.workloads.bitmap import gradient
 from repro.workloads.imaging import reverse_video
 
-UPSET_RATES = (1e-4, 3e-4, 1e-3)
+UPSET_RATES = scaled((1e-4, 3e-4, 1e-3), (3e-4, 1e-3))
 
 
 def run_sweep():

@@ -7,14 +7,19 @@ tolerates at the 98 % target, and whether triplication is the sweet spot
 of the replication family at the paper's operating knee.
 """
 
+from benchmarks.conftest import SMOKE, scaled
 from repro.analysis.design_space import fault_budget, fit_budget, tradeoff_table
 from repro.experiments.report import format_table
+
+
+SCHEMES = scaled(("none", "hamming", "tmr", "5mr", "7mr"),
+                 ("none", "hamming", "tmr"))
 
 
 def run_analysis():
     budgets = {
         scheme: (fault_budget(scheme, 98.0), fit_budget(scheme, 98.0))
-        for scheme in ("none", "hamming", "tmr", "5mr", "7mr")
+        for scheme in SCHEMES
     }
     tradeoffs = tradeoff_table(0.025)
     return budgets, tradeoffs
@@ -42,5 +47,6 @@ def test_bench_design_space(benchmark):
     # TMR's 98%-budget lands in the paper's headline FIT decade.
     assert 1e23 < budgets["tmr"][1] < 1e25
     # Replication budgets rise with order; information code trails all.
-    assert budgets["7mr"][0] > budgets["5mr"][0] > budgets["tmr"][0]
+    if not SMOKE:  # higher replication orders dropped from the smoke sweep
+        assert budgets["7mr"][0] > budgets["5mr"][0] > budgets["tmr"][0]
     assert budgets["hamming"][0] < budgets["none"][0]

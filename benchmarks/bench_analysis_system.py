@@ -6,6 +6,7 @@ instructions does a cell compute before the watchdog disables it, and
 how much of a grid survives a 64-instruction job?
 """
 
+from benchmarks.conftest import scaled
 from repro.analysis.system import (
     disagreement_probability,
     expected_instructions_to_disable,
@@ -15,10 +16,13 @@ from repro.analysis.system import (
 from repro.experiments.report import format_table
 
 
+RATES = scaled((0.005, 0.01, 0.03), (0.01, 0.03))
+
+
 def run_analysis():
     rows = []
     for scheme in ("none", "tmr"):
-        for p in (0.005, 0.01, 0.03):
+        for p in RATES:
             d = disagreement_probability(scheme, p)
             rows.append(
                 (
@@ -50,7 +54,7 @@ def test_bench_watchdog_horizons(benchmark):
     by = {(scheme, p): row for scheme, p, *row in
           [(r[0], r[1], r) for r in rows]}
     # TMR cells outlive uncoded cells at every rate.
-    for p in (0.005, 0.01, 0.03):
+    for p in RATES:
         none_row = next(r for r in rows if r[0] == "none" and r[1] == p)
         tmr_row = next(r for r in rows if r[0] == "tmr" and r[1] == p)
         assert tmr_row[3] > none_row[3]      # mean instructions to disable

@@ -9,11 +9,16 @@ rule strands its entire column, and measures how much capacity the
 fault-adaptive routing policy recovers.
 """
 
+from benchmarks.conftest import scaled
 from repro.grid.simulator import GridSimulator
 from repro.workloads.bitmap import gradient
 from repro.workloads.imaging import reverse_video
 
 KILL = {10: [(3, 1)]}  # top-row cell of a 4x4 grid dies almost immediately
+
+#: Image size: 64 pixels normally, 32 under smoke (kill still lands
+#: mid-job -- shift-in alone takes 32 * 8 / 4 = 64 cycles).
+SIZE = scaled((8, 8), (8, 4))
 
 
 def run(adaptive: bool):
@@ -21,7 +26,7 @@ def run(adaptive: bool):
         rows=4, cols=4, seed=17, kill_schedule=dict(KILL),
         adaptive_routing=adaptive,
     )
-    outcome = sim.run_image_job(gradient(8, 8), reverse_video(), max_rounds=3)
+    outcome = sim.run_image_job(gradient(*SIZE), reverse_video(), max_rounds=3)
     reachable = sum(
         sim.grid.reachable(r, c) for r in range(4) for c in range(4)
     )

@@ -8,6 +8,7 @@ measures the per-wave cost -- the adaptation the paper's future work
 asks about.
 """
 
+from benchmarks.conftest import scaled
 from repro.grid.simulator import GridSimulator
 from repro.workloads.dataflow import (
     GridDataflowExecutor,
@@ -15,7 +16,8 @@ from repro.workloads.dataflow import (
     fir_filter_program,
 )
 
-DATA = [(i * 37 + 11) & 0xFF for i in range(16)]
+N_LEAVES = scaled(16, 8)
+DATA = [(i * 37 + 11) & 0xFF for i in range(N_LEAVES)]
 
 
 def run_checksum_tree():
@@ -34,12 +36,12 @@ def test_bench_dataflow_checksum_tree(benchmark):
           f"{sim.grid.cycle} total fabric cycles")
     assert outcome.complete
     assert outcome.results == program.reference_results()
-    assert outcome.waves_executed == 4  # log2(16)
+    assert outcome.waves_executed == N_LEAVES.bit_length() - 1  # log2
 
 
 def run_fir():
     sim = GridSimulator(rows=3, cols=3, seed=14)
-    program = fir_filter_program(DATA[:10])
+    program = fir_filter_program(DATA[:scaled(10, 8)])
     outcome = GridDataflowExecutor(sim).run(program)
     return program, outcome
 

@@ -7,11 +7,12 @@ stuck-at cells and measures perfect yield and graceful degradation per
 bit-level technique -- the defect half of the NanoBox story.
 """
 
+from benchmarks.conftest import scaled
 from repro.experiments.defect_yield import yield_sweep, yield_table_text
 
 DENSITIES = (5e-4, 2e-3, 5e-3)
 VARIANTS = ("aluncmos", "alunn", "aluns")
-PARTS = 12
+PARTS = scaled(12, 4)
 
 
 def run_sweep():

@@ -8,9 +8,14 @@ cells mid-flight and measures the recovery machinery end to end.
 
 import pytest
 
+from benchmarks.conftest import scaled
 from repro.grid.simulator import GridSimulator
 from repro.workloads.bitmap import gradient
 from repro.workloads.imaging import hue_shift
+
+#: 64 pixels normally, 48 under smoke -- still enough that both kills
+#: (cycles 30 and 90) land while the job is in flight.
+SIZE = scaled((8, 8), (8, 6))
 
 
 def run_failover_job():
@@ -20,7 +25,7 @@ def run_failover_job():
         seed=31,
         kill_schedule={30: [(1, 1)], 90: [(0, 2)]},
     )
-    return sim.run_image_job(gradient(8, 8), hue_shift(), max_rounds=4)
+    return sim.run_image_job(gradient(*SIZE), hue_shift(), max_rounds=4)
 
 
 def test_bench_failover_recovery(benchmark):
@@ -44,7 +49,7 @@ def run_unsalvageable_job():
         kill_schedule={40: [(1, 1)]},
         memory_salvageable=False,
     )
-    return sim.run_image_job(gradient(8, 8), hue_shift(), max_rounds=4)
+    return sim.run_image_job(gradient(*SIZE), hue_shift(), max_rounds=4)
 
 
 def test_bench_failover_without_salvage(benchmark):

@@ -6,6 +6,7 @@ budget, which is dominated by serialising 8-flit instruction packets over
 the 8-bit edge buses exactly as the paper's bus math predicts.
 """
 
+from benchmarks.conftest import scaled
 from repro.grid.simulator import GridSimulator
 from repro.workloads.bitmap import gradient
 from repro.workloads.imaging import reverse_video
@@ -17,7 +18,8 @@ def run_pipeline():
 
 
 def test_bench_grid_image_pipeline(benchmark):
-    outcome = benchmark.pedantic(run_pipeline, rounds=2, iterations=1)
+    outcome = benchmark.pedantic(run_pipeline, rounds=scaled(2, 1),
+                                 iterations=1)
     cycles = outcome.job.cycles
     print()
     print(f"  shift-in {cycles.shift_in} + compute {cycles.compute} + "

@@ -17,6 +17,7 @@ policies and asserts the headline claims of the extension:
   yields identical points, table text included.
 """
 
+from benchmarks.conftest import scaled
 from repro.experiments.lifecycle import (
     default_processes,
     lifecycle_sweep,
@@ -26,8 +27,8 @@ from repro.experiments.lifecycle import (
 )
 from repro.faults.temporal import FaultKind
 
-JOBS = 4
-N_INSTRUCTIONS = 64
+JOBS = scaled(4, 2)
+N_INSTRUCTIONS = scaled(64, 48)
 SEED = 2004
 
 

@@ -10,6 +10,7 @@ triplicated control tables.
 
 import numpy as np
 
+from benchmarks.conftest import scaled
 from repro.cell.lutctrl import LUTFieldVoter
 from repro.cell.memword import MemoryWord
 from repro.faults.mask import ExactFractionMask
@@ -20,8 +21,11 @@ _WORD = MemoryWord(
 ).pack()
 
 
+TRIALS = scaled(4000, 800)
+
+
 def misclassification_rate(scheme: str, fault_fraction: float,
-                           trials: int = 4000) -> float:
+                           trials: int = TRIALS) -> float:
     voter = LUTFieldVoter(scheme)
     policy = ExactFractionMask(fault_fraction)
     rng = np.random.default_rng(7)

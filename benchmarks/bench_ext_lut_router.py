@@ -10,12 +10,14 @@ produces an invalid direction code (a detectable drop).
 
 import numpy as np
 
+from benchmarks.conftest import scaled
 from repro.cell.lutrouter import LUTRouter
 from repro.cell.router import route_packet
 from repro.faults.mask import ExactFractionMask
 
 PERCENTS = (0.5, 1, 2, 5)
-TRIALS = 500
+TRIALS = scaled(500, 120)
+N_JOB = scaled(32, 16)
 
 
 def misroute_rates(scheme: str):
@@ -75,7 +77,8 @@ def run_fabric_job(scheme: str):
     grid = NanoBoxGrid(3, 3, lut_router_scheme=scheme,
                        router_mask_source_factory=factory, n_words=12)
     cp = ControlProcessor(grid, watchdog=Watchdog(grid))
-    instructions = [(i, 0b010, (i * 19) & 0xFF, 0xFF) for i in range(32)]
+    instructions = [(i, 0b010, (i * 19) & 0xFF, 0xFF)
+                    for i in range(N_JOB)]
     result = cp.run_job(instructions, max_rounds=3)
     return grid, result
 
@@ -91,11 +94,12 @@ def test_bench_lut_router_in_fabric(benchmark):
         got = len(result.results)
         print(f"  {label:>8}: misroutes={grid.misroutes} "
               f"invalid={grid.invalid_routes} "
-              f"dropped={len(grid.dropped_packets)} results={got}/32 "
+              f"dropped={len(grid.dropped_packets)} results={got}/{N_JOB} "
               f"rounds={result.rounds}")
     # Misdelivered packets still compute correctly (operands travel with
     # the packet), so correctness of returned results is unconditional.
-    for iid, op, a, b in [(i, 0b010, (i * 19) & 0xFF, 0xFF) for i in range(32)]:
+    for iid, op, a, b in [(i, 0b010, (i * 19) & 0xFF, 0xFF)
+                          for i in range(N_JOB)]:
         for result in (result_none, result_tmr):
             if iid in result.results:
                 assert result.results[iid] == a ^ 0xFF

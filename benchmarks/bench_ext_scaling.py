@@ -8,6 +8,7 @@ checkers' failure-detection latency across grid sizes, plus how the
 fixed 64-pixel job's cycle budget scales with grid shape.
 """
 
+from benchmarks.conftest import scaled
 from repro.experiments.scaling import (
     detection_latency,
     detection_table_text,
@@ -19,7 +20,7 @@ SIZES = ((2, 2), (4, 4), (8, 8))
 
 
 def run_detection():
-    return detection_latency(sizes=SIZES, trials=60, seed=2004)
+    return detection_latency(sizes=SIZES, trials=scaled(60, 20), seed=2004)
 
 
 def test_bench_detection_latency(benchmark):

@@ -8,12 +8,13 @@ without periodic scrubbing, tracking accuracy and surviving cells over
 the sequence.
 """
 
+from benchmarks.conftest import scaled
 from repro.faults.mask import ExactFractionMask
 from repro.grid.simulator import GridSimulator
 from repro.workloads.bitmap import gradient
 from repro.workloads.imaging import hue_shift, reverse_video
 
-JOBS = 6
+JOBS = scaled(6, 3)
 UPSET_RATE = 5e-5
 
 

@@ -12,6 +12,7 @@ import itertools
 
 import numpy as np
 
+from benchmarks.conftest import scaled
 from repro.faults.mask import ExactFractionMask
 from repro.logic.gates import GateType
 from repro.logic.hamming_checker import build_xor_tree
@@ -20,7 +21,7 @@ from repro.lut.coded import CodedLUT
 from repro.lut.synth import figure1_sum_table
 
 PERCENTS = (1, 3, 5, 10)
-TRIALS = 800
+TRIALS = scaled(800, 200)
 
 
 def build_gate_sum():

@@ -8,6 +8,7 @@ and ~98 % at rates in excess of 1e24.
 
 import pytest
 
+from benchmarks.conftest import scaled
 from repro.experiments.fit_table import fit_rows, fit_table_text, headline_claims
 
 
@@ -23,7 +24,7 @@ def test_bench_fit_translation(benchmark):
 
 def test_bench_headline_claims(benchmark):
     claims = benchmark.pedantic(
-        headline_claims, kwargs=dict(trials_per_workload=5, seed=2004),
+        headline_claims, kwargs=dict(trials_per_workload=scaled(5, 2), seed=2004),
         rounds=1, iterations=1,
     )
     print()

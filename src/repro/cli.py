@@ -19,11 +19,25 @@ The experiment-running subcommands (``sweep``, ``grid``, ``chaos``,
 ``lifecycle``, ``report``) also take observability flags::
 
     nanobox-repro lifecycle --metrics out.json --trace out.jsonl --obs-report
+    nanobox-repro grid --kill 1,1@40 --chrome-trace trace.json
+    nanobox-repro sweep --quick --manifest run.json
+    nanobox-repro replay run.json
 
 which install a :mod:`repro.obs` observer for the run, write the metrics
-registry as JSON and the trace event log as JSON Lines, and print the
-ASCII observability summary.  Observability never changes results: the
-command's primary output is bit-identical with or without these flags.
+registry as JSON / the trace event log as JSON Lines / a
+Perfetto-compatible Chrome trace (open it at ui.perfetto.dev), print the
+ASCII observability summary, or record an exact-replay manifest.
+Observability never changes results: the command's primary output is
+bit-identical with or without these flags, which is exactly what
+``replay`` asserts (byte-for-byte) against a recorded manifest.
+
+The benchmark harness lives under ``bench``::
+
+    nanobox-repro bench run --smoke --filter 'perf_*'
+    nanobox-repro bench compare results/bench_baseline results/bench
+
+emitting one schema-versioned ``BENCH_<name>.json`` per benchmark script
+and diffing two artifact sets with per-metric regression thresholds.
 
 Also available as ``python -m repro.cli``.
 """
@@ -31,20 +45,43 @@ Also available as ``python -m repro.cli``.
 from __future__ import annotations
 
 import argparse
+import io
 import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
 
+class _Tee(io.TextIOBase):
+    """Write-through stream: mirrors writes to every underlying stream."""
+
+    def __init__(self, *streams) -> None:
+        self._streams = streams
+
+    def write(self, text: str) -> int:
+        for stream in self._streams:
+            stream.write(text)
+        return len(text)
+
+    def flush(self) -> None:
+        for stream in self._streams:
+            stream.flush()
+
+
 def _add_observability_args(parser: argparse.ArgumentParser) -> None:
-    """Attach the shared ``--metrics/--trace/--obs-report`` flags."""
+    """Attach the shared observability / provenance flags."""
     group = parser.add_argument_group("observability")
     group.add_argument("--metrics", default=None, metavar="PATH",
                        help="write the run's metrics registry as JSON")
     group.add_argument("--trace", default=None, metavar="PATH",
                        help="write the run's trace events as JSON Lines")
+    group.add_argument("--chrome-trace", default=None, metavar="PATH",
+                       help="write the run's trace as a Chrome trace "
+                            "event file (open in ui.perfetto.dev)")
     group.add_argument("--obs-report", action="store_true",
                        help="print the ASCII observability summary "
                             "(top timers, counters, lifecycle timeline)")
+    group.add_argument("--manifest", default=None, metavar="PATH",
+                       help="record an exact-replay manifest (re-run and "
+                            "verify with: nanobox-repro replay PATH)")
 
 
 def _run_with_observability(args: argparse.Namespace) -> int:
@@ -55,14 +92,40 @@ def _run_with_observability(args: argparse.Namespace) -> int:
     existed.  With flags, an observer is installed for the run and its
     registry/trace are exported afterwards; the command's own stdout is
     unchanged either way (observability never perturbs results).
-    """
-    if not (args.metrics or args.trace or args.obs_report):
-        return args.fn(args)
-    from repro.obs import Observer, observing, report_metrics
 
-    obs = Observer()
-    with observing(obs):
+    ``--manifest`` additionally tees the command's primary stdout into a
+    buffer and records its SHA-256 (plus the exact argv and provenance)
+    so ``nanobox-repro replay`` can later assert a byte-identical re-run.
+    """
+    wants_observer = (
+        args.metrics or args.trace or args.chrome_trace or args.obs_report
+    )
+    if not (wants_observer or args.manifest):
+        return args.fn(args)
+    from contextlib import ExitStack, redirect_stdout
+
+    capture = io.StringIO() if args.manifest else None
+    with ExitStack() as stack:
+        if wants_observer:
+            from repro.obs import Observer, observing
+
+            obs = Observer()
+            stack.enter_context(observing(obs))
+        if capture is not None:
+            stack.enter_context(redirect_stdout(_Tee(sys.stdout, capture)))
         status = args.fn(args)
+    if args.manifest:
+        from repro.obs.manifest import build_manifest, write_manifest
+
+        manifest = build_manifest(
+            command=args.command,
+            argv=getattr(args, "run_argv", []),
+            output_text=capture.getvalue(),
+            exit_status=status,
+            seed=getattr(args, "seed", None),
+        )
+        write_manifest(manifest, args.manifest)
+        print(f"wrote replay manifest to {args.manifest}")
     if args.metrics:
         with open(args.metrics, "w") as f:
             f.write(obs.metrics.to_json())
@@ -71,7 +134,17 @@ def _run_with_observability(args: argparse.Namespace) -> int:
     if args.trace:
         written = obs.trace.to_jsonl(args.trace)
         print(f"wrote {written} trace event(s) to {args.trace}")
+    if args.chrome_trace:
+        from repro.obs.chrome import write_chrome_trace
+
+        written = write_chrome_trace(obs.trace, args.chrome_trace)
+        print(
+            f"wrote {written} chrome trace event(s) to {args.chrome_trace} "
+            f"(open in ui.perfetto.dev)"
+        )
     if args.obs_report:
+        from repro.obs import report_metrics
+
         print()
         print(report_metrics(obs), end="")
     return status
@@ -350,6 +423,119 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.bench import run_benchmarks
+
+    out_dir = Path(args.out) if args.out else None
+    runs = run_benchmarks(
+        filter_glob=args.filter,
+        smoke=args.smoke,
+        out_dir=out_dir,
+        seed=args.seed,
+        timeout=args.timeout,
+        echo=print,
+    )
+    if not runs:
+        print(f"no benchmarks match {args.filter!r}", file=sys.stderr)
+        return 1
+    failed = [run.name for run in runs if not run.passed]
+    total = sum(run.wall_clock for run in runs)
+    print(
+        f"{len(runs)} benchmark(s), {len(failed)} failed, "
+        f"{total:.1f}s total"
+    )
+    if failed:
+        print(f"failed: {', '.join(failed)}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.compare import compare_paths
+
+    thresholds: Dict[str, float] = {}
+    for spec in args.threshold_for or []:
+        try:
+            pattern, _, ratio = spec.partition("=")
+            thresholds[pattern] = float(ratio)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"bad --threshold-for spec {spec!r}; expected GLOB=RATIO"
+            ) from None
+    comparisons, warnings, errors = compare_paths(
+        Path(args.baseline),
+        Path(args.current),
+        only=args.only,
+        threshold=args.threshold,
+        thresholds=thresholds or None,
+        min_time=args.min_time,
+    )
+    for comparison in comparisons:
+        print(comparison.table_text())
+        print()
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    regressions = [d for c in comparisons for d in c.regressions]
+    improvements = [d for c in comparisons for d in c.improvements]
+    print(
+        f"{len(comparisons)} benchmark(s) compared: "
+        f"{len(regressions)} regression(s), "
+        f"{len(improvements)} improvement(s)"
+    )
+    for delta in regressions:
+        print(
+            f"REGRESSION: {delta.name} {delta.ratio:.2f}x "
+            f"(limit {delta.threshold:.2f}x)",
+            file=sys.stderr,
+        )
+    return 1 if (regressions or errors or not comparisons) else 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from repro.obs.manifest import load_manifest
+
+    manifest = load_manifest(args.manifest_path)
+    argv = list(manifest["argv"])
+    with tempfile.TemporaryDirectory(prefix="repro-replay-") as tmp:
+        replay_manifest_path = str(Path(tmp) / "replay_manifest.json")
+        status = main(argv + ["--manifest", replay_manifest_path])
+        replayed = load_manifest(replay_manifest_path)
+    matches = replayed["output_sha256"] == manifest["output_sha256"]
+    same_status = status == manifest["exit_status"]
+    if matches and same_status:
+        print(
+            f"replay OK: output byte-identical to manifest "
+            f"(sha256 {manifest['output_sha256'][:16]}..., "
+            f"{manifest['output_bytes']} bytes)",
+            file=sys.stderr,
+        )
+        return 0
+    if not matches:
+        print(
+            f"replay MISMATCH: manifest sha256 "
+            f"{manifest['output_sha256'][:16]}... "
+            f"({manifest['output_bytes']} bytes) vs replayed "
+            f"{replayed['output_sha256'][:16]}... "
+            f"({replayed['output_bytes']} bytes)",
+            file=sys.stderr,
+        )
+    if not same_status:
+        print(
+            f"replay MISMATCH: exit status {status} vs recorded "
+            f"{manifest['exit_status']}",
+            file=sys.stderr,
+        )
+    return 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.run_all import build_report
 
@@ -486,6 +672,62 @@ def build_parser() -> argparse.ArgumentParser:
     _add_observability_args(lifecycle)
     lifecycle.set_defaults(fn=_cmd_lifecycle)
 
+    bench = sub.add_parser(
+        "bench", help="benchmark telemetry: run scripts, compare artifacts"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_sub.add_parser(
+        "run",
+        help="run benchmarks/bench_*.py and emit BENCH_<name>.json "
+             "artifacts",
+    )
+    bench_run.add_argument("--smoke", action="store_true",
+                           help="export REPRO_BENCH_SMOKE=1: shrunken "
+                                "workloads, CI-fast")
+    bench_run.add_argument("--filter", default=None, metavar="GLOB",
+                           help="only scripts whose name matches "
+                                "(e.g. 'perf_*', 'bench_fig7*')")
+    bench_run.add_argument("--out", default=None, metavar="DIR",
+                           help="artifact directory "
+                                "(default: results/bench)")
+    bench_run.add_argument("--seed", type=int, default=None,
+                           help="harness-level seed recorded in provenance")
+    bench_run.add_argument("--timeout", type=float, default=900.0,
+                           help="per-script wall-clock ceiling in seconds")
+    bench_run.set_defaults(fn=_cmd_bench_run)
+
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="diff two BENCH_*.json artifacts (or directories); exits "
+             "non-zero on regression",
+    )
+    bench_compare.add_argument("baseline",
+                               help="baseline artifact file or directory")
+    bench_compare.add_argument("current",
+                               help="current artifact file or directory")
+    bench_compare.add_argument("--only", default=None, metavar="GLOB",
+                               help="restrict to benchmarks matching GLOB")
+    bench_compare.add_argument("--threshold", type=float, default=1.5,
+                               help="default regression ratio "
+                                    "(current/baseline mean)")
+    bench_compare.add_argument("--threshold-for", action="append",
+                               default=[], metavar="GLOB=RATIO",
+                               help="per-metric threshold override "
+                                    "(repeatable, first match wins)")
+    bench_compare.add_argument("--min-time", type=float, default=1e-3,
+                               help="ignore timers under this many "
+                                    "seconds in both runs (noise floor)")
+    bench_compare.set_defaults(fn=_cmd_bench_compare)
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-run a recorded manifest and assert byte-identical output",
+    )
+    replay.add_argument("manifest_path", metavar="MANIFEST",
+                        help="manifest written by --manifest")
+    replay.set_defaults(fn=_cmd_replay)
+
     report = sub.add_parser("report", help="full EXPERIMENTS report")
     report.add_argument("--quick", action="store_true")
     report.add_argument("--seed", type=int, default=2004)
@@ -501,7 +743,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    run_argv = list(argv) if argv is not None else list(sys.argv[1:])
+    args = parser.parse_args(run_argv)
+    args.run_argv = run_argv
     if hasattr(args, "obs_report"):
         return _run_with_observability(args)
     return args.fn(args)

@@ -1,16 +1,24 @@
-"""repro.obs: structured metrics, event tracing, and profiling hooks.
+"""repro.obs: structured metrics, event tracing, and durable telemetry.
 
 The observability layer underneath the campaign, executor, grid, and
 lifecycle instrumentation:
 
 * :class:`MetricsRegistry` -- named counters, gauges, and histogram
-  timers (injected monotonic clock; mergeable across worker processes);
-* :class:`TraceLog` -- a typed event bus with ring-buffer retention and
-  JSONL export;
+  timers (injected monotonic clock; mergeable across worker processes;
+  :meth:`~MetricsRegistry.from_snapshot` round-trips a snapshot back
+  into live instruments);
+* :class:`TraceLog` -- a typed event bus with ring-buffer retention,
+  JSONL export, and :meth:`~TraceLog.to_chrome_trace` Perfetto export;
 * :class:`Observer` / :func:`observing` / :func:`get_observer` -- the
   per-run handle instrumented code reads (a shared no-op by default);
 * :func:`report_metrics` -- the ASCII summary behind the CLI's
-  ``--obs-report``.
+  ``--obs-report``;
+* :mod:`repro.obs.bench` / :mod:`repro.obs.compare` -- the benchmark
+  harness emitting schema-versioned ``BENCH_*.json`` artifacts and the
+  regression comparison engine behind ``nanobox-repro bench``;
+* :mod:`repro.obs.provenance` / :mod:`repro.obs.manifest` -- run
+  provenance blocks and exact-replay manifests
+  (``--manifest`` / ``nanobox-repro replay``).
 
 The layer's contract is *never perturb*: an instrumented run is
 bit-identical to a bare run (no RNG draws, no state mutation), with
@@ -18,6 +26,7 @@ under 5% throughput overhead on the campaign hot path
 (``benchmarks/bench_obs_overhead.py`` asserts both).
 """
 
+from repro.obs.chrome import to_chrome_trace, write_chrome_trace
 from repro.obs.context import NULL_OBSERVER, Observer, get_observer, observing
 from repro.obs.metrics import (
     Counter,
@@ -26,6 +35,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from repro.obs.provenance import collect_provenance
 from repro.obs.report import lifecycle_timeline, report_metrics
 from repro.obs.trace import NullTraceLog, TraceEvent, TraceLog
 
@@ -40,8 +50,11 @@ __all__ = [
     "Observer",
     "TraceEvent",
     "TraceLog",
+    "collect_provenance",
     "get_observer",
     "lifecycle_timeline",
     "observing",
     "report_metrics",
+    "to_chrome_trace",
+    "write_chrome_trace",
 ]

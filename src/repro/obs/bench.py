@@ -1,0 +1,389 @@
+"""The unified benchmark harness behind ``nanobox-repro bench run``.
+
+The repository carries one ``benchmarks/bench_*.py`` per reproduced
+table, figure, ablation, or extension -- 37 of them -- and until this
+module they reported to stdout only, so no perf number survived the run
+that printed it.  The harness closes that gap:
+
+* :func:`discover_benchmarks` finds every ``bench_*.py`` script (with an
+  optional ``--filter`` glob);
+* :func:`run_benchmark` drives one script through ``pytest`` in a child
+  process (``REPRO_BENCH_SMOKE=1`` when smoke mode is on), captures the
+  pytest-benchmark measurements, replays every raw round timing into a
+  :class:`~repro.obs.metrics.MetricsRegistry` histogram, and builds a
+  schema-versioned artifact;
+* :func:`write_artifact` persists it as ``BENCH_<name>.json`` --
+  wall-clock phases, per-test timer quantiles, throughput, recognised
+  scalar-vs-batched speedup ratios, the full metrics snapshot, and a
+  :func:`~repro.obs.provenance.collect_provenance` block.
+
+Artifacts are the contract: ``bench compare`` (see
+:mod:`repro.obs.compare`) diffs two of them and CI keeps a committed
+baseline under ``results/bench_baseline/``, so a silent slowdown in a
+hot path fails the build instead of fading into stdout history.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.provenance import collect_provenance
+
+__all__ = [
+    "ARTIFACT_REQUIRED_KEYS",
+    "BENCH_SCHEMA",
+    "BENCH_SCHEMA_VERSION",
+    "BenchRun",
+    "artifact_name",
+    "build_artifact",
+    "discover_benchmarks",
+    "load_artifact",
+    "run_benchmark",
+    "run_benchmarks",
+    "write_artifact",
+]
+
+#: Schema identifier stamped into every artifact.
+BENCH_SCHEMA = "repro.bench"
+
+#: Bumped on any backwards-incompatible artifact shape change.
+BENCH_SCHEMA_VERSION = 1
+
+#: Top-level keys every artifact must carry (pinned by the golden test).
+ARTIFACT_REQUIRED_KEYS = (
+    "schema",
+    "schema_version",
+    "name",
+    "script",
+    "smoke",
+    "status",
+    "exit_code",
+    "phases",
+    "tests",
+    "timers",
+    "speedups",
+    "metrics",
+    "provenance",
+)
+
+#: Token substitutions that identify a fast twin of a slow timer; any
+#: timer pair related by one of these yields a ``speedups`` entry.
+_SPEEDUP_TWINS = (("scalar", "batched"), ("serial", "parallel"))
+
+
+def repo_root() -> Path:
+    """The checkout root (parent of ``src``), where ``benchmarks/`` lives."""
+    return Path(__file__).resolve().parents[3]
+
+
+def discover_benchmarks(
+    root: Optional[Path] = None, filter_glob: Optional[str] = None
+) -> List[Path]:
+    """Every ``benchmarks/bench_*.py``, sorted; optionally glob-filtered.
+
+    The glob matches the bare benchmark name (``perf_campaign``), the
+    script stem (``bench_perf_campaign``), or the filename.
+    """
+    bench_dir = (root or repo_root()) / "benchmarks"
+    scripts = sorted(bench_dir.glob("bench_*.py"))
+    if filter_glob is None:
+        return scripts
+    return [
+        s
+        for s in scripts
+        if fnmatch.fnmatch(_bare_name(s), filter_glob)
+        or fnmatch.fnmatch(s.stem, filter_glob)
+        or fnmatch.fnmatch(s.name, filter_glob)
+    ]
+
+
+def _bare_name(script: Path) -> str:
+    """``bench_perf_campaign.py`` -> ``perf_campaign``."""
+    stem = script.stem
+    return stem[len("bench_"):] if stem.startswith("bench_") else stem
+
+
+def artifact_name(script: Path) -> str:
+    """The artifact filename for one script: ``BENCH_<name>.json``."""
+    return f"BENCH_{_bare_name(script)}.json"
+
+
+@dataclass(frozen=True)
+class BenchRun:
+    """Outcome of driving one benchmark script."""
+
+    script: Path
+    artifact: Dict[str, Any]
+
+    @property
+    def name(self) -> str:
+        return str(self.artifact["name"])
+
+    @property
+    def passed(self) -> bool:
+        return self.artifact["status"] == "passed"
+
+    @property
+    def wall_clock(self) -> float:
+        return float(self.artifact["phases"]["run_s"])
+
+
+def _speedups(timers: Mapping[str, Mapping[str, Any]]) -> Dict[str, float]:
+    """Slow/fast wall-clock ratios between recognised timer twins.
+
+    For every pair of timers whose names are related by one
+    :data:`_SPEEDUP_TWINS` substitution (``..._scalar`` vs
+    ``..._batched``, ``..._serial`` vs ``..._parallel``), record
+    ``slow_mean / fast_mean`` under ``"<slow> vs <fast>"``.
+    """
+    ratios: Dict[str, float] = {}
+    for slow_token, fast_token in _SPEEDUP_TWINS:
+        for slow_name, slow_stats in timers.items():
+            if slow_token not in slow_name:
+                continue
+            fast_name = slow_name.replace(slow_token, fast_token)
+            fast_stats = timers.get(fast_name)
+            if fast_stats is None or fast_name == slow_name:
+                continue
+            fast_mean = float(fast_stats["mean"])
+            if fast_mean <= 0.0:
+                continue
+            label = f"{slow_name} vs {fast_name}"
+            ratios[label] = float(slow_stats["mean"]) / fast_mean
+    return ratios
+
+
+def _timer_stats(registry: MetricsRegistry) -> Dict[str, Dict[str, Any]]:
+    """Histogram timers rendered with nearest-rank quantiles."""
+    timers: Dict[str, Dict[str, Any]] = {}
+    for histogram in registry.histograms():
+        if not histogram.count:
+            continue
+        timers[histogram.name] = {
+            "count": histogram.count,
+            "total": histogram.total,
+            "min": histogram.min,
+            "max": histogram.max,
+            "mean": histogram.mean,
+            "p50": histogram.quantile(0.5),
+            "p95": histogram.quantile(0.95),
+            "ops": (histogram.count / histogram.total)
+            if histogram.total > 0
+            else None,
+        }
+    return timers
+
+
+def build_artifact(
+    script: Path,
+    exit_code: int,
+    wall_clock: float,
+    bench_report: Optional[Mapping[str, Any]],
+    smoke: bool = False,
+    seed: Optional[int] = None,
+    provenance: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble one schema-versioned ``BENCH_*.json`` document.
+
+    Pure given its inputs (``provenance`` injectable for tests): replays
+    the pytest-benchmark raw round data into a fresh
+    :class:`MetricsRegistry`, derives quantiles/throughput/speedups from
+    the histograms, and wraps everything under the pinned schema keys.
+
+    Args:
+        script: the ``bench_*.py`` that ran.
+        exit_code: pytest's exit status (0 = all tests passed).
+        wall_clock: harness-measured seconds for the whole child run.
+        bench_report: parsed ``--benchmark-json`` output, or ``None``
+            when the run died before producing one.
+        smoke: whether ``REPRO_BENCH_SMOKE=1`` was set for the run.
+        seed: root seed recorded into provenance (benchmarks pin their
+            own seeds internally; this is the harness-level override).
+        provenance: pre-collected provenance block (default: collect).
+    """
+    registry = MetricsRegistry()
+    registry.histogram("bench.run").observe(wall_clock)
+    benchmarks: Sequence[Mapping[str, Any]] = (
+        bench_report.get("benchmarks", []) if bench_report else []
+    )
+    for entry in benchmarks:
+        histogram = registry.histogram(f"bench.{entry['name']}")
+        stats = entry.get("stats", {})
+        for sample in stats.get("data") or []:
+            histogram.observe(float(sample))
+    timers = _timer_stats(registry)
+    measured = sum(
+        t["total"] for name, t in timers.items() if name != "bench.run"
+    )
+    if provenance is None:
+        provenance = collect_provenance(
+            seed=seed,
+            config={
+                "script": str(script.name),
+                "smoke": smoke,
+                "pytest_benchmark_version": (
+                    bench_report.get("version") if bench_report else None
+                ),
+            },
+        )
+    return {
+        "schema": BENCH_SCHEMA,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "name": _bare_name(script),
+        "script": f"benchmarks/{script.name}",
+        "smoke": smoke,
+        "status": "passed" if exit_code == 0 else "failed",
+        "exit_code": exit_code,
+        "phases": {
+            "run_s": wall_clock,
+            "measured_s": measured,
+            "harness_overhead_s": max(0.0, wall_clock - measured),
+        },
+        "tests": {"benchmarks": len(benchmarks)},
+        "timers": timers,
+        "speedups": _speedups(timers),
+        "metrics": registry.snapshot(),
+        "provenance": dict(provenance),
+    }
+
+
+def run_benchmark(
+    script: Path,
+    smoke: bool = False,
+    seed: Optional[int] = None,
+    timeout: float = 900.0,
+    root: Optional[Path] = None,
+) -> BenchRun:
+    """Drive one benchmark script and return its artifact.
+
+    The script runs under ``python -m pytest`` in a child process (so a
+    crashing benchmark cannot take the harness down, and ``-m`` puts the
+    checkout root on ``sys.path`` for ``benchmarks.conftest`` imports),
+    with ``--benchmark-json`` capturing every measurement and
+    ``REPRO_BENCH_SMOKE=1`` exported in smoke mode.
+    """
+    root = root or repo_root()
+    env = dict(os.environ)
+    if smoke:
+        env["REPRO_BENCH_SMOKE"] = "1"
+    else:
+        env.pop("REPRO_BENCH_SMOKE", None)
+    src = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        report_path = Path(tmp) / "benchmark.json"
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(script.relative_to(root) if script.is_absolute() else script),
+            "-q",
+            "-p",
+            "no:cacheprovider",
+            f"--benchmark-json={report_path}",
+        ]
+        start = time.perf_counter()
+        try:
+            proc = subprocess.run(
+                command,
+                cwd=str(root),
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=timeout,
+            )
+            exit_code = proc.returncode
+        except subprocess.TimeoutExpired:
+            exit_code = -1
+        wall_clock = time.perf_counter() - start
+        bench_report: Optional[Dict[str, Any]] = None
+        if report_path.exists():
+            try:
+                bench_report = json.loads(report_path.read_text())
+            except json.JSONDecodeError:
+                bench_report = None
+    artifact = build_artifact(
+        script,
+        exit_code=exit_code,
+        wall_clock=wall_clock,
+        bench_report=bench_report,
+        smoke=smoke,
+        seed=seed,
+    )
+    return BenchRun(script=script, artifact=artifact)
+
+
+def write_artifact(run: BenchRun, out_dir: Path) -> Path:
+    """Persist one artifact as ``out_dir/BENCH_<name>.json``."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / artifact_name(run.script)
+    with open(path, "w") as handle:
+        json.dump(run.artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_artifact(path: Path) -> Dict[str, Any]:
+    """Load and schema-check one ``BENCH_*.json``.
+
+    Raises:
+        ValueError: when the document is not a version-1 bench artifact
+            or is missing required keys.
+    """
+    with open(path) as handle:
+        artifact = json.load(handle)
+    if not isinstance(artifact, dict) or artifact.get("schema") != BENCH_SCHEMA:
+        raise ValueError(f"{path}: not a {BENCH_SCHEMA} artifact")
+    if artifact.get("schema_version") != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {artifact.get('schema_version')!r} "
+            f"unsupported (expected {BENCH_SCHEMA_VERSION})"
+        )
+    missing = [key for key in ARTIFACT_REQUIRED_KEYS if key not in artifact]
+    if missing:
+        raise ValueError(f"{path}: missing required keys {missing}")
+    return artifact
+
+
+def run_benchmarks(
+    filter_glob: Optional[str] = None,
+    smoke: bool = False,
+    out_dir: Optional[Path] = None,
+    seed: Optional[int] = None,
+    timeout: float = 900.0,
+    root: Optional[Path] = None,
+    echo: Any = None,
+) -> List[BenchRun]:
+    """Discover, run, and persist every matching benchmark.
+
+    Args:
+        echo: a ``print``-like callable for per-script progress lines
+            (``None`` silences them).
+    """
+    root = root or repo_root()
+    out_dir = out_dir if out_dir is not None else root / "results" / "bench"
+    runs: List[BenchRun] = []
+    scripts = discover_benchmarks(root=root, filter_glob=filter_glob)
+    for script in scripts:
+        run = run_benchmark(
+            script, smoke=smoke, seed=seed, timeout=timeout, root=root
+        )
+        path = write_artifact(run, out_dir)
+        runs.append(run)
+        if echo is not None:
+            echo(
+                f"{run.artifact['status']:>6}  {run.wall_clock:7.2f}s  "
+                f"{path}"
+            )
+    return runs

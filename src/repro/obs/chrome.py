@@ -1,0 +1,188 @@
+"""Chrome-trace-event export: open a grid run in ui.perfetto.dev.
+
+Translates a :class:`~repro.obs.trace.TraceLog` into the Trace Event
+JSON format that Perfetto (and chrome://tracing before it) renders: a
+``{"traceEvents": [...]}`` document whose entries carry ``ph`` (event
+phase), ``ts`` (microseconds), ``pid``/``tid`` (track routing), ``name``
+and ``args``.
+
+Mapping rules:
+
+* paired ``<base>_start`` / ``<base>_end`` events from one track become
+  one complete duration event (``ph: "X"``) named ``<base>``, spanning
+  the two timestamps -- this is how campaign trials, control jobs, and
+  lifecycle points show up as bars;
+* every other event becomes a thread-scoped instant (``ph: "i"``);
+* tracks: each emitting ``source`` gets its own ``tid``; events carrying
+  a ``cell`` field (the watchdog's lifecycle stream) are routed to a
+  per-cell track instead, so one row per cell tells its health story;
+* worker shards merged by :meth:`TraceLog.extend` under ``chunkN/``
+  prefixes become separate *processes* (``pid``), because their
+  timestamps come from a different clock -- each worker's timeline is
+  internally consistent but not aligned with the parent's, and distinct
+  ``pid`` timelines is exactly how the trace viewer presents that;
+* ``ph: "M"`` metadata events name every process and thread.
+
+Track and process ids are assigned in order of first appearance over the
+seq-ordered event stream, so export is deterministic for a given log.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import IO, Dict, List, Tuple, Union
+
+from repro.obs.trace import TraceEvent, TraceLog
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+#: Parent-process events (no ``chunkN/`` prefix) get this pid.
+MAIN_PID = 1
+
+_CHUNK_PREFIX = re.compile(r"^(chunk\d+)(?:/(.*))?$")
+
+#: Seconds -> the format's microsecond ``ts`` unit.
+_US = 1e6
+
+
+def _split_shard(source: str) -> Tuple[str, str]:
+    """``("chunk3", rest)`` for worker-shard sources, ``("", source)`` else."""
+    match = _CHUNK_PREFIX.match(source)
+    if match is None:
+        return "", source
+    return match.group(1), match.group(2) or ""
+
+
+def _track_name(event: TraceEvent, local_source: str) -> str:
+    cell = event.fields.get("cell")
+    if cell is not None:
+        try:
+            return f"cell {tuple(cell)}"  # type: ignore[arg-type]
+        except TypeError:
+            return f"cell {cell}"
+    return local_source or "(main)"
+
+
+def to_chrome_trace(trace: TraceLog) -> Dict[str, object]:
+    """Render ``trace`` as a Trace Event Format document (JSON-safe dict).
+
+    The result serialises directly with :func:`json.dumps` and loads in
+    ui.perfetto.dev as-is.  See the module docstring for the mapping.
+    """
+    trace_events: List[Dict[str, object]] = []
+    pids: Dict[str, int] = {}
+    tids: Dict[Tuple[int, str], int] = {}
+    # Open duration events: (pid, tid, base kind) -> stack of start events.
+    open_spans: Dict[Tuple[int, int, str], List[TraceEvent]] = {}
+
+    def pid_for(shard: str) -> int:
+        if shard not in pids:
+            pid = MAIN_PID + len(pids)
+            pids[shard] = pid
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": 0,
+                    "args": {"name": shard or "main"},
+                }
+            )
+        return pids[shard]
+
+    def tid_for(pid: int, track: str) -> int:
+        key = (pid, track)
+        if key not in tids:
+            tid = 1 + sum(1 for (p, _t) in tids if p == pid)
+            tids[key] = tid
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": 0,
+                    "args": {"name": track},
+                }
+            )
+        return tids[key]
+
+    for event in trace.events:
+        shard, local_source = _split_shard(event.source)
+        pid = pid_for(shard)
+        tid = tid_for(pid, _track_name(event, local_source))
+        args = {"seq": event.seq, "source": event.source, **event.fields}
+        if event.kind.endswith("_start"):
+            open_spans.setdefault(
+                (pid, tid, event.kind[: -len("_start")]), []
+            ).append(event)
+            continue
+        if event.kind.endswith("_end"):
+            base = event.kind[: -len("_end")]
+            stack = open_spans.get((pid, tid, base))
+            if stack:
+                start = stack.pop()
+                trace_events.append(
+                    {
+                        "ph": "X",
+                        "name": base,
+                        "pid": pid,
+                        "tid": tid,
+                        "ts": start.t * _US,
+                        "dur": max(0.0, (event.t - start.t) * _US),
+                        "args": {
+                            "seq": start.seq,
+                            "source": event.source,
+                            **start.fields,
+                            **event.fields,
+                        },
+                    }
+                )
+                continue
+            # An _end with no matching _start (e.g. the start was evicted
+            # by the ring buffer): degrade to an instant, never drop it.
+        trace_events.append(
+            {
+                "ph": "i",
+                "name": event.kind,
+                "pid": pid,
+                "tid": tid,
+                "ts": event.t * _US,
+                "s": "t",
+                "args": args,
+            }
+        )
+
+    # Spans whose _end never arrived render as B (begin) events so the
+    # viewer still shows the opened-but-unfinished work.
+    for (pid, tid, base), stack in open_spans.items():
+        for start in stack:
+            trace_events.append(
+                {
+                    "ph": "B",
+                    "name": base,
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": start.t * _US,
+                    "args": {"seq": start.seq, **start.fields},
+                }
+            )
+
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    trace: TraceLog, destination: Union[str, IO[str]]
+) -> int:
+    """Write the Trace Event document; returns the event count."""
+    document = to_chrome_trace(trace)
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+    else:
+        json.dump(document, destination, indent=1, sort_keys=True)
+        destination.write("\n")
+    return len(document["traceEvents"])  # type: ignore[arg-type]

@@ -1,0 +1,247 @@
+"""Regression detection between two benchmark artifacts.
+
+``nanobox-repro bench compare BASELINE CURRENT`` loads two
+``BENCH_*.json`` documents (or two directories of them), matches their
+timers by name, and judges each ratio against a noise threshold:
+
+* ``ratio = current_mean / baseline_mean``;
+* timers faster than ``min_time`` in both runs are ignored entirely --
+  sub-millisecond timings are scheduler noise, not signal;
+* a ratio above the metric's threshold is a **regression**; below its
+  reciprocal, an **improvement**; in between, **ok**;
+* thresholds are per-metric: a glob->ratio mapping consulted
+  first-match-wins, with a default for everything unmatched, so CI can
+  hold ``bench.run`` of a hot benchmark to 1.5x while leaving chatty
+  micro-timers advisory.
+
+The ASCII delta table is the human surface; :attr:`BenchComparison.ok`
+(any regression => ``False``) is the CI surface, mapped to the process
+exit status by the CLI.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.bench import load_artifact
+
+__all__ = [
+    "DEFAULT_MIN_TIME",
+    "DEFAULT_THRESHOLD",
+    "BenchComparison",
+    "MetricDelta",
+    "compare_artifacts",
+    "compare_paths",
+]
+
+#: Default current/baseline ratio above which a timer is a regression.
+DEFAULT_THRESHOLD = 1.5
+
+#: Timers under this many seconds in both runs are too noisy to judge.
+DEFAULT_MIN_TIME = 1e-3
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One timer's baseline-vs-current judgement."""
+
+    name: str
+    baseline: Optional[float]
+    current: Optional[float]
+    ratio: Optional[float]
+    threshold: float
+    verdict: str  # "ok" | "regression" | "improved" | "new" | "missing" | "noise"
+
+
+@dataclass
+class BenchComparison:
+    """Every judged metric for one artifact pair (or directory pair)."""
+
+    name: str
+    deltas: List[MetricDelta] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.verdict == "regression"]
+
+    @property
+    def improvements(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.verdict == "improved"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no judged metric regressed."""
+        return not self.regressions
+
+    def table_text(self) -> str:
+        """The ASCII delta table (one row per judged metric)."""
+        from repro.experiments.report import format_table
+
+        def fmt(value: Optional[float]) -> str:
+            return "-" if value is None else f"{value * 1e3:.3f}ms"
+
+        rows = [
+            (
+                delta.name,
+                fmt(delta.baseline),
+                fmt(delta.current),
+                "-" if delta.ratio is None else f"{delta.ratio:.2f}x",
+                f"<{delta.threshold:.2f}x",
+                delta.verdict.upper()
+                if delta.verdict == "regression"
+                else delta.verdict,
+            )
+            for delta in self.deltas
+        ]
+        header = f"[{self.name}]"
+        table = format_table(
+            ("timer (mean)", "baseline", "current", "ratio", "limit",
+             "verdict"),
+            rows,
+        )
+        lines = [header, table]
+        lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def _threshold_for(
+    name: str,
+    thresholds: Optional[Mapping[str, float]],
+    default: float,
+) -> float:
+    """First glob in ``thresholds`` matching ``name``, else ``default``."""
+    if thresholds:
+        for pattern, value in thresholds.items():
+            if fnmatch.fnmatch(name, pattern):
+                return float(value)
+    return default
+
+
+def compare_artifacts(
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+    thresholds: Optional[Mapping[str, float]] = None,
+    min_time: float = DEFAULT_MIN_TIME,
+) -> BenchComparison:
+    """Judge ``current`` against ``baseline`` timer by timer.
+
+    Args:
+        baseline: the reference ``BENCH_*.json`` document.
+        current: the freshly measured document.
+        threshold: default regression ratio for unmatched metrics.
+        thresholds: per-metric overrides, ``{glob: ratio}``,
+            first-match-wins in iteration order.
+        min_time: timers whose mean is under this in *both* runs are
+            marked ``noise`` and never fail the comparison.
+    """
+    comparison = BenchComparison(name=str(current.get("name", "?")))
+    if baseline.get("smoke") != current.get("smoke"):
+        comparison.notes.append(
+            "smoke mode differs between baseline and current; "
+            "ratios compare different workload sizes"
+        )
+    base_timers: Mapping[str, Any] = baseline.get("timers", {})
+    curr_timers: Mapping[str, Any] = current.get("timers", {})
+    for name in sorted(set(base_timers) | set(curr_timers)):
+        limit = _threshold_for(name, thresholds, threshold)
+        base = base_timers.get(name)
+        curr = curr_timers.get(name)
+        if base is None or curr is None:
+            comparison.deltas.append(
+                MetricDelta(
+                    name=name,
+                    baseline=float(base["mean"]) if base else None,
+                    current=float(curr["mean"]) if curr else None,
+                    ratio=None,
+                    threshold=limit,
+                    verdict="new" if base is None else "missing",
+                )
+            )
+            continue
+        base_mean = float(base["mean"])
+        curr_mean = float(curr["mean"])
+        if base_mean < min_time and curr_mean < min_time:
+            verdict, ratio = "noise", None
+        elif base_mean <= 0.0:
+            verdict, ratio = "new", None
+        else:
+            ratio = curr_mean / base_mean
+            if ratio > limit:
+                verdict = "regression"
+            elif ratio < 1.0 / limit:
+                verdict = "improved"
+            else:
+                verdict = "ok"
+        comparison.deltas.append(
+            MetricDelta(
+                name=name,
+                baseline=base_mean,
+                current=curr_mean,
+                ratio=ratio,
+                threshold=limit,
+                verdict=verdict,
+            )
+        )
+    return comparison
+
+
+def _artifact_map(path: Path) -> Dict[str, Path]:
+    """``{bench name: artifact path}`` for a file or directory target."""
+    if path.is_dir():
+        artifacts = sorted(path.glob("BENCH_*.json"))
+        return {p.stem[len("BENCH_"):]: p for p in artifacts}
+    return {path.stem[len("BENCH_"):] if path.stem.startswith("BENCH_")
+            else path.stem: path}
+
+
+def compare_paths(
+    baseline_path: Path,
+    current_path: Path,
+    only: Optional[str] = None,
+    threshold: float = DEFAULT_THRESHOLD,
+    thresholds: Optional[Mapping[str, float]] = None,
+    min_time: float = DEFAULT_MIN_TIME,
+) -> Tuple[List[BenchComparison], List[str], List[str]]:
+    """Compare two artifacts or two directories of artifacts.
+
+    Returns ``(comparisons, warnings, errors)``: warnings name benches
+    present on only one side (a new benchmark has no baseline yet --
+    advisory); errors are unreadable or schema-invalid artifacts, which
+    should fail CI alongside regressions.
+    """
+    base_map = _artifact_map(baseline_path)
+    curr_map = _artifact_map(current_path)
+    if only is not None:
+        base_map = {n: p for n, p in base_map.items()
+                    if fnmatch.fnmatch(n, only)}
+        curr_map = {n: p for n, p in curr_map.items()
+                    if fnmatch.fnmatch(n, only)}
+    warnings: List[str] = []
+    errors: List[str] = []
+    for name in sorted(set(base_map) - set(curr_map)):
+        warnings.append(f"{name}: in baseline but not in current run")
+    for name in sorted(set(curr_map) - set(base_map)):
+        warnings.append(f"{name}: no committed baseline")
+    comparisons: List[BenchComparison] = []
+    for name in sorted(set(base_map) & set(curr_map)):
+        try:
+            baseline = load_artifact(base_map[name])
+            current = load_artifact(curr_map[name])
+        except (OSError, ValueError) as exc:
+            errors.append(str(exc))
+            continue
+        comparisons.append(
+            compare_artifacts(
+                baseline,
+                current,
+                threshold=threshold,
+                thresholds=thresholds,
+                min_time=min_time,
+            )
+        )
+    return comparisons, warnings, errors

@@ -1,0 +1,147 @@
+"""Exact-replay manifests for experiment-running CLI commands.
+
+A figure in the paper is five trials per point; a figure in this
+repository is one CLI invocation.  ``--manifest out.json`` on ``sweep``,
+``grid``, ``chaos``, ``lifecycle`` (and ``report``) records everything
+needed to re-run that invocation and *prove* it reproduced:
+
+* the exact argv (minus the ``--manifest`` flag itself),
+* the SHA-256 of the primary stdout the run produced,
+* a :func:`~repro.obs.provenance.collect_provenance` block.
+
+``nanobox-repro replay out.json`` re-executes the recorded argv, prints
+the regenerated output, and exits non-zero unless it is byte-for-byte
+identical to the recorded digest.  Because every experiment path is
+seed-deterministic (a property the executor and batched kernels already
+pin in CI), a manifest replayed on the same code revision must match;
+a digest mismatch means the experiment pipeline changed behaviour.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.obs.provenance import collect_provenance
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "MANIFEST_SCHEMA_VERSION",
+    "build_manifest",
+    "load_manifest",
+    "output_digest",
+    "strip_manifest_flag",
+    "write_manifest",
+]
+
+#: Schema identifier stamped into every manifest.
+MANIFEST_SCHEMA = "repro.manifest"
+
+#: Bumped on any backwards-incompatible manifest shape change.
+MANIFEST_SCHEMA_VERSION = 1
+
+_REQUIRED_KEYS = (
+    "schema",
+    "schema_version",
+    "command",
+    "argv",
+    "output_sha256",
+    "output_bytes",
+    "exit_status",
+    "provenance",
+)
+
+
+def output_digest(text: str) -> str:
+    """SHA-256 hex digest of the run's stdout (UTF-8 bytes)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def strip_manifest_flag(argv: Sequence[str]) -> List[str]:
+    """``argv`` with ``--manifest PATH`` / ``--manifest=PATH`` removed.
+
+    The recorded argv must not re-write the manifest when replayed.
+    """
+    stripped: List[str] = []
+    skip_next = False
+    for token in argv:
+        if skip_next:
+            skip_next = False
+            continue
+        if token == "--manifest":
+            skip_next = True
+            continue
+        if token.startswith("--manifest="):
+            continue
+        stripped.append(token)
+    return stripped
+
+
+def build_manifest(
+    command: str,
+    argv: Sequence[str],
+    output_text: str,
+    exit_status: int,
+    seed: Optional[int] = None,
+    provenance: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble one replay manifest (JSON-safe dict).
+
+    Args:
+        command: the subcommand name (``"sweep"``, ``"grid"``, ...).
+        argv: the full CLI argv of the run; the manifest flag is
+            stripped before recording.
+        output_text: the primary stdout the command produced.
+        exit_status: the command's exit status.
+        seed: the run's seed, recorded into provenance.
+        provenance: pre-collected block (default: collect now).
+    """
+    recorded = strip_manifest_flag(argv)
+    if provenance is None:
+        provenance = collect_provenance(
+            seed=seed, config={"command": command, "argv": recorded}
+        )
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "command": command,
+        "argv": recorded,
+        "output_sha256": output_digest(output_text),
+        "output_bytes": len(output_text.encode("utf-8")),
+        "exit_status": int(exit_status),
+        "provenance": dict(provenance),
+    }
+
+
+def write_manifest(manifest: Mapping[str, Any], path: Union[str, Path]) -> None:
+    """Persist a manifest as indented, key-sorted JSON."""
+    with open(path, "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_manifest(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load and schema-check a replay manifest.
+
+    Raises:
+        ValueError: when the document is not a version-1 manifest or is
+            missing required keys.
+    """
+    with open(path) as handle:
+        manifest = json.load(handle)
+    if (
+        not isinstance(manifest, dict)
+        or manifest.get("schema") != MANIFEST_SCHEMA
+    ):
+        raise ValueError(f"{path}: not a {MANIFEST_SCHEMA} document")
+    if manifest.get("schema_version") != MANIFEST_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {manifest.get('schema_version')!r} "
+            f"unsupported (expected {MANIFEST_SCHEMA_VERSION})"
+        )
+    missing = [key for key in _REQUIRED_KEYS if key not in manifest]
+    if missing:
+        raise ValueError(f"{path}: missing required keys {missing}")
+    return manifest

@@ -198,6 +198,19 @@ class TraceLog:
             count += 1
         return count
 
+    def to_chrome_trace(self) -> Dict[str, object]:
+        """This log as a Chrome Trace Event document (Perfetto-ready).
+
+        Paired ``*_start``/``*_end`` events become duration bars, other
+        events become instants, sources (and per-cell lifecycle streams)
+        become tracks, and ``chunkN/`` worker shards merged by
+        :meth:`extend` become separate processes.  See
+        :mod:`repro.obs.chrome` for the full mapping.
+        """
+        from repro.obs.chrome import to_chrome_trace
+
+        return to_chrome_trace(self)
+
 
 class NullTraceLog(TraceLog):
     """The disabled log: ``emit`` is an immediate no-op.

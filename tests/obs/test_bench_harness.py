@@ -1,0 +1,198 @@
+"""Tests for the benchmark harness and its artifact schema.
+
+The golden-file test pins the exact ``BENCH_*.json`` shape: if an edit
+changes the schema, the golden diff forces a deliberate
+``BENCH_SCHEMA_VERSION`` bump instead of a silent drift that would break
+committed baselines.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.bench import (
+    ARTIFACT_REQUIRED_KEYS,
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_VERSION,
+    BenchRun,
+    artifact_name,
+    build_artifact,
+    discover_benchmarks,
+    load_artifact,
+    repo_root,
+    write_artifact,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / "BENCH_golden.json"
+
+#: A canned pytest-benchmark report: two timers forming a recognised
+#: scalar/batched speedup twin, with raw per-round data.
+CANNED_REPORT = {
+    "version": "5.2.3",
+    "benchmarks": [
+        {
+            "name": "test_bench_suite_scalar",
+            "stats": {"data": [0.4, 0.6]},
+        },
+        {
+            "name": "test_bench_suite_batched",
+            "stats": {"data": [0.1, 0.1]},
+        },
+    ],
+}
+
+#: Fixed provenance so the golden artifact is byte-stable everywhere.
+CANNED_PROVENANCE = {
+    "git_sha": "0" * 40,
+    "git_dirty": False,
+    "python": "3.x",
+    "platform": "test",
+    "packages": {"repro": "0.0", "numpy": "0.0"},
+    "machine": {"fingerprint": "f" * 12, "machine": "test", "cpu_count": 1},
+    "seed": 2004,
+    "config": {"script": "bench_perf_campaign.py", "smoke": True},
+    "config_hash": "c" * 16,
+}
+
+
+def canned_artifact():
+    """A fully deterministic artifact (injected report + provenance)."""
+    return build_artifact(
+        Path("benchmarks/bench_perf_campaign.py"),
+        exit_code=0,
+        wall_clock=2.0,
+        bench_report=CANNED_REPORT,
+        smoke=True,
+        seed=2004,
+        provenance=CANNED_PROVENANCE,
+    )
+
+
+class TestDiscovery:
+    def test_discovers_every_script(self):
+        scripts = discover_benchmarks()
+        assert len(scripts) >= 30
+        assert all(s.name.startswith("bench_") for s in scripts)
+
+    def test_filter_matches_bare_name_stem_and_filename(self):
+        for glob in ("perf_campaign", "bench_perf_campaign",
+                     "bench_perf_campaign.py", "perf_*"):
+            matched = discover_benchmarks(filter_glob=glob)
+            assert any(s.stem == "bench_perf_campaign" for s in matched), glob
+
+    def test_filter_can_match_nothing(self):
+        assert discover_benchmarks(filter_glob="no_such_bench") == []
+
+    def test_artifact_name(self):
+        assert (
+            artifact_name(Path("benchmarks/bench_perf_campaign.py"))
+            == "BENCH_perf_campaign.json"
+        )
+
+
+class TestBuildArtifact:
+    def test_required_keys_and_schema_stamp(self):
+        artifact = canned_artifact()
+        for key in ARTIFACT_REQUIRED_KEYS:
+            assert key in artifact, key
+        assert artifact["schema"] == BENCH_SCHEMA
+        assert artifact["schema_version"] == BENCH_SCHEMA_VERSION
+        assert artifact["status"] == "passed"
+
+    def test_timers_carry_quantiles_and_throughput(self):
+        timers = canned_artifact()["timers"]
+        scalar = timers["bench.test_bench_suite_scalar"]
+        assert scalar["count"] == 2
+        assert scalar["mean"] == pytest.approx(0.5)
+        assert scalar["min"] == 0.4 and scalar["max"] == 0.6
+        assert scalar["p50"] <= scalar["p95"]
+        assert scalar["ops"] == pytest.approx(2 / 1.0)
+
+    def test_speedup_twins_are_detected(self):
+        speedups = canned_artifact()["speedups"]
+        label = "bench.test_bench_suite_scalar vs bench.test_bench_suite_batched"
+        assert speedups[label] == pytest.approx(5.0)
+
+    def test_phases_account_for_harness_overhead(self):
+        phases = canned_artifact()["phases"]
+        assert phases["run_s"] == 2.0
+        assert phases["measured_s"] == pytest.approx(1.2)
+        assert phases["harness_overhead_s"] == pytest.approx(0.8)
+
+    def test_failed_run_without_report(self):
+        artifact = build_artifact(
+            Path("benchmarks/bench_perf_campaign.py"),
+            exit_code=1,
+            wall_clock=0.5,
+            bench_report=None,
+            provenance=CANNED_PROVENANCE,
+        )
+        assert artifact["status"] == "failed"
+        assert artifact["tests"]["benchmarks"] == 0
+        assert artifact["speedups"] == {}
+
+    def test_artifact_is_json_safe(self):
+        json.dumps(canned_artifact())
+
+
+class TestGoldenSchema:
+    def test_artifact_matches_golden_file(self):
+        """Byte-level schema pin: regenerate deliberately via
+
+        ``python -c "from tests.obs.test_bench_harness import *; \\
+        GOLDEN.write_text(json.dumps(canned_artifact(), indent=2, \\
+        sort_keys=True) + '\\n')"``
+
+        and bump ``BENCH_SCHEMA_VERSION`` if the shape changed.
+        """
+        golden = json.loads(GOLDEN.read_text())
+        assert canned_artifact() == golden
+
+    def test_golden_carries_a_full_provenance_block(self):
+        golden = json.loads(GOLDEN.read_text())
+        from repro.obs.provenance import PROVENANCE_KEYS
+
+        for key in PROVENANCE_KEYS:
+            assert key in golden["provenance"], key
+
+
+class TestWriteAndLoad:
+    def roundtrip(self, tmp_path):
+        run = BenchRun(
+            script=Path("benchmarks/bench_perf_campaign.py"),
+            artifact=canned_artifact(),
+        )
+        return write_artifact(run, tmp_path)
+
+    def test_write_then_load(self, tmp_path):
+        path = self.roundtrip(tmp_path)
+        assert path.name == "BENCH_perf_campaign.json"
+        assert load_artifact(path) == canned_artifact()
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"schema": "nope"}))
+        with pytest.raises(ValueError, match="not a repro.bench"):
+            load_artifact(path)
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        artifact = canned_artifact()
+        artifact["schema_version"] = 999
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps(artifact))
+        with pytest.raises(ValueError, match="schema_version"):
+            load_artifact(path)
+
+    def test_load_rejects_missing_keys(self, tmp_path):
+        artifact = canned_artifact()
+        del artifact["provenance"]
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps(artifact))
+        with pytest.raises(ValueError, match="missing required keys"):
+            load_artifact(path)
+
+
+class TestRepoRoot:
+    def test_repo_root_contains_benchmarks(self):
+        assert (repo_root() / "benchmarks").is_dir()

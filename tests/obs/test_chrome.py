@@ -1,0 +1,225 @@
+"""Tests for the Chrome-trace-event (Perfetto) exporter."""
+
+import json
+
+import pytest
+
+from repro.obs import TraceLog, to_chrome_trace, write_chrome_trace
+from repro.obs.chrome import MAIN_PID
+
+
+class SteppingClock:
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+def make_log():
+    return TraceLog(clock=SteppingClock())
+
+
+VALID_PHASES = {"X", "i", "B", "M"}
+
+
+class TestDocumentShape:
+    def test_document_is_a_trace_event_array(self):
+        log = make_log()
+        log.emit("trial_start", source="campaign")
+        log.emit("trial_end", source="campaign")
+        log.emit("cell_disabled", source="watchdog", cell=(1, 2))
+        document = to_chrome_trace(log)
+        assert set(document) == {"traceEvents", "displayTimeUnit"}
+        events = document["traceEvents"]
+        assert isinstance(events, list) and events
+        for event in events:
+            assert event["ph"] in VALID_PHASES
+            assert isinstance(event["ts"], (int, float))
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            assert isinstance(event["name"], str)
+
+    def test_document_is_json_serialisable(self):
+        log = make_log()
+        log.emit("x", source="s", cell=(0, 0), payload=[1, 2])
+        json.dumps(to_chrome_trace(log))
+
+    def test_empty_log_exports_empty_array(self):
+        assert to_chrome_trace(make_log())["traceEvents"] == []
+
+
+class TestDurationPairing:
+    def test_start_end_pair_becomes_complete_event(self):
+        log = make_log()
+        log.emit("job_start", source="control", job=7)   # t=1
+        log.emit("job_end", source="control", rounds=2)  # t=2
+        events = to_chrome_trace(log)["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(spans) == 1
+        span = spans[0]
+        assert span["name"] == "job"
+        assert span["ts"] == pytest.approx(1.0 * 1e6)  # microseconds
+        assert span["dur"] == pytest.approx(1.0 * 1e6)
+        # Args merge the start and end payloads.
+        assert span["args"]["job"] == 7
+        assert span["args"]["rounds"] == 2
+
+    def test_nested_spans_pair_lifo(self):
+        log = make_log()
+        log.emit("phase_start", source="s", which="outer")  # t=1
+        log.emit("phase_start", source="s", which="inner")  # t=2
+        log.emit("phase_end", source="s")                   # t=3 -> inner
+        log.emit("phase_end", source="s")                   # t=4 -> outer
+        spans = [
+            e for e in to_chrome_trace(log)["traceEvents"] if e["ph"] == "X"
+        ]
+        assert [(s["args"]["which"], s["dur"]) for s in spans] == [
+            ("inner", pytest.approx(1e6)),
+            ("outer", pytest.approx(3e6)),
+        ]
+
+    def test_unmatched_end_degrades_to_instant(self):
+        log = make_log()
+        log.emit("trial_end", source="campaign")
+        events = to_chrome_trace(log)["traceEvents"]
+        assert [e["ph"] for e in events if e["ph"] != "M"] == ["i"]
+
+    def test_unmatched_start_renders_as_begin(self):
+        log = make_log()
+        log.emit("job_start", source="control")
+        events = to_chrome_trace(log)["traceEvents"]
+        begins = [e for e in events if e["ph"] == "B"]
+        assert len(begins) == 1 and begins[0]["name"] == "job"
+
+    def test_other_kinds_become_thread_instants(self):
+        log = make_log()
+        log.emit("retry", source="fabric", packet=3)
+        instants = [
+            e for e in to_chrome_trace(log)["traceEvents"] if e["ph"] == "i"
+        ]
+        assert len(instants) == 1
+        assert instants[0]["s"] == "t"
+        assert instants[0]["args"]["packet"] == 3
+
+
+class TestTrackRouting:
+    def test_sources_become_named_threads(self):
+        log = make_log()
+        log.emit("a", source="campaign")
+        log.emit("b", source="watchdog")
+        events = to_chrome_trace(log)["traceEvents"]
+        thread_names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert {"campaign", "watchdog"} <= thread_names
+        tids = {e["tid"] for e in events if e["ph"] == "i"}
+        assert len(tids) == 2
+
+    def test_cell_events_get_per_cell_tracks(self):
+        log = make_log()
+        log.emit("cell_quarantined", source="watchdog", cell=(0, 1))
+        log.emit("cell_readmitted", source="watchdog", cell=(2, 3))
+        log.emit("cell_quarantined", source="watchdog", cell=(0, 1))
+        events = to_chrome_trace(log)["traceEvents"]
+        thread_names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert {"cell (0, 1)", "cell (2, 3)"} <= thread_names
+        # Both (0, 1) events land on the same track.
+        cell_tids = [
+            e["tid"]
+            for e in events
+            if e["ph"] == "i" and e["args"].get("cell") == (0, 1)
+        ]
+        assert len(cell_tids) == 2 and len(set(cell_tids)) == 1
+
+    def test_main_events_use_main_pid(self):
+        log = make_log()
+        log.emit("a", source="campaign")
+        events = to_chrome_trace(log)["traceEvents"]
+        assert all(e["pid"] == MAIN_PID for e in events)
+
+
+class TestWorkerShards:
+    def make_merged_log(self):
+        """A parent log with two worker shards merged out of order."""
+        parent = make_log()
+        parent.emit("job_start", source="executor")
+        workers = []
+        for trial in (0, 1):
+            worker = make_log()
+            worker.emit("trial_start", source="campaign", trial=trial)
+            worker.emit("trial_end", source="campaign", trial=trial)
+            workers.append(worker.to_records())
+        # Chunks arrive out of submission order (chunk1 first).
+        parent.extend(workers[1], source_prefix="chunk1")
+        parent.extend(workers[0], source_prefix="chunk0")
+        parent.emit("job_end", source="executor")
+        return parent
+
+    def test_shards_get_distinct_pids(self):
+        events = to_chrome_trace(self.make_merged_log())["traceEvents"]
+        process_names = {
+            e["args"]["name"]: e["pid"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert set(process_names) == {"main", "chunk0", "chunk1"}
+        assert len(set(process_names.values())) == 3
+        assert process_names["main"] == MAIN_PID
+
+    def test_shard_events_route_to_their_pid(self):
+        events = to_chrome_trace(self.make_merged_log())["traceEvents"]
+        process_names = {
+            e["args"]["name"]: e["pid"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        spans = {
+            e["args"]["trial"]: e["pid"] for e in events if e["ph"] == "X"
+            if "trial" in e["args"]
+        }
+        assert spans[0] == process_names["chunk0"]
+        assert spans[1] == process_names["chunk1"]
+        # The executor's own span stays on the main process.
+        executor_spans = [
+            e for e in events if e["ph"] == "X" and e["name"] == "job"
+        ]
+        assert executor_spans and all(
+            e["pid"] == MAIN_PID for e in executor_spans
+        )
+
+    def test_shard_spans_pair_within_their_shard_only(self):
+        """Start/end pairing never crosses process boundaries."""
+        events = to_chrome_trace(self.make_merged_log())["traceEvents"]
+        trials = [e for e in events if e["ph"] == "X" and e["name"] == "trial"]
+        assert len(trials) == 2
+
+    def test_export_is_deterministic(self):
+        a = to_chrome_trace(self.make_merged_log())
+        b = to_chrome_trace(self.make_merged_log())
+        assert a == b
+
+
+class TestWriteChromeTrace:
+    def test_writes_loadable_json_and_returns_count(self, tmp_path):
+        log = make_log()
+        log.emit("a_start", source="s")
+        log.emit("a_end", source="s")
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(log, str(path))
+        document = json.loads(path.read_text())
+        assert len(document["traceEvents"]) == count
+        assert count >= 1
+
+    def test_method_matches_function(self):
+        log = make_log()
+        log.emit("a", source="s")
+        assert log.to_chrome_trace() == to_chrome_trace(log)

@@ -1,0 +1,162 @@
+"""Tests for the benchmark regression-comparison engine."""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs.compare import (
+    DEFAULT_THRESHOLD,
+    compare_artifacts,
+    compare_paths,
+)
+from tests.obs.test_bench_harness import canned_artifact
+
+
+def slowed(artifact, factor, names=None):
+    """A deep copy with selected timer means multiplied by ``factor``."""
+    current = copy.deepcopy(artifact)
+    for name, stats in current["timers"].items():
+        if names is None or name in names:
+            stats["mean"] *= factor
+    return current
+
+
+class TestCompareArtifacts:
+    def test_identical_artifacts_pass(self):
+        artifact = canned_artifact()
+        comparison = compare_artifacts(artifact, artifact)
+        assert comparison.ok
+        assert not comparison.regressions
+        assert {d.verdict for d in comparison.deltas} <= {"ok", "noise"}
+
+    def test_injected_2x_slowdown_is_detected(self):
+        baseline = canned_artifact()
+        comparison = compare_artifacts(baseline, slowed(baseline, 2.0))
+        assert not comparison.ok
+        regressed = {d.name for d in comparison.regressions}
+        # Every judged (non-noise) timer slowed by 2x > the 1.5x default.
+        assert "bench.run" in regressed
+        for delta in comparison.regressions:
+            assert delta.ratio == pytest.approx(2.0)
+            assert delta.threshold == DEFAULT_THRESHOLD
+
+    def test_speedup_is_reported_as_improvement(self):
+        baseline = canned_artifact()
+        comparison = compare_artifacts(baseline, slowed(baseline, 0.4))
+        assert comparison.ok  # improvements never fail a comparison
+        assert comparison.improvements
+
+    def test_within_threshold_is_ok(self):
+        baseline = canned_artifact()
+        comparison = compare_artifacts(baseline, slowed(baseline, 1.2))
+        assert comparison.ok
+        assert not comparison.improvements
+
+    def test_sub_millisecond_timers_are_noise(self):
+        baseline = canned_artifact()
+        for artifact in (baseline,):
+            artifact["timers"]["bench.tiny"] = {"mean": 1e-5, "count": 1}
+        current = slowed(baseline, 50.0, names=("bench.tiny",))
+        current["timers"]["bench.tiny"]["mean"] = 5e-4  # still < 1ms
+        comparison = compare_artifacts(baseline, current)
+        tiny = next(d for d in comparison.deltas if d.name == "bench.tiny")
+        assert tiny.verdict == "noise"
+        assert comparison.ok
+
+    def test_new_and_missing_timers_are_advisory(self):
+        baseline = canned_artifact()
+        current = copy.deepcopy(baseline)
+        current["timers"]["bench.added"] = {"mean": 1.0}
+        del current["timers"]["bench.test_bench_suite_scalar"]
+        comparison = compare_artifacts(baseline, current)
+        verdicts = {d.name: d.verdict for d in comparison.deltas}
+        assert verdicts["bench.added"] == "new"
+        assert verdicts["bench.test_bench_suite_scalar"] == "missing"
+        assert comparison.ok
+
+    def test_per_metric_threshold_globs(self):
+        baseline = canned_artifact()
+        current = slowed(baseline, 1.8)
+        comparison = compare_artifacts(
+            baseline,
+            current,
+            thresholds={"bench.run": 2.5},  # this one is allowed 1.8x
+        )
+        verdicts = {d.name: d.verdict for d in comparison.deltas}
+        assert verdicts["bench.run"] == "ok"
+        assert (
+            verdicts["bench.test_bench_suite_scalar"] == "regression"
+        )  # default 1.5x still applies
+
+    def test_smoke_mismatch_is_noted(self):
+        baseline = canned_artifact()
+        current = copy.deepcopy(baseline)
+        current["smoke"] = not baseline["smoke"]
+        comparison = compare_artifacts(baseline, current)
+        assert any("smoke" in note for note in comparison.notes)
+
+    def test_table_text_renders_every_delta(self):
+        baseline = canned_artifact()
+        comparison = compare_artifacts(baseline, slowed(baseline, 2.0))
+        text = comparison.table_text()
+        assert "REGRESSION" in text
+        assert "bench.run" in text
+        assert "2.00x" in text
+
+
+class TestComparePaths:
+    def write(self, directory, artifact):
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_{artifact['name']}.json"
+        path.write_text(json.dumps(artifact))
+        return path
+
+    def test_directory_pair(self, tmp_path):
+        artifact = canned_artifact()
+        self.write(tmp_path / "base", artifact)
+        self.write(tmp_path / "curr", slowed(artifact, 2.0))
+        comparisons, warnings, errors = compare_paths(
+            tmp_path / "base", tmp_path / "curr"
+        )
+        assert len(comparisons) == 1 and not warnings and not errors
+        assert not comparisons[0].ok
+
+    def test_single_file_pair(self, tmp_path):
+        artifact = canned_artifact()
+        base = self.write(tmp_path / "base", artifact)
+        curr = self.write(tmp_path / "curr", artifact)
+        comparisons, warnings, errors = compare_paths(base, curr)
+        assert len(comparisons) == 1 and comparisons[0].ok
+        assert not errors
+
+    def test_missing_baseline_warns_instead_of_failing(self, tmp_path):
+        artifact = canned_artifact()
+        (tmp_path / "base").mkdir()
+        self.write(tmp_path / "curr", artifact)
+        comparisons, warnings, errors = compare_paths(
+            tmp_path / "base", tmp_path / "curr"
+        )
+        assert comparisons == [] and errors == []
+        assert any("no committed baseline" in w for w in warnings)
+
+    def test_unreadable_artifact_is_an_error(self, tmp_path):
+        artifact = canned_artifact()
+        self.write(tmp_path / "base", artifact)
+        bad = tmp_path / "curr" / f"BENCH_{artifact['name']}.json"
+        bad.parent.mkdir()
+        bad.write_text("{not json")
+        comparisons, warnings, errors = compare_paths(
+            tmp_path / "base", tmp_path / "curr"
+        )
+        assert comparisons == []
+        assert errors
+
+    def test_only_glob_filters_pairs(self, tmp_path):
+        artifact = canned_artifact()
+        self.write(tmp_path / "base", artifact)
+        self.write(tmp_path / "curr", artifact)
+        comparisons, _, _ = compare_paths(
+            tmp_path / "base", tmp_path / "curr", only="no_match"
+        )
+        assert comparisons == []

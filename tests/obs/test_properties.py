@@ -8,7 +8,11 @@ Three contracts the instrumentation relies on:
   fold worker snapshots in any grouping -- chunk arrival order, retry
   order -- and report identical totals;
 * trace events are totally ordered per source, and that order survives
-  the extend-merge of worker shards into the parent log.
+  the extend-merge of worker shards into the parent log;
+* ``MetricsRegistry.from_snapshot`` is a right inverse of
+  ``snapshot()``: rehydrating a snapshot yields a registry whose own
+  snapshot is identical, so archived ``BENCH_*.json`` metrics blocks
+  load back into live instruments without loss.
 """
 
 from hypothesis import given, settings
@@ -132,6 +136,61 @@ class TestExecutorWorkerMerge:
         assert (
             merged.snapshot()["counters"] == serial.snapshot()["counters"]
         )
+
+
+metric_names = st.sampled_from(
+    ["campaign.trials", "bench.run", "grid.alive", "executor.chunk"]
+)
+
+registry_contents = st.tuples(
+    st.dictionaries(  # counters
+        metric_names, st.integers(min_value=0, max_value=10**9), max_size=4
+    ),
+    st.dictionaries(  # gauges
+        metric_names, finite_floats, max_size=4
+    ),
+    st.dictionaries(  # histogram samples
+        metric_names,
+        st.lists(finite_floats, min_size=1, max_size=32),
+        max_size=3,
+    ),
+)
+
+
+class TestFromSnapshotRoundTrip:
+    @staticmethod
+    def build(contents):
+        counters, gauges, samples = contents
+        registry = MetricsRegistry()
+        for name, value in counters.items():
+            registry.counter(name).inc(value)
+        for name, value in gauges.items():
+            registry.gauge(name).set(value)
+        for name, values in samples.items():
+            histogram = registry.histogram(name)
+            for value in values:
+                histogram.observe(value)
+        return registry
+
+    @given(contents=registry_contents)
+    def test_from_snapshot_of_snapshot_is_identity(self, contents):
+        registry = self.build(contents)
+        rehydrated = MetricsRegistry.from_snapshot(registry.snapshot())
+        assert rehydrated.snapshot() == registry.snapshot()
+
+    @given(contents=registry_contents)
+    def test_from_json_round_trips_the_serialised_form(self, contents):
+        registry = self.build(contents)
+        rehydrated = MetricsRegistry.from_json(registry.to_json())
+        assert rehydrated.to_json() == registry.to_json()
+
+    @given(contents=registry_contents)
+    def test_rehydrated_instruments_are_live(self, contents):
+        registry = self.build(contents)
+        rehydrated = MetricsRegistry.from_snapshot(registry.snapshot())
+        rehydrated.counter("campaign.trials").inc(3)
+        baseline = registry.counter("campaign.trials").value
+        assert rehydrated.counter("campaign.trials").value == baseline + 3
 
 
 class TestTracePerSourceTotalOrder:

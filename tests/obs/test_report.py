@@ -102,3 +102,52 @@ class TestReportMetrics:
         assert "(no counters recorded)" in text
         assert "(no lifecycle events traced)" in text
         assert "Gauges" not in text
+
+
+class TestNestedObservingRouting:
+    """Instrumented code must always reach the *innermost* observer,
+    and each level's instruments must stay isolated."""
+
+    def test_three_levels_restore_in_lifo_order(self):
+        a, b, c = Observer(), Observer(), Observer()
+        with observing(a):
+            with observing(b):
+                with observing(c):
+                    assert get_observer() is c
+                assert get_observer() is b
+            assert get_observer() is a
+        assert get_observer() is NULL_OBSERVER
+
+    def test_instrumentation_routes_to_innermost_only(self):
+        outer, inner = Observer(), Observer()
+        with observing(outer):
+            get_observer().metrics.counter("hits").inc()
+            with observing(inner):
+                get_observer().metrics.counter("hits").inc(10)
+                get_observer().trace.emit("inner_event")
+            get_observer().metrics.counter("hits").inc()
+        assert outer.metrics.counter("hits").value == 2
+        assert inner.metrics.counter("hits").value == 10
+        assert [e.kind for e in inner.trace.events] == ["inner_event"]
+        assert len(outer.trace.events) == 0
+
+    def test_reentering_the_same_observer_accumulates(self):
+        obs = Observer()
+        with observing(obs):
+            get_observer().metrics.counter("n").inc()
+            with observing(obs):
+                get_observer().metrics.counter("n").inc()
+            assert get_observer() is obs
+        assert obs.metrics.counter("n").value == 2
+        assert get_observer() is NULL_OBSERVER
+
+    def test_inner_exception_still_restores_outer(self):
+        outer, inner = Observer(), Observer()
+        with observing(outer):
+            try:
+                with observing(inner):
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+            assert get_observer() is outer
+        assert get_observer() is NULL_OBSERVER

@@ -113,3 +113,61 @@ class TestNullTraceLog:
         buffer = io.StringIO()
         assert log.to_jsonl(buffer) == 0
         assert buffer.getvalue() == ""
+
+
+class TestOutOfOrderChunkMerge:
+    """The executor absorbs worker shards in *completion* order, which
+    need not match submission order; the merge must still leave every
+    shard internally ordered and the whole log totally ordered by seq."""
+
+    @staticmethod
+    def shard_records(chunk, n=3):
+        worker = TraceLog(clock=fixed_clock)
+        for trial in range(n):
+            worker.emit("trial_start", source="campaign", trial=trial,
+                        chunk=chunk)
+            worker.emit("trial_end", source="campaign", trial=trial,
+                        chunk=chunk)
+        return worker.to_records()
+
+    def test_reversed_arrival_keeps_per_shard_order(self):
+        parent = TraceLog(clock=fixed_clock)
+        # Chunk 2 finishes first, then 0, then 1.
+        for chunk in (2, 0, 1):
+            parent.extend(
+                self.shard_records(chunk), source_prefix=f"chunk{chunk}"
+            )
+        seqs = [e.seq for e in parent.events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        for chunk in (0, 1, 2):
+            events = parent.events_from(f"chunk{chunk}/campaign")
+            trials = [e.fields["trial"] for e in events]
+            assert trials == [0, 0, 1, 1, 2, 2]
+            kinds = [e.kind for e in events]
+            assert kinds == ["trial_start", "trial_end"] * 3
+
+    def test_arrival_order_is_recoverable_from_seq(self):
+        parent = TraceLog(clock=fixed_clock)
+        for chunk in (1, 0):
+            parent.extend(
+                self.shard_records(chunk, n=1), source_prefix=f"chunk{chunk}"
+            )
+        # chunk1 arrived first, so all its seqs precede chunk0's.
+        seq_by_chunk = {
+            chunk: [e.seq for e in parent.events_from(f"chunk{chunk}/campaign")]
+            for chunk in (0, 1)
+        }
+        assert max(seq_by_chunk[1]) < min(seq_by_chunk[0])
+
+    def test_interleaved_extend_and_emit(self):
+        parent = TraceLog(clock=fixed_clock)
+        parent.emit("job_start", source="executor")
+        parent.extend(self.shard_records(1, n=1), source_prefix="chunk1")
+        parent.emit("checkpoint", source="executor")
+        parent.extend(self.shard_records(0, n=1), source_prefix="chunk0")
+        parent.emit("job_end", source="executor")
+        seqs = [e.seq for e in parent.events]
+        assert seqs == list(range(7))
+        assert [e.kind for e in parent.events_from("executor")] == [
+            "job_start", "checkpoint", "job_end"
+        ]

@@ -1,0 +1,59 @@
+"""Meta-test: every benchmark honours ``REPRO_BENCH_SMOKE``.
+
+``nanobox-repro bench run --smoke`` (and the CI smoke jobs) rely on two
+levers to finish fast:
+
+* benchmarks that size their own workloads -- anything calling
+  ``benchmark.pedantic`` -- must consult the smoke machinery from
+  ``benchmarks/conftest.py`` (``SMOKE``, ``scaled``, or the smoke-aware
+  ``BENCH_TRIALS`` / ``BENCH_PERCENTS`` constants), or read the
+  environment variable directly;
+* auto-calibrated benchmarks (plain ``benchmark(...)``) are governed
+  globally by the conftest's ``pytest_configure`` hook, which caps
+  calibration at one round under smoke.
+
+This test pins both conventions so a new benchmark that ignores the
+flag fails CI immediately instead of silently slowing the smoke job.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[1] / "benchmarks"
+
+#: Any of these in a module's source counts as consulting the flag.
+SMOKE_TOKENS = re.compile(
+    r"\b(SMOKE|scaled|BENCH_TRIALS|BENCH_PERCENTS|REPRO_BENCH_SMOKE)\b"
+)
+
+BENCH_SCRIPTS = sorted(BENCH_DIR.glob("bench_*.py"))
+
+
+def test_benchmark_scripts_were_discovered():
+    """Guard against the glob silently matching nothing."""
+    assert len(BENCH_SCRIPTS) >= 30
+
+
+@pytest.mark.parametrize(
+    "script", BENCH_SCRIPTS, ids=lambda path: path.stem
+)
+def test_benchmark_honours_smoke_flag(script):
+    source = script.read_text()
+    if ".pedantic(" not in source:
+        # Auto-calibrated: rounds are capped by the conftest hook.
+        return
+    assert SMOKE_TOKENS.search(source), (
+        f"{script.name} sizes its own workload (benchmark.pedantic) but "
+        f"never consults the smoke machinery; import SMOKE/scaled from "
+        f"benchmarks.conftest and shrink its workload knobs under smoke"
+    )
+
+
+def test_conftest_defines_the_smoke_lever():
+    source = (BENCH_DIR / "conftest.py").read_text()
+    assert 'os.environ.get("REPRO_BENCH_SMOKE")' in source
+    assert "def scaled(" in source
+    # The global cap on auto-calibrated benchmarks must stay in place.
+    assert "benchmark_min_rounds" in source

@@ -1,0 +1,188 @@
+"""CLI tests for manifests, replay, chrome traces, and ``bench``.
+
+These run the real subcommands in-process via ``main(argv)`` -- the same
+entry point the console script uses -- with the smallest workloads each
+command accepts, so the replay contract ("byte-for-byte or exit 1") is
+tested end to end on every experiment family that records manifests.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.manifest import load_manifest
+from tests.obs.test_bench_harness import canned_artifact
+
+#: Smallest-workload argv for every manifest-recording command family.
+REPLAYABLE = {
+    "sweep": ["sweep", "--quick"],
+    "grid": ["grid", "--rows", "2", "--cols", "2", "--image-size", "4"],
+    "chaos": [
+        "chaos", "--rates", "0.0", "0.003", "--rounds", "1",
+        "--instructions", "8",
+    ],
+    "lifecycle": [
+        "lifecycle", "--jobs", "1", "--instructions", "16",
+        "--rows", "2", "--cols", "2",
+    ],
+}
+
+
+class TestManifestRecording:
+    @pytest.mark.parametrize("command", sorted(REPLAYABLE))
+    def test_manifest_records_argv_digest_and_provenance(
+        self, command, tmp_path, capsys
+    ):
+        path = tmp_path / "run.json"
+        argv = REPLAYABLE[command] + ["--manifest", str(path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        manifest = load_manifest(path)
+        assert manifest["command"] == command
+        # The recorded argv is the invocation minus the manifest flag.
+        assert manifest["argv"] == REPLAYABLE[command]
+        assert "--manifest" not in manifest["argv"]
+        assert manifest["exit_status"] == 0
+        assert manifest["output_bytes"] > 0
+        assert len(manifest["output_sha256"]) == 64
+        for key in ("git_sha", "seed", "config_hash"):
+            assert key in manifest["provenance"]
+        assert f"wrote replay manifest to {path}" in out
+
+
+class TestReplay:
+    @pytest.mark.parametrize("command", sorted(REPLAYABLE))
+    def test_replay_is_byte_identical(self, command, tmp_path, capsys):
+        """The acceptance contract: every deterministic experiment
+        command replays byte-for-byte from its manifest."""
+        path = tmp_path / "run.json"
+        assert main(REPLAYABLE[command] + ["--manifest", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["replay", str(path)]) == 0
+        err = capsys.readouterr().err
+        assert "replay OK" in err
+        assert "byte-identical" in err
+
+    def test_replay_detects_tampered_digest(self, tmp_path, capsys):
+        path = tmp_path / "run.json"
+        assert main(["sweep", "--quick", "--manifest", str(path)]) == 0
+        manifest = json.loads(path.read_text())
+        manifest["output_sha256"] = "0" * 64
+        path.write_text(json.dumps(manifest))
+        capsys.readouterr()
+        assert main(["replay", str(path)]) == 1
+        assert "replay MISMATCH" in capsys.readouterr().err
+
+    def test_replay_rejects_non_manifest_files(self, tmp_path):
+        path = tmp_path / "nope.json"
+        path.write_text(json.dumps({"schema": "something-else"}))
+        with pytest.raises(ValueError, match="not a repro.manifest"):
+            main(["replay", str(path)])
+
+
+class TestChromeTraceFlag:
+    def test_lifecycle_chrome_trace_is_valid(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        argv = REPLAYABLE["lifecycle"] + ["--chrome-trace", str(path)]
+        assert main(argv) == 0
+        assert "ui.perfetto.dev" in capsys.readouterr().out
+        document = json.loads(path.read_text())
+        events = document["traceEvents"]
+        assert events
+        for event in events:
+            assert event["ph"] in {"X", "i", "B", "M"}
+            assert {"ts", "pid", "tid", "name"} <= set(event)
+
+    def test_flags_never_perturb_output(self, tmp_path, capsys):
+        argv = REPLAYABLE["chaos"]
+        assert main(argv) == 0
+        bare = capsys.readouterr().out
+        assert main(
+            argv + ["--chrome-trace", str(tmp_path / "t.json"),
+                    "--metrics", str(tmp_path / "m.json")]
+        ) == 0
+        instrumented = capsys.readouterr().out
+        # The command's own output is a prefix: identical, with only the
+        # export confirmations appended.
+        assert instrumented.startswith(bare)
+
+
+class TestBenchCompareCLI:
+    def write(self, directory, artifact):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"BENCH_{artifact['name']}.json").write_text(
+            json.dumps(artifact)
+        )
+
+    def test_identical_dirs_pass(self, tmp_path, capsys):
+        artifact = canned_artifact()
+        self.write(tmp_path / "base", artifact)
+        self.write(tmp_path / "curr", artifact)
+        assert main(
+            ["bench", "compare", str(tmp_path / "base"),
+             str(tmp_path / "curr")]
+        ) == 0
+        assert "timer (mean)" in capsys.readouterr().out
+
+    def test_2x_slowdown_fails_with_regression_lines(self, tmp_path, capsys):
+        import copy
+
+        artifact = canned_artifact()
+        slowed = copy.deepcopy(artifact)
+        for stats in slowed["timers"].values():
+            stats["mean"] *= 2.0
+        self.write(tmp_path / "base", artifact)
+        self.write(tmp_path / "curr", slowed)
+        assert main(
+            ["bench", "compare", str(tmp_path / "base"),
+             str(tmp_path / "curr")]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out + captured.err
+
+    def test_threshold_for_overrides_per_glob(self, tmp_path):
+        import copy
+
+        artifact = canned_artifact()
+        slowed = copy.deepcopy(artifact)
+        for stats in slowed["timers"].values():
+            stats["mean"] *= 2.0
+        self.write(tmp_path / "base", artifact)
+        self.write(tmp_path / "curr", slowed)
+        assert main(
+            ["bench", "compare", str(tmp_path / "base"),
+             str(tmp_path / "curr"), "--threshold-for", "bench.*=3.0"]
+        ) == 0
+
+    def test_empty_comparison_fails(self, tmp_path):
+        (tmp_path / "base").mkdir()
+        (tmp_path / "curr").mkdir()
+        assert main(
+            ["bench", "compare", str(tmp_path / "base"),
+             str(tmp_path / "curr")]
+        ) == 1
+
+
+class TestBenchRunCLI:
+    def test_no_matching_benchmark_fails(self, tmp_path):
+        assert main(
+            ["bench", "run", "--filter", "no_such_bench",
+             "--out", str(tmp_path)]
+        ) == 1
+
+    def test_smoke_run_emits_a_valid_artifact(self, tmp_path, capsys):
+        """End to end through the child pytest process: the cheapest
+        benchmark, in smoke mode, must yield a loadable artifact."""
+        from repro.obs.bench import load_artifact
+
+        assert main(
+            ["bench", "run", "--smoke", "--filter", "text_area_overhead",
+             "--out", str(tmp_path)]
+        ) == 0
+        assert "passed" in capsys.readouterr().out
+        artifact = load_artifact(tmp_path / "BENCH_text_area_overhead.json")
+        assert artifact["smoke"] is True
+        assert artifact["status"] == "passed"
+        assert artifact["timers"]["bench.run"]["count"] == 1
+        assert artifact["provenance"]["config"]["smoke"] is True
