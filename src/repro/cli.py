@@ -39,6 +39,18 @@ The benchmark harness lives under ``bench``::
 emitting one schema-versioned ``BENCH_<name>.json`` per benchmark script
 and diffing two artifact sets with per-metric regression thresholds.
 
+``sweep``/``grid``/``chaos``/``lifecycle`` are additionally
+crash-safe: ``--checkpoint-dir`` stores completed work chunks durably,
+``--resume`` completes an interrupted run with byte-identical stdout,
+and ``--deadline SECS`` degrades to an explicit partial report (exit
+status 3) that a later ``--resume`` finishes::
+
+    nanobox-repro sweep --checkpoint-dir ck            # interruptible
+    nanobox-repro sweep --checkpoint-dir ck --resume   # finish the rest
+    nanobox-repro chaos-exec                           # prove it: kill/hang/
+                                                       # corrupt/disk-full/
+                                                       # deadline child runs
+
 Also available as ``python -m repro.cli``.
 """
 
@@ -64,6 +76,89 @@ class _Tee(io.TextIOBase):
     def flush(self) -> None:
         for stream in self._streams:
             stream.flush()
+
+
+#: Exit status for a well-formed partial result (deadline hit or chunks
+#: dead-lettered): distinguishable from success (0) and real failure (1).
+EXIT_INCOMPLETE = 3
+
+
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared crash-safety / budget flags."""
+    group = parser.add_argument_group("resilience")
+    group.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="durably checkpoint completed work chunks "
+                            "under DIR (content-addressed by the run "
+                            "configuration)")
+    group.add_argument("--resume", action="store_true",
+                       help="reuse valid checkpoints from --checkpoint-dir; "
+                            "the resumed output is byte-identical to an "
+                            "uninterrupted run")
+    group.add_argument("--deadline", type=float, default=None, metavar="SECS",
+                       help="wall-clock budget; on expiry the run stops "
+                            "scheduling work and reports an explicit "
+                            f"partial result (exit {EXIT_INCOMPLETE})")
+    group.add_argument("--checkpoint-chunk-size", type=int, default=4,
+                       metavar="N", help="tasks per checkpointed chunk")
+    group.add_argument("--chunk-timeout", type=float, default=None,
+                       metavar="SECS",
+                       help="per-chunk hung-worker timeout (parallel "
+                            "runs only): a wedged worker is killed and "
+                            "its chunk re-run in a fresh pool")
+
+
+def _runtime_from_args(args: argparse.Namespace):
+    """The ResilientRuntime the flags ask for, or None for the
+    plain (pre-existing, flag-free) execution path."""
+    wanted = (
+        args.checkpoint_dir is not None
+        or args.resume
+        or args.deadline is not None
+        or args.chunk_timeout is not None
+    )
+    if not wanted:
+        return None
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        raise SystemExit(2)
+    from pathlib import Path
+
+    from repro.perf import ResilientRuntime
+
+    return ResilientRuntime(
+        checkpoint_dir=(
+            Path(args.checkpoint_dir) if args.checkpoint_dir else None
+        ),
+        resume=args.resume,
+        deadline=args.deadline,
+        chunk_size=args.checkpoint_chunk_size,
+        chunk_timeout=args.chunk_timeout,
+    )
+
+
+def _emit_resilience_note(outcome) -> None:
+    """Recovery accounting goes to stderr: stdout stays byte-identical."""
+    from repro.perf import resilience_note
+
+    print(resilience_note(outcome), file=sys.stderr)
+
+
+def _incomplete_banner(outcome) -> str:
+    """The explicit partial-result banner (deterministic content)."""
+    reasons = []
+    if outcome.deadline_hit:
+        reasons.append(
+            f"deadline hit with {outcome.skipped_chunks} chunk(s) "
+            f"unscheduled"
+        )
+    if outcome.dead_letters:
+        reasons.append(f"{len(outcome.dead_letters)} chunk(s) dead-lettered")
+    reason = "; ".join(reasons) or "some tasks missing"
+    return (
+        f"INCOMPLETE: {len(outcome.missing_tasks)} of "
+        f"{len(outcome.results)} task(s) not computed ({reason}); "
+        f"re-run with --resume and the same --checkpoint-dir to continue"
+    )
 
 
 def _add_observability_args(parser: argparse.ArgumentParser) -> None:
@@ -127,9 +222,9 @@ def _run_with_observability(args: argparse.Namespace) -> int:
         write_manifest(manifest, args.manifest)
         print(f"wrote replay manifest to {args.manifest}")
     if args.metrics:
-        with open(args.metrics, "w") as f:
-            f.write(obs.metrics.to_json())
-            f.write("\n")
+        from repro.ioutil import atomic_write_text
+
+        atomic_write_text(args.metrics, obs.metrics.to_json() + "\n")
         print(f"wrote metrics JSON to {args.metrics}")
     if args.trace:
         written = obs.trace.to_jsonl(args.trace)
@@ -201,13 +296,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     else:
         percents = PAPER_FAULT_PERCENTAGES
         trials = args.trials
-    result = run_figure(
-        f"figure{args.figure}",
-        fault_percents=percents,
-        trials_per_workload=trials,
-        seed=args.seed,
-        jobs=args.jobs,
-    )
+    runtime = _runtime_from_args(args)
+    if runtime is None:
+        result = run_figure(
+            f"figure{args.figure}",
+            fault_percents=percents,
+            trials_per_workload=trials,
+            seed=args.seed,
+            jobs=args.jobs,
+        )
+    else:
+        from repro.experiments.figures import (
+            partial_figure_text,
+            run_figure_resilient,
+        )
+
+        run = run_figure_resilient(
+            f"figure{args.figure}",
+            runtime,
+            fault_percents=percents,
+            trials_per_workload=trials,
+            seed=args.seed,
+            jobs=args.jobs,
+        )
+        _emit_resilience_note(run.outcome)
+        result = run.figure
+        if result is None:
+            print(partial_figure_text(run))
+            print()
+            print(_incomplete_banner(run.outcome))
+            return EXIT_INCOMPLETE
     if args.chart:
         from repro.experiments.ascii_chart import figure_chart
 
@@ -217,9 +335,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"\nmax per-point stddev: {result.max_stddev():.2f} points")
     if args.json:
         from repro.experiments.export import figure_to_json
+        from repro.ioutil import atomic_write_text
 
-        with open(args.json, "w") as f:
-            f.write(figure_to_json(result))
+        atomic_write_text(args.json, figure_to_json(result))
         print(f"wrote JSON export to {args.json}")
     return 0
 
@@ -237,6 +355,57 @@ def _parse_kill(spec: str) -> Tuple[int, Tuple[int, int]]:
 
 
 def _cmd_grid(args: argparse.Namespace) -> int:
+    runtime = _runtime_from_args(args)
+    if runtime is None:
+        return _grid_run(args)
+    from contextlib import redirect_stdout
+    from dataclasses import replace
+
+    from repro.perf import ResilientRunner
+
+    # A grid run is one indivisible simulation, so the checkpoint unit
+    # is the whole report: a single chunk whose payload is the exact
+    # stdout plus the exit status.  Resuming replays those bytes.
+    config = {
+        "experiment": "grid-run",
+        "rows": args.rows,
+        "cols": args.cols,
+        "scheme": args.scheme,
+        "workload": args.workload,
+        "image_size": args.image_size,
+        "fault_percent": args.fault_percent,
+        "kill": sorted(
+            [cycle, list(coord)] for cycle, coord in (args.kill or [])
+        ),
+        "adaptive": args.adaptive,
+        "rounds": args.rounds,
+        "seed": args.seed,
+        "show_grid": args.show_grid,
+    }
+
+    def run_chunk(_index: int, chunk) -> list:
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            status = _grid_run(args)
+        return [{"stdout": buffer.getvalue(), "exit_status": status}]
+
+    runner = ResilientRunner(
+        run_chunk,
+        runtime=replace(runtime, chunk_size=1),
+        config=config,
+        kind="grid-stdout",
+    )
+    outcome = runner.run([0])
+    _emit_resilience_note(outcome)
+    if not outcome.complete:
+        print(_incomplete_banner(outcome))
+        return EXIT_INCOMPLETE
+    payload = outcome.results[0]
+    sys.stdout.write(payload["stdout"])
+    return int(payload["exit_status"])
+
+
+def _grid_run(args: argparse.Namespace) -> int:
     from repro.faults.mask import ExactFractionMask
     from repro.grid.simulator import GridSimulator
     from repro.workloads import bitmap as bitmaps
@@ -359,22 +528,47 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.experiments.chaos_fabric import chaos_sweep, chaos_table_text
 
-    points = chaos_sweep(
-        link_rates=tuple(args.rates),
-        retry_budgets=tuple(args.rounds),
-        drop_rate=args.drop_rate,
-        stall_rate=args.stall_rate,
-        rows=args.rows,
-        cols=args.cols,
-        n_instructions=args.instructions,
-        seed=args.seed,
-    )
+    runtime = _runtime_from_args(args)
+    incomplete = None
+    if runtime is None:
+        points = chaos_sweep(
+            link_rates=tuple(args.rates),
+            retry_budgets=tuple(args.rounds),
+            drop_rate=args.drop_rate,
+            stall_rate=args.stall_rate,
+            rows=args.rows,
+            cols=args.cols,
+            n_instructions=args.instructions,
+            seed=args.seed,
+        )
+    else:
+        from repro.experiments.chaos_fabric import chaos_sweep_resilient
+
+        outcome = chaos_sweep_resilient(
+            runtime,
+            link_rates=tuple(args.rates),
+            retry_budgets=tuple(args.rounds),
+            drop_rate=args.drop_rate,
+            stall_rate=args.stall_rate,
+            rows=args.rows,
+            cols=args.cols,
+            n_instructions=args.instructions,
+            seed=args.seed,
+        )
+        _emit_resilience_note(outcome)
+        points = [p for p in outcome.results if p is not None]
+        if not outcome.complete:
+            incomplete = outcome
     print(
         f"Link-fault chaos sweep ({args.rows}x{args.cols} grid, "
         f"{args.instructions} instructions, drop {args.drop_rate:g}, "
         f"stall {args.stall_rate:g})"
     )
     print(chaos_table_text(points))
+    if incomplete is not None:
+        print()
+        print(_incomplete_banner(incomplete))
+        return EXIT_INCOMPLETE
     return 0
 
 
@@ -405,22 +599,72 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
         permanent_policy(),
         self_healing_policy(heartbeat_decay=args.decay),
     )
-    points = lifecycle_sweep(
-        processes,
-        policies,
-        jobs=args.jobs,
-        n_instructions=args.instructions,
-        rows=args.rows,
-        cols=args.cols,
-        seed=args.seed,
-    )
+    runtime = _runtime_from_args(args)
+    incomplete = None
+    if runtime is None:
+        points = lifecycle_sweep(
+            processes,
+            policies,
+            jobs=args.jobs,
+            n_instructions=args.instructions,
+            rows=args.rows,
+            cols=args.cols,
+            seed=args.seed,
+        )
+    else:
+        from repro.experiments.lifecycle import lifecycle_sweep_resilient
+
+        outcome = lifecycle_sweep_resilient(
+            runtime,
+            processes,
+            policies,
+            jobs=args.jobs,
+            n_instructions=args.instructions,
+            rows=args.rows,
+            cols=args.cols,
+            seed=args.seed,
+        )
+        _emit_resilience_note(outcome)
+        points = [p for p in outcome.results if p is not None]
+        if not outcome.complete:
+            incomplete = outcome
     print(
         f"Cell health lifecycle sweep ({args.rows}x{args.cols} grid, "
         f"{args.jobs} jobs x {args.instructions} instructions, "
         f"seed {args.seed})"
     )
     print(lifecycle_table_text(points))
+    if incomplete is not None:
+        print()
+        print(_incomplete_banner(incomplete))
+        return EXIT_INCOMPLETE
     return 0
+
+
+def _cmd_chaos_exec(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.perf.chaos_exec import chaos_exec_report, run_chaos_suite
+
+    outcomes = run_chaos_suite(
+        modes=tuple(args.modes),
+        workdir=Path(args.workdir) if args.workdir else None,
+        seed=args.seed,
+        chunk_size=args.chunk_size,
+        timeout=args.timeout,
+        echo=lambda line: print(line, file=sys.stderr),
+    )
+    print(chaos_exec_report(outcomes))
+    failed = [
+        o.mode for o in outcomes if not (o.recovered and o.byte_identical)
+    ]
+    print(
+        f"{len(outcomes)} fault mode(s) injected, {len(failed)} violated "
+        f"the recovery invariants"
+    )
+    if failed:
+        print(f"violated: {', '.join(failed)}", file=sys.stderr)
+    return 1 if failed else 0
 
 
 def _cmd_bench_run(args: argparse.Namespace) -> int:
@@ -542,8 +786,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
     report = build_report(quick=args.quick, seed=args.seed, jobs=args.jobs)
     print(report, end="")
     if args.out:
-        with open(args.out, "w") as f:
-            f.write(report)
+        from repro.ioutil import atomic_write_text
+
+        atomic_write_text(args.out, report)
     return 0
 
 
@@ -586,6 +831,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="campaign worker processes (1 = serial; "
                             "any value gives identical output)")
     _add_observability_args(sweep)
+    _add_resilience_args(sweep)
     sweep.set_defaults(fn=_cmd_sweep)
 
     grid = sub.add_parser("grid", help="run a full-system image job")
@@ -607,6 +853,7 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--show-grid", action="store_true",
                       help="render the final fabric state")
     _add_observability_args(grid)
+    _add_resilience_args(grid)
     grid.set_defaults(fn=_cmd_grid)
 
     yld = sub.add_parser("yield", help="manufacturing-yield table")
@@ -645,7 +892,32 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--instructions", type=int, default=48)
     chaos.add_argument("--seed", type=int, default=2004)
     _add_observability_args(chaos)
+    _add_resilience_args(chaos)
     chaos.set_defaults(fn=_cmd_chaos)
+
+    chaos_exec = sub.add_parser(
+        "chaos-exec",
+        help="process-level chaos harness: inject crashes, hangs, and "
+             "corruption into real child runs; assert recovery invariants",
+    )
+    chaos_exec.add_argument(
+        "--modes", nargs="+",
+        # mirrors repro.perf.chaos_exec.CHAOS_MODES (kept literal so the
+        # parser builds without importing the perf package)
+        choices=("kill", "hang", "corrupt", "disk-full", "deadline"),
+        default=["kill", "hang", "corrupt", "disk-full", "deadline"],
+        help="fault modes to inject (default: all)",
+    )
+    chaos_exec.add_argument("--workdir", default=None, metavar="DIR",
+                            help="working directory for child runs "
+                                 "(default: a fresh temp directory)")
+    chaos_exec.add_argument("--seed", type=int, default=2004,
+                            help="seed for the target sweep")
+    chaos_exec.add_argument("--chunk-size", type=int, default=4,
+                            help="checkpoint chunk size for the target")
+    chaos_exec.add_argument("--timeout", type=float, default=300.0,
+                            help="per-child wall-clock ceiling in seconds")
+    chaos_exec.set_defaults(fn=_cmd_chaos_exec)
 
     lifecycle = sub.add_parser(
         "lifecycle",
@@ -670,6 +942,7 @@ def build_parser() -> argparse.ArgumentParser:
     lifecycle.add_argument("--cols", type=int, default=4)
     lifecycle.add_argument("--seed", type=int, default=2004)
     _add_observability_args(lifecycle)
+    _add_resilience_args(lifecycle)
     lifecycle.set_defaults(fn=_cmd_lifecycle)
 
     bench = sub.add_parser(

@@ -11,8 +11,8 @@ value (and its rate-0 overhead) is measured rather than asserted.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.alu.reference import reference_compute
 from repro.grid.control import JobInstruction
@@ -180,6 +180,87 @@ def chaos_sweep(
                     )
                 )
     return points
+
+
+def encode_chaos_point(point: ChaosPoint) -> Dict[str, Any]:
+    """Lossless JSON form of one :class:`ChaosPoint`.
+
+    All fields are ints, bools, and floats; JSON round-trips every one
+    exactly, which the byte-identical resume guarantee depends on.
+    """
+    return asdict(point)
+
+
+def decode_chaos_point(payload: Dict[str, Any]) -> ChaosPoint:
+    """Inverse of :func:`encode_chaos_point` (exact round-trip)."""
+    return ChaosPoint(**payload)
+
+
+def chaos_sweep_resilient(
+    runtime,
+    link_rates: Sequence[float] = DEFAULT_LINK_RATES,
+    retry_budgets: Sequence[int] = DEFAULT_RETRY_BUDGETS,
+    *,
+    drop_rate: float = 0.0,
+    stall_rate: float = 0.0,
+    rows: int = 3,
+    cols: int = 3,
+    n_instructions: int = 48,
+    seed: int = 2004,
+):
+    """:func:`chaos_sweep` under the crash-safe campaign runtime.
+
+    ``runtime`` is a :class:`repro.perf.ResilientRuntime`.  Returns the
+    :class:`~repro.perf.ResilientOutcome` whose ``results`` hold the
+    sweep's :class:`ChaosPoint`\\ s in :func:`chaos_sweep` order (with
+    ``None`` for cells a deadline left uncomputed); a complete outcome's
+    points are identical to an uninterrupted sweep's.
+    """
+    from repro.perf.resilient import ResilientRunner
+
+    tasks = [
+        {"rate": rate, "budget": budget, "protected": protected}
+        for rate in link_rates
+        for budget in retry_budgets
+        for protected in (False, True)
+    ]
+    config = {
+        "experiment": "chaos-fabric-sweep",
+        "link_rates": list(link_rates),
+        "retry_budgets": list(retry_budgets),
+        "drop_rate": drop_rate,
+        "stall_rate": stall_rate,
+        "rows": rows,
+        "cols": cols,
+        "n_instructions": n_instructions,
+        "seed": seed,
+    }
+
+    def run_chunk(_index: int, chunk: Sequence[Dict[str, Any]]):
+        return [
+            run_chaos_point(
+                task["rate"],
+                protected=task["protected"],
+                max_rounds=task["budget"],
+                drop_rate=drop_rate,
+                stall_rate=stall_rate,
+                rows=rows,
+                cols=cols,
+                n_instructions=n_instructions,
+                seed=seed,
+            )
+            for task in chunk
+        ]
+
+    runner = ResilientRunner(
+        run_chunk,
+        runtime=runtime,
+        config=config,
+        kind="chaos-points",
+        encode=encode_chaos_point,
+        decode=decode_chaos_point,
+    )
+    return runner.run(tasks)
 
 
 def chaos_table_text(points: Sequence[ChaosPoint]) -> str:

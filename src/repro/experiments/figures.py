@@ -14,10 +14,10 @@ module-level *space* redundancy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.alu.variants import build_alu
-from repro.experiments.report import format_series
+from repro.experiments.report import format_series, format_table
 from repro.faults.fit import fit_for_fault_fraction
 from repro.faults.stats import SampleStats
 from repro.perf import ALUSpec, CampaignWorkItem, PolicySpec, run_campaign_items
@@ -105,12 +105,30 @@ def _sweep_points(
     come back in input order, so the points are identical to a nested
     serial loop's.
     """
+    items = _sweep_items(
+        variants, fault_percents, bitmap, trials_per_workload, seed, batched
+    )
+    results = run_campaign_items(items, jobs=jobs)
+    points = _assemble_points(variants, fault_percents, results)
+    assert all(point is not None for point in points)
+    return list(points)  # type: ignore[arg-type]
+
+
+def _sweep_items(
+    variants: Sequence[str],
+    fault_percents: Sequence[float],
+    bitmap: Optional[Bitmap],
+    trials_per_workload: int,
+    seed: int,
+    batched: bool,
+) -> List[CampaignWorkItem]:
+    """The flat (variant x percent) work-item list, in sweep order."""
     if trials_per_workload <= 0:
         raise ValueError(
             f"trials_per_workload must be positive, got {trials_per_workload}"
         )
     bmp = bitmap if bitmap is not None else gradient(8, 8)
-    items = [
+    return [
         CampaignWorkItem(
             alu=ALUSpec.variant(variant),
             policy=PolicySpec.exact(percent / 100.0),
@@ -122,14 +140,30 @@ def _sweep_points(
         for variant in variants
         for percent in fault_percents
     ]
-    results = run_campaign_items(items, jobs=jobs)
+
+
+def _assemble_points(
+    variants: Sequence[str],
+    fault_percents: Sequence[float],
+    results: Sequence[Optional[Any]],
+) -> List[Optional[SeriesPoint]]:
+    """Series points from campaign results; ``None`` passes through.
+
+    A missing result (deadline-skipped or dead-lettered chunk in a
+    resilient run) yields a ``None`` point in the same slot, so partial
+    runs keep every computed cell in its proper place.
+    """
     site_counts = {v: build_alu(v).site_count for v in set(variants)}
-    points: List[SeriesPoint] = []
+    points: List[Optional[SeriesPoint]] = []
     index = 0
     for variant in variants:
         for percent in fault_percents:
-            stats: SampleStats = results[index].stats
+            result = results[index]
             index += 1
+            if result is None:
+                points.append(None)
+                continue
+            stats: SampleStats = result.stats
             points.append(
                 SeriesPoint(
                     variant=variant,
@@ -187,6 +221,137 @@ def run_figure(
         fault_percents=tuple(fault_percents),
         points=tuple(points),
     )
+
+
+@dataclass(frozen=True)
+class ResilientFigureRun:
+    """One checkpointed/budgeted figure run.
+
+    ``figure`` is set exactly when the run completed; its text rendering
+    is then byte-identical to :func:`run_figure`'s.  ``points`` always
+    holds every cell, with ``None`` in slots the deadline or dead-letter
+    machinery left uncomputed.  ``outcome`` carries the recovery
+    accounting (reused/computed chunks, retries, dead letters ...).
+    """
+
+    name: str
+    title: str
+    fault_percents: Tuple[float, ...]
+    points: Tuple[Optional[SeriesPoint], ...]
+    outcome: Any  # repro.perf.ResilientOutcome
+
+    @property
+    def figure(self) -> Optional[FigureResult]:
+        if any(point is None for point in self.points):
+            return None
+        return FigureResult(
+            name=self.name,
+            title=self.title,
+            fault_percents=self.fault_percents,
+            points=tuple(self.points),  # type: ignore[arg-type]
+        )
+
+
+def _sweep_config(
+    name: str,
+    variants: Sequence[str],
+    fault_percents: Sequence[float],
+    bitmap: Optional[Bitmap],
+    trials_per_workload: int,
+    seed: int,
+    batched: bool,
+) -> Dict[str, Any]:
+    """Everything that determines a sweep's results, JSON-safe.
+
+    This is the checkpoint run key's input: two invocations share
+    checkpoints exactly when this dictionary is equal.
+    """
+    bmp = bitmap if bitmap is not None else gradient(8, 8)
+    return {
+        "experiment": "figure-sweep",
+        "figure": name,
+        "variants": list(variants),
+        "fault_percents": list(fault_percents),
+        "trials_per_workload": trials_per_workload,
+        "seed": seed,
+        "batched": batched,
+        "bitmap": {
+            "width": bmp.width,
+            "height": bmp.height,
+            "pixels": bmp.pixels,
+        },
+    }
+
+
+def run_figure_resilient(
+    name: str,
+    runtime,
+    fault_percents: Sequence[float] = PAPER_FAULT_PERCENTAGES,
+    bitmap: Optional[Bitmap] = None,
+    trials_per_workload: int = 5,
+    seed: int = 2004,
+    jobs: int = 1,
+    batched: bool = True,
+) -> ResilientFigureRun:
+    """:func:`run_figure` under the crash-safe campaign runtime.
+
+    ``runtime`` is a :class:`repro.perf.ResilientRuntime`; a completed
+    run's ``figure`` renders byte-identically to an uninterrupted
+    :func:`run_figure` -- checkpoint reuse never perturbs the numbers.
+    """
+    from repro.perf import resilient_campaign_map
+
+    try:
+        variants = FIGURE_VARIANTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {name!r}; have {sorted(FIGURE_VARIANTS)}"
+        ) from None
+    items = _sweep_items(
+        variants, fault_percents, bitmap, trials_per_workload, seed, batched
+    )
+    outcome = resilient_campaign_map(
+        items,
+        jobs=jobs,
+        runtime=runtime,
+        config=_sweep_config(
+            name, variants, fault_percents, bitmap, trials_per_workload,
+            seed, batched,
+        ),
+    )
+    points = _assemble_points(variants, fault_percents, outcome.results)
+    return ResilientFigureRun(
+        name=name,
+        title=FIGURE_TITLES[name],
+        fault_percents=tuple(fault_percents),
+        points=tuple(points),
+        outcome=outcome,
+    )
+
+
+def partial_figure_text(run: ResilientFigureRun) -> str:
+    """Render an incomplete figure run: computed cells, '...' for missing.
+
+    Complete runs should use ``run.figure.to_text()`` instead (this
+    renderer exists so a deadline-hit run still emits a well-formed
+    table for every cell it did compute).
+    """
+    variants = FIGURE_VARIANTS[run.name]
+    by_cell: Dict[Tuple[str, float], Optional[SeriesPoint]] = {}
+    index = 0
+    for variant in variants:
+        for percent in run.fault_percents:
+            by_cell[(variant, percent)] = run.points[index]
+            index += 1
+    rows = []
+    for percent in run.fault_percents:
+        row: List[str] = [f"{percent:g}"]
+        for variant in variants:
+            point = by_cell[(variant, percent)]
+            row.append("..." if point is None else f"{point.percent_correct:.2f}")
+        rows.append(tuple(row))
+    body = format_table(("fault%",) + tuple(variants), rows)
+    return f"{run.title} [partial]\n{body}"
 
 
 def figure7(**kwargs) -> FigureResult:

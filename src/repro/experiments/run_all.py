@@ -152,8 +152,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     report = build_report(quick=args.quick, seed=args.seed, jobs=args.jobs)
     sys.stdout.write(report)
     if args.out:
-        with open(args.out, "w") as f:
-            f.write(report)
+        from repro.ioutil import atomic_write_text
+
+        atomic_write_text(args.out, report)
     return 0
 
 

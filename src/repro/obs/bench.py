@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
+from repro.ioutil import atomic_write_json
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.provenance import collect_provenance
 
@@ -328,9 +329,7 @@ def write_artifact(run: BenchRun, out_dir: Path) -> Path:
     """Persist one artifact as ``out_dir/BENCH_<name>.json``."""
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / artifact_name(run.script)
-    with open(path, "w") as handle:
-        json.dump(run.artifact, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_json(path, run.artifact)
     return path
 
 

@@ -179,9 +179,9 @@ def write_chrome_trace(
     """Write the Trace Event document; returns the event count."""
     document = to_chrome_trace(trace)
     if isinstance(destination, str):
-        with open(destination, "w") as handle:
-            json.dump(document, handle, indent=1, sort_keys=True)
-            handle.write("\n")
+        from repro.ioutil import atomic_write_json
+
+        atomic_write_json(destination, document, indent=1)
     else:
         json.dump(document, destination, indent=1, sort_keys=True)
         destination.write("\n")

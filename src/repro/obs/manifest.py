@@ -116,10 +116,11 @@ def build_manifest(
 
 
 def write_manifest(manifest: Mapping[str, Any], path: Union[str, Path]) -> None:
-    """Persist a manifest as indented, key-sorted JSON."""
-    with open(path, "w") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    """Persist a manifest as indented, key-sorted JSON (atomically:
+    a crash mid-write can never leave a torn manifest for ``replay``)."""
+    from repro.ioutil import atomic_write_json
+
+    atomic_write_json(path, dict(manifest))
 
 
 def load_manifest(path: Union[str, Path]) -> Dict[str, Any]:

@@ -189,8 +189,16 @@ class TraceLog:
             destination: a path or an open text file object.
         """
         if isinstance(destination, str):
-            with open(destination, "w") as handle:
-                return self.to_jsonl(handle)
+            from repro.ioutil import atomic_write_text
+
+            lines = [
+                json.dumps(event.to_dict(), sort_keys=True)
+                for event in self._events
+            ]
+            atomic_write_text(
+                destination, "".join(line + "\n" for line in lines)
+            )
+            return len(lines)
         count = 0
         for event in self._events:
             destination.write(json.dumps(event.to_dict(), sort_keys=True))

@@ -8,6 +8,7 @@ fans them out over a process pool with a deterministic merge order, so a
 parallel run's report is byte-identical to a serial one.
 """
 
+from repro.perf.checkpoint import CheckpointStats, CheckpointStore, run_key_for
 from repro.perf.executor import (
     CampaignExecutionError,
     CampaignExecutor,
@@ -15,14 +16,33 @@ from repro.perf.executor import (
     ExecutorStats,
     run_campaign_items,
 )
+from repro.perf.resilient import (
+    BackoffPolicy,
+    DeadLetter,
+    ResilientOutcome,
+    ResilientRunner,
+    ResilientRuntime,
+    resilience_note,
+    resilient_campaign_map,
+)
 from repro.perf.spec import ALUSpec, PolicySpec
 
 __all__ = [
     "ALUSpec",
+    "BackoffPolicy",
     "CampaignExecutionError",
     "CampaignExecutor",
     "CampaignWorkItem",
+    "CheckpointStats",
+    "CheckpointStore",
+    "DeadLetter",
     "ExecutorStats",
     "PolicySpec",
+    "ResilientOutcome",
+    "ResilientRunner",
+    "ResilientRuntime",
+    "resilience_note",
+    "resilient_campaign_map",
     "run_campaign_items",
+    "run_key_for",
 ]

@@ -1,0 +1,426 @@
+"""Process-level chaos harness: prove the campaign runtime survives death.
+
+``repro.experiments.chaos_fabric`` injects faults into the *simulated*
+transport fabric; this module injects faults into the *real* campaign
+runtime -- child processes running actual ``nanobox-repro`` sweeps --
+and asserts the crash-safety invariants end to end:
+
+==========  ====================================  =======================
+mode        injected fault                        asserted invariant
+==========  ====================================  =======================
+kill        SIGKILL at a chunk boundary           resume is byte-identical
+                                                  to an uninterrupted run
+hang        a worker wedges for minutes           executor timeout + pool
+                                                  rebuild recover in-run
+corrupt     checkpoint truncated + bit-flipped    quarantined ``*.corrupt``
+                                                  + recomputed, identical
+disk-full   every checkpoint write ENOSPCs        run completes, output
+                                                  unperturbed, degradation
+                                                  reported
+deadline    budget expires before any chunk       explicit INCOMPLETE
+                                                  partial report; resume
+                                                  completes identically
+==========  ====================================  =======================
+
+Faults are injected through deterministic knobs (environment variables
+honoured by :mod:`repro.perf.resilient`, :mod:`repro.perf.checkpoint`
+and the executor's worker entry point) rather than wall-clock races, so
+two harness runs produce byte-identical reports -- which CI asserts,
+the same two-run determinism gate every prior layer carries.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.perf.checkpoint import CHAOS_DISK_FULL_ENV
+from repro.perf.executor import CHAOS_HANG_ENV
+from repro.perf.resilient import CHAOS_KILL_ENV
+
+__all__ = [
+    "CHAOS_MODES",
+    "ChaosOutcome",
+    "chaos_exec_report",
+    "run_chaos_mode",
+    "run_chaos_suite",
+]
+
+#: Every fault mode the harness can inject, in report order.
+CHAOS_MODES = ("kill", "hang", "corrupt", "disk-full", "deadline")
+
+#: Exit status the CLI uses for well-formed partial (incomplete) runs.
+EXIT_INCOMPLETE = 3
+
+_REUSED_RE = re.compile(r"reused (\d+)/(\d+) chunk")
+_QUARANTINED_RE = re.compile(r"quarantined (\d+) corrupt")
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """What one injected fault did, and whether the runtime survived it.
+
+    Attributes:
+        mode: the fault mode injected.
+        fault: human description of the injection.
+        recovered: the invariant held -- a complete, correct result (or
+            for ``deadline``, an explicit partial followed by a clean
+            resume) was obtained.
+        byte_identical: final output byte-for-byte equals the clean
+            uninterrupted reference run.
+        reused_chunks / total_chunks: checkpoints served on the recovery
+            run (-1 when the mode has no recovery run).
+        quarantined: corrupt checkpoint records detected + set aside.
+        detail: deterministic one-line postscript for the report.
+    """
+
+    mode: str
+    fault: str
+    recovered: bool
+    byte_identical: bool
+    reused_chunks: int
+    total_chunks: int
+    quarantined: int
+    detail: str
+
+
+def _src_path() -> str:
+    """The ``src`` directory that makes ``repro`` importable in children."""
+    return str(Path(__file__).resolve().parents[2])
+
+
+def _child_env(extra: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+    """A clean child environment: no inherited chaos knobs, repro on path."""
+    env = {
+        key: value
+        for key, value in os.environ.items()
+        if not key.startswith("REPRO_CHAOS_")
+    }
+    existing = env.get("PYTHONPATH")
+    src = _src_path()
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    if extra:
+        env.update(extra)
+    return env
+
+
+def _run_cli(
+    argv: Sequence[str],
+    env_extra: Optional[Dict[str, str]] = None,
+    timeout: float = 300.0,
+) -> Tuple[int, str, str]:
+    """Run ``nanobox-repro`` in a child process: (rc, stdout, stderr)."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        env=_child_env(env_extra),
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def _parse_reuse(stderr: str) -> Tuple[int, int]:
+    match = _REUSED_RE.search(stderr)
+    return (int(match.group(1)), int(match.group(2))) if match else (-1, -1)
+
+
+def _parse_quarantined(stderr: str) -> int:
+    match = _QUARANTINED_RE.search(stderr)
+    return int(match.group(1)) if match else 0
+
+
+class _ChaosContext:
+    """Shared per-suite state: the target sweep and its clean reference."""
+
+    def __init__(
+        self,
+        workdir: Path,
+        seed: int = 2004,
+        chunk_size: int = 4,
+        timeout: float = 300.0,
+    ) -> None:
+        self.workdir = workdir
+        self.seed = seed
+        self.chunk_size = chunk_size
+        self.timeout = timeout
+        rc, stdout, stderr = _run_cli(self._target_argv(), timeout=timeout)
+        if rc != 0:
+            raise RuntimeError(
+                f"clean reference run failed (rc {rc}): {stderr.strip()}"
+            )
+        self.reference = stdout
+
+    def _target_argv(self, *resilience: str) -> List[str]:
+        return [
+            "sweep",
+            "--quick",
+            "--seed",
+            str(self.seed),
+            *resilience,
+        ]
+
+    def run_target(
+        self,
+        checkpoint_dir: Path,
+        *flags: str,
+        env_extra: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, str, str]:
+        argv = self._target_argv(
+            "--checkpoint-dir",
+            str(checkpoint_dir),
+            "--checkpoint-chunk-size",
+            str(self.chunk_size),
+            *flags,
+        )
+        return _run_cli(argv, env_extra=env_extra, timeout=self.timeout)
+
+    def checkpoint_files(self, checkpoint_dir: Path) -> List[Path]:
+        return sorted(checkpoint_dir.glob("*/chunk_*.json"))
+
+    def corrupt_files(self, checkpoint_dir: Path) -> List[Path]:
+        return sorted(checkpoint_dir.glob("*/chunk_*.corrupt*"))
+
+
+def _mode_kill(ctx: _ChaosContext) -> ChaosOutcome:
+    """SIGKILL after chunk 1's checkpoint lands; resume must be exact."""
+    ckdir = ctx.workdir / "kill"
+    rc, _, _ = ctx.run_target(ckdir, env_extra={CHAOS_KILL_ENV: "1"})
+    died_by_sigkill = rc == -signal.SIGKILL
+    survivors = len(ctx.checkpoint_files(ckdir))
+    rc2, out2, err2 = ctx.run_target(ckdir, "--resume")
+    reused, total = _parse_reuse(err2)
+    identical = out2 == ctx.reference
+    return ChaosOutcome(
+        mode="kill",
+        fault="SIGKILL after chunk 1 checkpoint",
+        recovered=died_by_sigkill and rc2 == 0 and identical,
+        byte_identical=identical,
+        reused_chunks=reused,
+        total_chunks=total,
+        quarantined=0,
+        detail=(
+            f"killed with SIGKILL, {survivors} chunk(s) survived on disk, "
+            f"resume exit {rc2}"
+        ),
+    )
+
+
+def _mode_hang(ctx: _ChaosContext) -> ChaosOutcome:
+    """One worker wedges; the executor's timeout recovery finishes the run."""
+    ckdir = ctx.workdir / "hang"
+    sentinel = ctx.workdir / "hang.sentinel"
+    rc, out, err = ctx.run_target(
+        ckdir,
+        "--jobs",
+        "2",
+        "--chunk-timeout",
+        "2",
+        env_extra={
+            CHAOS_HANG_ENV: str(sentinel),
+            "REPRO_CHAOS_HANG_SECS": "600",
+        },
+    )
+    identical = out == ctx.reference
+    hung = sentinel.exists()  # a worker really did claim the hang
+    return ChaosOutcome(
+        mode="hang",
+        fault="worker wedged 600s (timeout budget 2s)",
+        recovered=rc == 0 and identical and hung,
+        byte_identical=identical,
+        reused_chunks=-1,
+        total_chunks=-1,
+        quarantined=0,
+        detail=f"in-run recovery via pool rebuild, exit {rc}",
+    )
+
+
+def _mode_corrupt(ctx: _ChaosContext) -> ChaosOutcome:
+    """Truncate one record, bit-flip another; both must be quarantined."""
+    ckdir = ctx.workdir / "corrupt"
+    rc, _, _ = ctx.run_target(ckdir)
+    files = ctx.checkpoint_files(ckdir)
+    if rc != 0 or len(files) < 2:
+        return ChaosOutcome(
+            mode="corrupt",
+            fault="checkpoint truncation + bit flip",
+            recovered=False,
+            byte_identical=False,
+            reused_chunks=-1,
+            total_chunks=-1,
+            quarantined=0,
+            detail=f"setup run failed (exit {rc}, {len(files)} records)",
+        )
+    # Truncate the first record mid-document ...
+    truncated = files[0]
+    truncated.write_text(truncated.read_text()[: truncated.stat().st_size // 2])
+    # ... and flip one bit inside the second record's payload.
+    flipped = files[1]
+    blob = bytearray(flipped.read_bytes())
+    target = blob.rfind(b'"total"')
+    blob[target + len(b'"total"') + 3] ^= 0x01  # a digit of the value
+    flipped.write_bytes(bytes(blob))
+    rc2, out2, err2 = ctx.run_target(ckdir, "--resume")
+    reused, total = _parse_reuse(err2)
+    quarantined = _parse_quarantined(err2)
+    on_disk = len(ctx.corrupt_files(ckdir))
+    identical = out2 == ctx.reference
+    return ChaosOutcome(
+        mode="corrupt",
+        fault="one record truncated, one bit-flipped",
+        recovered=rc2 == 0 and identical and quarantined == 2 and on_disk == 2,
+        byte_identical=identical,
+        reused_chunks=reused,
+        total_chunks=total,
+        quarantined=quarantined,
+        detail=f"{on_disk} *.corrupt file(s) kept for post-mortem",
+    )
+
+
+def _mode_disk_full(ctx: _ChaosContext) -> ChaosOutcome:
+    """ENOSPC after two checkpoint writes; the run must not care."""
+    ckdir = ctx.workdir / "disk-full"
+    rc, out, err = ctx.run_target(
+        ckdir, env_extra={CHAOS_DISK_FULL_ENV: "2"}
+    )
+    identical = out == ctx.reference
+    written = len(ctx.checkpoint_files(ckdir))
+    degraded = "degraded" in err
+    return ChaosOutcome(
+        mode="disk-full",
+        fault="ENOSPC on every checkpoint write after the second",
+        recovered=rc == 0 and identical and degraded,
+        byte_identical=identical,
+        reused_chunks=-1,
+        total_chunks=-1,
+        quarantined=0,
+        detail=f"{written} record(s) written before the disk filled, "
+               f"exit {rc}",
+    )
+
+
+def _mode_deadline(ctx: _ChaosContext) -> ChaosOutcome:
+    """An expired budget yields an explicit partial; resume completes it."""
+    ckdir = ctx.workdir / "deadline"
+    rc, out, _ = ctx.run_target(ckdir, "--deadline", "0.000001")
+    partial = rc == EXIT_INCOMPLETE and "INCOMPLETE" in out
+    rc2, out2, err2 = ctx.run_target(ckdir, "--resume")
+    reused, total = _parse_reuse(err2)
+    identical = out2 == ctx.reference
+    return ChaosOutcome(
+        mode="deadline",
+        fault="1µs deadline (expires before the first chunk)",
+        recovered=partial and rc2 == 0 and identical,
+        byte_identical=identical,
+        reused_chunks=reused,
+        total_chunks=total,
+        quarantined=0,
+        detail=(
+            f"partial exit {rc} with INCOMPLETE report, "
+            f"resume exit {rc2}"
+        ),
+    )
+
+
+_MODE_RUNNERS = {
+    "kill": _mode_kill,
+    "hang": _mode_hang,
+    "corrupt": _mode_corrupt,
+    "disk-full": _mode_disk_full,
+    "deadline": _mode_deadline,
+}
+
+
+def run_chaos_mode(
+    mode: str,
+    workdir: Path,
+    seed: int = 2004,
+    chunk_size: int = 4,
+    timeout: float = 300.0,
+) -> ChaosOutcome:
+    """Inject one fault mode against a fresh working directory."""
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    ctx = _ChaosContext(
+        workdir, seed=seed, chunk_size=chunk_size, timeout=timeout
+    )
+    return _run_mode(ctx, mode)
+
+
+def _run_mode(ctx: _ChaosContext, mode: str) -> ChaosOutcome:
+    try:
+        runner = _MODE_RUNNERS[mode]
+    except KeyError:
+        raise ValueError(
+            f"unknown chaos mode {mode!r}; valid: {CHAOS_MODES}"
+        ) from None
+    return runner(ctx)
+
+
+def run_chaos_suite(
+    modes: Sequence[str] = CHAOS_MODES,
+    workdir: Optional[Path] = None,
+    seed: int = 2004,
+    chunk_size: int = 4,
+    timeout: float = 300.0,
+    echo=None,
+) -> List[ChaosOutcome]:
+    """Run several fault modes against one shared reference run."""
+    if workdir is None:
+        workdir = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    ctx = _ChaosContext(
+        workdir, seed=seed, chunk_size=chunk_size, timeout=timeout
+    )
+    outcomes: List[ChaosOutcome] = []
+    for mode in modes:
+        outcome = _run_mode(ctx, mode)
+        outcomes.append(outcome)
+        if echo is not None:
+            status = "RECOVERED" if outcome.recovered else "FAILED"
+            echo(f"{mode:>10}  {status:<10} {outcome.detail}")
+    return outcomes
+
+
+def chaos_exec_report(outcomes: Sequence[ChaosOutcome]) -> str:
+    """The deterministic fixed-width report CI byte-compares."""
+    from repro.experiments.report import format_table
+
+    rows = []
+    for o in outcomes:
+        reused = (
+            f"{o.reused_chunks}/{o.total_chunks}"
+            if o.reused_chunks >= 0
+            else "-"
+        )
+        rows.append(
+            (
+                o.mode,
+                o.fault,
+                "yes" if o.recovered else "NO",
+                "yes" if o.byte_identical else "NO",
+                reused,
+                str(o.quarantined),
+                o.detail,
+            )
+        )
+    return format_table(
+        (
+            "mode",
+            "injected fault",
+            "recovered",
+            "identical",
+            "reused",
+            "quarantined",
+            "detail",
+        ),
+        rows,
+    )

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import os
 import sys
+import time
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -100,10 +101,31 @@ def _execute_item(item: CampaignWorkItem) -> CampaignResult:
     )
 
 
+#: Chaos hook (test/harness only): the first worker to claim this
+#: sentinel file wedges for ``REPRO_CHAOS_HANG_SECS`` (default 600s),
+#: simulating a deadlocked/swapping worker; later attempts -- including
+#: the resubmission after the executor's timeout recovery -- run
+#: normally.  Set by ``nanobox-repro chaos-exec --modes hang``.
+CHAOS_HANG_ENV = "REPRO_CHAOS_HANG_SENTINEL"
+
+
+def _maybe_chaos_hang() -> None:
+    """Honour the chaos harness's hung-worker knob (no-op normally)."""
+    sentinel = os.environ.get(CHAOS_HANG_ENV)
+    if sentinel is None:
+        return
+    try:
+        open(sentinel, "x").close()
+    except OSError:
+        return  # someone already hung once; run normally
+    time.sleep(float(os.environ.get("REPRO_CHAOS_HANG_SECS", "600")))
+
+
 def _execute_chunk(
     items: Sequence[CampaignWorkItem],
 ) -> List[CampaignResult]:
     """Worker entry point for one indexed chunk of items."""
+    _maybe_chaos_hang()
     return [_execute_item(item) for item in items]
 
 
@@ -261,53 +283,89 @@ class CampaignExecutor:
             else:
                 completed[idx] = payload
 
-        pool = ProcessPoolExecutor(max_workers=workers)
+        # Boxed so the loop can swap in a rebuilt pool and the finally
+        # clause still tears down the *current* one.
+        pool_ref = [ProcessPoolExecutor(max_workers=workers)]
         try:
-            while len(completed) < len(chunks):
-                pending = {
-                    pool.submit(chunk_fn, chunks[idx]): idx
-                    for idx in range(len(chunks))
-                    if idx not in completed
-                }
-                pool_dirty = False
-                for future, idx in pending.items():
-                    if pool_dirty:
-                        # A broken pool fails every sibling future too;
-                        # collect what finished, resubmit the rest.
-                        if future.done() and future.exception() is None:
-                            absorb(idx, future.result())
-                        continue
-                    try:
-                        absorb(idx, future.result(timeout=self._chunk_timeout))
-                    except (BrokenProcessPool, FutureTimeout) as exc:
-                        attempts[idx] += 1
-                        stats.retries += 1
-                        if obs.enabled:
-                            obs.trace.emit(
-                                "chunk_retried",
-                                source="executor",
-                                chunk=idx,
-                                attempt=attempts[idx],
-                                error=repr(exc),
-                            )
-                        if attempts[idx] > self._max_retries:
-                            raise CampaignExecutionError(
-                                f"chunk {idx} failed "
-                                f"{attempts[idx]} times: {exc!r}"
-                            ) from exc
-                        pool_dirty = True
-                if pool_dirty:
-                    # Recycle the pool: a broken one is unusable and a
-                    # timed-out worker may still be wedged inside it.
-                    _discard_pool(pool)
-                    pool = ProcessPoolExecutor(max_workers=workers)
-                    stats.pool_rebuilds += 1
+            self._submission_loop(
+                pool_ref, chunks, chunk_fn, completed, attempts,
+                absorb, stats, workers, obs,
+            )
+        except KeyboardInterrupt:
+            # Ctrl-C mid-campaign: cancel whatever has not started, kill
+            # the workers outright (no zombies, no hang on join), then
+            # re-raise so the caller -- e.g. the resilient runner, which
+            # flushes a final checkpoint -- sees the real interrupt.
+            obs.metrics.counter("executor.interrupts").inc()
+            if obs.enabled:
+                obs.trace.emit(
+                    "run_interrupted",
+                    source="executor",
+                    completed_chunks=len(completed),
+                    total_chunks=len(chunks),
+                )
+            raise
         finally:
-            _discard_pool(pool)
+            _discard_pool(pool_ref[0])
         results: List[CampaignResult] = []
         for idx in range(len(chunks)):
             results.extend(completed[idx])
         return results, stats
+
+    def _submission_loop(
+        self,
+        pool_ref: List[ProcessPoolExecutor],
+        chunks: List[List[CampaignWorkItem]],
+        chunk_fn,
+        completed: Dict[int, List[CampaignResult]],
+        attempts: Dict[int, int],
+        absorb,
+        stats: ExecutorStats,
+        workers: int,
+        obs: Observer,
+    ) -> None:
+        """Submit/collect until every chunk lands (or a retry budget dies)."""
+        pool = pool_ref[0]
+        while len(completed) < len(chunks):
+            pending = {
+                pool.submit(chunk_fn, chunks[idx]): idx
+                for idx in range(len(chunks))
+                if idx not in completed
+            }
+            pool_dirty = False
+            for future, idx in pending.items():
+                if pool_dirty:
+                    # A broken pool fails every sibling future too;
+                    # collect what finished, resubmit the rest.
+                    if future.done() and future.exception() is None:
+                        absorb(idx, future.result())
+                    continue
+                try:
+                    absorb(idx, future.result(timeout=self._chunk_timeout))
+                except (BrokenProcessPool, FutureTimeout) as exc:
+                    attempts[idx] += 1
+                    stats.retries += 1
+                    if obs.enabled:
+                        obs.trace.emit(
+                            "chunk_retried",
+                            source="executor",
+                            chunk=idx,
+                            attempt=attempts[idx],
+                            error=repr(exc),
+                        )
+                    if attempts[idx] > self._max_retries:
+                        raise CampaignExecutionError(
+                            f"chunk {idx} failed "
+                            f"{attempts[idx]} times: {exc!r}"
+                        ) from exc
+                    pool_dirty = True
+            if pool_dirty:
+                # Recycle the pool: a broken one is unusable and a
+                # timed-out worker may still be wedged inside it.
+                _discard_pool(pool)
+                pool = ProcessPoolExecutor(max_workers=workers)
+                pool_ref[0] = pool
+                stats.pool_rebuilds += 1
 
 
 def run_campaign_items(

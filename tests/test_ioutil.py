@@ -1,0 +1,81 @@
+"""Tests for the crash-consistent write primitives."""
+
+import json
+import os
+
+import pytest
+
+from repro.ioutil import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    fsync_dir,
+)
+
+
+class TestAtomicWriteBytes:
+    def test_writes_new_file(self, tmp_path):
+        path = tmp_path / "out.bin"
+        atomic_write_bytes(path, b"hello")
+        assert path.read_bytes() == b"hello"
+
+    def test_replaces_existing_file(self, tmp_path):
+        path = tmp_path / "out.bin"
+        path.write_bytes(b"old")
+        atomic_write_bytes(path, b"new")
+        assert path.read_bytes() == b"new"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = tmp_path / "out.bin"
+        atomic_write_bytes(path, b"data")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["out.bin"]
+
+    def test_failed_write_leaves_destination_untouched(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "out.bin"
+        path.write_bytes(b"precious")
+
+        def boom(src, dst):
+            raise OSError("injected rename failure")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError, match="injected"):
+            atomic_write_bytes(path, b"replacement")
+        assert path.read_bytes() == b"precious"
+        # ... and the temp file was cleaned up.
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["out.bin"]
+
+
+class TestAtomicWriteText:
+    def test_round_trips_utf8(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "héllo\nwörld\n")
+        assert path.read_text() == "héllo\nwörld\n"
+
+
+class TestAtomicWriteJson:
+    def test_writes_sorted_indented_document(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(path, {"b": 2, "a": 1})
+        text = path.read_text()
+        assert text == '{\n  "a": 1,\n  "b": 2\n}\n'
+        assert json.loads(text) == {"a": 1, "b": 2}
+
+    def test_unserialisable_document_never_touches_destination(
+        self, tmp_path
+    ):
+        path = tmp_path / "doc.json"
+        path.write_text("original")
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        assert path.read_text() == "original"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["doc.json"]
+
+
+class TestFsyncDir:
+    def test_existing_directory_is_fine(self, tmp_path):
+        fsync_dir(tmp_path)  # must not raise
+
+    def test_missing_directory_degrades_silently(self, tmp_path):
+        fsync_dir(tmp_path / "nope")  # must not raise
