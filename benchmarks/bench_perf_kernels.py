@@ -1,0 +1,93 @@
+"""Per-kernel tier benchmarks for the compiled backend (PR 7).
+
+The compiled tier accelerates three hot kernels; each gets its own
+scalar/batched/compiled timer trio on the variant that stresses it:
+
+* coded-LUT read + correct -- ``alunh`` (Hamming-coded LUT banks, the
+  decode path dominates);
+* gate-netlist evaluation -- ``aluncmos`` (CMOS majority netlists, the
+  gate interpreter dominates);
+* majority vote / ALU composition -- ``alusn`` (simplex-redundant
+  composition, the vote/recombine path dominates).
+
+The trios feed the artifact's derived ``speedups`` dict (see
+``repro.obs.bench._SPEEDUP_TWINS``), which CI holds to floors via
+``bench compare --speedup-floor``.  Compiled benchmarks take one warmup
+round so first-call JIT/compile cost stays outside the timed window; it
+is recorded separately under ``kernel.jit_compile`` / ``kernel.warmup``.
+
+Set ``REPRO_BENCH_SMOKE=1`` to drop to one trial and one round.
+"""
+
+import os
+
+from repro.alu.variants import build_alu
+from repro.faults.campaign import FaultCampaign
+from repro.faults.mask import ExactFractionMask
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Paper methodology is five trials per workload; smoke keeps one.
+TRIALS = 1 if SMOKE else 5
+ROUNDS = 1 if SMOKE else 3
+
+
+def _campaign(variant):
+    return FaultCampaign(
+        build_alu(variant), ExactFractionMask(0.03), seed=1
+    )
+
+
+def _suite(benchmark, bench_streams, variant, backend, warmup=False):
+    campaign = _campaign(variant)
+    result = benchmark.pedantic(
+        lambda: campaign.run_workload_suite(
+            bench_streams, TRIALS, backend=backend
+        ),
+        rounds=ROUNDS,
+        iterations=1,
+        warmup_rounds=1 if warmup else 0,
+    )
+    assert 0.0 <= result.percent_correct <= 100.0
+
+
+# --- coded-LUT read/correct: Hamming-coded banks -------------------------
+
+def test_bench_lut_scalar(benchmark, bench_streams):
+    _suite(benchmark, bench_streams, "alunh", "scalar")
+
+
+def test_bench_lut_batched(benchmark, bench_streams):
+    _suite(benchmark, bench_streams, "alunh", "batched")
+
+
+def test_bench_lut_compiled(benchmark, bench_streams):
+    _suite(benchmark, bench_streams, "alunh", "compiled", warmup=True)
+
+
+# --- gate-netlist evaluation: CMOS majority gates ------------------------
+
+def test_bench_netlist_scalar(benchmark, bench_streams):
+    _suite(benchmark, bench_streams, "aluncmos", "scalar")
+
+
+def test_bench_netlist_batched(benchmark, bench_streams):
+    _suite(benchmark, bench_streams, "aluncmos", "batched")
+
+
+def test_bench_netlist_compiled(benchmark, bench_streams):
+    _suite(benchmark, bench_streams, "aluncmos", "compiled", warmup=True)
+
+
+# --- majority vote / ALU composition: simplex redundancy -----------------
+
+def test_bench_vote_scalar(benchmark, bench_streams):
+    _suite(benchmark, bench_streams, "alusn", "scalar")
+
+
+def test_bench_vote_batched(benchmark, bench_streams):
+    _suite(benchmark, bench_streams, "alusn", "batched")
+
+
+def test_bench_vote_compiled(benchmark, bench_streams):
+    _suite(benchmark, bench_streams, "alusn", "compiled", warmup=True)

@@ -286,6 +286,23 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    """Attach the evaluation-tier flag shared by the simulation commands.
+
+    The default comes from the ``REPRO_BACKEND`` environment variable
+    (unset means the command's legacy tier); an explicit flag wins.
+    Every tier is bit-identical -- the choice only affects speed.
+    """
+    from repro.kernels import BACKENDS, backend_from_env
+
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default=backend_from_env(),
+        help="evaluation tier: scalar, batched (NumPy), compiled "
+             "(native kernel; falls back with a warning if unavailable), "
+             "or auto (fastest available); default honours $REPRO_BACKEND",
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.figures import PAPER_FAULT_PERCENTAGES, run_figure
 
@@ -304,6 +321,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             trials_per_workload=trials,
             seed=args.seed,
             jobs=args.jobs,
+            backend=args.backend,
         )
     else:
         from repro.experiments.figures import (
@@ -318,6 +336,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             trials_per_workload=trials,
             seed=args.seed,
             jobs=args.jobs,
+            backend=args.backend,
         )
         _emit_resilience_note(run.outcome)
         result = run.figure
@@ -435,6 +454,7 @@ def _grid_run(args: argparse.Namespace) -> int:
         kill_schedule=kill_schedule,
         adaptive_routing=args.adaptive,
         seed=args.seed,
+        backend=args.backend,
     )
     image = bitmaps.gradient(args.image_size, args.image_size)
     outcome = sim.run_image_job(image, workload, max_rounds=args.rounds)
@@ -540,6 +560,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             cols=args.cols,
             n_instructions=args.instructions,
             seed=args.seed,
+            backend=args.backend,
         )
     else:
         from repro.experiments.chaos_fabric import chaos_sweep_resilient
@@ -554,6 +575,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             cols=args.cols,
             n_instructions=args.instructions,
             seed=args.seed,
+            backend=args.backend,
         )
         _emit_resilience_note(outcome)
         points = [p for p in outcome.results if p is not None]
@@ -610,6 +632,7 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
             rows=args.rows,
             cols=args.cols,
             seed=args.seed,
+            backend=args.backend,
         )
     else:
         from repro.experiments.lifecycle import lifecycle_sweep_resilient
@@ -623,6 +646,7 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
             rows=args.rows,
             cols=args.cols,
             seed=args.seed,
+            backend=args.backend,
         )
         _emit_resilience_note(outcome)
         points = [p for p in outcome.results if p is not None]
@@ -700,15 +724,20 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
 
     from repro.obs.compare import compare_paths
 
-    thresholds: Dict[str, float] = {}
-    for spec in args.threshold_for or []:
-        try:
-            pattern, _, ratio = spec.partition("=")
-            thresholds[pattern] = float(ratio)
-        except ValueError:
-            raise argparse.ArgumentTypeError(
-                f"bad --threshold-for spec {spec!r}; expected GLOB=RATIO"
-            ) from None
+    def parse_specs(specs: List[str], flag: str) -> Dict[str, float]:
+        parsed: Dict[str, float] = {}
+        for spec in specs or []:
+            try:
+                pattern, _, ratio = spec.partition("=")
+                parsed[pattern] = float(ratio)
+            except ValueError:
+                raise argparse.ArgumentTypeError(
+                    f"bad {flag} spec {spec!r}; expected GLOB=RATIO"
+                ) from None
+        return parsed
+
+    thresholds = parse_specs(args.threshold_for, "--threshold-for")
+    speedup_floors = parse_specs(args.speedup_floor, "--speedup-floor")
     comparisons, warnings, errors = compare_paths(
         Path(args.baseline),
         Path(args.current),
@@ -716,6 +745,7 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         thresholds=thresholds or None,
         min_time=args.min_time,
+        speedup_floors=speedup_floors or None,
     )
     for comparison in comparisons:
         print(comparison.table_text())
@@ -832,6 +862,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "any value gives identical output)")
     _add_observability_args(sweep)
     _add_resilience_args(sweep)
+    _add_backend_arg(sweep)
     sweep.set_defaults(fn=_cmd_sweep)
 
     grid = sub.add_parser("grid", help="run a full-system image job")
@@ -854,6 +885,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="render the final fabric state")
     _add_observability_args(grid)
     _add_resilience_args(grid)
+    _add_backend_arg(grid)
     grid.set_defaults(fn=_cmd_grid)
 
     yld = sub.add_parser("yield", help="manufacturing-yield table")
@@ -893,6 +925,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=2004)
     _add_observability_args(chaos)
     _add_resilience_args(chaos)
+    _add_backend_arg(chaos)
     chaos.set_defaults(fn=_cmd_chaos)
 
     chaos_exec = sub.add_parser(
@@ -943,6 +976,7 @@ def build_parser() -> argparse.ArgumentParser:
     lifecycle.add_argument("--seed", type=int, default=2004)
     _add_observability_args(lifecycle)
     _add_resilience_args(lifecycle)
+    _add_backend_arg(lifecycle)
     lifecycle.set_defaults(fn=_cmd_lifecycle)
 
     bench = sub.add_parser(
@@ -991,6 +1025,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_compare.add_argument("--min-time", type=float, default=1e-3,
                                help="ignore timers under this many "
                                     "seconds in both runs (noise floor)")
+    bench_compare.add_argument("--speedup-floor", action="append",
+                               default=[], metavar="GLOB=RATIO",
+                               help="minimum value for derived speedups in "
+                                    "the CURRENT artifact (repeatable); a "
+                                    "matching speedup below RATIO fails the "
+                                    "comparison")
     bench_compare.set_defaults(fn=_cmd_bench_compare)
 
     replay = sub.add_parser(

@@ -25,7 +25,7 @@ single ablation's cells parallelise across its whole grid.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.perf import ALUSpec, CampaignWorkItem, PolicySpec, run_campaign_items
 
@@ -39,6 +39,7 @@ def sweep_unit(
     trials_per_workload: int = 5,
     seed: int = 0,
     batched: bool = True,
+    backend: Optional[str] = None,
 ) -> List[float]:
     """Sweep one already-built unit over fault percentages, in process.
 
@@ -59,7 +60,7 @@ def sweep_unit(
             alu, ExactFractionMask(percent / 100.0), seed=seed
         )
         result = campaign.run_workload_suite(
-            workloads, trials_per_workload, batched=batched
+            workloads, trials_per_workload, batched=batched, backend=backend
         )
         scores.append(result.percent_correct)
     return scores
@@ -75,6 +76,7 @@ def _run_series(
     seed: int,
     jobs: int,
     batched: bool,
+    backend: Optional[str] = None,
 ) -> Dict[str, List[float]]:
     """Run the full (series, percent) grid through the campaign executor."""
     items = [
@@ -84,6 +86,7 @@ def _run_series(
             trials_per_workload=trials_per_workload,
             seed=seed,
             batched=batched,
+            backend=backend,
         )
         for _, spec, policy_kind in entries
         for percent in percents
@@ -106,6 +109,7 @@ def hamming_semantics_ablation(
     seed: int = 11,
     jobs: int = 1,
     batched: bool = True,
+    backend: Optional[str] = None,
 ) -> Dict[str, List[float]]:
     """Compare information-code decoder semantics against no code.
 
@@ -120,7 +124,7 @@ def hamming_semantics_ablation(
         for scheme in ("none", "hamming", "hamming-sec", "hamming-fp", "hsiao")
     ]
     return _run_series(
-        entries, percents, trials_per_workload, seed, jobs, batched
+        entries, percents, trials_per_workload, seed, jobs, batched, backend
     )
 
 
@@ -130,6 +134,7 @@ def redundancy_order_ablation(
     seed: int = 12,
     jobs: int = 1,
     batched: bool = True,
+    backend: Optional[str] = None,
 ) -> Dict[str, List[float]]:
     """Sweep bit-level replication order: 1x (none), 3x, 5x, 7x strings."""
     entries = [
@@ -142,7 +147,7 @@ def redundancy_order_ablation(
         )
     ]
     return _run_series(
-        entries, percents, trials_per_workload, seed, jobs, batched
+        entries, percents, trials_per_workload, seed, jobs, batched, backend
     )
 
 
@@ -152,6 +157,7 @@ def voter_coding_ablation(
     seed: int = 13,
     jobs: int = 1,
     batched: bool = True,
+    backend: Optional[str] = None,
 ) -> Dict[str, List[float]]:
     """Space-redundant TMR-LUT cores with differently built voters."""
     entries = [
@@ -165,7 +171,7 @@ def voter_coding_ablation(
         for voter_kind in ("tmr", "none", "hamming", "cmos")
     ]
     return _run_series(
-        entries, percents, trials_per_workload, seed, jobs, batched
+        entries, percents, trials_per_workload, seed, jobs, batched, backend
     )
 
 
@@ -175,6 +181,7 @@ def mask_policy_ablation(
     seed: int = 14,
     jobs: int = 1,
     batched: bool = True,
+    backend: Optional[str] = None,
 ) -> Dict[str, List[float]]:
     """Exact-fraction versus Bernoulli injection on the TMR ALU.
 
@@ -185,7 +192,7 @@ def mask_policy_ablation(
     spec = ALUSpec.simplex("tmr", label="ablate[policy]")
     entries = [("exact", spec, "exact"), ("bernoulli", spec, "bernoulli")]
     return _run_series(
-        entries, percents, trials_per_workload, seed, jobs, batched
+        entries, percents, trials_per_workload, seed, jobs, batched, backend
     )
 
 
@@ -195,6 +202,7 @@ def hamming_block_size_ablation(
     seed: int = 15,
     jobs: int = 1,
     batched: bool = True,
+    backend: Optional[str] = None,
 ) -> Dict[str, List[float]]:
     """Hamming protection granularity: 8-, 16-, and 32-bit blocks.
 
@@ -213,5 +221,5 @@ def hamming_block_size_ablation(
         for block in (8, 16, 32)
     ]
     return _run_series(
-        entries, percents, trials_per_workload, seed, jobs, batched
+        entries, percents, trials_per_workload, seed, jobs, batched, backend
     )

@@ -99,6 +99,7 @@ def run_chaos_point(
     error_threshold: int = 8,
     adaptive_routing: bool = False,
     seed: int = 2004,
+    backend: Optional[str] = None,
 ) -> ChaosPoint:
     """Run one job through a fabric with the given link fault rates.
 
@@ -120,6 +121,7 @@ def run_chaos_point(
         link_fault_config=config if config.any_faults else None,
         crc_enabled=protected,
         seed=seed,
+        backend=backend,
     )
     instructions = chaos_workload(n_instructions)
     expected = expected_results(instructions)
@@ -160,6 +162,7 @@ def chaos_sweep(
     cols: int = 3,
     n_instructions: int = 48,
     seed: int = 2004,
+    backend: Optional[str] = None,
 ) -> List[ChaosPoint]:
     """Sweep link fault rates x retry budgets, protected and bare."""
     points: List[ChaosPoint] = []
@@ -177,6 +180,7 @@ def chaos_sweep(
                         cols=cols,
                         n_instructions=n_instructions,
                         seed=seed,
+                        backend=backend,
                     )
                 )
     return points
@@ -207,6 +211,7 @@ def chaos_sweep_resilient(
     cols: int = 3,
     n_instructions: int = 48,
     seed: int = 2004,
+    backend: Optional[str] = None,
 ):
     """:func:`chaos_sweep` under the crash-safe campaign runtime.
 
@@ -248,6 +253,7 @@ def chaos_sweep_resilient(
                 cols=cols,
                 n_instructions=n_instructions,
                 seed=seed,
+                backend=backend,
             )
             for task in chunk
         ]

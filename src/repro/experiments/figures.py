@@ -97,6 +97,7 @@ def _sweep_points(
     seed: int,
     jobs: int,
     batched: bool,
+    backend: Optional[str] = None,
 ) -> List[SeriesPoint]:
     """Run every (variant, percent) cell and assemble the series points.
 
@@ -106,7 +107,8 @@ def _sweep_points(
     serial loop's.
     """
     items = _sweep_items(
-        variants, fault_percents, bitmap, trials_per_workload, seed, batched
+        variants, fault_percents, bitmap, trials_per_workload, seed, batched,
+        backend,
     )
     results = run_campaign_items(items, jobs=jobs)
     points = _assemble_points(variants, fault_percents, results)
@@ -121,21 +123,27 @@ def _sweep_items(
     trials_per_workload: int,
     seed: int,
     batched: bool,
+    backend: Optional[str] = None,
 ) -> List[CampaignWorkItem]:
-    """The flat (variant x percent) work-item list, in sweep order."""
+    """The flat (variant x percent) work-item list, in sweep order.
+
+    A default-gradient sweep ships ``bitmap=None``: workers rebuild the
+    8x8 gradient locally, so each pickled item is O(spec) -- a few
+    hundred bytes -- rather than carrying pixel arrays per cell.
+    """
     if trials_per_workload <= 0:
         raise ValueError(
             f"trials_per_workload must be positive, got {trials_per_workload}"
         )
-    bmp = bitmap if bitmap is not None else gradient(8, 8)
     return [
         CampaignWorkItem(
             alu=ALUSpec.variant(variant),
             policy=PolicySpec.exact(percent / 100.0),
             trials_per_workload=trials_per_workload,
             seed=seed,
-            bitmap=bmp,
+            bitmap=bitmap,
             batched=batched,
+            backend=backend,
         )
         for variant in variants
         for percent in fault_percents
@@ -187,11 +195,12 @@ def sweep_variant(
     seed: int = 2004,
     jobs: int = 1,
     batched: bool = True,
+    backend: Optional[str] = None,
 ) -> List[SeriesPoint]:
     """Sweep one ALU variant over the injected fault percentages."""
     return _sweep_points(
         (variant,), fault_percents, bitmap, trials_per_workload, seed,
-        jobs, batched,
+        jobs, batched, backend,
     )
 
 
@@ -203,6 +212,7 @@ def run_figure(
     seed: int = 2004,
     jobs: int = 1,
     batched: bool = True,
+    backend: Optional[str] = None,
 ) -> FigureResult:
     """Regenerate one of Figures 7, 8, 9 by name."""
     try:
@@ -213,7 +223,7 @@ def run_figure(
         ) from None
     points = _sweep_points(
         variants, fault_percents, bitmap, trials_per_workload, seed,
-        jobs, batched,
+        jobs, batched, backend,
     )
     return FigureResult(
         name=name,
@@ -292,12 +302,17 @@ def run_figure_resilient(
     seed: int = 2004,
     jobs: int = 1,
     batched: bool = True,
+    backend: Optional[str] = None,
 ) -> ResilientFigureRun:
     """:func:`run_figure` under the crash-safe campaign runtime.
 
     ``runtime`` is a :class:`repro.perf.ResilientRuntime`; a completed
     run's ``figure`` renders byte-identically to an uninterrupted
     :func:`run_figure` -- checkpoint reuse never perturbs the numbers.
+
+    ``backend`` is deliberately *not* part of the checkpoint run key:
+    every tier produces bit-identical results, so checkpoints written
+    by a batched run are valid for a compiled resume and vice versa.
     """
     from repro.perf import resilient_campaign_map
 
@@ -308,7 +323,8 @@ def run_figure_resilient(
             f"unknown figure {name!r}; have {sorted(FIGURE_VARIANTS)}"
         ) from None
     items = _sweep_items(
-        variants, fault_percents, bitmap, trials_per_workload, seed, batched
+        variants, fault_percents, bitmap, trials_per_workload, seed, batched,
+        backend,
     )
     outcome = resilient_campaign_map(
         items,

@@ -135,6 +135,7 @@ def run_lifecycle_point(
     error_threshold: int = 8,
     max_rounds: int = 3,
     seed: int = 2004,
+    backend: Optional[str] = None,
 ) -> LifecyclePoint:
     """Run a job series through one fabric under one policy; measure it.
 
@@ -162,6 +163,7 @@ def run_lifecycle_point(
         temporal_fault_process=process,
         n_words=n_words,
         seed=seed,
+        backend=backend,
     )
     total_cells = rows * cols
     alive_cell_cycles = [0, 0]
@@ -251,6 +253,7 @@ def lifecycle_sweep(
     error_threshold: int = 8,
     max_rounds: int = 3,
     seed: int = 2004,
+    backend: Optional[str] = None,
 ) -> List[LifecyclePoint]:
     """Sweep fault processes x lifecycle policies."""
     if processes is None:
@@ -272,6 +275,7 @@ def lifecycle_sweep(
                     error_threshold=error_threshold,
                     max_rounds=max_rounds,
                     seed=seed,
+                    backend=backend,
                 )
             )
     return points
@@ -304,6 +308,7 @@ def lifecycle_sweep_resilient(
     error_threshold: int = 8,
     max_rounds: int = 3,
     seed: int = 2004,
+    backend: Optional[str] = None,
 ):
     """:func:`lifecycle_sweep` under the crash-safe campaign runtime.
 
@@ -360,6 +365,7 @@ def lifecycle_sweep_resilient(
                 error_threshold=error_threshold,
                 max_rounds=max_rounds,
                 seed=seed,
+                backend=backend,
             )
             for process_index, policy_index in chunk
         ]

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.coding.bits import popcount
 from repro.faults.mask import MaskPolicy
-from repro.faults.packing import unpack_flags, words_to_int
+from repro.faults.packing import unpack_flags, words_for_sites, words_to_int
 from repro.faults.stats import SampleStats, summarize
 from repro.obs import get_observer
 
@@ -82,6 +82,7 @@ class FaultCampaign:
         self._policy = policy
         self._seed = seed
         self._batched_engine = _UNSET  # built lazily on first batched run
+        self._compiled_engine = _UNSET  # built lazily on first compiled run
 
     @property
     def policy(self) -> MaskPolicy:
@@ -110,6 +111,76 @@ class FaultCampaign:
 
             self._batched_engine = build_batched_unit(self._alu)
         return self._batched_engine
+
+    def _compiled(self):
+        """The unit's compiled evaluator, or ``None`` for batched fallback.
+
+        Built (and JIT-warmed) on first use -- outside every trial/suite
+        timer, so compile cost never pollutes campaign timings.
+        """
+        if self._compiled_engine is _UNSET:
+            from repro.kernels import build_compiled_unit
+
+            self._compiled_engine = build_compiled_unit(self._alu)
+        return self._compiled_engine
+
+    def use_engines(self, batched=_UNSET, compiled=_UNSET) -> None:
+        """Install pre-built evaluation engines (worker-pool cache hook).
+
+        A fan-out worker runs many campaigns over the same unit family;
+        rebuilding the batched/compiled engines per campaign would waste
+        more time than evaluation itself.  Engines are stateless across
+        calls, so sharing them never perturbs results.
+        """
+        if batched is not _UNSET:
+            self._batched_engine = batched
+        if compiled is not _UNSET:
+            self._compiled_engine = compiled
+
+    def built_engines(self) -> Dict[str, object]:
+        """Engines this campaign has materialised so far.
+
+        The inverse of :meth:`use_engines`: a fan-out worker runs one
+        campaign, harvests whatever engines it built (``"batched"`` /
+        ``"compiled"`` keys; values may be ``None`` for units with no
+        such form -- that verdict is worth caching too), and seeds the
+        next campaign over the same unit spec.
+        """
+        built: Dict[str, object] = {}
+        if self._batched_engine is not _UNSET:
+            built["batched"] = self._batched_engine
+        if self._compiled_engine is not _UNSET:
+            built["compiled"] = self._compiled_engine
+        return built
+
+    def resolve_backend(
+        self, backend: Optional[str] = None, batched: Optional[bool] = None
+    ) -> str:
+        """The effective tier for this unit: scalar, batched, or compiled.
+
+        ``auto`` selects compiled exactly when this unit has a live
+        compiled engine, silently falling back to batched otherwise.  An
+        explicit ``compiled`` request without an engine degrades to
+        batched with a one-time stderr warning -- unless the *unit* is
+        the unsupported part while a provider is live, which mirrors the
+        batched tier's silent scalar fallback for unvectorizable units.
+        """
+        from repro.kernels import resolve_backend as _resolve
+
+        requested = _resolve(backend, batched)
+        if requested == "auto":
+            effective = "compiled" if self._compiled() is not None else "batched"
+        elif requested == "compiled" and self._compiled() is None:
+            from repro.kernels import get_provider
+            from repro.kernels.providers import warn_compiled_unavailable
+
+            if get_provider() is None:
+                warn_compiled_unavailable("no Numba and no C compiler")
+            effective = "batched"
+        else:
+            effective = requested
+        get_observer().metrics.counter(f"kernel.backend.{effective}").inc()
+        return effective
 
     def run_workload(
         self,
@@ -219,17 +290,76 @@ class FaultCampaign:
         self._record_trial(obs, source, trial, n, correct, injected)
         return TrialResult(total=n, correct=correct, injected_faults=injected)
 
+    def run_workload_compiled(
+        self,
+        instructions: Sequence[Instruction],
+        trial: int = 0,
+        workload: Optional[str] = None,
+    ) -> TrialResult:
+        """Compiled-tier :meth:`run_workload`: bit-identical, fastest.
+
+        The trial's mask stream is drawn packed (the same RNG
+        consumption as every other tier) and evaluated in place by the
+        native kernel -- no per-site flag expansion at all.  Callers
+        must have checked :meth:`resolve_backend` first; a unit without
+        a compiled engine belongs on the batched path.
+        """
+        engine = self._compiled()
+        if engine is None:
+            return self.run_workload_batched(
+                instructions, trial=trial, workload=workload
+            )
+        obs = get_observer()
+        source = f"campaign/{workload}" if workload else "campaign"
+        if obs.enabled:
+            obs.trace.emit(
+                "trial_start",
+                source=source,
+                trial=trial,
+                instructions=len(instructions),
+                batched=True,
+                backend="compiled",
+            )
+        rng = self._rng_for_trial(trial, workload)
+        n_sites = self._alu.site_count
+        n = len(instructions)
+        with obs.metrics.time("campaign.trial_compiled"):
+            words = self._policy.generate_batch(n_sites, n, rng)
+            injected = int(np.bitwise_count(words).sum())
+            ops = np.fromiter((i[0] for i in instructions), np.int64, count=n)
+            a_ops = np.fromiter((i[1] for i in instructions), np.int64, count=n)
+            b_ops = np.fromiter((i[2] for i in instructions), np.int64, count=n)
+            expected = np.fromiter(
+                (i[3] for i in instructions), np.int64, count=n
+            )
+            values = engine.values_words(ops, a_ops, b_ops, words)
+            correct = int(np.count_nonzero(values == expected))
+        self._record_trial(obs, source, trial, n, correct, injected)
+        return TrialResult(total=n, correct=correct, injected_faults=injected)
+
+    def _runner(self, effective: str):
+        if effective == "compiled":
+            return self.run_workload_compiled
+        if effective == "batched":
+            return self.run_workload_batched
+        return self.run_workload
+
     def run_trials(
         self,
         instructions: Sequence[Instruction],
         n_trials: int,
         first_trial: int = 0,
         batched: bool = False,
+        backend: Optional[str] = None,
     ) -> CampaignResult:
-        """Run ``n_trials`` independent trials over the same workload."""
+        """Run ``n_trials`` independent trials over the same workload.
+
+        ``backend`` (scalar/batched/compiled/auto) supersedes the legacy
+        ``batched`` flag when given; results are identical on every tier.
+        """
         if n_trials <= 0:
             raise ValueError(f"n_trials must be positive, got {n_trials}")
-        run = self.run_workload_batched if batched else self.run_workload
+        run = self._runner(self.resolve_backend(backend, batched))
         trials = tuple(
             run(instructions, trial=first_trial + t) for t in range(n_trials)
         )
@@ -240,6 +370,7 @@ class FaultCampaign:
         workloads: Dict[str, Sequence[Instruction]],
         trials_per_workload: int,
         batched: bool = False,
+        backend: Optional[str] = None,
     ) -> CampaignResult:
         """Paper-style scoring: N trials of each named workload, pooled.
 
@@ -250,11 +381,108 @@ class FaultCampaign:
         position), so a workload's masks are stable no matter what else is
         in the suite.  (Before PR 2 the stream was derived from the
         position, so adding a workload silently reseeded the others.)
+
+        ``backend`` supersedes the legacy ``batched`` flag when given.
+        On the compiled tier the whole suite -- every workload x trial --
+        is fused into one rectangular mask block and one native kernel
+        dispatch; per-trial RNG streams are drawn independently exactly
+        as on the other tiers, so the pooled ``TrialResult``s stay
+        bit-identical.
         """
-        run = self.run_workload_batched if batched else self.run_workload
+        effective = self.resolve_backend(backend, batched)
+        if effective == "compiled":
+            return self._run_suite_compiled(workloads, trials_per_workload)
+        run = self._runner(effective)
         all_trials: List[TrialResult] = []
         with get_observer().metrics.time("campaign.suite"):
             for name, instructions in sorted(workloads.items()):
                 for t in range(trials_per_workload):
                     all_trials.append(run(instructions, trial=t, workload=name))
+        return CampaignResult(trials=tuple(all_trials))
+
+    def _run_suite_compiled(
+        self,
+        workloads: Dict[str, Sequence[Instruction]],
+        trials_per_workload: int,
+    ) -> CampaignResult:
+        """One fused kernel dispatch for the whole suite.
+
+        Stream identity constrains the fusion shape: each (workload,
+        trial) draws from its own ``SeedSequence``-derived generator, so
+        the RNG *draws* stay per-trial rectangles -- but they land in
+        one contiguous block, and evaluation, scoring, and fault
+        accounting run once over all rows.
+        """
+        engine = self._compiled()
+        assert engine is not None  # resolve_backend() guarantees it
+        obs = get_observer()
+        n_sites = self._alu.site_count
+        n_words = words_for_sites(n_sites)
+
+        jobs: List[Tuple[str, Sequence[Instruction], int, int]] = []
+        total_rows = 0
+        for name, instructions in sorted(workloads.items()):
+            for t in range(trials_per_workload):
+                jobs.append((name, instructions, t, total_rows))
+                total_rows += len(instructions)
+
+        with obs.metrics.time("campaign.suite"):
+            with obs.metrics.time("campaign.suite_compiled"):
+                words = np.empty((total_rows, n_words), dtype=np.uint64)
+                per_workload: Dict[str, Tuple[np.ndarray, ...]] = {}
+                for name, instructions, t, row in jobs:
+                    if obs.enabled:
+                        obs.trace.emit(
+                            "trial_start",
+                            source=f"campaign/{name}",
+                            trial=t,
+                            instructions=len(instructions),
+                            batched=True,
+                            backend="compiled",
+                        )
+                    if name not in per_workload:
+                        count = len(instructions)
+                        per_workload[name] = tuple(
+                            np.fromiter(
+                                (i[field] for i in instructions),
+                                np.int64,
+                                count=count,
+                            )
+                            for field in range(4)
+                        )
+                    rng = self._rng_for_trial(t, name)
+                    words[row : row + len(instructions)] = (
+                        self._policy.generate_batch(
+                            n_sites, len(instructions), rng
+                        )
+                    )
+                row_faults = np.bitwise_count(words).sum(axis=1)
+                ops = np.concatenate(
+                    [per_workload[name][0] for name, *_ in jobs]
+                )
+                a_ops = np.concatenate(
+                    [per_workload[name][1] for name, *_ in jobs]
+                )
+                b_ops = np.concatenate(
+                    [per_workload[name][2] for name, *_ in jobs]
+                )
+                values = engine.values_words(ops, a_ops, b_ops, words)
+                obs.metrics.counter("kernel.fused_rows").inc(total_rows)
+
+            all_trials: List[TrialResult] = []
+            for name, instructions, t, row in jobs:
+                n = len(instructions)
+                expected = per_workload[name][3]
+                correct = int(
+                    np.count_nonzero(values[row : row + n] == expected)
+                )
+                injected = int(row_faults[row : row + n].sum())
+                self._record_trial(
+                    obs, f"campaign/{name}", t, n, correct, injected
+                )
+                all_trials.append(
+                    TrialResult(
+                        total=n, correct=correct, injected_faults=injected
+                    )
+                )
         return CampaignResult(trials=tuple(all_trials))

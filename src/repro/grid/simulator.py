@@ -103,6 +103,12 @@ class GridSimulator:
             detected and rejected instead of silently delivered (one
             extra cycle per packet per hop).
         seed: base PRNG seed for all injection streams.
+        backend: ALU evaluation tier (``scalar``/``batched``/
+            ``compiled``/``auto``).  ``compiled``/``auto`` route each
+            cell's per-instruction ``compute`` through one shared
+            native kernel engine (batches of one); results are
+            bit-identical on every tier.  ``None`` keeps the plain
+            scalar units.
     """
 
     def __init__(
@@ -126,6 +132,7 @@ class GridSimulator:
         link_fault_config: Optional[LinkFaultPolicy] = None,
         crc_enabled: bool = False,
         seed: int = 0,
+        backend: Optional[str] = None,
     ) -> None:
         if memory_upset_rate < 0 or memory_upset_rate >= 1:
             raise ValueError(
@@ -146,8 +153,32 @@ class GridSimulator:
         }
         self._memory_upsets = 0
 
+        kernel_engine = None
+        if backend is not None:
+            from repro.kernels import BACKENDS, build_compiled_unit
+            from repro.kernels.providers import warn_compiled_unavailable
+
+            if backend not in BACKENDS:
+                raise ValueError(
+                    f"unknown backend {backend!r}; valid: {BACKENDS}"
+                )
+            if backend in ("compiled", "auto"):
+                # One engine shared by every cell: the plan depends only
+                # on the scheme, cells compute sequentially, and the
+                # engine holds no cross-call state.
+                kernel_engine = build_compiled_unit(
+                    NanoBoxALU(scheme=alu_scheme)
+                )
+                if kernel_engine is None and backend == "compiled":
+                    warn_compiled_unavailable("no provider or unsupported unit")
+
         def alu_factory() -> FaultableUnit:
-            return NanoBoxALU(scheme=alu_scheme)
+            unit = NanoBoxALU(scheme=alu_scheme)
+            if kernel_engine is not None:
+                from repro.kernels import AcceleratedUnit
+
+                return AcceleratedUnit(unit, kernel_engine)
+            return unit
 
         def mask_source_factory(coord: Coord):
             if self._alu_policy is None:

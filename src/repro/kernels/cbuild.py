@@ -1,0 +1,178 @@
+"""Compile-and-cache machinery for the generated C kernel.
+
+The kernel source (:func:`repro.kernels.csrc.c_source`) is compiled once
+per (source hash, compiler) into a shared object under a per-user cache
+directory, then loaded through ``ctypes``.  Subsequent runs -- and every
+worker process of a campaign fan-out -- dlopen the cached artifact
+directly, so JIT cost is paid once per machine, not once per process.
+
+The cache directory defaults to a per-user path under the system temp
+directory and can be pinned with ``REPRO_KERNEL_CACHE`` (useful in CI to
+persist the artifact across steps).  Writes follow the repo-wide
+crash-consistency idiom: build to a unique temp name, ``os.replace``
+into place, so concurrent builders race benignly.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Callable, Optional
+
+import numpy as np
+
+#: Environment override for the shared-object cache directory.
+CACHE_ENV = "REPRO_KERNEL_CACHE"
+
+#: Compilers probed in order; the first one on PATH wins.
+COMPILERS = ("cc", "gcc", "clang")
+
+
+class KernelBuildError(RuntimeError):
+    """The C kernel could not be compiled or loaded on this machine."""
+
+
+def cache_dir() -> Path:
+    """The shared-object cache directory (created on demand)."""
+    override = os.environ.get(CACHE_ENV)
+    if override:
+        path = Path(override)
+    else:
+        uid = os.getuid() if hasattr(os, "getuid") else "shared"
+        path = Path(tempfile.gettempdir()) / f"repro-kernels-{uid}"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def find_compiler() -> Optional[str]:
+    """Absolute path of the first available C compiler, or ``None``."""
+    for name in COMPILERS:
+        found = shutil.which(name)
+        if found:
+            return found
+    return None
+
+
+def _cache_tag(source: str, compiler: str) -> str:
+    digest = hashlib.sha256()
+    digest.update(source.encode("utf-8"))
+    digest.update(compiler.encode("utf-8"))
+    digest.update(sys.platform.encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def build_library(source: str) -> Path:
+    """Compile ``source`` into the cache; returns the shared-object path.
+
+    Idempotent and concurrency-safe: a cached artifact is reused without
+    invoking the compiler at all.
+    """
+    compiler = find_compiler()
+    if compiler is None:
+        raise KernelBuildError(
+            f"no C compiler on PATH (tried {', '.join(COMPILERS)})"
+        )
+    directory = cache_dir()
+    lib_path = directory / f"repro_kernel_{_cache_tag(source, compiler)}.so"
+    if lib_path.exists():
+        return lib_path
+    src_path = directory / f"{lib_path.stem}.c"
+    tmp_path = directory / f".{lib_path.name}.{os.getpid()}.tmp"
+    src_path.write_text(source, encoding="utf-8")
+    cmd = [
+        compiler, "-O2", "-shared", "-fPIC",
+        "-o", str(tmp_path), str(src_path),
+    ]
+    try:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=120
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise KernelBuildError(f"compiler invocation failed: {exc!r}") from exc
+    if proc.returncode != 0:
+        raise KernelBuildError(
+            f"{compiler} failed ({proc.returncode}):\n{proc.stderr.strip()}"
+        )
+    os.replace(tmp_path, lib_path)
+    return lib_path
+
+
+_I64P = ctypes.POINTER(ctypes.c_int64)
+_U64P = ctypes.POINTER(ctypes.c_uint64)
+_U8P = ctypes.POINTER(ctypes.c_uint8)
+
+
+def load_eval(lib_path: Path) -> Callable:
+    """dlopen the kernel and wrap its entry point in the eval signature.
+
+    The returned callable matches :func:`repro.kernels.interp.make_eval`'s
+    product: ``fn(header, ipool, bpool, ops, va, vb, words, n, n_words,
+    out, scratch)`` over contiguous NumPy arrays.
+    """
+    try:
+        lib = ctypes.CDLL(str(lib_path))
+        fn = lib.repro_eval_batch
+    except (OSError, AttributeError) as exc:
+        raise KernelBuildError(f"could not load {lib_path}: {exc!r}") from exc
+    fn.restype = None
+    fn.argtypes = [
+        _I64P, _I64P, _U8P, _I64P, _I64P, _I64P, _U64P,
+        ctypes.c_int64, ctypes.c_int64, _I64P, _U8P,
+    ]
+
+    def eval_batch(header, ipool, bpool, ops, va, vb, words, n, n_words,
+                   out, scratch):
+        fn(
+            header.ctypes.data_as(_I64P),
+            ipool.ctypes.data_as(_I64P),
+            bpool.ctypes.data_as(_U8P),
+            ops.ctypes.data_as(_I64P),
+            va.ctypes.data_as(_I64P),
+            vb.ctypes.data_as(_I64P),
+            words.ctypes.data_as(_U64P),
+            int(n),
+            int(n_words),
+            out.ctypes.data_as(_I64P),
+            scratch.ctypes.data_as(_U8P),
+        )
+
+    return eval_batch
+
+
+def self_test(eval_fn) -> None:
+    """Smoke-check an eval callable on a tiny known-answer plan.
+
+    Guards against a miscompiled or ABI-skewed shared object being
+    silently adopted: a bad artifact raises :class:`KernelBuildError`
+    here and the provider chain falls through.
+    """
+    from repro.alu.nanobox import NanoBoxALU
+    from repro.kernels.plan import build_plan
+
+    unit = NanoBoxALU(scheme="none")
+    plan = build_plan(unit)
+    if plan is None:  # pragma: no cover - 'none' scheme always lowers
+        raise KernelBuildError("self-test plan failed to lower")
+    n_words = (plan.site_count + 63) // 64
+    ops = np.array([0b111], dtype=np.int64)
+    va = np.array([0x2B], dtype=np.int64)
+    vb = np.array([0x2A], dtype=np.int64)
+    words = np.zeros(n_words, dtype=np.uint64)
+    out = np.zeros(1, dtype=np.int64)
+    scratch = np.zeros(plan.scratch_size, dtype=np.uint8)
+    eval_fn(
+        plan.header, plan.ipool, plan.bpool, ops, va, vb, words,
+        1, n_words, out, scratch,
+    )
+    expected = unit.compute(0b111, 0x2B, 0x2A).bundle
+    if int(out[0]) != expected:
+        raise KernelBuildError(
+            f"kernel self-test mismatch: got {int(out[0])}, "
+            f"expected {expected}"
+        )

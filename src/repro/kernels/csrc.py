@@ -1,0 +1,282 @@
+"""Generated C source for the compiled kernel tier.
+
+A transliteration of :mod:`repro.kernels.interp` -- same plan format,
+same arithmetic, same evaluation order -- compiled once per machine by
+:mod:`repro.kernels.cbuild` and called through ``ctypes``.  The ABI is a
+single entry point:
+
+.. code-block:: c
+
+   void repro_eval_batch(const int64_t *header, const int64_t *ipool,
+                         const uint8_t *bpool, const int64_t *ops,
+                         const int64_t *va, const int64_t *vb,
+                         const uint64_t *words, int64_t n,
+                         int64_t n_words, int64_t *out, uint8_t *scratch);
+
+All layout constants are injected from :mod:`repro.kernels.plan` at
+format time, so the two executors can never drift on the encoding.
+"""
+
+from __future__ import annotations
+
+from repro.kernels import plan as _p
+
+_TEMPLATE = r"""
+#include <stdint.h>
+
+#define KERNEL_ABI_VERSION {abi_version}
+
+static int64_t bit_at(const uint64_t *words, int64_t wb, int64_t site) {{
+    return (int64_t)((words[wb + (site >> 6)] >> (site & 63)) & 1u);
+}}
+
+static int64_t lut_read(const int64_t *ipool, const uint8_t *bpool,
+                        const uint64_t *words, int64_t wb, int64_t lut,
+                        int64_t base, int64_t addr) {{
+    int64_t scheme = ipool[lut];
+    int64_t flip = 0;
+    if (scheme == {LUT_IDENTITY}) {{
+        flip = bit_at(words, wb, base + addr);
+    }} else if (scheme == {LUT_REPETITION}) {{
+        int64_t copies = ipool[lut + 4];
+        int64_t pos = ipool[lut + 5] + addr * copies;
+        int64_t ones = 0;
+        for (int64_t c = 0; c < copies; c++)
+            ones += bit_at(words, wb, base + ipool[pos + c]);
+        if (ones > copies / 2) flip = 1;
+    }} else {{
+        int64_t block_size = ipool[lut + 4];
+        int64_t code_bits = ipool[lut + 5];
+        int64_t block = addr / block_size;
+        int64_t payload = addr - block * block_size;
+        int64_t offset = ipool[ipool[lut + 6] + block];
+        int64_t syndrome = 0;
+        for (int64_t j = 0; j < code_bits; j++)
+            if (bit_at(words, wb, base + offset + j) != 0)
+                syndrome ^= j + 1;
+        int64_t data_col = ipool[ipool[lut + 7] + payload];
+        int64_t raw = bit_at(words, wb, base + offset + data_col);
+        int64_t corrector = 0;
+        if (syndrome != 0) {{
+            if (scheme == {LUT_HAMMING_FP}) corrector = 1;
+            else if (bpool[ipool[lut + 8] + syndrome] != 0) corrector = 1;
+            else if (syndrome - 1 == data_col) corrector = 1;
+        }}
+        flip = raw ^ corrector;
+    }}
+    return (int64_t)bpool[ipool[lut + 2] + addr] ^ flip;
+}}
+
+static int64_t netlist_eval(const int64_t *ipool, const uint64_t *words,
+                            int64_t wb, int64_t net, int64_t base,
+                            int64_t v0, int64_t v1, int64_t v2,
+                            uint8_t *scratch, int64_t inbase) {{
+    int64_t n_gates = ipool[net + 1];
+    int64_t p = ipool[net + 2];
+    int64_t n_inputs = ipool[net + 3];
+    int64_t invar = ipool[net + 4];
+    for (int64_t k = 0; k < n_inputs; k++) {{
+        int64_t var = ipool[invar + 2 * k];
+        int64_t bit_index = ipool[invar + 2 * k + 1];
+        int64_t source = var == 0 ? v0 : (var == 1 ? v1 : v2);
+        scratch[inbase + k] = (uint8_t)((source >> bit_index) & 1);
+    }}
+    for (int64_t g = 0; g < n_gates; g++) {{
+        int64_t gate = ipool[p];
+        int64_t n_src = ipool[p + 1];
+        p += 2;
+        int64_t kind = ipool[p];
+        int64_t index = ipool[p + 1];
+        p += 2;
+        int64_t value;
+        if (kind == {SRC_GATE}) value = scratch[index];
+        else if (kind == {SRC_INPUT}) value = scratch[inbase + index];
+        else value = index != 0 ? 1 : 0;
+        if (gate == {GATE_NOT}) {{
+            value ^= 1;
+            p += 2 * (n_src - 1);
+        }} else if (gate == {GATE_BUF}) {{
+            p += 2 * (n_src - 1);
+        }} else {{
+            for (int64_t s = 1; s < n_src; s++) {{
+                kind = ipool[p];
+                index = ipool[p + 1];
+                p += 2;
+                int64_t other;
+                if (kind == {SRC_GATE}) other = scratch[index];
+                else if (kind == {SRC_INPUT}) other = scratch[inbase + index];
+                else other = index != 0 ? 1 : 0;
+                if (gate == {GATE_AND} || gate == {GATE_NAND}) value &= other;
+                else if (gate == {GATE_OR} || gate == {GATE_NOR}) value |= other;
+                else value ^= other;
+            }}
+            if (gate == {GATE_NAND} || gate == {GATE_NOR}) value ^= 1;
+        }}
+        scratch[g] = (uint8_t)(value ^ bit_at(words, wb, base + g));
+    }}
+    int64_t out_off = ipool[net + 5];
+    int64_t n_out = ipool[net + 6];
+    int64_t bundle = 0;
+    for (int64_t o = 0; o < n_out; o++) {{
+        int64_t kind = ipool[out_off + 2 * o];
+        int64_t index = ipool[out_off + 2 * o + 1];
+        int64_t value;
+        if (kind == {SRC_GATE}) value = scratch[index];
+        else if (kind == {SRC_INPUT}) value = scratch[inbase + index];
+        else value = index != 0 ? 1 : 0;
+        bundle |= value << o;
+    }}
+    return bundle;
+}}
+
+static int64_t core_eval(const int64_t *ipool, const uint8_t *bpool,
+                         const uint64_t *words, int64_t wb, int64_t core,
+                         int64_t base, int64_t op, int64_t internal,
+                         int64_t a, int64_t b, uint8_t *scratch,
+                         int64_t inbase) {{
+    if (ipool[core] == {NODE_LUT}) {{
+        int64_t result_lut = ipool[core + 1];
+        int64_t carry_lut = ipool[core + 2];
+        int64_t r_off = ipool[core + 3];
+        int64_t c_off = ipool[core + 4];
+        int64_t width = ipool[core + 5];
+        int64_t op_addr = internal << 3;
+        int64_t carry = 0;
+        int64_t value = 0;
+        for (int64_t s = 0; s < width; s++) {{
+            int64_t addr = ((a >> s) & 1) | (((b >> s) & 1) << 1)
+                | (carry << 2) | op_addr;
+            int64_t bit = lut_read(ipool, bpool, words, wb, result_lut,
+                                   base + ipool[r_off + s], addr);
+            carry = lut_read(ipool, bpool, words, wb, carry_lut,
+                             base + ipool[c_off + s], addr);
+            value |= bit << s;
+        }}
+        return value | (carry << 8);
+    }}
+    return netlist_eval(ipool, words, wb, ipool[core + 1], base, a, b, op,
+                        scratch, inbase);
+}}
+
+static int64_t voter_eval(const int64_t *ipool, const uint8_t *bpool,
+                          const uint64_t *words, int64_t wb, int64_t voter,
+                          int64_t base, int64_t x, int64_t y, int64_t z,
+                          uint8_t *scratch, int64_t inbase) {{
+    if (ipool[voter] == {NODE_LUT}) {{
+        int64_t lut = ipool[voter + 1];
+        int64_t offsets = ipool[voter + 2];
+        int64_t width = ipool[voter + 3];
+        int64_t out = 0;
+        for (int64_t s = 0; s < width; s++) {{
+            int64_t addr = ((x >> s) & 1) | (((y >> s) & 1) << 1)
+                | (((z >> s) & 1) << 2) | (1 << 3);
+            out |= lut_read(ipool, bpool, words, wb, lut,
+                            base + ipool[offsets + s], addr) << s;
+        }}
+        return out;
+    }}
+    return netlist_eval(ipool, words, wb, ipool[voter + 1], base, x, y, z,
+                        scratch, inbase);
+}}
+
+static int64_t stored_pass(const int64_t *ipool, const uint8_t *bpool,
+                           const uint64_t *words, int64_t wb, int64_t core,
+                           int64_t base, int64_t reg_off, int64_t op,
+                           int64_t internal, int64_t a, int64_t b,
+                           uint8_t *scratch, int64_t inbase) {{
+    int64_t bundle = core_eval(ipool, bpool, words, wb, core, base, op,
+                               internal, a, b, scratch, inbase);
+    int64_t reg = 0;
+    for (int64_t j = 0; j < 9; j++)
+        reg |= bit_at(words, wb, reg_off + j) << j;
+    return bundle ^ reg;
+}}
+
+void repro_eval_batch(const int64_t *header, const int64_t *ipool,
+                      const uint8_t *bpool, const int64_t *ops,
+                      const int64_t *va, const int64_t *vb,
+                      const uint64_t *words, int64_t n, int64_t n_words,
+                      int64_t *out, uint8_t *scratch) {{
+    int64_t comp = header[{H_COMP}];
+    int64_t core = header[{H_CORE}];
+    int64_t voter = header[{H_VOTER}];
+    int64_t imap = header[{H_IMAP}];
+    int64_t inbase = header[{H_SCRATCH}] - {INPUT_SCRATCH};
+    for (int64_t i = 0; i < n; i++) {{
+        int64_t wb = i * n_words;
+        int64_t op = ops[i];
+        int64_t a = va[i];
+        int64_t b = vb[i];
+        int64_t internal = ipool[imap + op];
+        int64_t bundle;
+        if (comp == {COMP_SPACE}) {{
+            int64_t b0 = core_eval(ipool, bpool, words, wb, core,
+                                   header[{H_BASE0}], op, internal, a, b,
+                                   scratch, inbase);
+            int64_t b1 = core_eval(ipool, bpool, words, wb, core,
+                                   header[{H_BASE0} + 1], op, internal, a, b,
+                                   scratch, inbase);
+            int64_t b2 = core_eval(ipool, bpool, words, wb, core,
+                                   header[{H_BASE0} + 2], op, internal, a, b,
+                                   scratch, inbase);
+            bundle = voter_eval(ipool, bpool, words, wb, voter,
+                                header[{H_VOTER_BASE}], b0, b1, b2,
+                                scratch, inbase);
+        }} else if (comp == {COMP_TIME}) {{
+            int64_t s0 = stored_pass(ipool, bpool, words, wb, core,
+                                     header[{H_BASE0}], header[{H_STORE0}],
+                                     op, internal, a, b, scratch, inbase);
+            int64_t s1 = stored_pass(ipool, bpool, words, wb, core,
+                                     header[{H_BASE0} + 1],
+                                     header[{H_STORE0} + 1],
+                                     op, internal, a, b, scratch, inbase);
+            int64_t s2 = stored_pass(ipool, bpool, words, wb, core,
+                                     header[{H_BASE0} + 2],
+                                     header[{H_STORE0} + 2],
+                                     op, internal, a, b, scratch, inbase);
+            bundle = voter_eval(ipool, bpool, words, wb, voter,
+                                header[{H_VOTER_BASE}], s0, s1, s2,
+                                scratch, inbase);
+        }} else {{
+            bundle = core_eval(ipool, bpool, words, wb, core,
+                               header[{H_BASE0}], op, internal, a, b,
+                               scratch, inbase);
+        }}
+        out[i] = bundle;
+    }}
+}}
+"""
+
+#: Bump when the plan encoding or the C ABI changes: part of the build
+#: cache key, so stale shared objects are never reloaded.
+ABI_VERSION = 1
+
+
+def c_source() -> str:
+    """The full kernel C source, layout constants baked in."""
+    return _TEMPLATE.format(
+        abi_version=ABI_VERSION,
+        LUT_IDENTITY=_p.LUT_IDENTITY,
+        LUT_REPETITION=_p.LUT_REPETITION,
+        LUT_HAMMING_FP=_p.LUT_HAMMING_FP,
+        SRC_GATE=_p.SRC_GATE,
+        SRC_INPUT=_p.SRC_INPUT,
+        GATE_NOT=_p.GATE_NOT,
+        GATE_BUF=_p.GATE_BUF,
+        GATE_AND=_p.GATE_AND,
+        GATE_OR=_p.GATE_OR,
+        GATE_NAND=_p.GATE_NAND,
+        GATE_NOR=_p.GATE_NOR,
+        NODE_LUT=_p.NODE_LUT,
+        COMP_SPACE=_p.COMP_SPACE,
+        COMP_TIME=_p.COMP_TIME,
+        H_COMP=_p.H_COMP,
+        H_CORE=_p.H_CORE,
+        H_VOTER=_p.H_VOTER,
+        H_IMAP=_p.H_IMAP,
+        H_SCRATCH=_p.H_SCRATCH,
+        H_BASE0=_p.H_BASE0,
+        H_VOTER_BASE=_p.H_VOTER_BASE,
+        H_STORE0=_p.H_STORE0,
+        INPUT_SCRATCH=_p.INPUT_SCRATCH,
+    )

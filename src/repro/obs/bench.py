@@ -79,7 +79,12 @@ ARTIFACT_REQUIRED_KEYS = (
 
 #: Token substitutions that identify a fast twin of a slow timer; any
 #: timer pair related by one of these yields a ``speedups`` entry.
-_SPEEDUP_TWINS = (("scalar", "batched"), ("serial", "parallel"))
+_SPEEDUP_TWINS = (
+    ("scalar", "batched"),
+    ("scalar", "compiled"),
+    ("batched", "compiled"),
+    ("serial", "parallel"),
+)
 
 
 def repo_root() -> Path:

@@ -14,6 +14,13 @@ timers by name, and judges each ratio against a noise threshold:
   hold ``bench.run`` of a hot benchmark to 1.5x while leaving chatty
   micro-timers advisory.
 
+Beyond timer ratios, ``--speedup-floor GLOB=RATIO`` judges the *current*
+artifact's derived ``speedups`` dict (e.g. scalar-vs-compiled): an entry
+matching the glob whose value falls below the floor is a regression,
+even if every individual timer stayed within its threshold.  This is how
+CI asserts the compiled tier keeps paying for itself rather than merely
+not getting slower.
+
 The ASCII delta table is the human surface; :attr:`BenchComparison.ok`
 (any regression => ``False``) is the CI surface, mapped to the process
 exit status by the CLI.
@@ -84,13 +91,22 @@ class BenchComparison:
         def fmt(value: Optional[float]) -> str:
             return "-" if value is None else f"{value * 1e3:.3f}ms"
 
+        def fmt_value(delta: MetricDelta, value: Optional[float]) -> str:
+            if value is None:
+                return "-"
+            if delta.name.startswith("speedup:"):
+                return f"{value:.2f}x"
+            return fmt(value)
+
         rows = [
             (
                 delta.name,
-                fmt(delta.baseline),
-                fmt(delta.current),
+                fmt_value(delta, delta.baseline),
+                fmt_value(delta, delta.current),
                 "-" if delta.ratio is None else f"{delta.ratio:.2f}x",
-                f"<{delta.threshold:.2f}x",
+                f">={delta.threshold:.2f}x"
+                if delta.name.startswith("speedup:")
+                else f"<{delta.threshold:.2f}x",
                 delta.verdict.upper()
                 if delta.verdict == "regression"
                 else delta.verdict,
@@ -121,12 +137,25 @@ def _threshold_for(
     return default
 
 
+def _floor_for(
+    name: str,
+    floors: Optional[Mapping[str, float]],
+) -> Optional[float]:
+    """First glob in ``floors`` matching ``name``, else ``None``."""
+    if floors:
+        for pattern, value in floors.items():
+            if fnmatch.fnmatch(name, pattern):
+                return float(value)
+    return None
+
+
 def compare_artifacts(
     baseline: Mapping[str, Any],
     current: Mapping[str, Any],
     threshold: float = DEFAULT_THRESHOLD,
     thresholds: Optional[Mapping[str, float]] = None,
     min_time: float = DEFAULT_MIN_TIME,
+    speedup_floors: Optional[Mapping[str, float]] = None,
 ) -> BenchComparison:
     """Judge ``current`` against ``baseline`` timer by timer.
 
@@ -138,6 +167,12 @@ def compare_artifacts(
             first-match-wins in iteration order.
         min_time: timers whose mean is under this in *both* runs are
             marked ``noise`` and never fail the comparison.
+        speedup_floors: ``{glob: minimum}`` judged against the *current*
+            artifact's derived ``speedups`` entries; a matching entry
+            below its floor is a regression.  Unlike timer thresholds
+            this is an absolute property of the current run, not a
+            baseline ratio, so a stale baseline cannot mask a tier that
+            stopped being fast.
     """
     comparison = BenchComparison(name=str(current.get("name", "?")))
     if baseline.get("smoke") != current.get("smoke"):
@@ -187,6 +222,31 @@ def compare_artifacts(
                 verdict=verdict,
             )
         )
+    if speedup_floors:
+        base_speedups: Mapping[str, Any] = baseline.get("speedups", {}) or {}
+        curr_speedups: Mapping[str, Any] = current.get("speedups", {}) or {}
+        for name in sorted(curr_speedups):
+            floor = _floor_for(name, speedup_floors)
+            if floor is None:
+                continue
+            value = float(curr_speedups[name])
+            base = base_speedups.get(name)
+            comparison.deltas.append(
+                MetricDelta(
+                    name=f"speedup:{name}",
+                    baseline=float(base) if base is not None else None,
+                    current=value,
+                    ratio=value,
+                    threshold=floor,
+                    verdict="ok" if value >= floor else "regression",
+                )
+            )
+        for pattern, floor in speedup_floors.items():
+            if not any(fnmatch.fnmatch(n, pattern) for n in curr_speedups):
+                comparison.notes.append(
+                    f"speedup floor {pattern!r}>={float(floor):g}x matched "
+                    "no derived speedup in the current artifact"
+                )
     return comparison
 
 
@@ -206,6 +266,7 @@ def compare_paths(
     threshold: float = DEFAULT_THRESHOLD,
     thresholds: Optional[Mapping[str, float]] = None,
     min_time: float = DEFAULT_MIN_TIME,
+    speedup_floors: Optional[Mapping[str, float]] = None,
 ) -> Tuple[List[BenchComparison], List[str], List[str]]:
     """Compare two artifacts or two directories of artifacts.
 
@@ -242,6 +303,7 @@ def compare_paths(
                 threshold=threshold,
                 thresholds=thresholds,
                 min_time=min_time,
+                speedup_floors=speedup_floors,
             )
         )
     return comparisons, warnings, errors

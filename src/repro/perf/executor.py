@@ -49,9 +49,15 @@ class CampaignWorkItem:
         trials_per_workload: trials pooled per workload (paper: 5).
         seed: base campaign seed.
         bitmap: workload image; ``None`` selects the paper's default
-            8x8 gradient.
+            8x8 gradient.  Leave it ``None`` unless the sweep really
+            uses a custom image: the item then ships as pure spec --
+            a few hundred bytes regardless of trial count or unit
+            size -- and the worker rebuilds the default locally.
         batched: evaluate through the vectorized engine (bit-identical
             to scalar; significantly faster for LUT variants).
+        backend: evaluation tier (``scalar``/``batched``/``compiled``/
+            ``auto``); ``None`` defers to the legacy ``batched`` flag.
+            Results are bit-identical on every tier.
     """
 
     alu: ALUSpec
@@ -60,6 +66,7 @@ class CampaignWorkItem:
     seed: int = 2004
     bitmap: Optional[Bitmap] = field(default=None, compare=False)
     batched: bool = True
+    backend: Optional[str] = None
 
 
 @dataclass
@@ -83,22 +90,50 @@ class CampaignExecutionError(RuntimeError):
     """A chunk kept failing after exhausting its retry budget."""
 
 
+#: Per-worker-process cache: unit + evaluation engines, keyed by the
+#: (hashable, frozen) ALU spec.  A sweep chunk runs dozens of items over
+#: a handful of unit variants; without this every item would re-lower
+#: and re-warm its compiled engine, which costs more than evaluation.
+#: Engines are stateless across calls, so sharing never perturbs results.
+_WORKER_UNITS: Dict[ALUSpec, Tuple[object, Dict[str, object]]] = {}
+
+
+def _cached_unit(spec: ALUSpec) -> Tuple[object, Dict[str, object]]:
+    entry = _WORKER_UNITS.get(spec)
+    if entry is None:
+        entry = (spec.build(), {})
+        _WORKER_UNITS[spec] = entry
+    return entry
+
+
 def _execute_item(item: CampaignWorkItem) -> CampaignResult:
     """Worker entry point: rebuild the cell from its specs and run it.
 
     Module-level (not a closure) so it pickles for the process pool.
+    Items arrive as pure specs (seed + recipes, no arrays) unless a
+    custom bitmap rides along; the unit and its batched/compiled
+    engines come from the per-process cache.
     """
     from repro.workloads.imaging import paper_workloads
 
-    bmp = item.bitmap if item.bitmap is not None else gradient(8, 8)
-    campaign = FaultCampaign(
-        item.alu.build(), item.policy.build(), seed=item.seed
-    )
-    return campaign.run_workload_suite(
+    obs = get_observer()
+    if item.bitmap is None:
+        bmp = gradient(8, 8)
+        obs.metrics.counter("kernel.items_by_seed").inc()
+    else:
+        bmp = item.bitmap
+        obs.metrics.counter("kernel.items_with_array").inc()
+    unit, engines = _cached_unit(item.alu)
+    campaign = FaultCampaign(unit, item.policy.build(), seed=item.seed)
+    campaign.use_engines(**engines)
+    result = campaign.run_workload_suite(
         paper_workloads(bmp),
         trials_per_workload=item.trials_per_workload,
         batched=item.batched,
+        backend=item.backend,
     )
+    engines.update(campaign.built_engines())
+    return result
 
 
 #: Chaos hook (test/harness only): the first worker to claim this
