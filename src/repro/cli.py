@@ -691,6 +691,54 @@ def _cmd_chaos_exec(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import CampaignService, ServiceConfig
+
+    config = ServiceConfig(
+        state_dir=args.state_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        cache_budget=args.cache_budget,
+        max_attempts=args.max_attempts,
+        breaker_threshold=args.breaker_threshold,
+        chunk_size=args.chunk_size,
+        chunk_timeout=args.chunk_timeout,
+        job_timeout=args.job_timeout,
+        default_deadline=args.default_deadline,
+        drain_grace=args.drain_grace,
+        verbose=args.verbose,
+    )
+    return CampaignService(config).serve()
+
+
+def _cmd_service_chaos(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.service.chaos import (
+        run_service_chaos_suite,
+        service_chaos_report,
+    )
+
+    outcomes = run_service_chaos_suite(
+        modes=tuple(args.modes),
+        workdir=Path(args.workdir) if args.workdir else None,
+        seed=args.seed,
+        timeout=args.timeout,
+        echo=lambda line: print(line, file=sys.stderr),
+    )
+    print(service_chaos_report(outcomes))
+    failed = [o.mode for o in outcomes if not o.survived]
+    print(
+        f"{len(outcomes)} fault mode(s) injected, {len(failed)} violated "
+        f"the service invariants"
+    )
+    if failed:
+        print(f"violated: {', '.join(failed)}", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def _cmd_bench_run(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -746,6 +794,7 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
         thresholds=thresholds or None,
         min_time=args.min_time,
         speedup_floors=speedup_floors or None,
+        require_complete=args.require_complete,
     )
     for comparison in comparisons:
         print(comparison.table_text())
@@ -952,6 +1001,69 @@ def build_parser() -> argparse.ArgumentParser:
                             help="per-child wall-clock ceiling in seconds")
     chaos_exec.set_defaults(fn=_cmd_chaos_exec)
 
+    serve = sub.add_parser(
+        "serve",
+        help="long-running HTTP job service: POST sweeps/grids/chaos/"
+             "lifecycle runs, cached + crash-safe",
+    )
+    serve.add_argument("--state-dir", required=True, metavar="DIR",
+                       help="service identity: journal, result cache, and "
+                            "checkpoints live here across restarts")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="0 binds an ephemeral port, reported on stdout")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="supervised worker threads (one child job each)")
+    serve.add_argument("--queue-capacity", type=int, default=16,
+                       help="bounded admission depth; beyond it submissions "
+                            "are shed with 429 + Retry-After")
+    serve.add_argument("--cache-budget", type=int, default=None,
+                       metavar="BYTES",
+                       help="result-cache byte budget (LRU eviction beyond "
+                            "it; default: unbounded)")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="execution attempts per job before it fails")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive same-kind failures that trip the "
+                            "job-class circuit breaker")
+    serve.add_argument("--chunk-size", type=int, default=4,
+                       help="checkpoint chunk size passed to job children")
+    serve.add_argument("--chunk-timeout", type=float, default=None,
+                       help="per-chunk hang budget passed to job children")
+    serve.add_argument("--job-timeout", type=float, default=900.0,
+                       help="wall-clock ceiling per job child")
+    serve.add_argument("--default-deadline", type=float, default=None,
+                       help="deadline applied to jobs that do not set one")
+    serve.add_argument("--drain-grace", type=float, default=30.0,
+                       help="seconds running jobs get to finish on SIGTERM "
+                            "before a checkpoint-flushing interrupt")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log each HTTP request to stderr")
+    serve.set_defaults(fn=_cmd_serve)
+
+    service_chaos = sub.add_parser(
+        "service-chaos",
+        help="service-level chaos harness: overload, duplicate storms, "
+             "SIGTERM and kill -9 against a real server; assert the "
+             "service invariants",
+    )
+    service_chaos.add_argument(
+        "--modes", nargs="+",
+        # mirrors repro.service.chaos.SERVICE_CHAOS_MODES (kept literal so
+        # the parser builds without importing the service package)
+        choices=("overload", "dup-storm", "sigterm", "kill9", "tamper"),
+        default=["overload", "dup-storm", "sigterm", "kill9", "tamper"],
+        help="fault modes to inject (default: all)",
+    )
+    service_chaos.add_argument("--workdir", default=None, metavar="DIR",
+                               help="working directory for server state "
+                                    "(default: a fresh temp directory)")
+    service_chaos.add_argument("--seed", type=int, default=2004,
+                               help="seed for the target jobs")
+    service_chaos.add_argument("--timeout", type=float, default=300.0,
+                               help="per-child wall-clock ceiling in seconds")
+    service_chaos.set_defaults(fn=_cmd_service_chaos)
+
     lifecycle = sub.add_parser(
         "lifecycle",
         help="self-healing sweep: fault processes x lifecycle policies",
@@ -1031,6 +1143,10 @@ def build_parser() -> argparse.ArgumentParser:
                                     "the CURRENT artifact (repeatable); a "
                                     "matching speedup below RATIO fails the "
                                     "comparison")
+    bench_compare.add_argument("--require-complete", action="store_true",
+                               help="fail (exit non-zero) when the current "
+                                    "run is missing artifacts the baseline "
+                                    "has, instead of warning")
     bench_compare.set_defaults(fn=_cmd_bench_compare)
 
     replay = sub.add_parser(

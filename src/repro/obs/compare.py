@@ -267,6 +267,7 @@ def compare_paths(
     thresholds: Optional[Mapping[str, float]] = None,
     min_time: float = DEFAULT_MIN_TIME,
     speedup_floors: Optional[Mapping[str, float]] = None,
+    require_complete: bool = False,
 ) -> Tuple[List[BenchComparison], List[str], List[str]]:
     """Compare two artifacts or two directories of artifacts.
 
@@ -274,6 +275,12 @@ def compare_paths(
     present on only one side (a new benchmark has no baseline yet --
     advisory); errors are unreadable or schema-invalid artifacts, which
     should fail CI alongside regressions.
+
+    With ``require_complete``, a benchmark present in the baseline but
+    missing from the current run is an *error*, not a warning -- a
+    silently skipped benchmark looks exactly like a passed one
+    otherwise, which is how coverage rots.  New benchmarks (current
+    only) stay advisory either way.
     """
     base_map = _artifact_map(baseline_path)
     curr_map = _artifact_map(current_path)
@@ -285,7 +292,8 @@ def compare_paths(
     warnings: List[str] = []
     errors: List[str] = []
     for name in sorted(set(base_map) - set(curr_map)):
-        warnings.append(f"{name}: in baseline but not in current run")
+        message = f"{name}: in baseline but not in current run"
+        (errors if require_complete else warnings).append(message)
     for name in sorted(set(curr_map) - set(base_map)):
         warnings.append(f"{name}: no committed baseline")
     comparisons: List[BenchComparison] = []

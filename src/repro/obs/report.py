@@ -15,7 +15,11 @@ from repro.obs.context import Observer
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceEvent, TraceLog
 
-__all__ = ["report_metrics", "lifecycle_timeline"]
+__all__ = [
+    "checkpoint_quarantine_summary",
+    "lifecycle_timeline",
+    "report_metrics",
+]
 
 #: Trace event kinds that describe one cell's health lifecycle.
 _LIFECYCLE_KINDS = (
@@ -120,6 +124,27 @@ def lifecycle_timeline(trace: TraceLog) -> str:
     return "\n".join(lines)
 
 
+def checkpoint_quarantine_summary(trace: TraceLog) -> Optional[str]:
+    """One line per quarantined checkpoint record, or ``None`` when clean.
+
+    Built from the ``checkpoint_corrupt`` trace events the store emits as
+    it sets invalid records aside, so ``--obs-report`` surfaces *why*
+    each ``*.corrupt`` file exists (truncation, bit flip, stale schema,
+    foreign run key) alongside the count -- quiet quarantine piles are
+    how real corruption goes unnoticed.
+    """
+    events = [e for e in trace.events if e.kind == "checkpoint_corrupt"]
+    if not events:
+        return None
+    lines = [f"{len(events)} record(s) quarantined (*.corrupt):"]
+    for event in events:
+        chunk = event.fields.get("chunk", "?")
+        reason = event.fields.get("reason", "unknown reason")
+        name = event.fields.get("quarantined", "?")
+        lines.append(f"  chunk {chunk}: {reason} -> {name}")
+    return "\n".join(lines)
+
+
 def report_metrics(
     observer: Observer,
     top_timers: int = 10,
@@ -138,6 +163,11 @@ def report_metrics(
         sections.append("")
         sections.append("Gauges")
         sections.append(gauges)
+    quarantine = checkpoint_quarantine_summary(observer.trace)
+    if quarantine is not None:
+        sections.append("")
+        sections.append("Checkpoint quarantine")
+        sections.append(quarantine)
     sections.append("")
     sections.append("Cell lifecycle timeline")
     sections.append(lifecycle_timeline(observer.trace))

@@ -41,7 +41,7 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, List, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.ioutil import atomic_write_json, fsync_dir
 from repro.obs import get_observer
@@ -54,7 +54,9 @@ __all__ = [
     "CheckpointStats",
     "CheckpointStore",
     "payload_digest",
+    "quarantined_files",
     "run_key_for",
+    "scan_run_states",
 ]
 
 #: Schema identifier stamped into every checkpoint record.
@@ -317,3 +319,64 @@ class CheckpointStore:
         limit = os.environ.get(CHAOS_DISK_FULL_ENV)
         if limit is not None and self._stats.writes >= int(limit):
             raise OSError(errno.ENOSPC, "injected disk full (chaos)")
+
+
+def quarantined_files(root: Union[str, Path]) -> List[Path]:
+    """Every quarantined (``*.corrupt*``) record under a checkpoint root.
+
+    Quarantine is how both :class:`CheckpointStore` and the service
+    result cache preserve invalid records for post-mortems instead of
+    trusting or deleting them; this census is what ``--obs-report``
+    surfaces so operators notice the pile growing.  Sorted for
+    deterministic reporting; an absent root is simply empty.
+    """
+    base = Path(root)
+    if not base.is_dir():
+        return []
+    return sorted(
+        path
+        for path in base.rglob("*.corrupt*")
+        if path.is_file() and ".corrupt" in path.name
+    )
+
+
+def scan_run_states(root: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Live progress summaries, one per run directory under ``root``.
+
+    Each summary combines the run's informational ``state.json`` (when
+    present and readable) with ground truth counted from disk: chunk
+    records present now (live progress while a writer is mid-run, since
+    the final state document only lands at flush) and quarantined
+    files.  Read-only and crash-tolerant -- a torn ``state.json`` or a
+    mid-rename record never raises, it just degrades the summary.
+    """
+    base = Path(root)
+    if not base.is_dir():
+        return []
+    summaries: List[Dict[str, Any]] = []
+    for run_dir in sorted(p for p in base.iterdir() if p.is_dir()):
+        chunk_records = len(list(run_dir.glob("chunk_*.json")))
+        corrupt = len(
+            [p for p in run_dir.iterdir() if ".corrupt" in p.name]
+        )
+        summary: Dict[str, Any] = {
+            "run_key": run_dir.name,
+            "completed_chunks": chunk_records,
+            "total_chunks": None,
+            "status": None,
+            "corrupt_files": corrupt,
+        }
+        try:
+            state = json.loads((run_dir / "state.json").read_text())
+        except (OSError, json.JSONDecodeError):
+            state = None
+        if isinstance(state, dict):
+            summary["status"] = state.get("status")
+            total = state.get("total_chunks")
+            if isinstance(total, int):
+                summary["total_chunks"] = total
+            done = state.get("completed_chunks")
+            if isinstance(done, int):
+                summary["completed_chunks"] = max(chunk_records, done)
+        summaries.append(summary)
+    return summaries

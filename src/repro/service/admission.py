@@ -1,0 +1,165 @@
+"""Bounded admission: backpressure instead of unbounded memory.
+
+The service's first line of overload defence is refusing work it cannot
+hold.  :class:`AdmissionQueue` is a fixed-capacity FIFO guarded by a
+condition variable; an :meth:`AdmissionQueue.offer` that finds the
+queue full is **rejected immediately** with an honest ``Retry-After``
+estimate rather than blocking the HTTP thread or growing a backlog.
+The estimate is queue depth times a decaying average of recent job
+durations divided by the worker count -- coarse, but it turns a thundering
+herd into a spread-out retry schedule.
+
+Draining is a queue state: once :meth:`AdmissionQueue.drain` is called
+every further offer is rejected with ``reason="draining"`` (HTTP 503)
+while workers keep taking what was already admitted.  This is the
+"stop admitting, finish in-flight" half of graceful shutdown.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional, TypeVar
+
+__all__ = ["AdmissionDecision", "AdmissionQueue"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The admission verdict for one offered job.
+
+    ``accepted`` jobs are in the queue; rejected ones carry the reason
+    (``"overload"`` -> 429, ``"draining"`` -> 503) and a ``retry_after``
+    hint in whole seconds.
+    """
+
+    accepted: bool
+    reason: Optional[str] = None
+    retry_after: Optional[int] = None
+    depth: int = 0
+
+
+class AdmissionQueue:
+    """Fixed-capacity FIFO with load-shedding and drain semantics."""
+
+    def __init__(self, capacity: int, workers: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._capacity = capacity
+        self._workers = workers
+        self._items: Deque[T] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._draining = False
+        # Decaying average of observed job durations, seeded with a
+        # deliberately conservative guess so the very first Retry-After
+        # is not zero.
+        self._avg_duration = 5.0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def has_room(self) -> bool:
+        with self._lock:
+            return not self._draining and len(self._items) < self._capacity
+
+    def note_duration(self, seconds: float) -> None:
+        """Feed one completed job's duration into the retry estimator."""
+        with self._lock:
+            self._avg_duration = 0.7 * self._avg_duration + 0.3 * max(
+                0.1, seconds
+            )
+
+    def retry_after(self, extra_depth: int = 0) -> int:
+        """Whole-second wait hint for a shed client (>= 1)."""
+        with self._lock:
+            depth = len(self._items) + extra_depth
+            return max(
+                1, math.ceil(depth * self._avg_duration / self._workers)
+            )
+
+    def offer(self, item: T) -> AdmissionDecision:
+        """Admit one job or shed it -- never blocks, never grows unbounded."""
+        with self._lock:
+            if self._draining:
+                return AdmissionDecision(
+                    accepted=False,
+                    reason="draining",
+                    retry_after=max(
+                        1,
+                        math.ceil(
+                            (len(self._items) + 1)
+                            * self._avg_duration
+                            / self._workers
+                        ),
+                    ),
+                    depth=len(self._items),
+                )
+            if len(self._items) >= self._capacity:
+                return AdmissionDecision(
+                    accepted=False,
+                    reason="overload",
+                    retry_after=max(
+                        1,
+                        math.ceil(
+                            (len(self._items) + 1)
+                            * self._avg_duration
+                            / self._workers
+                        ),
+                    ),
+                    depth=len(self._items),
+                )
+            self._items.append(item)
+            self._not_empty.notify()
+            return AdmissionDecision(accepted=True, depth=len(self._items))
+
+    def requeue(self, item: T) -> None:
+        """Put a drained/supervised job back at the *front* of the queue.
+
+        Requeues bypass the capacity check: the job was already admitted
+        once, and dropping it now would turn recovery into data loss.
+        """
+        with self._lock:
+            self._items.appendleft(item)
+            self._not_empty.notify()
+
+    def take(self, timeout: Optional[float] = None) -> Optional[T]:
+        """Pop the oldest admitted job, waiting up to ``timeout``."""
+        with self._not_empty:
+            if not self._items:
+                self._not_empty.wait(timeout)
+            if not self._items:
+                return None
+            return self._items.popleft()
+
+    def remove(self, predicate: Callable[[T], bool]) -> List[T]:
+        """Remove and return every queued item matching ``predicate``."""
+        with self._lock:
+            kept: Deque[T] = deque()
+            removed: List[T] = []
+            for item in self._items:
+                (removed if predicate(item) else kept).append(item)
+            self._items = kept
+            return removed
+
+    def drain(self) -> int:
+        """Stop admitting; returns the depth still queued for workers."""
+        with self._lock:
+            self._draining = True
+            self._not_empty.notify_all()
+            return len(self._items)

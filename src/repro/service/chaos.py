@@ -1,0 +1,624 @@
+"""Service-level chaos harness: prove the HTTP job runtime survives.
+
+:mod:`repro.perf.chaos_exec` kills individual campaign *runs*; this
+module hammers a real ``nanobox-repro serve`` child process end to end
+and asserts the service invariants:
+
+==========  =====================================  ======================
+mode        injected fault                         asserted invariant
+==========  =====================================  ======================
+overload    submission burst past queue capacity   bounded admission: the
+                                                   excess is shed with 429
+                                                   + ``Retry-After``, the
+                                                   admitted jobs complete
+dup-storm   concurrent identical submissions       single-flight: exactly
+                                                   one computation, every
+                                                   response byte-identical
+                                                   to a direct CLI run
+sigterm     SIGTERM mid-job (grace 0)              clean drain exit 0; the
+                                                   restarted server resumes
+                                                   the job to an artifact
+                                                   byte-identical to an
+                                                   uninterrupted run
+kill9       SIGKILL server *and* its child         journal + checkpoints
+            (simulated power loss)                 recover the job; resumed
+                                                   output byte-identical
+tamper      a cached artifact bit-flipped on disk  never served: the entry
+                                                   is quarantined and the
+                                                   artifact recomputed,
+                                                   byte-identical
+==========  =====================================  ======================
+
+The report contains only deterministic facts (booleans and counts with
+hard timing margins), so two harness runs produce byte-identical
+reports -- the same two-run determinism gate ``chaos-exec`` carries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SERVICE_CHAOS_MODES",
+    "ServiceChaosOutcome",
+    "run_service_chaos_suite",
+    "service_chaos_report",
+]
+
+#: Every fault mode the harness can inject, in report order.
+SERVICE_CHAOS_MODES = ("overload", "dup-storm", "sigterm", "kill9", "tamper")
+
+_LISTEN_PREFIX = "service: listening on "
+
+
+@dataclass(frozen=True)
+class ServiceChaosOutcome:
+    """What one injected fault did, and whether the service survived it.
+
+    Attributes:
+        mode: the fault mode injected.
+        fault: human description of the injection.
+        survived: every invariant for the mode held.
+        byte_identical: artifacts served match the direct-CLI reference
+            byte for byte (modes without an artifact check report True).
+        detail: deterministic one-line postscript for the report.
+    """
+
+    mode: str
+    fault: str
+    survived: bool
+    byte_identical: bool
+    detail: str
+
+
+def _src_path() -> str:
+    return str(Path(__file__).resolve().parents[2])
+
+
+def _child_env() -> Dict[str, str]:
+    env = {
+        key: value
+        for key, value in os.environ.items()
+        if not key.startswith("REPRO_CHAOS_")
+    }
+    existing = env.get("PYTHONPATH")
+    src = _src_path()
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
+
+
+def _run_cli(argv: Sequence[str], timeout: float) -> Tuple[int, bytes, str]:
+    """Run ``nanobox-repro`` directly: (rc, stdout bytes, stderr text)."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        env=_child_env(),
+        capture_output=True,
+        timeout=timeout,
+    )
+    return (
+        proc.returncode,
+        proc.stdout,
+        proc.stderr.decode("utf-8", "replace"),
+    )
+
+
+class _Server:
+    """One ``nanobox-repro serve`` child and an HTTP client onto it."""
+
+    def __init__(
+        self,
+        state_dir: Path,
+        *,
+        workers: int = 1,
+        queue_capacity: int = 4,
+        drain_grace: float = 0.0,
+        chunk_size: int = 1,
+        timeout: float = 300.0,
+    ) -> None:
+        self.state_dir = state_dir
+        self.timeout = timeout
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--state-dir",
+                str(state_dir),
+                "--host",
+                "127.0.0.1",
+                "--port",
+                "0",
+                "--workers",
+                str(workers),
+                "--queue-capacity",
+                str(queue_capacity),
+                "--chunk-size",
+                str(chunk_size),
+                "--drain-grace",
+                str(drain_grace),
+            ],
+            env=_child_env(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        line = self.proc.stdout.readline()
+        if not line.startswith(_LISTEN_PREFIX):
+            self.proc.kill()
+            self.proc.wait()
+            raise RuntimeError(
+                f"server failed to start: {line!r} / "
+                f"{self.proc.stderr.read()[:500]}"
+            )
+        self.base = line[len(_LISTEN_PREFIX):].strip()
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        document: Optional[Dict[str, Any]] = None,
+        timeout: float = 30.0,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        data = (
+            json.dumps(document).encode("utf-8")
+            if document is not None
+            else None
+        )
+        request = urllib.request.Request(
+            self.base + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as resp:
+                return resp.status, dict(resp.headers), resp.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, dict(exc.headers), exc.read()
+
+    def submit(self, job: Dict[str, Any]) -> Tuple[int, Dict[str, str], Dict]:
+        status, headers, body = self.request("POST", "/v1/jobs", job)
+        return status, headers, json.loads(body or b"{}")
+
+    def wait_state(
+        self, job_id: str, states: Sequence[str], timeout: float
+    ) -> Optional[Dict[str, Any]]:
+        """Poll until the job reaches one of ``states`` (None: timed out)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status, _, body = self.request("GET", f"/v1/jobs/{job_id}")
+            if status == 200:
+                document = json.loads(body)
+                if document["state"] in states:
+                    return document
+            time.sleep(0.05)
+        return None
+
+    def wait_progress(self, job_id: str, chunks: int, timeout: float) -> bool:
+        """Poll until >= ``chunks`` checkpoints landed while still running."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status, _, body = self.request("GET", f"/v1/jobs/{job_id}")
+            if status != 200:
+                return False
+            document = json.loads(body)
+            if document["state"] not in ("queued", "running"):
+                return False  # finished before the fault window opened
+            if document["progress"]["completed_chunks"] >= chunks:
+                return True
+            time.sleep(0.02)
+        return False
+
+    def sigterm(self, timeout: float = 60.0) -> Tuple[int, str]:
+        """SIGTERM the server; returns (exit status, stderr text)."""
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            _, stderr = self.proc.communicate(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            _, stderr = self.proc.communicate()
+            return -9, stderr or ""
+        return self.proc.returncode, stderr or ""
+
+    def kill9(self) -> List[int]:
+        """SIGKILL the server *and* its job children (power loss)."""
+        self.proc.kill()
+        self.proc.communicate()
+        killed: List[int] = []
+        for pid_file in sorted(self.state_dir.glob("jobs/*/child.pid")):
+            try:
+                pid = int(pid_file.read_text().strip())
+                os.kill(pid, signal.SIGKILL)
+                killed.append(pid)
+            except (ValueError, OSError):
+                continue
+        return killed
+
+    def shutdown(self) -> None:
+        if self.proc.poll() is None:
+            self.sigterm()
+
+
+def _slow_job(seed: int) -> Dict[str, Any]:
+    """A multi-chunk job slow enough to interrupt mid-run (~8s, 12 chunks
+    at chunk size 1)."""
+    return {
+        "kind": "chaos",
+        "params": {
+            "rates": [0.0, 0.001, 0.002, 0.003, 0.005, 0.01],
+            "rounds": [1, 3],
+            "rows": 4,
+            "cols": 4,
+            "instructions": 600,
+            "seed": seed,
+        },
+    }
+
+
+def _fast_job(seed: int) -> Dict[str, Any]:
+    """A sub-second job for cache/dedup modes."""
+    return {
+        "kind": "grid",
+        "params": {"rows": 4, "cols": 4, "scheme": "hamming", "seed": seed},
+    }
+
+
+def _job_argv(job: Dict[str, Any]) -> List[str]:
+    from repro.service.jobs import JobSpec
+
+    return JobSpec.from_request(job["kind"], job["params"]).to_argv()
+
+
+class _ChaosContext:
+    """Shared per-suite state: workdir, seed, and reference artifacts."""
+
+    def __init__(self, workdir: Path, seed: int, timeout: float) -> None:
+        self.workdir = workdir
+        self.seed = seed
+        self.timeout = timeout
+        self._references: Dict[str, bytes] = {}
+
+    def reference(self, job: Dict[str, Any]) -> bytes:
+        """The direct (service-free) CLI run's stdout for ``job``."""
+        key = json.dumps(job, sort_keys=True)
+        if key not in self._references:
+            rc, stdout, stderr = _run_cli(
+                _job_argv(job), timeout=self.timeout
+            )
+            if rc != 0:
+                raise RuntimeError(
+                    f"reference run failed (rc {rc}): {stderr.strip()[:500]}"
+                )
+            self._references[key] = stdout
+        return self._references[key]
+
+
+def _mode_overload(ctx: _ChaosContext) -> ServiceChaosOutcome:
+    """Burst past capacity: the excess is shed, the admitted complete."""
+    server = _Server(
+        ctx.workdir / "overload", workers=1, queue_capacity=1,
+        timeout=ctx.timeout,
+    )
+    try:
+        # Occupy the single worker with a slow job ...
+        status, _, first = server.submit(_slow_job(ctx.seed))
+        if status != 202:
+            return _failed("overload", f"setup submit got HTTP {status}")
+        if server.wait_state(
+            first["job"]["id"], ("running",), timeout=30.0
+        ) is None:
+            return _failed("overload", "setup job never started running")
+        # ... then burst 5 distinct fast jobs at a queue of capacity 1.
+        accepted, shed, retry_after_ok = 0, 0, True
+        for offset in range(5):
+            status, headers, body = server.submit(
+                _fast_job(ctx.seed + 100 + offset)
+            )
+            if status == 202:
+                accepted += 1
+            elif status == 429:
+                shed += 1
+                retry_after_ok &= int(headers.get("Retry-After", "0")) >= 1
+            else:
+                return _failed("overload", f"burst got HTTP {status}")
+        # The shed clients backing off must eventually get through: the
+        # admitted jobs all finish.
+        documents = [
+            document
+            for document in (
+                server.wait_state(record["id"], ("done",), timeout=60.0)
+                for record in _job_list(server)
+            )
+            if document is not None
+        ]
+        all_done = len(documents) == 1 + accepted
+        survived = (
+            accepted == 1 and shed == 4 and retry_after_ok and all_done
+        )
+        return ServiceChaosOutcome(
+            mode="overload",
+            fault="burst of 5 submissions at queue capacity 1",
+            survived=survived,
+            byte_identical=True,
+            detail=(
+                f"{accepted} admitted, {shed} shed with 429 + Retry-After, "
+                f"admitted jobs all completed: "
+                f"{'yes' if all_done else 'NO'}"
+            ),
+        )
+    finally:
+        server.shutdown()
+
+
+def _job_list(server: _Server) -> List[Dict[str, Any]]:
+    _, _, body = server.request("GET", "/v1/jobs")
+    return json.loads(body)["jobs"]
+
+
+def _mode_dup_storm(ctx: _ChaosContext) -> ServiceChaosOutcome:
+    """Concurrent identical submissions: one computation, equal bytes."""
+    server = _Server(
+        ctx.workdir / "dup-storm", workers=2, queue_capacity=8,
+        timeout=ctx.timeout,
+    )
+    try:
+        job = _fast_job(ctx.seed + 1)
+        results: List[Dict[str, Any]] = []
+        lock = threading.Lock()
+
+        def fire() -> None:
+            _, _, document = server.submit(job)
+            with lock:
+                results.append(document)
+
+        threads = [threading.Thread(target=fire) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        job_ids = {doc["job"]["id"] for doc in results if "job" in doc}
+        first_id = sorted(job_ids)[0] if job_ids else None
+        if first_id is None or server.wait_state(
+            first_id, ("done",), timeout=60.0
+        ) is None:
+            return _failed("dup-storm", "no submission produced a job")
+        # A late wave after completion must be served from the cache.
+        late = [server.submit(job)[2] for _ in range(4)]
+        job_ids.update(doc["job"]["id"] for doc in late)
+        cached = sum(1 for doc in late if doc.get("status") == "cached")
+        # Every job id's artifact must equal the direct-CLI reference.
+        reference = ctx.reference(job)
+        artifacts = []
+        for job_id in sorted(job_ids):
+            status, _, payload = server.request(
+                "GET", f"/v1/jobs/{job_id}/result"
+            )
+            artifacts.append((status, payload))
+        identical = all(
+            status == 200 and payload == reference
+            for status, payload in artifacts
+        )
+        _, _, metrics_body = server.request("GET", "/v1/metrics")
+        executions = json.loads(metrics_body)["counters"].get(
+            "service.executions", -1
+        )
+        survived = executions == 1 and identical and cached == 4
+        return ServiceChaosOutcome(
+            mode="dup-storm",
+            fault="8 concurrent + 4 late identical submissions",
+            survived=survived,
+            byte_identical=identical,
+            detail=(
+                f"{executions} computation(s) for 12 submissions, "
+                f"{cached} late hit(s) served from cache"
+            ),
+        )
+    finally:
+        server.shutdown()
+
+
+def _mode_sigterm(ctx: _ChaosContext) -> ServiceChaosOutcome:
+    """SIGTERM mid-job: clean drain, restart resumes byte-identically."""
+    state_dir = ctx.workdir / "sigterm"
+    server = _Server(state_dir, workers=1, timeout=ctx.timeout)
+    job = _slow_job(ctx.seed + 2)
+    status, _, document = server.submit(job)
+    if status != 202:
+        server.shutdown()
+        return _failed("sigterm", f"submit got HTTP {status}")
+    job_id = document["job"]["id"]
+    if not server.wait_progress(job_id, chunks=1, timeout=30.0):
+        server.shutdown()
+        return _failed("sigterm", "no checkpoint landed before the fault")
+    rc, stderr = server.sigterm()
+    drained = rc == 0 and "service: drained" in stderr
+    # A restarted server on the same state dir must resume the job.
+    server2 = _Server(state_dir, workers=1, timeout=ctx.timeout)
+    try:
+        final = server2.wait_state(job_id, ("done",), timeout=60.0)
+        resumed = final is not None and final["requeues"] >= 1
+        status, _, payload = server2.request(
+            "GET", f"/v1/jobs/{job_id}/result"
+        )
+        identical = status == 200 and payload == ctx.reference(job)
+        return ServiceChaosOutcome(
+            mode="sigterm",
+            fault="SIGTERM mid-job (drain grace 0)",
+            survived=drained and resumed and identical,
+            byte_identical=identical,
+            detail=(
+                f"drain exit clean: {'yes' if drained else 'NO'}, "
+                f"restart resumed the job: {'yes' if resumed else 'NO'}"
+            ),
+        )
+    finally:
+        server2.shutdown()
+
+
+def _mode_kill9(ctx: _ChaosContext) -> ServiceChaosOutcome:
+    """SIGKILL server + child (power loss): journal/checkpoints recover."""
+    state_dir = ctx.workdir / "kill9"
+    server = _Server(state_dir, workers=1, timeout=ctx.timeout)
+    job = _slow_job(ctx.seed + 3)
+    status, _, document = server.submit(job)
+    if status != 202:
+        server.shutdown()
+        return _failed("kill9", f"submit got HTTP {status}")
+    job_id = document["job"]["id"]
+    if not server.wait_progress(job_id, chunks=1, timeout=30.0):
+        server.shutdown()
+        return _failed("kill9", "no checkpoint landed before the fault")
+    killed = server.kill9()
+    server2 = _Server(state_dir, workers=1, timeout=ctx.timeout)
+    try:
+        final = server2.wait_state(job_id, ("done",), timeout=90.0)
+        resumed = final is not None and final["outcome"] == "resumed"
+        status, _, payload = server2.request(
+            "GET", f"/v1/jobs/{job_id}/result"
+        )
+        identical = status == 200 and payload == ctx.reference(job)
+        return ServiceChaosOutcome(
+            mode="kill9",
+            fault="SIGKILL of server and job child mid-run",
+            survived=resumed and identical and bool(killed),
+            byte_identical=identical,
+            detail=(
+                f"child killed too: {'yes' if killed else 'NO'}, "
+                f"journal recovery resumed the job: "
+                f"{'yes' if resumed else 'NO'}"
+            ),
+        )
+    finally:
+        server2.shutdown()
+
+
+def _mode_tamper(ctx: _ChaosContext) -> ServiceChaosOutcome:
+    """A bit-flipped cached artifact is quarantined, never served."""
+    state_dir = ctx.workdir / "tamper"
+    server = _Server(state_dir, workers=1, timeout=ctx.timeout)
+    try:
+        job = _fast_job(ctx.seed + 4)
+        status, _, document = server.submit(job)
+        if status != 202:
+            return _failed("tamper", f"submit got HTTP {status}")
+        if server.wait_state(
+            document["job"]["id"], ("done",), timeout=60.0
+        ) is None:
+            return _failed("tamper", "setup job never completed")
+        # Flip one bit in the cached payload on disk.
+        payloads = sorted(state_dir.glob("cache/*.bin"))
+        if len(payloads) != 1:
+            return _failed(
+                "tamper", f"expected 1 cached payload, found {len(payloads)}"
+            )
+        blob = bytearray(payloads[0].read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        payloads[0].write_bytes(bytes(blob))
+        # A new identical submission must detect the corruption and
+        # recompute rather than serve the tampered bytes.
+        status, _, redo = server.submit(job)
+        if redo.get("status") == "cached":
+            return _failed("tamper", "tampered artifact served from cache")
+        redo_id = redo["job"]["id"]
+        if server.wait_state(redo_id, ("done",), timeout=60.0) is None:
+            return _failed("tamper", "recompute job never completed")
+        status, _, payload = server.request(
+            "GET", f"/v1/jobs/{redo_id}/result"
+        )
+        identical = status == 200 and payload == ctx.reference(job)
+        quarantined = len(list(state_dir.glob("cache/*.corrupt*")))
+        survived = identical and quarantined >= 1
+        return ServiceChaosOutcome(
+            mode="tamper",
+            fault="one bit flipped in a cached artifact",
+            survived=survived,
+            byte_identical=identical,
+            detail=(
+                f"{quarantined} corrupt file(s) quarantined, artifact "
+                f"recomputed: {'yes' if identical else 'NO'}"
+            ),
+        )
+    finally:
+        server.shutdown()
+
+
+def _failed(mode: str, detail: str) -> ServiceChaosOutcome:
+    return ServiceChaosOutcome(
+        mode=mode,
+        fault="(setup)",
+        survived=False,
+        byte_identical=False,
+        detail=detail,
+    )
+
+
+_MODE_RUNNERS = {
+    "overload": _mode_overload,
+    "dup-storm": _mode_dup_storm,
+    "sigterm": _mode_sigterm,
+    "kill9": _mode_kill9,
+    "tamper": _mode_tamper,
+}
+
+
+def run_service_chaos_suite(
+    modes: Sequence[str] = SERVICE_CHAOS_MODES,
+    workdir: Optional[Path] = None,
+    seed: int = 2004,
+    timeout: float = 300.0,
+    echo=None,
+) -> List[ServiceChaosOutcome]:
+    """Run several service fault modes, each against a fresh server."""
+    if workdir is None:
+        workdir = Path(tempfile.mkdtemp(prefix="repro-service-chaos-"))
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    ctx = _ChaosContext(workdir, seed=seed, timeout=timeout)
+    outcomes: List[ServiceChaosOutcome] = []
+    for mode in modes:
+        try:
+            runner = _MODE_RUNNERS[mode]
+        except KeyError:
+            raise ValueError(
+                f"unknown service chaos mode {mode!r}; "
+                f"valid: {SERVICE_CHAOS_MODES}"
+            ) from None
+        outcome = runner(ctx)
+        outcomes.append(outcome)
+        if echo is not None:
+            status = "SURVIVED" if outcome.survived else "FAILED"
+            echo(f"{mode:>10}  {status:<9} {outcome.detail}")
+    return outcomes
+
+
+def service_chaos_report(outcomes: Sequence[ServiceChaosOutcome]) -> str:
+    """The deterministic fixed-width report CI byte-compares."""
+    from repro.experiments.report import format_table
+
+    rows = [
+        (
+            o.mode,
+            o.fault,
+            "yes" if o.survived else "NO",
+            "yes" if o.byte_identical else "NO",
+            o.detail,
+        )
+        for o in outcomes
+    ]
+    return format_table(
+        ("mode", "injected fault", "survived", "identical", "detail"),
+        rows,
+    )

@@ -160,3 +160,39 @@ class TestComparePaths:
             tmp_path / "base", tmp_path / "curr", only="no_match"
         )
         assert comparisons == []
+
+    def test_require_complete_escalates_baseline_only_to_error(
+        self, tmp_path
+    ):
+        artifact = canned_artifact()
+        second = copy.deepcopy(artifact)
+        second["name"] = artifact["name"] + "_extra"
+        self.write(tmp_path / "base", artifact)
+        self.write(tmp_path / "base", second)
+        self.write(tmp_path / "curr", artifact)
+        # Advisory by default: a skipped benchmark only warns ...
+        comparisons, warnings, errors = compare_paths(
+            tmp_path / "base", tmp_path / "curr"
+        )
+        assert len(comparisons) == 1 and errors == []
+        assert any("not in current run" in w for w in warnings)
+        # ... but is an error when completeness is demanded.
+        comparisons, warnings, errors = compare_paths(
+            tmp_path / "base", tmp_path / "curr", require_complete=True
+        )
+        assert len(comparisons) == 1
+        assert any("in baseline but not in current run" in e for e in errors)
+        assert not any("not in current run" in w for w in warnings)
+
+    def test_require_complete_keeps_new_benchmarks_advisory(self, tmp_path):
+        artifact = canned_artifact()
+        fresh = copy.deepcopy(artifact)
+        fresh["name"] = artifact["name"] + "_new"
+        self.write(tmp_path / "base", artifact)
+        self.write(tmp_path / "curr", artifact)
+        self.write(tmp_path / "curr", fresh)
+        _, warnings, errors = compare_paths(
+            tmp_path / "base", tmp_path / "curr", require_complete=True
+        )
+        assert errors == []
+        assert any("no committed baseline" in w for w in warnings)

@@ -8,6 +8,7 @@ from repro.obs import (
     observing,
     report_metrics,
 )
+from repro.obs.report import checkpoint_quarantine_summary
 
 
 class SteppingClock:
@@ -102,6 +103,62 @@ class TestReportMetrics:
         assert "(no counters recorded)" in text
         assert "(no lifecycle events traced)" in text
         assert "Gauges" not in text
+        assert "Checkpoint quarantine" not in text
+
+
+class TestCheckpointQuarantineSection:
+    def _observer_with_corrupt_events(self):
+        obs = Observer(clock=SteppingClock())
+        obs.trace.emit(
+            "checkpoint_corrupt", source="checkpoint", chunk=2,
+            reason="payload integrity check failed",
+            quarantined="chunk_00002.json.corrupt",
+        )
+        obs.trace.emit(
+            "checkpoint_corrupt", source="checkpoint", chunk=5,
+            reason="undecodable record", quarantined="chunk_00005.json.corrupt",
+        )
+        return obs
+
+    def test_clean_trace_has_no_summary(self):
+        assert checkpoint_quarantine_summary(Observer().trace) is None
+
+    def test_summary_names_chunk_reason_and_file(self):
+        summary = checkpoint_quarantine_summary(
+            self._observer_with_corrupt_events().trace
+        )
+        assert summary.startswith("2 record(s) quarantined (*.corrupt):")
+        assert (
+            "chunk 2: payload integrity check failed "
+            "-> chunk_00002.json.corrupt" in summary
+        )
+        assert "chunk 5: undecodable record" in summary
+
+    def test_report_gains_section_only_when_quarantined(self):
+        text = report_metrics(self._observer_with_corrupt_events())
+        assert "Checkpoint quarantine" in text
+        assert "2 record(s) quarantined" in text
+
+    def test_real_store_corruption_reaches_the_report(self, tmp_path):
+        """End to end: a bit-flipped checkpoint record quarantined by the
+        store must show up, with its reason, in ``--obs-report`` text."""
+        import json
+
+        from repro.perf.checkpoint import CheckpointStore
+
+        obs = Observer()
+        with observing(obs):
+            store = CheckpointStore(tmp_path / "ck", "cafe0123")
+            store.save(0, {"value": 42})
+            path = store.path_for(0)
+            record = json.loads(path.read_text())
+            record["payload"]["value"] = 43
+            path.write_text(json.dumps(record))
+            assert store.load(0) == (None, False)
+        text = report_metrics(obs)
+        assert "Checkpoint quarantine" in text
+        assert "chunk 0:" in text
+        assert ".corrupt" in text
 
 
 class TestNestedObservingRouting:

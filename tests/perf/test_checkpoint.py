@@ -16,7 +16,9 @@ from repro.perf.checkpoint import (
     CHECKPOINT_SCHEMA_VERSION,
     CheckpointStore,
     payload_digest,
+    quarantined_files,
     run_key_for,
+    scan_run_states,
 )
 
 
@@ -222,3 +224,75 @@ class TestPayloadDigest:
 
     def test_digest_distinguishes_values(self):
         assert payload_digest([1]) != payload_digest([2])
+
+
+class TestQuarantineCensus:
+    def test_absent_root_is_empty(self, tmp_path):
+        assert quarantined_files(tmp_path / "nope") == []
+
+    def test_census_finds_corrupt_files_recursively(self, tmp_path):
+        def truncate(path):
+            path.write_text(path.read_text()[: path.stat().st_size // 2])
+
+        _corrupt_and_reload(tmp_path, truncate)
+        found = quarantined_files(tmp_path)
+        assert len(found) == 1
+        assert found[0].name.endswith(".json.corrupt")
+
+    def test_census_is_sorted_and_ignores_healthy_records(self, tmp_path):
+        store = _store(tmp_path)
+        for index in range(3):
+            store.save(index, [index])
+        two = store.path_for(2)
+        two.rename(two.with_name(two.name + ".corrupt"))
+        one = store.path_for(1)
+        one.rename(one.with_name(one.name + ".corrupt1"))
+        names = [path.name for path in quarantined_files(tmp_path)]
+        assert names == sorted(names)
+        assert len(names) == 2 and all(".corrupt" in n for n in names)
+
+
+class TestScanRunStates:
+    def test_absent_root_is_empty(self, tmp_path):
+        assert scan_run_states(tmp_path / "nope") == []
+
+    def test_counts_live_chunks_without_state_file(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck", "runa0123")
+        store.save(0, [0])
+        store.save(1, [1])
+        [summary] = scan_run_states(tmp_path / "ck")
+        assert summary == {
+            "run_key": "runa0123",
+            "completed_chunks": 2,
+            "total_chunks": None,
+            "status": None,
+            "corrupt_files": 0,
+        }
+
+    def test_merges_state_json_and_counts_quarantine(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck", "runb0123")
+        store.save(0, [0])
+        chunk = store.path_for(0)
+        chunk.rename(chunk.with_name(chunk.name + ".corrupt"))
+        (store.directory / "state.json").write_text(json.dumps({
+            "status": "complete", "total_chunks": 4, "completed_chunks": 4,
+        }))
+        [summary] = scan_run_states(tmp_path / "ck")
+        assert summary["status"] == "complete"
+        assert summary["total_chunks"] == 4
+        assert summary["completed_chunks"] == 4  # state wins when larger
+        assert summary["corrupt_files"] == 1
+
+    def test_torn_state_json_degrades_to_disk_truth(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck", "runc0123")
+        store.save(0, [0])
+        (store.directory / "state.json").write_text('{"status": "compl')
+        [summary] = scan_run_states(tmp_path / "ck")
+        assert summary["status"] is None
+        assert summary["completed_chunks"] == 1
+
+    def test_runs_listed_in_sorted_order(self, tmp_path):
+        for key in ("zzzz0000", "aaaa0000"):
+            CheckpointStore(tmp_path / "ck", key).save(0, [])
+        keys = [s["run_key"] for s in scan_run_states(tmp_path / "ck")]
+        assert keys == ["aaaa0000", "zzzz0000"]

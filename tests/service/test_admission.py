@@ -1,0 +1,104 @@
+"""Bounded admission: shed past capacity, drain semantics, retry hints."""
+
+import pytest
+
+from repro.service.admission import AdmissionQueue
+
+
+class TestOfferAndTake:
+    def test_admits_up_to_capacity_then_sheds(self):
+        queue = AdmissionQueue(capacity=2)
+        assert queue.offer("a").accepted
+        assert queue.offer("b").accepted
+        decision = queue.offer("c")
+        assert not decision.accepted
+        assert decision.reason == "overload"
+        assert decision.retry_after >= 1
+        assert queue.depth() == 2
+
+    def test_take_is_fifo(self):
+        queue = AdmissionQueue(capacity=4)
+        for item in ("a", "b", "c"):
+            queue.offer(item)
+        assert [queue.take(0), queue.take(0), queue.take(0)] == [
+            "a", "b", "c",
+        ]
+
+    def test_take_times_out_empty(self):
+        queue = AdmissionQueue(capacity=1)
+        assert queue.take(timeout=0.01) is None
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(capacity=0)
+        with pytest.raises(ValueError):
+            AdmissionQueue(capacity=1, workers=0)
+
+
+class TestDrain:
+    def test_drain_refuses_further_offers(self):
+        queue = AdmissionQueue(capacity=4)
+        queue.offer("a")
+        left = queue.drain()
+        assert left == 1
+        decision = queue.offer("b")
+        assert not decision.accepted
+        assert decision.reason == "draining"
+
+    def test_workers_still_take_after_drain(self):
+        queue = AdmissionQueue(capacity=4)
+        queue.offer("a")
+        queue.drain()
+        assert queue.take(0) == "a"
+
+    def test_has_room_false_while_draining(self):
+        queue = AdmissionQueue(capacity=4)
+        queue.drain()
+        assert not queue.has_room()
+
+
+class TestRequeueAndRemove:
+    def test_requeue_goes_to_the_front_and_bypasses_capacity(self):
+        queue = AdmissionQueue(capacity=1)
+        queue.offer("a")
+        queue.requeue("resumed")  # over capacity: still admitted
+        assert queue.depth() == 2
+        assert queue.take(0) == "resumed"
+
+    def test_remove_by_predicate(self):
+        queue = AdmissionQueue(capacity=4)
+        for item in ("a", "bb", "c"):
+            queue.offer(item)
+        removed = queue.remove(lambda item: len(item) == 2)
+        assert removed == ["bb"]
+        assert queue.depth() == 2
+        assert queue.take(0) == "a"
+
+
+class TestRetryAfter:
+    def test_estimate_scales_with_depth_and_duration(self):
+        queue = AdmissionQueue(capacity=10, workers=1)
+        for item in range(4):
+            queue.offer(item)
+        for _ in range(20):  # converge the EWMA near 10s
+            queue.note_duration(10.0)
+        assert queue.retry_after() >= 30  # ~4 jobs x ~10s / 1 worker
+
+    def test_estimate_divides_by_workers(self):
+        solo = AdmissionQueue(capacity=10, workers=1)
+        pool = AdmissionQueue(capacity=10, workers=4)
+        for queue in (solo, pool):
+            for item in range(8):
+                queue.offer(item)
+            for _ in range(20):
+                queue.note_duration(8.0)
+        assert pool.retry_after() < solo.retry_after()
+
+    def test_estimate_is_at_least_one_second(self):
+        queue = AdmissionQueue(capacity=2)
+        for _ in range(20):
+            queue.note_duration(0.001)
+        assert queue.retry_after() >= 1
+        assert queue.offer("a").accepted
+        assert queue.offer("b").accepted
+        assert queue.offer("c").retry_after >= 1

@@ -1,0 +1,138 @@
+"""Result cache: commit-point discipline, verification, LRU byte budget."""
+
+import json
+
+import pytest
+
+from repro.service.cache import ResultCache
+
+
+class TestRoundTrip:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        digest = cache.put("k1", b"artifact bytes")
+        assert cache.get("k1") == b"artifact bytes"
+        assert len(digest) == 64
+        assert cache.stats.hits == 1 and cache.stats.puts == 1
+
+    def test_absent_key_is_a_clean_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("nope") is None
+        assert cache.stats.misses == 1
+        assert cache.stats.corruptions == 0
+
+    def test_extra_meta_is_stored_verbatim(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k1", b"x", kind="grid", job_id="j000001")
+        meta = json.loads(cache.meta_path("k1").read_text())
+        assert meta["kind"] == "grid" and meta["job_id"] == "j000001"
+
+    def test_restart_inherits_entries(self, tmp_path):
+        ResultCache(tmp_path).put("k1", b"payload")
+        reopened = ResultCache(tmp_path)
+        assert reopened.get("k1") == b"payload"
+
+
+class TestCorruptionIsNeverServed:
+    def test_bit_flip_quarantined_and_missed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k1", b"payload-bytes")
+        blob = bytearray(cache.payload_path("k1").read_bytes())
+        blob[3] ^= 0x01
+        cache.payload_path("k1").write_bytes(bytes(blob))
+        assert cache.get("k1") is None
+        assert cache.stats.corruptions == 1
+        assert "integrity" in cache.stats.corrupt_reasons[0]
+        corrupt = sorted(p.name for p in tmp_path.glob("*.corrupt*"))
+        assert corrupt == ["k1.bin.corrupt", "k1.json.corrupt"]
+
+    def test_truncated_payload_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k1", b"a longer payload to truncate")
+        path = cache.payload_path("k1")
+        path.write_bytes(path.read_bytes()[:5])
+        assert cache.get("k1") is None
+        assert "torn write" in cache.stats.corrupt_reasons[0]
+
+    def test_missing_payload_with_meta_is_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k1", b"payload")
+        cache.payload_path("k1").unlink()
+        assert cache.get("k1") is None
+        assert cache.stats.corruptions == 1
+
+    def test_orphan_payload_without_meta_is_a_clean_miss(self, tmp_path):
+        # The meta file is the commit point: a crash between payload and
+        # meta writes leaves an orphan that must read as a miss.
+        cache = ResultCache(tmp_path)
+        cache.payload_path("k1").parent.mkdir(parents=True, exist_ok=True)
+        cache.payload_path("k1").write_bytes(b"uncommitted")
+        assert cache.get("k1") is None
+        assert cache.stats.corruptions == 0
+
+    def test_foreign_key_record_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k1", b"payload")
+        # Copy k1's files under another key: the embedded key must trip.
+        cache.payload_path("k2").write_bytes(
+            cache.payload_path("k1").read_bytes()
+        )
+        cache.meta_path("k2").write_text(cache.meta_path("k1").read_text())
+        assert cache.get("k2") is None
+        assert "key mismatch" in cache.stats.corrupt_reasons[0]
+
+    def test_recompute_after_quarantine_overwrites(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k1", b"good")
+        cache.payload_path("k1").write_bytes(b"evil")
+        assert cache.get("k1") is None
+        cache.put("k1", b"good")
+        assert cache.get("k1") == b"good"
+
+
+class TestLruByteBudget:
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, byte_budget=-1)
+
+    def test_oldest_evicted_beyond_budget(self, tmp_path):
+        cache = ResultCache(tmp_path, byte_budget=25)
+        cache.put("a", b"x" * 10)
+        cache.put("b", b"y" * 10)
+        cache.put("c", b"z" * 10)  # 30 bytes > 25: 'a' must go
+        assert cache.get("a") is None
+        assert cache.get("b") == b"y" * 10
+        assert cache.get("c") == b"z" * 10
+        assert cache.stats.evictions == 1
+        assert cache.total_bytes() == 20
+
+    def test_get_refreshes_recency(self, tmp_path):
+        cache = ResultCache(tmp_path, byte_budget=25)
+        cache.put("a", b"x" * 10)
+        cache.put("b", b"y" * 10)
+        assert cache.get("a") == b"x" * 10  # 'a' is now most-recent
+        cache.put("c", b"z" * 10)  # evicts 'b', not 'a'
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+
+    def test_just_written_entry_never_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path, byte_budget=5)
+        cache.put("big", b"n" * 50)  # alone over budget: still kept
+        assert cache.get("big") == b"n" * 50
+        cache.put("big2", b"m" * 50)  # now 'big' goes, 'big2' stays
+        assert cache.get("big") is None
+        assert cache.get("big2") == b"m" * 50
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for index in range(20):
+            cache.put(f"k{index}", bytes([index]) * 100)
+        assert cache.stats.evictions == 0
+        assert len(cache.keys()) == 20
+
+    def test_eviction_removes_files_on_disk(self, tmp_path):
+        cache = ResultCache(tmp_path, byte_budget=10)
+        cache.put("a", b"x" * 10)
+        cache.put("b", b"y" * 10)
+        assert not cache.payload_path("a").exists()
+        assert not cache.meta_path("a").exists()

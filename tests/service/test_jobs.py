@@ -1,0 +1,141 @@
+"""JobSpec validation, canonical argv, and cache-key identity."""
+
+import pytest
+
+from repro.service.jobs import (
+    JOB_KINDS,
+    PARAM_SPECS,
+    JobRecord,
+    JobSpec,
+    JobState,
+    job_cache_key,
+)
+
+
+class TestJobSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            JobSpec.from_request("shell", {})
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            JobSpec.from_request("sweep", {"figure": 7, "argv": ["rm"]})
+
+    def test_flag_injection_is_a_validation_error(self):
+        # A client must never be able to smuggle argv through a value.
+        with pytest.raises(ValueError, match="parameter 'scheme'"):
+            JobSpec.from_request("grid", {"scheme": "--evil"})
+
+    def test_type_errors_name_the_parameter(self):
+        with pytest.raises(ValueError, match="parameter 'trials'"):
+            JobSpec.from_request("sweep", {"trials": "ten"})
+        with pytest.raises(ValueError, match="parameter 'quick'"):
+            JobSpec.from_request("sweep", {"quick": 1})
+
+    def test_range_limits_enforced(self):
+        with pytest.raises(ValueError, match="must be <= 9"):
+            JobSpec.from_request("sweep", {"figure": 12})
+        with pytest.raises(ValueError, match="must be >= 1"):
+            JobSpec.from_request("grid", {"rows": 0})
+
+    def test_kill_spec_shape_enforced(self):
+        with pytest.raises(ValueError, match="row,col@cycle"):
+            JobSpec.from_request("grid", {"kill": ["1;1;40"]})
+
+    def test_every_kind_has_a_param_table(self):
+        assert set(PARAM_SPECS) == set(JOB_KINDS)
+
+
+class TestCanonicalArgv:
+    def test_fixed_parameter_order(self):
+        spec = JobSpec.from_request(
+            "grid", {"seed": 7, "rows": 4, "scheme": "tmr", "cols": 4}
+        )
+        assert spec.to_argv() == [
+            "grid", "--rows", "4", "--cols", "4", "--scheme", "tmr",
+            "--seed", "7",
+        ]
+
+    def test_true_boolean_lowers_to_bare_flag(self):
+        spec = JobSpec.from_request("sweep", {"figure": 7, "quick": True})
+        assert spec.to_argv() == ["sweep", "--figure", "7", "--quick"]
+
+    def test_false_boolean_is_elided(self):
+        explicit = JobSpec.from_request("sweep", {"figure": 7, "quick": False})
+        default = JobSpec.from_request("sweep", {"figure": 7})
+        assert explicit.to_argv() == default.to_argv()
+        assert explicit.cache_key == default.cache_key
+
+    def test_kill_flag_repeats_per_occurrence(self):
+        spec = JobSpec.from_request(
+            "grid", {"kill": ["1,1@40", "2,0@80"]}
+        )
+        assert spec.to_argv() == [
+            "grid", "--kill", "1,1@40", "--kill", "2,0@80",
+        ]
+
+    def test_list_flag_takes_all_values(self):
+        spec = JobSpec.from_request(
+            "chaos", {"rates": [0.0, 0.001], "rounds": [1, 3]}
+        )
+        assert spec.to_argv() == [
+            "chaos", "--rates", "0", "0.001", "--rounds", "1", "3",
+        ]
+
+
+class TestCacheKey:
+    def test_key_independent_of_request_key_order(self):
+        a = JobSpec.from_request("grid", {"rows": 4, "cols": 4, "seed": 9})
+        b = JobSpec.from_request("grid", {"seed": 9, "cols": 4, "rows": 4})
+        assert a.cache_key == b.cache_key
+
+    def test_key_differs_across_parameters(self):
+        a = JobSpec.from_request("grid", {"rows": 4, "cols": 4})
+        b = JobSpec.from_request("grid", {"rows": 4, "cols": 5})
+        assert a.cache_key != b.cache_key
+
+    def test_key_differs_across_kinds(self):
+        a = JobSpec.from_request("grid", {"seed": 7})
+        b = JobSpec.from_request("chaos", {"seed": 7})
+        assert a.cache_key != b.cache_key
+
+    def test_key_is_a_16_hex_config_hash(self):
+        key = job_cache_key(JobSpec.from_request("sweep", {"figure": 7}))
+        assert len(key) == 16
+        int(key, 16)  # hex
+
+
+class TestRoundTrips:
+    def test_spec_json_round_trip(self):
+        spec = JobSpec.from_request(
+            "lifecycle",
+            {"processes": ["transient", "permanent"], "rate": 0.002},
+        )
+        again = JobSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.cache_key == spec.cache_key
+
+    def test_record_json_round_trip(self):
+        record = JobRecord(
+            id="j000007",
+            spec=JobSpec.from_request("grid", {"rows": 4}),
+            cache_key="abc",
+            state=JobState.PARTIAL,
+            attempts=2,
+            incomplete=True,
+            requeues=1,
+            stderr_tail="note",
+        )
+        again = JobRecord.from_json(record.to_json())
+        assert again.id == record.id
+        assert again.state == JobState.PARTIAL
+        assert again.spec == record.spec
+        assert again.incomplete and again.requeues == 1
+
+    def test_terminal_and_resumable_partition_states(self):
+        lifecycle = {
+            JobState.QUEUED, JobState.RUNNING, JobState.DONE,
+            JobState.PARTIAL, JobState.FAILED, JobState.CANCELLED,
+        }
+        assert set(JobState.TERMINAL) | set(JobState.RESUMABLE) == lifecycle
+        assert not set(JobState.TERMINAL) & set(JobState.RESUMABLE)

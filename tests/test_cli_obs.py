@@ -163,6 +163,24 @@ class TestBenchCompareCLI:
              str(tmp_path / "curr")]
         ) == 1
 
+    def test_require_complete_fails_on_skipped_benchmark(
+        self, tmp_path, capsys
+    ):
+        import copy
+
+        artifact = canned_artifact()
+        extra = copy.deepcopy(artifact)
+        extra["name"] = artifact["name"] + "_extra"
+        self.write(tmp_path / "base", artifact)
+        self.write(tmp_path / "base", extra)
+        self.write(tmp_path / "curr", artifact)
+        argv = ["bench", "compare", str(tmp_path / "base"),
+                str(tmp_path / "curr")]
+        assert main(argv) == 0  # advisory warning only
+        capsys.readouterr()
+        assert main(argv + ["--require-complete"]) == 1
+        assert "in baseline but not in current run" in capsys.readouterr().err
+
 
 class TestBenchRunCLI:
     def test_no_matching_benchmark_fails(self, tmp_path):
