@@ -8,8 +8,10 @@ without periodic scrubbing, tracking accuracy and surviving cells over
 the sequence.
 """
 
-from benchmarks.conftest import scaled
+from benchmarks.conftest import SMOKE, scaled
+from repro.experiments.fleet import run_fleet_soak
 from repro.faults.mask import ExactFractionMask
+from repro.faults.temporal import TemporalFaultProcess
 from repro.grid.simulator import GridSimulator
 from repro.workloads.bitmap import gradient
 from repro.workloads.imaging import hue_shift, reverse_video
@@ -62,3 +64,64 @@ def test_bench_soak_sequence(benchmark):
     # the cost of the paper's choice to triplicate only critical fields).
     assert min(plain[0]) >= 0.75
     assert min(scrubbed[0]) >= 0.75
+
+
+# -- Fleet soak: rolling quarantine/re-admission wave at 10^5-10^6 ----
+#
+# The event-driven engine's worst realistic case is not an idle fleet
+# but one under continuous lifecycle churn: a rolling wave sweeps the
+# columns, overwhelming one column's heartbeats every WAVE_PERIOD
+# cycles; the watchdog quarantines them and canary probe rounds
+# re-admit them.  The fleet is sharded into column-band regions fanned
+# out over a process pool (the executor's chunk-merge convention), and
+# the fold is deterministic for any worker count.
+
+#: 10^6 cells full; ~10^5 cells under REPRO_BENCH_SMOKE=1.
+FLEET_SHAPE = scaled((1000, 1000), (316, 316))
+FLEET_REGIONS = scaled(8, 4)
+FLEET_JOBS = scaled(4, 2)
+FLEET_TICKS = scaled(200, 100)
+WAVE_PERIOD = 25
+FLEET_PROCESS = TemporalFaultProcess.transient(1e-6, errors_per_cycle=3)
+
+
+def run_fleet_wave():
+    rows, cols = FLEET_SHAPE
+    return run_fleet_soak(
+        rows,
+        cols,
+        ticks=FLEET_TICKS,
+        regions=FLEET_REGIONS,
+        jobs=FLEET_JOBS,
+        seed=2004,
+        process=FLEET_PROCESS,
+        wave_period=WAVE_PERIOD,
+        error_threshold=3,
+        probe_interval=50,
+    )
+
+
+def test_bench_fleet_wave_soak(benchmark):
+    report = benchmark.pedantic(run_fleet_wave, rounds=1, iterations=1)
+    rows, cols = FLEET_SHAPE
+    print()
+    print(f"  fleet {rows}x{cols} ({report.cells} cells), "
+          f"{report.regions} regions, {report.cycles} cycles")
+    print(f"  quarantines {report.quarantines}, "
+          f"readmissions {report.readmissions}, "
+          f"retired {report.retired}, "
+          f"fault events {report.fault_events}")
+    print(f"  availability {report.availability:.4f}")
+
+    # The whole fleet soaked: every region ran every cycle.
+    assert report.cells == rows * cols
+    assert report.cycles == FLEET_TICKS
+    # The wave actually churned the lifecycle: every sweep quarantined
+    # a full column per region, and probing won those cells back.
+    waves = FLEET_TICKS // WAVE_PERIOD
+    assert report.quarantines >= waves * rows
+    assert report.readmissions > 0
+    # Churn is bounded: the fleet stays overwhelmingly available.
+    assert report.availability > 0.9
+    if not SMOKE:
+        assert report.cells == 10**6

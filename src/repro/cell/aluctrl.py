@@ -129,6 +129,18 @@ class ALUControl:
         """Return the scan pointer to word zero."""
         self._pointer = 0
 
+    def sync_pointer(self, value: int) -> None:
+        """Set the scan pointer directly (sparse-engine catch-up).
+
+        The sparse grid engine skips the per-tick SKIPPED scans of idle
+        cells; when such a cell acquires work mid-phase the engine fast
+        forwards the pointer to where the dense per-tick loop would have
+        left it.
+        """
+        if not 0 <= value < self._memory.n_words:
+            raise ValueError(f"pointer {value} out of range")
+        self._pointer = value
+
     def step(self) -> StepReport:
         """Examine one memory word; compute it if valid and pending.
 

@@ -192,6 +192,16 @@ class ProcessorCell:
                 return (iid, voted)
         return None
 
+    def fast_forward_shift_out(self) -> None:
+        """Mark the shift-out scan exhausted (sparse-engine catch-up).
+
+        Equivalent to the ``pop_result`` calls an empty cell would have
+        absorbed: the first call races the pointer to ``n_words`` and
+        every later one returns immediately, so a cell with no completed
+        words ends any shift-out span with the pointer pinned here.
+        """
+        self._shift_out_pointer = self.memory.n_words
+
     # --------------------------------------------------------------- probing
 
     def probe(self, canaries) -> bool:

@@ -45,6 +45,10 @@ class Heartbeat:
         self._score = 0.0
         self._beats = 0
         self._forced_silent = False
+        #: Optional observer called after any state-changing method with
+        #: this heartbeat as argument.  Used by the sparse grid engine to
+        #: maintain its alive-mask and attention sets; None costs nothing.
+        self.watcher = None
 
     @property
     def error_threshold(self) -> int:
@@ -90,10 +94,14 @@ class Heartbeat:
             raise ValueError(f"count must be non-negative, got {count}")
         self._errors += count
         self._score += count
+        if self.watcher is not None:
+            self.watcher(self)
 
     def silence(self) -> None:
         """Force the heartbeat off (models a hard cell failure)."""
         self._forced_silent = True
+        if self.watcher is not None:
+            self.watcher(self)
 
     def revive(self) -> None:
         """Restart a silenced heartbeat with a clean score.
@@ -104,6 +112,8 @@ class Heartbeat:
         """
         self._forced_silent = False
         self._score = 0.0
+        if self.watcher is not None:
+            self.watcher(self)
 
     def beat(self) -> bool:
         """Emit (or withhold) one cycle's heartbeat.
@@ -117,7 +127,35 @@ class Heartbeat:
         """
         if self._decay:
             self._score = max(0.0, self._score - self._decay)
+            if self.watcher is not None:
+                self.watcher(self)
         if not self.healthy:
             return False
         self._beats += 1
         return True
+
+    def quiescent(self) -> bool:
+        """True when ``beat()`` is a pure counter increment.
+
+        A healthy heartbeat with nothing to leak (zero decay or zero
+        score) neither changes state nor can go silent on a beat, so N
+        such beats are exactly a +N on ``beats_emitted``.  The sparse
+        engine uses this predicate to decide which cells may be
+        bulk-credited via :meth:`credit_beats`.
+        """
+        return self.healthy and (self._decay == 0.0 or self._score == 0.0)
+
+    def credit_beats(self, count: int) -> None:
+        """Credit ``count`` skipped-but-owed beats at once.
+
+        Exactly equivalent to ``count`` successive :meth:`beat` calls
+        made *while the heartbeat was quiescent*: each such call would
+        have leaked nothing and emitted one beat.  The caller (the sparse
+        engine) guarantees the skipped polls all happened during
+        quiescent spans; the heartbeat's *current* state may already have
+        moved on (e.g. an error landed this very cycle), which is why
+        this does not re-check :meth:`quiescent`.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self._beats += count

@@ -31,6 +31,10 @@ class CellMemory:
         self._segments = [
             self._space.add(f"word{i}", MEMORY_WORD_BITS) for i in range(n_words)
         ]
+        #: Optional observer called (with no arguments) after any write.
+        #: The sparse grid engine hooks this to dirty-flag the owning
+        #: cell's occupancy/pending counters; None costs nothing.
+        self.on_mutate = None
 
     @property
     def n_words(self) -> int:
@@ -58,6 +62,8 @@ class CellMemory:
         if raw < 0 or raw >> MEMORY_WORD_BITS:
             raise ValueError(f"raw word {raw:#x} exceeds {MEMORY_WORD_BITS} bits")
         self._words[index] = raw
+        if self.on_mutate is not None:
+            self.on_mutate()
 
     def _check_index(self, index: int) -> None:
         if not 0 <= index < self._n_words:
@@ -76,11 +82,15 @@ class CellMemory:
     def clear(self) -> None:
         """Zero the whole memory (all words invalid)."""
         self._words = [0] * self._n_words
+        if self.on_mutate is not None:
+            self.on_mutate()
 
     def erase(self, index: int) -> None:
         """Zero a single word (data_valid becomes false)."""
         self._check_index(index)
         self._words[index] = 0
+        if self.on_mutate is not None:
+            self.on_mutate()
 
     # --------------------------------------------------------- bulk queries
 
@@ -140,6 +150,8 @@ class CellMemory:
             if canonical != raw:
                 corrected += popcount(canonical ^ raw)
                 self._words[index] = canonical
+        if corrected and self.on_mutate is not None:
+            self.on_mutate()
         return corrected
 
     # -------------------------------------------------------------- faults
@@ -162,6 +174,8 @@ class CellMemory:
             local = segment.extract(fault_mask)
             if local:
                 self._words[i] = (self._words[i] ^ local) & word_mask
+        if self.on_mutate is not None:
+            self.on_mutate()
 
     def __len__(self) -> int:
         return self._n_words

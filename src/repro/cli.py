@@ -303,6 +303,29 @@ def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_grid_engine_arg(parser: argparse.ArgumentParser) -> None:
+    """Attach the fabric-tier flag shared by the grid-simulation commands.
+
+    The default comes from the ``REPRO_GRID_ENGINE`` environment variable
+    (unset means dense); an explicit flag wins.  Both engines are
+    bit-identical -- the choice only affects speed.
+    """
+    import os
+
+    from repro.grid.simulator import GRID_ENGINES
+
+    default = os.environ.get("REPRO_GRID_ENGINE", "dense")
+    if default not in GRID_ENGINES:
+        default = "dense"
+    parser.add_argument(
+        "--grid-engine", choices=GRID_ENGINES, default=default,
+        help="fabric tier: dense (per-cell work every cycle), sparse "
+             "(event-driven core for large, mostly quiescent fleets; "
+             "falls back with a warning when unsupported), or auto "
+             "(sparse when supported); default honours $REPRO_GRID_ENGINE",
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.figures import PAPER_FAULT_PERCENTAGES, run_figure
 
@@ -455,6 +478,7 @@ def _grid_run(args: argparse.Namespace) -> int:
         adaptive_routing=args.adaptive,
         seed=args.seed,
         backend=args.backend,
+        grid_engine=args.grid_engine,
     )
     image = bitmaps.gradient(args.image_size, args.image_size)
     outcome = sim.run_image_job(image, workload, max_rounds=args.rounds)
@@ -561,6 +585,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             n_instructions=args.instructions,
             seed=args.seed,
             backend=args.backend,
+            grid_engine=args.grid_engine,
         )
     else:
         from repro.experiments.chaos_fabric import chaos_sweep_resilient
@@ -576,6 +601,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             n_instructions=args.instructions,
             seed=args.seed,
             backend=args.backend,
+            grid_engine=args.grid_engine,
         )
         _emit_resilience_note(outcome)
         points = [p for p in outcome.results if p is not None]
@@ -633,6 +659,7 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
             cols=args.cols,
             seed=args.seed,
             backend=args.backend,
+            grid_engine=args.grid_engine,
         )
     else:
         from repro.experiments.lifecycle import lifecycle_sweep_resilient
@@ -647,6 +674,7 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
             cols=args.cols,
             seed=args.seed,
             backend=args.backend,
+            grid_engine=args.grid_engine,
         )
         _emit_resilience_note(outcome)
         points = [p for p in outcome.results if p is not None]
@@ -935,6 +963,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_observability_args(grid)
     _add_resilience_args(grid)
     _add_backend_arg(grid)
+    _add_grid_engine_arg(grid)
     grid.set_defaults(fn=_cmd_grid)
 
     yld = sub.add_parser("yield", help="manufacturing-yield table")
@@ -975,6 +1004,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_observability_args(chaos)
     _add_resilience_args(chaos)
     _add_backend_arg(chaos)
+    _add_grid_engine_arg(chaos)
     chaos.set_defaults(fn=_cmd_chaos)
 
     chaos_exec = sub.add_parser(
@@ -1089,6 +1119,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_observability_args(lifecycle)
     _add_resilience_args(lifecycle)
     _add_backend_arg(lifecycle)
+    _add_grid_engine_arg(lifecycle)
     lifecycle.set_defaults(fn=_cmd_lifecycle)
 
     bench = sub.add_parser(

@@ -136,6 +136,7 @@ def run_lifecycle_point(
     max_rounds: int = 3,
     seed: int = 2004,
     backend: Optional[str] = None,
+    grid_engine: str = "dense",
 ) -> LifecyclePoint:
     """Run a job series through one fabric under one policy; measure it.
 
@@ -164,12 +165,13 @@ def run_lifecycle_point(
         n_words=n_words,
         seed=seed,
         backend=backend,
+        grid_engine=grid_engine,
     )
     total_cells = rows * cols
     alive_cell_cycles = [0, 0]
 
     def sample_availability() -> None:
-        alive_cell_cycles[0] += len(sim.grid.alive_cells())
+        alive_cell_cycles[0] += sim.grid.alive_count()
         alive_cell_cycles[1] += total_cells
 
     sim.control.add_tick_hook(sample_availability)
@@ -254,6 +256,7 @@ def lifecycle_sweep(
     max_rounds: int = 3,
     seed: int = 2004,
     backend: Optional[str] = None,
+    grid_engine: str = "dense",
 ) -> List[LifecyclePoint]:
     """Sweep fault processes x lifecycle policies."""
     if processes is None:
@@ -276,6 +279,7 @@ def lifecycle_sweep(
                     max_rounds=max_rounds,
                     seed=seed,
                     backend=backend,
+                    grid_engine=grid_engine,
                 )
             )
     return points
@@ -309,6 +313,7 @@ def lifecycle_sweep_resilient(
     max_rounds: int = 3,
     seed: int = 2004,
     backend: Optional[str] = None,
+    grid_engine: str = "dense",
 ):
     """:func:`lifecycle_sweep` under the crash-safe campaign runtime.
 
@@ -366,6 +371,7 @@ def lifecycle_sweep_resilient(
                 max_rounds=max_rounds,
                 seed=seed,
                 backend=backend,
+                grid_engine=grid_engine,
             )
             for process_index, policy_index in chunk
         ]

@@ -1,0 +1,167 @@
+"""Pre-drawn event tapes for temporal fault streams.
+
+The sparse grid engine must know *when* a quiescent cell's fault stream
+will next do something without ticking the cell every cycle.  The dense
+path (:class:`repro.faults.temporal.CellFaultStream`) draws exactly one
+uniform per alive, non-burst cycle; the sequence of outcomes is a pure
+function of that uniform stream plus the burst/death state, so the draws
+can be buffered in chunks and scanned in bulk: ``Generator.random(n)``
+produces the identical stream to ``n`` scalar ``random()`` calls.
+
+:class:`FaultTape` is a drop-in replacement for ``CellFaultStream`` --
+``sample()`` is cycle-for-cycle identical -- that adds
+``advance_quiet(max_cycles)``: consume up to ``max_cycles`` alive cycles
+at once, vectorised, stopping at (and consuming) the first non-quiet
+event.  The differential suite in ``tests/faults/test_schedule.py`` pins
+the equivalence under arbitrary interleavings of the two APIs.
+
+Aliveness is the *caller's* contract, exactly as on the dense path: the
+simulator never samples a dead cell, so the engine must only advance a
+tape over cycles the cell was alive.  Stream-level death (a permanent
+onset) is tracked internally and consumes no further draws.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .temporal import (
+    _TEMPORAL_SALT,
+    CellFaultEvent,
+    FaultKind,
+    TemporalFaultProcess,
+)
+
+#: Uniform draws buffered per refill.  Any value yields the identical
+#: stream (chunked ``random(n)`` equals ``n`` scalar draws); this is
+#: purely an amortisation knob.
+_DEFAULT_CHUNK = 512
+
+
+class FaultTape:
+    """Chunk-buffered sampler of a :class:`TemporalFaultProcess`.
+
+    Replays the exact draw sequence of ``CellFaultStream`` while
+    supporting O(chunk-scan) bulk advancement over quiet spans.
+    """
+
+    _QUIET = CellFaultEvent()
+
+    def __init__(
+        self,
+        process: TemporalFaultProcess,
+        rng: np.random.Generator,
+        chunk: int = _DEFAULT_CHUNK,
+    ) -> None:
+        if chunk < 1:
+            raise ValueError(f"chunk must be positive, got {chunk}")
+        self._process = process
+        self._rng = rng
+        self._chunk = chunk
+        self._buffer = np.empty(0, dtype=np.float64)
+        self._pos = 0
+        self._burst_remaining = 0
+        self._dead = False
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def dead(self) -> bool:
+        """True once a permanent onset fired (no further draws happen)."""
+        return self._dead
+
+    @property
+    def in_burst(self) -> bool:
+        """True while an intermittent burst has cycles left to emit."""
+        return self._burst_remaining > 0
+
+    # -------------------------------------------------------------- sampling
+
+    def _next_uniform(self) -> float:
+        if self._pos >= len(self._buffer):
+            self._buffer = self._rng.random(self._chunk)
+            self._pos = 0
+        value = self._buffer[self._pos]
+        self._pos += 1
+        return value
+
+    def _onset_event(self) -> CellFaultEvent:
+        process = self._process
+        if process.kind is FaultKind.PERMANENT:
+            self._dead = True
+            return CellFaultEvent(kill=True)
+        if process.kind is FaultKind.INTERMITTENT:
+            self._burst_remaining = process.burst_length - 1
+        return CellFaultEvent(errors=process.errors_per_cycle)
+
+    def sample(self) -> CellFaultEvent:
+        """Draw one cycle's event; identical to ``CellFaultStream.sample``."""
+        if self._dead:
+            return self._QUIET
+        if self._burst_remaining > 0:
+            self._burst_remaining -= 1
+            return CellFaultEvent(errors=self._process.errors_per_cycle)
+        if self._next_uniform() >= self._process.rate:
+            return self._QUIET
+        return self._onset_event()
+
+    def advance_quiet(
+        self, max_cycles: int
+    ) -> Tuple[int, Optional[CellFaultEvent]]:
+        """Consume up to ``max_cycles`` alive cycles in bulk.
+
+        Returns ``(quiet_cycles, event)``: the stream was quiet for
+        ``quiet_cycles`` cycles and then -- if ``event`` is not ``None``
+        -- produced ``event`` on the following cycle (also consumed, so
+        ``quiet_cycles + 1`` cycles total elapsed).  ``event is None``
+        means all ``max_cycles`` cycles were quiet.
+
+        Equivalent to calling :meth:`sample` up to ``max_cycles`` times
+        and stopping at the first non-quiet result.
+        """
+        if max_cycles < 0:
+            raise ValueError(f"max_cycles must be >= 0, got {max_cycles}")
+        if self._dead:
+            return max_cycles, None
+        if max_cycles == 0:
+            return 0, None
+        if self._burst_remaining > 0:
+            self._burst_remaining -= 1
+            return 0, CellFaultEvent(errors=self._process.errors_per_cycle)
+        rate = self._process.rate
+        quiet = 0
+        remaining = max_cycles
+        while remaining > 0:
+            if self._pos >= len(self._buffer):
+                self._buffer = self._rng.random(self._chunk)
+                self._pos = 0
+            window = self._buffer[self._pos : self._pos + remaining]
+            hits = np.nonzero(window < rate)[0]
+            if hits.size:
+                offset = int(hits[0])
+                self._pos += offset + 1
+                return quiet + offset, self._onset_event()
+            quiet += len(window)
+            remaining -= len(window)
+            self._pos += len(window)
+        return quiet, None
+
+
+def attach_tape(
+    process: TemporalFaultProcess,
+    coord: Tuple[int, int],
+    seed: int,
+    chunk: int = _DEFAULT_CHUNK,
+) -> FaultTape:
+    """Build the tape twin of ``process.attach(coord, seed)``.
+
+    Seeded identically (``SeedSequence([seed, salt, row, col])``), so a
+    tape and a ``CellFaultStream`` for the same cell emit the same event
+    sequence.
+    """
+    rng = np.random.default_rng(
+        np.random.SeedSequence([seed, _TEMPORAL_SALT, coord[0], coord[1]])
+    )
+    return FaultTape(process, rng, chunk=chunk)

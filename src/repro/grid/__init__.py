@@ -29,6 +29,7 @@ from repro.grid.watchdog import (
     SalvageReport,
     Watchdog,
 )
+from repro.grid.engine import GridState, SparseGrid, TemporalScheduler
 from repro.grid.control import ControlProcessor, DeliveryStats, JobResult
 from repro.grid.simulator import GridSimulator, SimulationStats
 
@@ -42,6 +43,7 @@ __all__ = [
     "FLITS_PER_INSTRUCTION",
     "FLITS_PER_RESULT",
     "GridSimulator",
+    "GridState",
     "InstructionPacket",
     "JobResult",
     "LifecyclePolicy",
@@ -53,5 +55,7 @@ __all__ = [
     "ResultPacket",
     "SalvageReport",
     "SimulationStats",
+    "SparseGrid",
+    "TemporalScheduler",
     "Watchdog",
 ]

@@ -190,6 +190,18 @@ class ControlProcessor:
         if self._watchdog is not None:
             self._watchdog.poll()
 
+    def tick(self, cycles: int = 1) -> None:
+        """Advance the fabric ``cycles`` cycles with no new packet traffic.
+
+        The same hooks -> step -> watchdog-poll loop every job phase
+        runs, without shifting anything in or out.  Soak harnesses use
+        this to age an idle fleet under fault injection.
+        """
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        for _ in range(cycles):
+            self._tick()
+
     # ----------------------------------------------------------- assignment
 
     def capacity(self) -> int:
@@ -200,8 +212,7 @@ class ControlProcessor:
         nothing (their heartbeats are silent, so they are not alive).
         """
         return sum(
-            self._grid.cell(*coord).memory.n_words
-            - self._grid.cell(*coord).memory.occupancy()
+            self._grid.free_capacity(coord)
             for coord in self._grid.alive_cells()
             if self._grid.reachable(*coord)
         )
@@ -220,9 +231,7 @@ class ControlProcessor:
             if self._grid.reachable(*coord)
         ]
         capacity = {
-            coord: self._grid.cell(*coord).memory.n_words
-            - self._grid.cell(*coord).memory.occupancy()
-            for coord in targets
+            coord: self._grid.free_capacity(coord) for coord in targets
         }
         placement: Dict[int, Coord] = {}
         unassigned: List[int] = []

@@ -153,48 +153,57 @@ class NanoBoxGrid:
         self.cols = cols
         self.adaptive_routing = adaptive_routing
         self._hop_budget = default_hop_budget(rows, cols)
+        # Construction parameters kept for deferred (lazy) materialisation
+        # by the sparse engine subclass.
+        self._alu_factory = alu_factory
+        self._mask_source_factory = mask_source_factory
+        self._n_words = n_words
+        self._error_threshold = error_threshold
+        self._heartbeat_decay = heartbeat_decay
+        self._lut_router_scheme = lut_router_scheme
+        self._router_mask_source_factory = router_mask_source_factory
         self._lut_routers: Dict[Coord, object] = {}
         self._router_mask_sources: Dict[Coord, MaskSource] = {}
         self.misroutes = 0
         self.invalid_routes = 0
-        if lut_router_scheme is not None:
-            from repro.cell.lutrouter import LUTRouter
-
-            for r in range(rows):
-                for c in range(cols):
-                    self._lut_routers[(r, c)] = LUTRouter(lut_router_scheme)
-                    self._router_mask_sources[(r, c)] = (
-                        router_mask_source_factory((r, c))
-                        if router_mask_source_factory
-                        else _no_faults
-                    )
         self._cells: Dict[Coord, ProcessorCell] = {}
-        for r in range(rows):
-            for c in range(cols):
-                source = (
-                    mask_source_factory((r, c)) if mask_source_factory else _no_faults
-                )
-                self._cells[(r, c)] = ProcessorCell(
-                    r,
-                    c,
-                    alu_factory(),
-                    mask_source=source,
-                    n_words=n_words,
-                    error_threshold=error_threshold,
-                    heartbeat_decay=heartbeat_decay,
-                )
-
         # Directed buses between neighbours plus per-column edge buses.
         # When link fault injection or CRC framing is configured, links
         # are built as FaultyBus / overhead-carrying Bus instances.
         self.crc_enabled = crc_enabled
         self._link_fault_config = link_fault_config
         self._link_fault_seed = link_fault_seed
-        self._link_index = 0
         self.corrupt_rejects = 0
         self.cp_corrupt_rejects = 0
         self.link_dropped = 0
         self._buses: Dict[Tuple[Coord, Coord], Bus] = {}
+        # Per-cell per-direction outbound queues of in-flight envelopes;
+        # forwarded traffic is queued ahead of locally generated traffic
+        # (paper Section 3.2.3).
+        self._outboxes: Dict[Coord, Dict[Direction, Deque[Envelope]]] = {}
+        self._inboxes: Dict[Coord, Deque[Envelope]] = {}
+        self.cp_inbox: Deque[ResultPacket] = deque()
+        self.dropped_packets: List[Packet] = []
+        self._mode = CellMode.SHIFT_IN
+        self._cycle = 0
+        self._build_fabric()
+
+    def _build_fabric(self) -> None:
+        """Materialise every cell, link, and queue eagerly (dense path).
+
+        The sparse engine overrides this with lazy construction; both
+        paths produce identical components for identical coordinates
+        because per-cell and per-link PRNG streams are keyed by
+        coordinate / link index, never by construction order.
+        """
+        rows, cols = self.rows, self.cols
+        if self._lut_router_scheme is not None:
+            for r in range(rows):
+                for c in range(cols):
+                    self._materialise_router((r, c))
+        for r in range(rows):
+            for c in range(cols):
+                self._cells[(r, c)] = self._make_cell((r, c))
         for r in range(rows):
             for c in range(cols):
                 for direction in (Direction.UP, Direction.DOWN,
@@ -209,27 +218,87 @@ class NanoBoxGrid:
             for key in ((CONTROL_PROCESSOR, (top, c)),
                         ((top, c), CONTROL_PROCESSOR)):
                 self._buses[key] = self._make_bus(*key)
+        self._outboxes.update(
+            (coord, self._make_outbox()) for coord in self._cells
+        )
+        self._inboxes.update((coord, deque()) for coord in self._cells)
 
-        # Per-cell per-direction outbound queues of in-flight envelopes;
-        # forwarded traffic is queued ahead of locally generated traffic
-        # (paper Section 3.2.3).
-        self._outboxes: Dict[Coord, Dict[Direction, Deque[Envelope]]] = {
-            coord: {
-                d: deque()
-                for d in (Direction.UP, Direction.DOWN,
-                          Direction.LEFT, Direction.RIGHT)
-            }
-            for coord in self._cells
+    # ----------------------------------------------------- component factories
+
+    def _make_cell(self, coord: Coord) -> ProcessorCell:
+        """Build one processor cell exactly as the eager loop would."""
+        source = (
+            self._mask_source_factory(coord)
+            if self._mask_source_factory
+            else _no_faults
+        )
+        return ProcessorCell(
+            coord[0],
+            coord[1],
+            self._alu_factory(),
+            mask_source=source,
+            n_words=self._n_words,
+            error_threshold=self._error_threshold,
+            heartbeat_decay=self._heartbeat_decay,
+        )
+
+    def _materialise_router(self, coord: Coord) -> None:
+        from repro.cell.lutrouter import LUTRouter
+
+        self._lut_routers[coord] = LUTRouter(self._lut_router_scheme)
+        self._router_mask_sources[coord] = (
+            self._router_mask_source_factory(coord)
+            if self._router_mask_source_factory
+            else _no_faults
+        )
+
+    @staticmethod
+    def _make_outbox() -> Dict[Direction, Deque[Envelope]]:
+        return {
+            d: deque()
+            for d in (Direction.UP, Direction.DOWN,
+                      Direction.LEFT, Direction.RIGHT)
         }
-        self._inboxes: Dict[Coord, Deque[Envelope]] = {
-            coord: deque() for coord in self._cells
-        }
-        self.cp_inbox: Deque[ResultPacket] = deque()
-        self.dropped_packets: List[Packet] = []
-        self._mode = CellMode.SHIFT_IN
-        self._cycle = 0
 
     # ---------------------------------------------------------------- links
+
+    def _link_stream_index(self, src, dst) -> int:
+        """Deterministic PRNG-stream index of a directed link.
+
+        Closed-form equivalent of the historical running counter over the
+        eager construction order (mesh links row-major by source cell in
+        UP, DOWN, LEFT, RIGHT order; then the per-column CP edge pairs),
+        so lazily built links draw from the same per-link streams as the
+        dense fabric.  Pinned against the enumeration order by
+        ``tests/grid/test_grid.py``.
+        """
+        rows, cols = self.rows, self.cols
+        mesh_total = 2 * (rows * (cols - 1) + cols * (rows - 1))
+        if src == CONTROL_PROCESSOR:
+            return mesh_total + 2 * dst[1]
+        if dst == CONTROL_PROCESSOR:
+            return mesh_total + 2 * src[1] + 1
+        (r, c), (nr, nc) = src, dst
+        # Links enumerated before source cell (r, c): full rows above,
+        # then earlier cells in this row.
+        vdeg = (1 if r < rows - 1 else 0) + (1 if r > 0 else 0)
+        vpfx = min(r, rows - 1) + max(0, r - 1)
+        hpfx = min(c, cols - 1) + max(0, c - 1)
+        before = cols * vpfx + r * 2 * (cols - 1) + c * vdeg + hpfx
+        # Offset within (r, c)'s UP, DOWN, LEFT, RIGHT in-bounds sequence.
+        if nr == r + 1:
+            offset = 0
+        elif nr == r - 1:
+            offset = 1 if r < rows - 1 else 0
+        elif nc == c + 1:
+            offset = (1 if r < rows - 1 else 0) + (1 if r > 0 else 0)
+        else:
+            offset = (
+                (1 if r < rows - 1 else 0)
+                + (1 if r > 0 else 0)
+                + (1 if c < cols - 1 else 0)
+            )
+        return before + offset
 
     def _make_bus(self, src, dst) -> Bus:
         """Build one directed link, faulty when its config says so."""
@@ -242,8 +311,7 @@ class NanoBoxGrid:
         config = self._link_fault_config
         if callable(config):
             config = config(src, dst)
-        index = self._link_index
-        self._link_index += 1
+        index = self._link_stream_index(src, dst)
         if config is None or not config.any_faults:
             return Bus(name, flit_overhead=overhead)
         rng = np.random.default_rng(
@@ -276,9 +344,45 @@ class NanoBoxGrid:
         """All cells, row-major."""
         return iter(self._cells.values())
 
+    def all_coords(self) -> Iterator[Coord]:
+        """Every cell coordinate, row-major, without materialising cells."""
+        return ((r, c) for r in range(self.rows) for c in range(self.cols))
+
+    def _cell_alive(self, coord: Coord) -> bool:
+        """Liveness predicate; the sparse engine answers from its mask."""
+        return self._cells[coord].alive
+
     def alive_cells(self) -> List[Coord]:
         """Coordinates of all cells whose heartbeat is healthy."""
         return [coord for coord, cell in self._cells.items() if cell.alive]
+
+    def alive_count(self) -> int:
+        """Number of alive cells (the sparse engine answers from its mask)."""
+        return len(self.alive_cells())
+
+    def on_cell_disabled(self, coord: Coord) -> None:
+        """Watchdog hook: ``coord`` was quarantined/retired (no-op here)."""
+
+    def on_cell_enabled(self, coord: Coord) -> None:
+        """Watchdog hook: ``coord`` was re-admitted to service (no-op here)."""
+
+    def poll_candidates(self) -> Iterator[ProcessorCell]:
+        """Cells the watchdog must actually sample this poll.
+
+        Dense: everyone.  The sparse engine narrows this to cells whose
+        heartbeat could change state or miss a beat (non-quiescent),
+        bulk-crediting the skipped quiescent beats instead.
+        """
+        return self.cells()
+
+    def free_capacity(self, coord: Coord) -> int:
+        """Free memory words at one cell (lazy-friendly accessor)."""
+        cell = self._cells.get(coord)
+        if cell is None:
+            raise IndexError(
+                f"no cell at {coord} in a {self.rows}x{self.cols} grid"
+            )
+        return cell.memory.n_words - cell.memory.occupancy()
 
     def neighbours(self, row: int, col: int) -> Dict[Direction, Coord]:
         """In-grid neighbours of a cell, keyed by outgoing direction."""
@@ -300,17 +404,21 @@ class NanoBoxGrid:
         is reachable iff some path of alive cells connects it to an alive
         top-row cell.
         """
-        if not self.cell(row, col).alive:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise IndexError(
+                f"no cell at ({row}, {col}) in a {self.rows}x{self.cols} grid"
+            )
+        if not self._cell_alive((row, col)):
             return False
         if not self.adaptive_routing:
             return all(
-                self._cells[(r, col)].alive for r in range(row + 1, self.rows)
+                self._cell_alive((r, col)) for r in range(row + 1, self.rows)
             )
         # BFS over alive cells from every alive top-row entry point.
         frontier = [
             (self.top_row, c)
             for c in range(self.cols)
-            if self._cells[(self.top_row, c)].alive
+            if self._cell_alive((self.top_row, c))
         ]
         seen = set(frontier)
         while frontier:
@@ -318,7 +426,7 @@ class NanoBoxGrid:
             if current == (row, col):
                 return True
             for neighbour in self.neighbours(*current).values():
-                if neighbour not in seen and self._cells[neighbour].alive:
+                if neighbour not in seen and self._cell_alive(neighbour):
                     seen.add(neighbour)
                     frontier.append(neighbour)
         return (row, col) in seen
@@ -356,7 +464,7 @@ class NanoBoxGrid:
             return dest_col
         alive = [
             c for c in range(self.cols)
-            if self._cells[(self.top_row, c)].alive
+            if self._cell_alive((self.top_row, c))
         ]
         if not alive:
             return None
@@ -402,35 +510,38 @@ class NanoBoxGrid:
     def _tick_buses(self) -> None:
         for (_, dst), bus in self._buses.items():
             delivered = bus.tick()
-            if delivered is None:
-                continue
-            if isinstance(delivered, FaultEvent):
-                self.dropped_packets.append(delivered.envelope.packet)
-                if not delivered.detected:
-                    # Lost in flight: invisible to the receiver, only the
-                    # control processor's delivery timeout recovers it.
-                    self.link_dropped += 1
-                    continue
-                # Detected corruption (CRC or framing reject).  The
-                # receiver discards the packet; a cell receiver also
-                # charges its heartbeat, so a persistently noisy link
-                # eventually trips the watchdog (paper Section 2.3).
-                self.corrupt_rejects += 1
-                if dst == CONTROL_PROCESSOR:
-                    self.cp_corrupt_rejects += 1
-                elif self._cells[dst].alive:
-                    self._cells[dst].heartbeat.record_error()
-                continue
+            if delivered is not None:
+                self._handle_bus_delivery(dst, delivered)
+
+    def _handle_bus_delivery(self, dst, delivered) -> None:
+        """Resolve one bus delivery (or fault event) at its receiver."""
+        if isinstance(delivered, FaultEvent):
+            self.dropped_packets.append(delivered.envelope.packet)
+            if not delivered.detected:
+                # Lost in flight: invisible to the receiver, only the
+                # control processor's delivery timeout recovers it.
+                self.link_dropped += 1
+                return
+            # Detected corruption (CRC or framing reject).  The
+            # receiver discards the packet; a cell receiver also
+            # charges its heartbeat, so a persistently noisy link
+            # eventually trips the watchdog (paper Section 2.3).
+            self.corrupt_rejects += 1
             if dst == CONTROL_PROCESSOR:
-                if isinstance(delivered.packet, ResultPacket):
-                    self.cp_inbox.append(delivered.packet)
-                else:  # pragma: no cover - cells never send instructions up
-                    self.dropped_packets.append(delivered.packet)
-            elif self._cells[dst].alive:
-                self._inboxes[dst].append(delivered)
-            else:
-                # The fabric around a disabled cell ceases delivering to it.
+                self.cp_corrupt_rejects += 1
+            elif self._cell_alive(dst):
+                self._cells[dst].heartbeat.record_error()
+            return
+        if dst == CONTROL_PROCESSOR:
+            if isinstance(delivered.packet, ResultPacket):
+                self.cp_inbox.append(delivered.packet)
+            else:  # pragma: no cover - cells never send instructions up
                 self.dropped_packets.append(delivered.packet)
+        elif self._cell_alive(dst):
+            self._inboxes[dst].append(delivered)
+        else:
+            # The fabric around a disabled cell ceases delivering to it.
+            self.dropped_packets.append(delivered.packet)
 
     def _neighbour_alive_test(self, coord: Coord, allow_cp: bool):
         """Predicate: is the neighbour through a direction a live exit?
@@ -445,7 +556,7 @@ class NanoBoxGrid:
                 return False
             if target == CONTROL_PROCESSOR:
                 return allow_cp
-            return self._cells[target].alive
+            return self._cell_alive(target)
 
         return alive
 
@@ -643,6 +754,31 @@ class NanoBoxGrid:
             for cell in self._cells.values()
             if cell.alive
         )
+
+    def _cell_state_record(self, cell: ProcessorCell) -> Dict[str, object]:
+        """Canonical observable state of one cell (plain python values)."""
+        memory = cell.memory
+        return {
+            "alive": cell.alive,
+            "forced_silent": cell.heartbeat.forced_silent,
+            "errors": cell.heartbeat.error_count,
+            "score": cell.heartbeat.error_score,
+            "beats": cell.heartbeat.beats_emitted,
+            "computed": cell.aluctrl.computed_total,
+            "disagreements": cell.aluctrl.disagreements,
+            "rejected": cell.rejected_packets,
+            "words": tuple(memory.read_raw(i) for i in range(memory.n_words)),
+        }
+
+    def iter_cell_states(self) -> Iterator[Tuple[Coord, Dict[str, object]]]:
+        """Yield ``(coord, record)`` for every cell, row-major.
+
+        The record covers every field observable through the public cell
+        API; the sparse engine overrides this to synthesise records for
+        never-materialised cells, so snapshots compare across engines.
+        """
+        for coord in self.all_coords():
+            yield coord, self._cell_state_record(self._cells[coord])
 
     def bus_statistics(self) -> "BusStatistics":
         """Aggregate link-utilisation counters since construction.

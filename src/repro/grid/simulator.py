@@ -19,8 +19,12 @@ from repro.alu.nanobox import NanoBoxALU
 from repro.faults.mask import MaskPolicy
 from repro.faults.temporal import TemporalFaultProcess
 from repro.grid.control import ControlProcessor, JobInstruction, JobResult
+from repro.grid.engine import SparseGrid, TemporalScheduler
 from repro.grid.grid import Coord, LinkFaultPolicy, NanoBoxGrid
 from repro.grid.watchdog import CellState, LifecyclePolicy, Watchdog
+
+#: Valid ``grid_engine`` selections (mirrors the ALU ``backend`` tiers).
+GRID_ENGINES = ("dense", "sparse", "auto")
 from repro.workloads.bitmap import Bitmap
 from repro.workloads.imaging import ImageWorkload
 
@@ -109,6 +113,16 @@ class GridSimulator:
             native kernel engine (batches of one); results are
             bit-identical on every tier.  ``None`` keeps the plain
             scalar units.
+        grid_engine: fabric evaluation tier.  ``dense`` (default) does
+            per-cell work every cycle; ``sparse`` is the event-driven
+            :class:`~repro.grid.engine.SparseGrid` core, bit-identical
+            to dense but with per-cycle cost proportional to the active
+            frontier rather than the grid area; ``auto`` picks sparse
+            whenever the configuration supports it.  Persistent memory
+            upsets (``memory_upset_rate``) require dense: their upset
+            draws come from one RNG shared sequentially across all
+            cells.  An explicit ``sparse`` request in that case warns on
+            stderr and falls back to dense (stdout is unaffected).
     """
 
     def __init__(
@@ -133,6 +147,7 @@ class GridSimulator:
         crc_enabled: bool = False,
         seed: int = 0,
         backend: Optional[str] = None,
+        grid_engine: str = "dense",
     ) -> None:
         if memory_upset_rate < 0 or memory_upset_rate >= 1:
             raise ValueError(
@@ -142,6 +157,31 @@ class GridSimulator:
             raise ValueError(
                 f"scrub_interval must be non-negative, got {scrub_interval}"
             )
+        if grid_engine not in GRID_ENGINES:
+            raise ValueError(
+                f"unknown grid_engine {grid_engine!r}; valid: {GRID_ENGINES}"
+            )
+        unsupported = None
+        if memory_upset_rate > 0:
+            unsupported = (
+                "persistent memory upsets draw from one RNG shared "
+                "sequentially across all cells"
+            )
+        if grid_engine == "auto":
+            resolved_engine = "dense" if unsupported else "sparse"
+        elif grid_engine == "sparse" and unsupported:
+            import sys
+
+            print(
+                f"warning: sparse grid engine unavailable ({unsupported}); "
+                "falling back to dense",
+                file=sys.stderr,
+            )
+            resolved_engine = "dense"
+        else:
+            resolved_engine = grid_engine
+        #: Fabric tier actually in use ("dense" or "sparse").
+        self.grid_engine = resolved_engine
         self._rng = np.random.default_rng(seed)
         self._alu_policy = alu_fault_policy
         self._memory_upset_rate = memory_upset_rate
@@ -211,7 +251,8 @@ class GridSimulator:
 
                 return source
 
-        self.grid = NanoBoxGrid(
+        grid_cls = SparseGrid if resolved_engine == "sparse" else NanoBoxGrid
+        self.grid = grid_cls(
             rows,
             cols,
             alu_factory=alu_factory,
@@ -233,12 +274,23 @@ class GridSimulator:
         )
         self._temporal_process = temporal_fault_process
         self._temporal_streams = {}
+        self._temporal_scheduler = None
         self._temporal_events = 0
         if temporal_fault_process is not None:
-            self._temporal_streams = {
-                cell.cell_id: temporal_fault_process.attach(cell.cell_id, seed)
-                for cell in self.grid.cells()
-            }
+            if resolved_engine == "sparse":
+                # Event-driven twin of the per-cell streams: same
+                # per-cell seeds, applied from a due-date queue instead
+                # of sampling every cell every cycle.
+                self._temporal_scheduler = TemporalScheduler(
+                    self.grid, temporal_fault_process, seed
+                )
+            else:
+                self._temporal_streams = {
+                    cell.cell_id: temporal_fault_process.attach(
+                        cell.cell_id, seed
+                    )
+                    for cell in self.grid.cells()
+                }
         self.control = ControlProcessor(
             self.grid,
             watchdog=self.watchdog,
@@ -259,6 +311,9 @@ class GridSimulator:
                 self.grid.kill_cell(*coord)
 
     def _apply_temporal_faults(self) -> None:
+        if self._temporal_scheduler is not None:
+            self._temporal_events += self._temporal_scheduler.tick()
+            return
         if not self._temporal_streams:
             return
         for cell in self.grid.cells():

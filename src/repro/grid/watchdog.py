@@ -238,7 +238,7 @@ class Watchdog:
         return len(self._reports)
 
     def _all_coords(self):
-        return (cell.cell_id for cell in self._grid.cells())
+        return self._grid.all_coords()
 
     # ---------------------------------------------------------------- polling
 
@@ -248,7 +248,10 @@ class Watchdog:
         Returns the salvage reports generated this poll (usually empty).
         """
         new_reports: List[SalvageReport] = []
-        for cell in self._grid.cells():
+        # Dense grids yield every cell; the sparse engine yields only
+        # cells whose heartbeat could do anything but beat (and credits
+        # the skipped quiescent beats in bulk afterwards).
+        for cell in self._grid.poll_candidates():
             coord = cell.cell_id
             if coord in self._disabled:
                 continue
@@ -278,6 +281,7 @@ class Watchdog:
 
     def _quarantine(self, coord: Coord) -> None:
         self._disabled.add(coord)
+        self._grid.on_cell_disabled(coord)
         self._silent_streak[coord] = 0
         budget = self._policy.max_readmissions
         exhausted = (
@@ -384,6 +388,7 @@ class Watchdog:
     def _readmit(self, coord: Coord) -> None:
         self._grid.cell(*coord).heartbeat.revive()
         self._disabled.discard(coord)
+        self._grid.on_cell_enabled(coord)
         self._states[coord] = CellState.ACTIVE
         self._silent_streak[coord] = 0
         self._readmission_counts[coord] = (

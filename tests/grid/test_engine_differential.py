@@ -1,0 +1,396 @@
+"""Differential suite pinning the sparse engine to the dense simulator.
+
+The event-driven :class:`~repro.grid.engine.SparseGrid` claims *bit
+identity* with :class:`~repro.grid.grid.NanoBoxGrid`: for equal
+construction parameters and seeds, every observable -- watchdog
+transitions, heartbeat scores and beat counts, delivery statistics,
+memory images, bus statistics, dropped-packet sequences -- must match
+tick for tick.  These tests drive both engines through identical
+scenarios and compare full :class:`~repro.grid.engine.GridState`
+snapshots, across all three temporal fault kinds, link faults, load
+shedding, and a matrix of seeds and grid sizes.
+"""
+
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.faults.temporal import TemporalFaultProcess
+from repro.grid import (
+    ControlProcessor,
+    GridSimulator,
+    GridState,
+    LifecyclePolicy,
+    LinkFaultConfig,
+    NanoBoxGrid,
+    SparseGrid,
+    Watchdog,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def workload(n, seed=0):
+    rnd = random.Random(seed)
+    return [
+        (
+            i,
+            rnd.choice([0b000, 0b001, 0b010, 0b111]),
+            rnd.randrange(256),
+            rnd.randrange(256),
+        )
+        for i in range(n)
+    ]
+
+
+def snapshots(sim_kwargs, run):
+    """Run the same scenario on both engines; return their states."""
+    states = []
+    for engine in ("dense", "sparse"):
+        sim = GridSimulator(grid_engine=engine, **sim_kwargs)
+        observed = run(sim)
+        states.append(
+            (GridState.from_grid(sim.grid, sim.watchdog), observed)
+        )
+    return states
+
+
+def assert_identical(sim_kwargs, run):
+    (dense_state, dense_obs), (sparse_state, sparse_obs) = snapshots(
+        sim_kwargs, run
+    )
+    assert dense_state == sparse_state, "\n".join(
+        dense_state.diff(sparse_state)[:20]
+    )
+    assert dense_obs == sparse_obs
+
+
+class TestTemporalFaultKinds:
+    """Sparse == dense under each temporal fault taxonomy class."""
+
+    @pytest.mark.parametrize(
+        "process",
+        [
+            TemporalFaultProcess.transient(0.002, errors_per_cycle=2),
+            TemporalFaultProcess.intermittent(0.001, burst_length=5),
+            TemporalFaultProcess.stuck_at(0.0008),
+        ],
+        ids=["transient", "intermittent", "permanent"],
+    )
+    @pytest.mark.parametrize("seed", [0, 2004])
+    def test_job_under_faults(self, process, seed):
+        kwargs = dict(
+            rows=6,
+            cols=6,
+            temporal_fault_process=process,
+            heartbeat_decay=0.5,
+            error_threshold=3,
+            lifecycle_policy=LifecyclePolicy(suspect_polls=1, probing=True),
+            seed=seed,
+        )
+
+        def run(sim):
+            job = sim.run_instructions(workload(180, seed), max_rounds=3)
+            return (job.results, job.delivery, job.rounds, sim.stats())
+
+        assert_identical(kwargs, run)
+
+    def test_multi_job_series_keeps_identity(self):
+        """Identity survives job boundaries (probe rounds, re-admission)."""
+        kwargs = dict(
+            rows=5,
+            cols=5,
+            temporal_fault_process=TemporalFaultProcess.intermittent(
+                0.003, burst_length=4, errors_per_cycle=3
+            ),
+            heartbeat_decay=1.0,
+            error_threshold=2,
+            lifecycle_policy=LifecyclePolicy(
+                suspect_polls=2, probing=True, readmit_clean_probes=1
+            ),
+            seed=7,
+        )
+
+        def run(sim):
+            observed = []
+            for j in range(4):
+                job = sim.run_instructions(
+                    workload(60, j), max_rounds=2, shed_to_capacity=True
+                )
+                observed.append((job.results, job.delivery))
+            return (observed, sim.stats())
+
+        assert_identical(kwargs, run)
+
+
+class TestLinkFaultsAndShedding:
+    def test_link_faults_with_crc(self):
+        kwargs = dict(
+            rows=4,
+            cols=4,
+            link_fault_config=LinkFaultConfig(
+                bit_flip_rate=0.004, drop_rate=0.01, stall_rate=0.02
+            ),
+            crc_enabled=True,
+            seed=11,
+        )
+
+        def run(sim):
+            job = sim.run_instructions(workload(120, 3), max_rounds=3)
+            return (
+                job.results,
+                job.delivery,
+                sim.stats(),
+                sim.grid.bus_statistics(),
+                sim.grid.link_fault_statistics(),
+            )
+
+        assert_identical(kwargs, run)
+
+    def test_link_faults_without_crc(self):
+        kwargs = dict(
+            rows=4,
+            cols=4,
+            link_fault_config=LinkFaultConfig(
+                bit_flip_rate=0.01, drop_rate=0.005, stall_rate=0.0
+            ),
+            crc_enabled=False,
+            seed=4,
+        )
+
+        def run(sim):
+            job = sim.run_instructions(workload(100, 9), max_rounds=2)
+            return (job.results, job.delivery, sim.stats())
+
+        assert_identical(kwargs, run)
+
+    def test_load_shedding_on_shrunken_fleet(self):
+        """shed_to_capacity with mid-run deaths: capacity math must agree."""
+        kwargs = dict(
+            rows=4,
+            cols=4,
+            n_words=4,
+            kill_schedule={15: [(2, 1), (3, 3)], 60: [(0, 0)]},
+            seed=21,
+        )
+
+        def run(sim):
+            job = sim.run_instructions(
+                workload(128, 5), max_rounds=3, shed_to_capacity=True
+            )
+            return (job.results, job.delivery, job.unassigned, sim.stats())
+
+        assert_identical(kwargs, run)
+
+    def test_adaptive_routing_with_dead_columns(self):
+        kwargs = dict(
+            rows=5,
+            cols=5,
+            adaptive_routing=True,
+            kill_schedule={10: [(4, 2)], 30: [(2, 2), (3, 1)]},
+            seed=13,
+        )
+
+        def run(sim):
+            job = sim.run_instructions(workload(90, 2), max_rounds=3)
+            return (job.results, job.delivery, sim.stats())
+
+        assert_identical(kwargs, run)
+
+
+class TestSizeSeedMatrix:
+    """Identity over a matrix of grid sizes and seeds."""
+
+    @pytest.mark.parametrize("rows,cols", [(1, 1), (1, 5), (5, 1), (3, 7)])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_shapes(self, rows, cols, seed):
+        kwargs = dict(
+            rows=rows,
+            cols=cols,
+            temporal_fault_process=TemporalFaultProcess.transient(0.004),
+            heartbeat_decay=0.25,
+            error_threshold=2,
+            seed=seed,
+        )
+
+        def run(sim):
+            job = sim.run_instructions(
+                workload(40, seed), max_rounds=2
+            )
+            return (
+                job.results,
+                job.delivery,
+                sim.stats(),
+                sim.grid.bus_statistics(),
+            )
+
+        assert_identical(kwargs, run)
+
+    def test_scrub_and_alu_faults(self):
+        from repro.faults.mask import ExactFractionMask
+
+        kwargs = dict(
+            rows=4,
+            cols=4,
+            alu_fault_policy=ExactFractionMask(0.01),
+            scrub_interval=32,
+            heartbeat_decay=0.5,
+            error_threshold=4,
+            seed=6,
+        )
+
+        def run(sim):
+            job = sim.run_instructions(workload(150, 8), max_rounds=3)
+            return (job.results, job.delivery, sim.scrub_corrections)
+
+        assert_identical(kwargs, run)
+
+
+class TestWatchdogTransitionTrace:
+    """Watchdog lifecycle transitions match poll for poll, not just at end."""
+
+    def test_state_trace_matches(self):
+        process = TemporalFaultProcess.intermittent(
+            0.004, burst_length=6, errors_per_cycle=2
+        )
+        traces = []
+        for grid_cls in (NanoBoxGrid, SparseGrid):
+            grid = grid_cls(4, 4, heartbeat_decay=1.0, error_threshold=2)
+            watchdog = Watchdog(
+                grid,
+                policy=LifecyclePolicy(
+                    suspect_polls=1, probing=True, readmit_clean_probes=1
+                ),
+            )
+            streams = {
+                coord: process.attach(coord, 99)
+                for coord in grid.all_coords()
+            }
+            trace = []
+            for t in range(400):
+                grid.step()
+                for coord in sorted(streams):
+                    if not grid._cell_alive(coord):
+                        continue
+                    event = streams[coord].sample()
+                    if event.quiet:
+                        continue
+                    if event.kill:
+                        grid.kill_cell(*coord)
+                    elif event.errors:
+                        grid.cell(*coord).heartbeat.record_error(
+                            event.errors
+                        )
+                watchdog.poll()
+                if t % 25 == 0:
+                    watchdog.probe_quarantined()
+                trace.append(
+                    tuple(
+                        watchdog.state(c).value for c in grid.all_coords()
+                    )
+                )
+            traces.append(trace)
+        assert traces[0] == traces[1]
+
+    def test_per_tick_grid_state(self):
+        """Full GridState equality sampled mid-run, not only at the end."""
+        process = TemporalFaultProcess.transient(0.01, errors_per_cycle=3)
+        samples = [[], []]
+        for slot, grid_cls in enumerate((NanoBoxGrid, SparseGrid)):
+            grid = grid_cls(3, 3, heartbeat_decay=0.5, error_threshold=2)
+            watchdog = Watchdog(grid)
+            streams = {
+                coord: process.attach(coord, 5)
+                for coord in grid.all_coords()
+            }
+            for t in range(120):
+                grid.step()
+                for coord in sorted(streams):
+                    if not grid._cell_alive(coord):
+                        continue
+                    event = streams[coord].sample()
+                    if event.quiet:
+                        continue
+                    if event.errors:
+                        grid.cell(*coord).heartbeat.record_error(
+                            event.errors
+                        )
+                watchdog.poll()
+                if t % 10 == 0:
+                    samples[slot].append(
+                        GridState.from_grid(grid, watchdog).to_snapshot()
+                    )
+        assert samples[0] == samples[1]
+
+
+class TestControlProcessorPath:
+    """Raw ControlProcessor driving (no simulator hooks) stays identical."""
+
+    def test_full_job_with_decay_and_kills(self):
+        results = []
+        for grid_cls in (NanoBoxGrid, SparseGrid):
+            grid = grid_cls(6, 6, heartbeat_decay=0.5, error_threshold=4)
+            watchdog = Watchdog(
+                grid, policy=LifecyclePolicy(suspect_polls=2, probing=True)
+            )
+            control = ControlProcessor(grid, watchdog)
+            kills = {30: (2, 3), 55: (5, 1), 90: (0, 0)}
+            errors = {40: (4, 4), 41: (4, 4), 60: (1, 2)}
+
+            def hook(grid=grid):
+                cycle = grid.cycle
+                if cycle in kills:
+                    grid.kill_cell(*kills[cycle])
+                if cycle in errors:
+                    r, c = errors[cycle]
+                    if grid.cell(r, c).alive:
+                        grid.cell(r, c).heartbeat.record_error(3)
+
+            control.add_tick_hook(hook)
+            job = control.run_job(workload(200, 7), max_rounds=3)
+            results.append(
+                (
+                    GridState.from_grid(grid, watchdog).to_snapshot(),
+                    job.results,
+                    job.delivery,
+                    grid.bus_statistics(),
+                )
+            )
+        assert results[0] == results[1]
+
+
+class TestCliStdout:
+    """`--grid-engine sparse` CLI stdout is byte-identical to dense."""
+
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", *argv],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            (
+                "grid", "--rows", "5", "--cols", "5", "--fault-percent",
+                "1", "--kill", "2,3@40", "--seed", "5",
+            ),
+            (
+                "lifecycle", "--rows", "4", "--cols", "4", "--jobs", "2",
+                "--instructions", "48",
+            ),
+        ],
+        ids=["grid", "lifecycle"],
+    )
+    def test_stdout_identical(self, argv):
+        dense = self._run(*argv, "--grid-engine", "dense")
+        sparse = self._run(*argv, "--grid-engine", "sparse")
+        assert dense.returncode == 0, dense.stderr
+        assert sparse.returncode == 0, sparse.stderr
+        assert dense.stdout == sparse.stdout

@@ -159,3 +159,37 @@ class TestShiftOut:
             grid.step()
         assert grid.total_pending_instructions() == 0
         assert grid.total_completed_instructions() == 1
+
+
+class TestLinkStreamIndex:
+    """The closed-form per-link PRNG index must equal the historical
+    running counter over the eager construction order, because per-link
+    fault streams are keyed by it (lazily built links must draw the same
+    streams as the dense fabric)."""
+
+    @pytest.mark.parametrize(
+        "rows,cols", [(1, 1), (1, 4), (4, 1), (2, 2), (3, 5), (5, 3), (4, 4)]
+    )
+    def test_matches_construction_order(self, rows, cols):
+        from repro.grid.grid import CONTROL_PROCESSOR
+
+        grid = NanoBoxGrid(rows, cols)
+        expected = {}
+        counter = 0
+        for r in range(rows):
+            for c in range(cols):
+                for direction in (Direction.UP, Direction.DOWN,
+                                  Direction.LEFT, Direction.RIGHT):
+                    nr, nc = direction.step(r, c)
+                    if 0 <= nr < rows and 0 <= nc < cols:
+                        expected[((r, c), (nr, nc))] = counter
+                        counter += 1
+        top = rows - 1
+        for c in range(cols):
+            for key in ((CONTROL_PROCESSOR, (top, c)),
+                        ((top, c), CONTROL_PROCESSOR)):
+                expected[key] = counter
+                counter += 1
+        assert set(expected) == set(grid._buses)
+        for (src, dst), index in expected.items():
+            assert grid._link_stream_index(src, dst) == index, (src, dst)
